@@ -1,0 +1,126 @@
+#include "harness.hpp"
+
+#include <stdexcept>
+
+#include "device/sw_kernels.hpp"
+#include "encoding/random.hpp"
+#include "sw/bpbc.hpp"
+#include "sw/scalar.hpp"
+#include "sw/wordwise.hpp"
+#include "util/timer.hpp"
+
+namespace swbpbc::bench {
+
+Workload make_workload(std::size_t pairs, std::size_t m, std::size_t n,
+                       std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  Workload w;
+  w.pairs = pairs;
+  w.m = m;
+  w.n = n;
+  w.xs = encoding::random_sequences(rng, pairs, m);
+  w.ys = encoding::random_sequences(rng, pairs, n);
+  return w;
+}
+
+std::string impl_name(Impl impl) {
+  switch (impl) {
+    case Impl::kCpuBitwise32:
+      return "CPU bitwise-32";
+    case Impl::kCpuBitwise64:
+      return "CPU bitwise-64";
+    case Impl::kCpuWordwise:
+      return "CPU wordwise-32";
+    case Impl::kGpuBitwise32:
+      return "GPUsim bitwise-32";
+    case Impl::kGpuBitwise64:
+      return "GPUsim bitwise-64";
+    case Impl::kGpuWordwise:
+      return "GPUsim wordwise-32";
+  }
+  return "?";
+}
+
+namespace {
+
+void verify_prefix(const Workload& w, const sw::ScoreParams& params,
+                   const std::vector<std::uint32_t>& scores) {
+  const std::size_t check = std::min<std::size_t>(w.pairs, 4);
+  for (std::size_t k = 0; k < check; ++k) {
+    if (scores[k] != sw::max_score(w.xs[k], w.ys[k], params)) {
+      throw std::runtime_error("benchmark implementation miscomputed pair " +
+                               std::to_string(k));
+    }
+  }
+}
+
+}  // namespace
+
+RowTimes run_impl(Impl impl, const Workload& w,
+                  const sw::ScoreParams& params) {
+  RowTimes row;
+  switch (impl) {
+    case Impl::kCpuBitwise32:
+    case Impl::kCpuBitwise64: {
+      const auto width = impl == Impl::kCpuBitwise32 ? sw::LaneWidth::k32
+                                                     : sw::LaneWidth::k64;
+      sw::PhaseTimings t;
+      const auto scores = sw::bpbc_max_scores(
+          w.xs, w.ys, params, width, bulk::Mode::kSerial,
+          encoding::TransposeMethod::kPlanned, &t);
+      verify_prefix(w, params, scores);
+      row.w2b = t.w2b_ms;
+      row.swa = t.swa_ms;
+      row.b2w = t.b2w_ms;
+      row.total = t.total_ms();
+      return row;
+    }
+    case Impl::kCpuWordwise: {
+      util::WallTimer timer;
+      const auto scores =
+          sw::wordwise_max_scores(w.xs, w.ys, params, bulk::Mode::kSerial);
+      row.swa = timer.elapsed_ms();
+      verify_prefix(w, params, scores);
+      row.total = row.swa;
+      return row;
+    }
+    case Impl::kGpuBitwise32:
+    case Impl::kGpuBitwise64: {
+      const auto width = impl == Impl::kGpuBitwise32 ? sw::LaneWidth::k32
+                                                     : sw::LaneWidth::k64;
+      device::GpuRunOptions options;
+      options.mode = bulk::Mode::kParallel;
+      const auto result =
+          device::gpu_bpbc_max_scores(w.xs, w.ys, params, width, options);
+      verify_prefix(w, params, result.scores);
+      row.h2g = result.timings.h2g_ms;
+      row.w2b = result.timings.w2b_ms;
+      row.swa = result.timings.swa_ms;
+      row.b2w = result.timings.b2w_ms;
+      row.g2h = result.timings.g2h_ms;
+      row.total = result.timings.total_ms();
+      return row;
+    }
+    case Impl::kGpuWordwise: {
+      device::GpuRunOptions options;
+      options.mode = bulk::Mode::kParallel;
+      const auto result =
+          device::gpu_wordwise_max_scores(w.xs, w.ys, params, options);
+      verify_prefix(w, params, result.scores);
+      row.h2g = result.timings.h2g_ms;
+      row.swa = result.timings.swa_ms;
+      row.g2h = result.timings.g2h_ms;
+      row.total = result.timings.total_ms();
+      return row;
+    }
+  }
+  throw std::logic_error("unknown implementation");
+}
+
+double gcups(const Workload& w, const RowTimes& row) {
+  const double cells = static_cast<double>(w.pairs) *
+                       static_cast<double>(w.m) * static_cast<double>(w.n);
+  return cells / (row.total * 1e-3) / 1e9;
+}
+
+}  // namespace swbpbc::bench

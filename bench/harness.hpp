@@ -1,0 +1,59 @@
+// Shared machinery for the Table IV / Table V harnesses: workload
+// generation and one-row measurement of each implementation
+// (CPU bitwise-32/64, CPU wordwise, simulated-GPU bitwise-32/64,
+// simulated-GPU wordwise).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "encoding/dna.hpp"
+#include "sw/params.hpp"
+
+namespace swbpbc::bench {
+
+struct Workload {
+  std::vector<encoding::Sequence> xs;  // patterns, length m
+  std::vector<encoding::Sequence> ys;  // texts, length n
+  std::size_t pairs = 0;
+  std::size_t m = 0;
+  std::size_t n = 0;
+};
+
+Workload make_workload(std::size_t pairs, std::size_t m, std::size_t n,
+                       std::uint64_t seed);
+
+/// One Table IV row: per-phase wall-clock milliseconds. Phases that an
+/// implementation does not have (e.g. W2B for wordwise) stay negative and
+/// render as "-".
+struct RowTimes {
+  double h2g = -1.0;
+  double w2b = -1.0;
+  double swa = -1.0;
+  double b2w = -1.0;
+  double g2h = -1.0;
+  double total = 0.0;
+};
+
+enum class Impl {
+  kCpuBitwise32,
+  kCpuBitwise64,
+  kCpuWordwise,
+  kGpuBitwise32,
+  kGpuBitwise64,
+  kGpuWordwise,
+};
+
+std::string impl_name(Impl impl);
+
+/// Runs one implementation over the workload and checks the scores against
+/// the scalar reference on a small prefix (fail fast on miscomputation).
+RowTimes run_impl(Impl impl, const Workload& w,
+                  const sw::ScoreParams& params);
+
+/// Billion cell updates per second for a measured row (pairs * m * n DP
+/// cells over the row's total time).
+double gcups(const Workload& w, const RowTimes& row);
+
+}  // namespace swbpbc::bench

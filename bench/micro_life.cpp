@@ -1,0 +1,41 @@
+// BPBC Game of Life throughput vs the scalar reference (the technique's
+// ref-[13] showcase; items_processed counts cell updates).
+#include <benchmark/benchmark.h>
+
+#include "life/life.hpp"
+
+namespace {
+
+using namespace swbpbc;
+
+void BM_ScalarLife(benchmark::State& state) {
+  const auto size = static_cast<std::size_t>(state.range(0));
+  life::ScalarLife grid(size, size);
+  util::Xoshiro256 rng(1);
+  life::randomize(grid, 0.3, rng);
+  for (auto _ : state) {
+    grid.step();
+    benchmark::DoNotOptimize(grid.population());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(size * size));
+}
+BENCHMARK(BM_ScalarLife)->Arg(128)->Arg(256);
+
+template <typename W>
+void BM_BpbcLife(benchmark::State& state) {
+  const auto size = static_cast<std::size_t>(state.range(0));
+  life::BpbcLife<W> grid(size, size);
+  util::Xoshiro256 rng(1);
+  life::randomize(grid, 0.3, rng);
+  for (auto _ : state) {
+    grid.step();
+    benchmark::DoNotOptimize(grid.population());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(size * size));
+}
+BENCHMARK(BM_BpbcLife<std::uint32_t>)->Arg(128)->Arg(256);
+BENCHMARK(BM_BpbcLife<std::uint64_t>)->Arg(128)->Arg(256);
+
+}  // namespace

@@ -1,0 +1,76 @@
+// Micro-benchmarks of the W2B/B2W machinery: dense network vs the
+// liveness-specialized plans of Table I (the planner ablation), plus the
+// end-to-end string batch transpose.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "bitsim/plan.hpp"
+#include "bitsim/transpose.hpp"
+#include "encoding/batch.hpp"
+#include "encoding/random.hpp"
+
+namespace {
+
+using namespace swbpbc;
+
+void BM_DenseTranspose32(benchmark::State& state) {
+  util::Xoshiro256 rng(1);
+  std::vector<std::uint32_t> a(32);
+  for (auto& w : a) w = static_cast<std::uint32_t>(rng.next());
+  for (auto _ : state) {
+    bitsim::transpose_bits(std::span<std::uint32_t>(a));
+    benchmark::DoNotOptimize(a.data());
+  }
+}
+BENCHMARK(BM_DenseTranspose32);
+
+void BM_PlannedTranspose32(benchmark::State& state) {
+  const unsigned s = static_cast<unsigned>(state.range(0));
+  const bitsim::TransposePlan plan =
+      bitsim::TransposePlan::transpose_low_bits(32, s);
+  util::Xoshiro256 rng(2);
+  std::vector<std::uint32_t> a(32);
+  const std::uint32_t mask = s >= 32 ? ~0u : ((1u << s) - 1);
+  for (auto& w : a) w = static_cast<std::uint32_t>(rng.next()) & mask;
+  for (auto _ : state) {
+    plan.apply(std::span<std::uint32_t>(a));
+    benchmark::DoNotOptimize(a.data());
+  }
+  state.counters["plan_ops"] =
+      static_cast<double>(plan.total_operations());
+}
+BENCHMARK(BM_PlannedTranspose32)->Arg(2)->Arg(9)->Arg(16)->Arg(32);
+
+template <encoding::TransposeMethod Method>
+void BM_StringBatchW2B(benchmark::State& state) {
+  util::Xoshiro256 rng(3);
+  const auto seqs = encoding::random_sequences(
+      rng, 256, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto batch = encoding::transpose_strings<std::uint32_t>(seqs, Method);
+    benchmark::DoNotOptimize(batch.groups.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 256 * state.range(0));
+}
+BENCHMARK(BM_StringBatchW2B<encoding::TransposeMethod::kPlanned>)
+    ->Arg(256)->Arg(1024);
+BENCHMARK(BM_StringBatchW2B<encoding::TransposeMethod::kNaive>)
+    ->Arg(256)->Arg(1024);
+
+void BM_ScoreB2W(benchmark::State& state) {
+  const unsigned s = 9;
+  util::Xoshiro256 rng(4);
+  std::vector<std::uint32_t> slices(s);
+  for (auto& w : slices) w = static_cast<std::uint32_t>(rng.next());
+  for (auto _ : state) {
+    auto values = encoding::untranspose_values<std::uint32_t>(
+        std::span<const std::uint32_t>(slices), s);
+    benchmark::DoNotOptimize(values.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_ScoreB2W);
+
+}  // namespace

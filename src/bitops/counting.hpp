@@ -1,0 +1,59 @@
+// CountingWord — a drop-in lane-word that counts bitwise operations.
+//
+// The paper's Lemmas 2-5 and Theorem 6 state exact operation counts for the
+// bit-sliced arithmetic functions. Instead of re-deriving those counts on
+// paper, the test suite instantiates the very same templates with
+// CountingWord<uint32_t> and asserts the measured counts; see
+// tests/bitops/opcount_test.cpp.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+
+namespace swbpbc::bitops {
+
+/// Wraps an unsigned integer and counts every &, |, ^, ~ applied to it.
+/// Shifts are intentionally not provided: the Section IV.A arithmetic is
+/// pure AND/OR/XOR/NOT and must stay that way.
+template <std::unsigned_integral Base>
+class CountingWord {
+ public:
+  CountingWord() = default;
+  constexpr explicit CountingWord(Base v) : v_(v) {}
+
+  [[nodiscard]] constexpr Base value() const { return v_; }
+
+  /// Operations applied since the last reset (per thread).
+  static std::uint64_t ops() { return ops_; }
+  static void reset_ops() { ops_ = 0; }
+
+  friend CountingWord operator&(CountingWord a, CountingWord b) {
+    ++ops_;
+    return CountingWord(static_cast<Base>(a.v_ & b.v_));
+  }
+  friend CountingWord operator|(CountingWord a, CountingWord b) {
+    ++ops_;
+    return CountingWord(static_cast<Base>(a.v_ | b.v_));
+  }
+  friend CountingWord operator^(CountingWord a, CountingWord b) {
+    ++ops_;
+    return CountingWord(static_cast<Base>(a.v_ ^ b.v_));
+  }
+  friend CountingWord operator~(CountingWord a) {
+    ++ops_;
+    return CountingWord(static_cast<Base>(~a.v_));
+  }
+  CountingWord& operator&=(CountingWord o) { return *this = *this & o; }
+  CountingWord& operator|=(CountingWord o) { return *this = *this | o; }
+  CountingWord& operator^=(CountingWord o) { return *this = *this ^ o; }
+
+  friend bool operator==(CountingWord a, CountingWord b) {
+    return a.v_ == b.v_;
+  }
+
+ private:
+  Base v_{};
+  static inline thread_local std::uint64_t ops_ = 0;
+};
+
+}  // namespace swbpbc::bitops

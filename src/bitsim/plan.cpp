@@ -1,0 +1,165 @@
+#include "bitsim/plan.hpp"
+
+#include <algorithm>
+
+namespace swbpbc::bitsim {
+namespace {
+
+// One op of the dense (unspecialized) swap network.
+struct NetOp {
+  unsigned a;
+  unsigned b;
+  unsigned k;
+  std::uint64_t mask;
+};
+
+std::uint64_t dense_step_mask(unsigned word_bits, unsigned k) {
+  std::uint64_t m = 0;
+  for (unsigned j = 0; j < word_bits; ++j) {
+    if ((j & k) == 0) m |= std::uint64_t{1} << j;
+  }
+  return m;
+}
+
+std::vector<NetOp> dense_network(unsigned word_bits, bool forward) {
+  std::vector<unsigned> ks;
+  for (unsigned k = word_bits / 2; k >= 1; k /= 2) ks.push_back(k);
+  if (!forward) std::reverse(ks.begin(), ks.end());
+  std::vector<NetOp> net;
+  net.reserve(ks.size() * word_bits / 2);
+  for (unsigned k : ks) {
+    const std::uint64_t mask = dense_step_mask(word_bits, k);
+    for (unsigned i = 0; i < word_bits; ++i) {
+      if ((i & k) == 0) net.push_back(NetOp{i, i ^ k, k, mask});
+    }
+  }
+  return net;
+}
+
+// Applies the swap exchange to a per-word bit-set state (used both for the
+// backward liveness pass and the forward known-zero pass). The transform is
+// an involution, so it serves both directions.
+void exchange(std::vector<std::uint64_t>& state, const NetOp& op) {
+  const std::uint64_t hi_mask = op.mask << op.k;
+  const std::uint64_t a = state[op.a];
+  const std::uint64_t b = state[op.b];
+  state[op.a] = (a & ~hi_mask) | ((b & op.mask) << op.k);
+  state[op.b] = (b & ~op.mask) | ((a >> op.k) & op.mask);
+}
+
+}  // namespace
+
+TransposePlan TransposePlan::plan(unsigned word_bits, bool forward,
+                                  const SlotPredicate& input_zero,
+                                  const SlotPredicate& output_needed) {
+  assert(word_bits == 8 || word_bits == 16 || word_bits == 32 ||
+         word_bits == 64);
+  const std::vector<NetOp> net = dense_network(word_bits, forward);
+
+  // --- Backward liveness: live_after[t][w] bit j set iff slot (w, j) after
+  // op t must hold the network-correct value to produce needed outputs.
+  std::vector<std::vector<std::uint64_t>> live_after(net.size());
+  std::vector<std::uint64_t> live(word_bits, 0);
+  for (unsigned w = 0; w < word_bits; ++w) {
+    for (unsigned j = 0; j < word_bits; ++j) {
+      if (output_needed(w, j)) live[w] |= std::uint64_t{1} << j;
+    }
+  }
+  for (std::size_t t = net.size(); t-- > 0;) {
+    live_after[t] = live;
+    exchange(live, net[t]);  // involution: after-state -> before-state
+  }
+
+  // --- Forward pass: pick the cheapest op that preserves all live slots,
+  // tracking which slots are known zero in the *actual* (specialized)
+  // execution. A write is a guaranteed no-op when both the incoming and the
+  // current bit are known zero; liveness of a target implies liveness of
+  // its source, which makes the zero test sound (see tests).
+  std::vector<std::uint64_t> zero(word_bits, 0);
+  for (unsigned w = 0; w < word_bits; ++w) {
+    for (unsigned j = 0; j < word_bits; ++j) {
+      if (input_zero(w, j)) zero[w] |= std::uint64_t{1} << j;
+    }
+  }
+
+  TransposePlan result;
+  result.word_bits_ = word_bits;
+  unsigned current_k = 0;
+  for (std::size_t t = 0; t < net.size(); ++t) {
+    const NetOp& op = net[t];
+    if (op.k != current_k) {
+      current_k = op.k;
+      result.steps_.push_back(StepCount{op.k, 0, 0});
+    }
+    const std::uint64_t hi_mask = op.mask << op.k;
+    const std::uint64_t za = zero[op.a];
+    const std::uint64_t zb = zero[op.b];
+    // Writes into a's high-side positions that are live and not no-ops.
+    const bool need_a =
+        (live_after[t][op.a] & hi_mask & ~(((zb & op.mask) << op.k) & za)) !=
+        0;
+    // Writes into b's low-side positions that are live and not no-ops.
+    const bool need_b =
+        (live_after[t][op.b] & op.mask & ~(((za >> op.k) & op.mask) & zb)) !=
+        0;
+
+    if (!need_a && !need_b) continue;  // skip: nothing live changes
+
+    PlanOp planned{};
+    planned.a = static_cast<std::uint16_t>(op.a);
+    planned.b = static_cast<std::uint16_t>(op.b);
+    planned.shift = static_cast<std::uint16_t>(op.k);
+    planned.mask = op.mask;
+    if (need_a && need_b) {
+      planned.kind = PlanOpKind::kSwap;
+      result.steps_.back().swaps++;
+      zero[op.a] = (za & ~hi_mask) | ((zb & op.mask) << op.k);
+      zero[op.b] = (zb & ~op.mask) | ((za >> op.k) & op.mask);
+    } else if (need_a) {
+      planned.kind = PlanOpKind::kCopyHi;
+      result.steps_.back().swaps += 0;
+      result.steps_.back().copies++;
+      zero[op.a] = (za & ~hi_mask) | ((zb & op.mask) << op.k);
+    } else {
+      planned.kind = PlanOpKind::kCopyLo;
+      result.steps_.back().copies++;
+      zero[op.b] = (zb & ~op.mask) | ((za >> op.k) & op.mask);
+    }
+    result.ops_.push_back(planned);
+  }
+  return result;
+}
+
+TransposePlan TransposePlan::transpose_low_bits(unsigned word_bits,
+                                                unsigned s) {
+  return plan(
+      word_bits, /*forward=*/true,
+      [s](unsigned, unsigned bit) { return bit >= s; },
+      [s](unsigned word, unsigned) { return word < s; });
+}
+
+TransposePlan TransposePlan::untranspose_low_bits(unsigned word_bits,
+                                                  unsigned s) {
+  return plan(
+      word_bits, /*forward=*/false,
+      [s](unsigned word, unsigned) { return word >= s; },
+      [s](unsigned, unsigned bit) { return bit < s; });
+}
+
+unsigned TransposePlan::swap_count() const {
+  unsigned n = 0;
+  for (const auto& st : steps_) n += st.swaps;
+  return n;
+}
+
+unsigned TransposePlan::copy_count() const {
+  unsigned n = 0;
+  for (const auto& st : steps_) n += st.copies;
+  return n;
+}
+
+unsigned TransposePlan::total_operations() const {
+  return 7 * swap_count() + 4 * copy_count();
+}
+
+}  // namespace swbpbc::bitsim

@@ -1,0 +1,107 @@
+// Liveness-specialized bit-transpose plans (paper Section II, Table I).
+//
+// The full W x W transpose costs 7 ops per swap over log2(W) * W/2 swaps.
+// When the payload of each input word is only its low `s` bits (e.g. s = 2
+// for DNA characters) and only the first `s` transposed rows are needed,
+// many swaps can be downgraded to 4-op one-sided copies or dropped
+// entirely. The paper's Table I lists the resulting op counts for
+// W = 32; `TransposePlan` derives the same specialization automatically by
+// bit-level liveness analysis over the swap network, so the counts are
+// *computed*, not hard-coded, and the executor applies the specialized
+// plan to real data.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bitsim/swapcopy.hpp"
+
+namespace swbpbc::bitsim {
+
+enum class PlanOpKind : std::uint8_t {
+  kSwap,    // 7 ops: full two-sided exchange
+  kCopyHi,  // 4 ops: only word `a` receives bits (paper's `copy`)
+  kCopyLo,  // 4 ops: only word `b` receives bits
+};
+
+struct PlanOp {
+  PlanOpKind kind;
+  std::uint16_t a;      // word receiving/donating the high-side bits
+  std::uint16_t b;      // word receiving/donating the low-side bits
+  std::uint16_t shift;  // step distance k
+  std::uint64_t mask;   // low-side mask (step_mask(k))
+};
+
+/// Per-network-step operation counts (one row of Table I).
+struct StepCount {
+  unsigned k = 0;  // step distance
+  unsigned swaps = 0;
+  unsigned copies = 0;
+};
+
+/// Predicate over (word index, bit index).
+using SlotPredicate = std::function<bool(unsigned word, unsigned bit)>;
+
+class TransposePlan {
+ public:
+  /// Plan for transposing W words whose payload is the low `s` bits each
+  /// (rows >= s of the result are not produced). This is the paper's W2B
+  /// ("wordwise to bit-transpose") specialization; s = W gives the full
+  /// 7-ops-per-swap network of Lemma 1.
+  static TransposePlan transpose_low_bits(unsigned word_bits, unsigned s);
+
+  /// Plan for the inverse direction (paper's B2W, "bit-untranspose"):
+  /// inputs occupy transposed rows 0..s-1 (rows >= s must be zero), and
+  /// only the low `s` bits of every output word are required.
+  static TransposePlan untranspose_low_bits(unsigned word_bits, unsigned s);
+
+  /// Fully general planner. `forward` selects network orientation
+  /// (true = transpose order k = W/2..1). `input_zero(w, b)` must hold for
+  /// slots known to be zero on entry; `output_needed(w, b)` marks result
+  /// slots that must be correct on exit.
+  static TransposePlan plan(unsigned word_bits, bool forward,
+                            const SlotPredicate& input_zero,
+                            const SlotPredicate& output_needed);
+
+  [[nodiscard]] unsigned word_bits() const { return word_bits_; }
+  [[nodiscard]] const std::vector<PlanOp>& ops() const { return ops_; }
+  [[nodiscard]] const std::vector<StepCount>& steps() const { return steps_; }
+
+  [[nodiscard]] unsigned swap_count() const;
+  [[nodiscard]] unsigned copy_count() const;
+  /// 7 per swap + 4 per copy (the paper's Table I accounting).
+  [[nodiscard]] unsigned total_operations() const;
+
+  /// Applies the plan in place. a.size() must equal word_bits(), and W's
+  /// width must match the plan's.
+  template <LaneWord W>
+  void apply(std::span<W> a) const {
+    assert(a.size() == word_bits_);
+    assert(word_bits_v<W> == word_bits_);
+    for (const PlanOp& op : ops_) {
+      const W mask = static_cast<W>(op.mask);
+      switch (op.kind) {
+        case PlanOpKind::kSwap:
+          swap_bits(a[op.a], a[op.b], op.shift, mask);
+          break;
+        case PlanOpKind::kCopyHi:
+          copy_hi(a[op.a], a[op.b], op.shift, mask);
+          break;
+        case PlanOpKind::kCopyLo:
+          copy_lo(a[op.a], a[op.b], op.shift, mask);
+          break;
+      }
+    }
+  }
+
+ private:
+  unsigned word_bits_ = 0;
+  std::vector<PlanOp> ops_;
+  std::vector<StepCount> steps_;
+};
+
+}  // namespace swbpbc::bitsim

@@ -1,0 +1,59 @@
+// The swap/copy bit-exchange primitives of Section II of the paper.
+//
+// `swap_bits(A, B, k, b)` exchanges the bits of B selected by mask `b` with
+// the bits of A selected by `b << k` (7 bitwise/shift operations).
+// `copy_hi` / `copy_lo` are the one-sided 4-operation variants used when the
+// other word's result is dead (Table I's swap->copy downgrade).
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+
+namespace swbpbc::bitsim {
+
+template <typename W>
+concept LaneWord = std::same_as<W, std::uint8_t> ||
+                   std::same_as<W, std::uint16_t> ||
+                   std::same_as<W, std::uint32_t> ||
+                   std::same_as<W, std::uint64_t>;
+
+/// Number of bits in a lane word.
+template <LaneWord W>
+inline constexpr unsigned word_bits_v = static_cast<unsigned>(8 * sizeof(W));
+
+/// Exchanges bits `b` of B with bits `b << k` of A (paper, Section II).
+template <LaneWord W>
+constexpr void swap_bits(W& a, W& b, unsigned k, W mask) {
+  const W c = static_cast<W>(((a >> k) & mask) ^ (b & mask));
+  a ^= static_cast<W>(c << k);
+  b ^= c;
+}
+
+/// One-sided variant: A keeps its bits at `mask` and receives B's bits at
+/// `mask` shifted up by k; B is untouched. Requires `mask << k == ~mask`
+/// (true for every mask in the transpose network). Paper's `copy`.
+template <LaneWord W>
+constexpr void copy_hi(W& a, W b, unsigned k, W mask) {
+  a = static_cast<W>((a & mask) | ((b & mask) << k));
+}
+
+/// Mirror of copy_hi: B keeps its bits at `~mask` (== mask << k) and
+/// receives A's bits at `mask << k` shifted down by k; A is untouched.
+template <LaneWord W>
+constexpr void copy_lo(W a, W& b, unsigned k, W mask) {
+  b = static_cast<W>((b & static_cast<W>(mask << k)) | ((a >> k) & mask));
+}
+
+/// Mask for transpose step `k`: bit j is set iff (j & k) == 0, i.e. k ones
+/// followed by k zeros, repeated (k must be a power of two < word width).
+/// Examples (8-bit): k=4 -> 0x0F, k=2 -> 0x33, k=1 -> 0x55.
+template <LaneWord W>
+constexpr W step_mask(unsigned k) {
+  W m = 0;
+  for (unsigned j = 0; j < word_bits_v<W>; ++j) {
+    if ((j & k) == 0) m |= static_cast<W>(W{1} << j);
+  }
+  return m;
+}
+
+}  // namespace swbpbc::bitsim

@@ -1,0 +1,10 @@
+#include "bitsim/transpose.hpp"
+
+namespace swbpbc::bitsim {
+
+void transpose32(std::span<std::uint32_t> a) { transpose_bits(a); }
+void transpose64(std::span<std::uint64_t> a) { transpose_bits(a); }
+void untranspose32(std::span<std::uint32_t> a) { untranspose_bits(a); }
+void untranspose64(std::span<std::uint64_t> a) { untranspose_bits(a); }
+
+}  // namespace swbpbc::bitsim

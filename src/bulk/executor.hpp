@@ -1,0 +1,47 @@
+// Bulk execution of a sequential algorithm over many inputs.
+//
+// "The bulk execution of a sequential algorithm is to execute it for many
+// different inputs in turn or at the same time" (paper, §I; also refs [10],
+// [12]). This driver is the word-level substrate the BPBC technique builds
+// on: the wordwise Smith-Waterman baseline runs one DP per instance through
+// it, while the BPBC paths replace per-instance execution with bit-sliced
+// groups and use it at group granularity.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+
+#include "util/thread_pool.hpp"
+
+namespace swbpbc::bulk {
+
+enum class Mode {
+  kSerial,    // instances in turn (the paper's single-CPU columns)
+  kParallel,  // instances at the same time, on the global thread pool
+};
+
+/// Runs `fn(index)` for every instance in [0, count) in the given mode.
+/// In parallel mode the chunk grain is chosen automatically.
+inline void for_each_instance(std::size_t count, Mode mode,
+                              const std::function<void(std::size_t)>& fn) {
+  if (mode == Mode::kSerial) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  util::ThreadPool::global().parallel_for(0, count, fn, /*grain=*/0);
+}
+
+/// Bulk-executes a kernel mapping inputs[i] -> outputs[i]. The kernel must
+/// be safe to invoke concurrently on distinct instances (oblivious
+/// sequential algorithms trivially are: their control flow and address
+/// trace do not depend on the input).
+template <typename In, typename Out, typename Kernel>
+void bulk_execute(std::span<const In> inputs, std::span<Out> outputs,
+                  Kernel kernel, Mode mode) {
+  for_each_instance(inputs.size(), mode, [&](std::size_t i) {
+    outputs[i] = kernel(inputs[i]);
+  });
+}
+
+}  // namespace swbpbc::bulk

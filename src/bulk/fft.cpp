@@ -1,0 +1,99 @@
+#include "bulk/fft.hpp"
+
+#include <bit>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+#include <utility>
+
+namespace swbpbc::bulk {
+namespace {
+
+void fft_impl(std::span<Complex> data, bool inverse) {
+  const std::size_t n = data.size();
+  if (n == 0 || (n & (n - 1)) != 0)
+    throw std::invalid_argument("FFT size must be a power of two");
+  if (n == 1) return;
+
+  // Bit-reversal permutation (oblivious: indices depend only on n).
+  const auto log2n = static_cast<unsigned>(std::bit_width(n) - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t rev = 0;
+    for (unsigned b = 0; b < log2n; ++b) {
+      rev |= ((i >> b) & 1u) << (log2n - 1 - b);
+    }
+    if (rev > i) std::swap(data[i], data[rev]);
+  }
+
+  // Butterfly stages.
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = (inverse ? 2.0 : -2.0) * std::numbers::pi /
+                         static_cast<double>(len);
+    const Complex wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t block = 0; block < n; block += len) {
+      Complex w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Complex even = data[block + k];
+        const Complex odd = data[block + k + len / 2] * w;
+        data[block + k] = even + odd;
+        data[block + k + len / 2] = even - odd;
+        w *= wlen;
+      }
+    }
+  }
+
+  if (inverse) {
+    const double scale = 1.0 / static_cast<double>(n);
+    for (Complex& v : data) v *= scale;
+  }
+}
+
+}  // namespace
+
+void fft(std::span<Complex> data) { fft_impl(data, false); }
+
+void ifft(std::span<Complex> data) { fft_impl(data, true); }
+
+std::vector<Complex> naive_dft(std::span<const Complex> data) {
+  const std::size_t n = data.size();
+  std::vector<Complex> out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    Complex acc(0.0, 0.0);
+    for (std::size_t t = 0; t < n; ++t) {
+      const double angle = -2.0 * std::numbers::pi *
+                           static_cast<double>(k * t) /
+                           static_cast<double>(n);
+      acc += data[t] * Complex(std::cos(angle), std::sin(angle));
+    }
+    out[k] = acc;
+  }
+  return out;
+}
+
+void bulk_fft(std::span<std::vector<Complex>> blocks, Mode mode) {
+  for_each_instance(blocks.size(), mode, [&](std::size_t j) {
+    fft(std::span<Complex>(blocks[j]));
+  });
+}
+
+std::vector<std::vector<Complex>> stream_fft(std::span<const double> stream,
+                                             std::size_t block_size,
+                                             Mode mode) {
+  if (block_size == 0 || (block_size & (block_size - 1)) != 0)
+    throw std::invalid_argument("block size must be a power of two");
+  const std::size_t n_blocks =
+      (stream.size() + block_size - 1) / block_size;
+  std::vector<std::vector<Complex>> blocks(n_blocks);
+  for (std::size_t b = 0; b < n_blocks; ++b) {
+    blocks[b].assign(block_size, Complex(0.0, 0.0));
+    const std::size_t lo = b * block_size;
+    const std::size_t hi = std::min(lo + block_size, stream.size());
+    for (std::size_t i = lo; i < hi; ++i) {
+      blocks[b][i - lo] = Complex(stream[i], 0.0);
+    }
+  }
+  bulk_fft(std::span<std::vector<Complex>>(blocks), mode);
+  return blocks;
+}
+
+}  // namespace swbpbc::bulk

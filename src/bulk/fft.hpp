@@ -1,0 +1,40 @@
+// Oblivious radix-2 FFT and its bulk execution — the paper's second §I
+// example: "In practical signal processing, an input stream is equally
+// partitioned into many blocks, and the FFT algorithm is executed for
+// each block in turn or in parallel. This is exactly the bulk execution
+// of the FFT algorithm."
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "bulk/executor.hpp"
+
+namespace swbpbc::bulk {
+
+using Complex = std::complex<double>;
+
+/// In-place iterative radix-2 decimation-in-time FFT. data.size() must be
+/// a power of two; the access pattern (bit-reversal permutation followed
+/// by fixed butterfly stages) is oblivious. Throws std::invalid_argument
+/// otherwise.
+void fft(std::span<Complex> data);
+
+/// Inverse FFT (normalized by 1/n).
+void ifft(std::span<Complex> data);
+
+/// O(n^2) reference DFT used by the tests.
+std::vector<Complex> naive_dft(std::span<const Complex> data);
+
+/// Bulk execution over many equal-size blocks.
+void bulk_fft(std::span<std::vector<Complex>> blocks, Mode mode);
+
+/// Partitions a stream into power-of-two blocks (zero-padding the tail)
+/// and FFTs each — the "practical signal processing" use of §I.
+std::vector<std::vector<Complex>> stream_fft(std::span<const double> stream,
+                                             std::size_t block_size,
+                                             Mode mode);
+
+}  // namespace swbpbc::bulk

@@ -1,0 +1,80 @@
+// Obliviousness checking — the property that makes bulk execution
+// GPU-friendly.
+//
+// "A sequential algorithm is oblivious if an address accessed at each
+// time unit is independent of the input" (paper §I, ref [10]; the C2CU
+// tool of ref [12] relies on the same property). TracedArray records the
+// address trace of an algorithm run; `is_oblivious` replays the
+// algorithm on several inputs and checks the traces coincide. The test
+// suite uses it to certify the library's bulk kernels (prefix sums, the
+// SWA row loop) and to show a data-dependent algorithm failing.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace swbpbc::bulk {
+
+/// One recorded access: read or write of an element index.
+struct Access {
+  enum class Kind : std::uint8_t { kRead, kWrite };
+  Kind kind;
+  std::size_t index;
+
+  friend bool operator==(const Access&, const Access&) = default;
+};
+
+using AccessTrace = std::vector<Access>;
+
+/// An array whose element accesses are appended to a trace.
+template <typename T>
+class TracedArray {
+ public:
+  TracedArray(std::vector<T> data, AccessTrace* trace)
+      : data_(std::move(data)), trace_(trace) {}
+
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+
+  [[nodiscard]] T read(std::size_t i) const {
+    if (trace_ != nullptr)
+      trace_->push_back(Access{Access::Kind::kRead, i});
+    return data_[i];
+  }
+
+  void write(std::size_t i, T value) {
+    if (trace_ != nullptr)
+      trace_->push_back(Access{Access::Kind::kWrite, i});
+    data_[i] = value;
+  }
+
+  [[nodiscard]] const std::vector<T>& data() const { return data_; }
+
+ private:
+  std::vector<T> data_;
+  AccessTrace* trace_;
+};
+
+/// Runs `algorithm(TracedArray&)` on every provided input and reports
+/// whether all address traces are identical (the §I obliviousness
+/// criterion, restricted to the traced array).
+template <typename T, typename Algorithm>
+bool is_oblivious(Algorithm&& algorithm,
+                  const std::vector<std::vector<T>>& inputs) {
+  AccessTrace reference;
+  bool first = true;
+  for (const auto& input : inputs) {
+    AccessTrace trace;
+    TracedArray<T> array(input, &trace);
+    algorithm(array);
+    if (first) {
+      reference = std::move(trace);
+      first = false;
+    } else if (trace != reference) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace swbpbc::bulk

@@ -1,0 +1,30 @@
+// Oblivious prefix-sums — the paper's first example of an oblivious
+// sequential algorithm (§I): "the prefix-sums of an array b of size n can
+// be computed by executing b[i] <- b[i] + b[i-1] for all i in turn. This
+// prefix-sum algorithm is oblivious because the address accessed at each
+// time unit is independent of the values stored in b."
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "bulk/executor.hpp"
+
+namespace swbpbc::bulk {
+
+/// In-place inclusive prefix sums, exactly the paper's oblivious loop.
+template <typename T>
+void prefix_sums(std::span<T> b) {
+  for (std::size_t i = 1; i < b.size(); ++i) b[i] += b[i - 1];
+}
+
+/// Bulk execution over p arrays "in turn or at the same time" (§I).
+template <typename T>
+void bulk_prefix_sums(std::span<std::vector<T>> arrays, Mode mode) {
+  for_each_instance(arrays.size(), mode, [&](std::size_t j) {
+    prefix_sums(std::span<T>(arrays[j]));
+  });
+}
+
+}  // namespace swbpbc::bulk

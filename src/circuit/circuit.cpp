@@ -1,0 +1,111 @@
+#include "circuit/circuit.hpp"
+
+#include <cassert>
+#include <sstream>
+
+namespace swbpbc::circuit {
+
+std::uint32_t Circuit::append(Gate g) {
+  gates_.push_back(g);
+  return static_cast<std::uint32_t>(gates_.size() - 1);
+}
+
+std::uint32_t Circuit::add_input() {
+  ++n_inputs_;
+  return append(Gate{GateOp::kInput, 0, 0});
+}
+
+std::uint32_t Circuit::add_const(bool one) {
+  return append(Gate{one ? GateOp::kConstOne : GateOp::kConstZero, 0, 0});
+}
+
+std::uint32_t Circuit::add_and(std::uint32_t a, std::uint32_t b) {
+  assert(a < gates_.size() && b < gates_.size());
+  return append(Gate{GateOp::kAnd, a, b});
+}
+
+std::uint32_t Circuit::add_or(std::uint32_t a, std::uint32_t b) {
+  assert(a < gates_.size() && b < gates_.size());
+  return append(Gate{GateOp::kOr, a, b});
+}
+
+std::uint32_t Circuit::add_xor(std::uint32_t a, std::uint32_t b) {
+  assert(a < gates_.size() && b < gates_.size());
+  return append(Gate{GateOp::kXor, a, b});
+}
+
+std::uint32_t Circuit::add_not(std::uint32_t a) {
+  assert(a < gates_.size());
+  return append(Gate{GateOp::kNot, a, 0});
+}
+
+void Circuit::mark_output(std::uint32_t id) {
+  assert(id < gates_.size());
+  outputs_.push_back(id);
+}
+
+GateCounts Circuit::counts() const {
+  GateCounts c;
+  for (const Gate& g : gates_) {
+    switch (g.op) {
+      case GateOp::kInput:
+        ++c.inputs;
+        break;
+      case GateOp::kConstZero:
+      case GateOp::kConstOne:
+        ++c.constants;
+        break;
+      case GateOp::kAnd:
+        ++c.and_gates;
+        break;
+      case GateOp::kOr:
+        ++c.or_gates;
+        break;
+      case GateOp::kXor:
+        ++c.xor_gates;
+        break;
+      case GateOp::kNot:
+        ++c.not_gates;
+        break;
+    }
+  }
+  return c;
+}
+
+std::string Circuit::dump() const {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < gates_.size(); ++i) {
+    const Gate& g = gates_[i];
+    out << 'n' << i << " = ";
+    switch (g.op) {
+      case GateOp::kInput:
+        out << "input";
+        break;
+      case GateOp::kConstZero:
+        out << "0";
+        break;
+      case GateOp::kConstOne:
+        out << "1";
+        break;
+      case GateOp::kAnd:
+        out << "and n" << g.a << " n" << g.b;
+        break;
+      case GateOp::kOr:
+        out << "or n" << g.a << " n" << g.b;
+        break;
+      case GateOp::kXor:
+        out << "xor n" << g.a << " n" << g.b;
+        break;
+      case GateOp::kNot:
+        out << "not n" << g.a;
+        break;
+    }
+    out << '\n';
+  }
+  out << "outputs:";
+  for (auto id : outputs_) out << " n" << id;
+  out << '\n';
+  return out.str();
+}
+
+}  // namespace swbpbc::circuit

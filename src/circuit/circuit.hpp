@@ -1,0 +1,81 @@
+// Combinational-circuit intermediate representation.
+//
+// The BPBC technique "simulates a combinational logic circuit for a lot of
+// instances at the same time" (paper §I). This module makes that framing
+// literal: a Circuit is a gate list (AND/OR/XOR/NOT over earlier nodes),
+// and the bulk evaluator runs it over 32/64 instances per word. The SW
+// cell netlist is generated from the same templates as the production
+// arithmetic (see wire.hpp), so gate counts equal the paper's op counts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace swbpbc::circuit {
+
+enum class GateOp : std::uint8_t {
+  kInput,
+  kConstZero,
+  kConstOne,
+  kAnd,
+  kOr,
+  kXor,
+  kNot,
+};
+
+struct Gate {
+  GateOp op = GateOp::kConstZero;
+  std::uint32_t a = 0;  // operand node id (unused for inputs/constants)
+  std::uint32_t b = 0;  // second operand (binary gates only)
+};
+
+/// Per-op gate totals of a circuit.
+struct GateCounts {
+  std::size_t inputs = 0;
+  std::size_t constants = 0;
+  std::size_t and_gates = 0;
+  std::size_t or_gates = 0;
+  std::size_t xor_gates = 0;
+  std::size_t not_gates = 0;
+
+  /// Logic gates only (the paper's "operations" metric).
+  [[nodiscard]] std::size_t logic() const {
+    return and_gates + or_gates + xor_gates + not_gates;
+  }
+};
+
+/// A gate list in topological order (operands always precede users).
+class Circuit {
+ public:
+  /// Appends an input node and returns its id. Input values are supplied
+  /// to the evaluator in creation order.
+  std::uint32_t add_input();
+
+  std::uint32_t add_const(bool one);
+  std::uint32_t add_and(std::uint32_t a, std::uint32_t b);
+  std::uint32_t add_or(std::uint32_t a, std::uint32_t b);
+  std::uint32_t add_xor(std::uint32_t a, std::uint32_t b);
+  std::uint32_t add_not(std::uint32_t a);
+
+  void mark_output(std::uint32_t id);
+
+  [[nodiscard]] const std::vector<Gate>& gates() const { return gates_; }
+  [[nodiscard]] const std::vector<std::uint32_t>& outputs() const {
+    return outputs_;
+  }
+  [[nodiscard]] std::size_t input_count() const { return n_inputs_; }
+  [[nodiscard]] GateCounts counts() const;
+
+  /// Human-readable netlist dump (debugging / documentation).
+  [[nodiscard]] std::string dump() const;
+
+ private:
+  std::uint32_t append(Gate g);
+
+  std::vector<Gate> gates_;
+  std::vector<std::uint32_t> outputs_;
+  std::size_t n_inputs_ = 0;
+};
+
+}  // namespace swbpbc::circuit

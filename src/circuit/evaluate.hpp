@@ -1,0 +1,55 @@
+// Bulk evaluator: runs a Circuit over W instances at once, one instance
+// per bit lane — the literal BPBC "circuit simulation" loop.
+#pragma once
+
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "bitsim/swapcopy.hpp"
+#include "circuit/circuit.hpp"
+
+namespace swbpbc::circuit {
+
+/// Evaluates `c` with input words assigned to input nodes in creation
+/// order; returns one word per marked output. Every bit lane is an
+/// independent instance.
+template <bitsim::LaneWord W>
+std::vector<W> evaluate(const Circuit& c, std::span<const W> inputs) {
+  if (inputs.size() != c.input_count())
+    throw std::invalid_argument("evaluate: wrong number of inputs");
+  std::vector<W> value(c.gates().size(), 0);
+  std::size_t next_input = 0;
+  for (std::size_t i = 0; i < c.gates().size(); ++i) {
+    const Gate& g = c.gates()[i];
+    switch (g.op) {
+      case GateOp::kInput:
+        value[i] = inputs[next_input++];
+        break;
+      case GateOp::kConstZero:
+        value[i] = 0;
+        break;
+      case GateOp::kConstOne:
+        value[i] = static_cast<W>(~W{0});
+        break;
+      case GateOp::kAnd:
+        value[i] = static_cast<W>(value[g.a] & value[g.b]);
+        break;
+      case GateOp::kOr:
+        value[i] = static_cast<W>(value[g.a] | value[g.b]);
+        break;
+      case GateOp::kXor:
+        value[i] = static_cast<W>(value[g.a] ^ value[g.b]);
+        break;
+      case GateOp::kNot:
+        value[i] = static_cast<W>(~value[g.a]);
+        break;
+    }
+  }
+  std::vector<W> out;
+  out.reserve(c.outputs().size());
+  for (auto id : c.outputs()) out.push_back(value[id]);
+  return out;
+}
+
+}  // namespace swbpbc::circuit

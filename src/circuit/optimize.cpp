@@ -1,0 +1,246 @@
+#include "circuit/optimize.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace swbpbc::circuit {
+namespace {
+
+// Node classification during folding.
+enum class Known : std::uint8_t { kZero, kOne, kOther };
+
+struct FoldState {
+  Circuit out;
+  // old node id -> new node id
+  std::vector<std::uint32_t> remap;
+  // new node id -> constant classification
+  std::vector<Known> known;
+  // structural dedup over new nodes: (op, a, b) -> new id
+  std::map<std::tuple<GateOp, std::uint32_t, std::uint32_t>, std::uint32_t>
+      cse;
+  // canonical constants (created lazily)
+  std::optional<std::uint32_t> const_zero;
+  std::optional<std::uint32_t> const_one;
+
+  std::uint32_t constant(bool one) {
+    auto& slot = one ? const_one : const_zero;
+    if (!slot) {
+      slot = out.add_const(one);
+      known.push_back(one ? Known::kOne : Known::kZero);
+    }
+    return *slot;
+  }
+
+  std::uint32_t emit(GateOp op, std::uint32_t a, std::uint32_t b) {
+    // Normalize commutative operand order for dedup.
+    if ((op == GateOp::kAnd || op == GateOp::kOr || op == GateOp::kXor) &&
+        b < a) {
+      std::swap(a, b);
+    }
+    const auto key = std::make_tuple(op, a, b);
+    if (auto it = cse.find(key); it != cse.end()) return it->second;
+    std::uint32_t id = 0;
+    switch (op) {
+      case GateOp::kAnd:
+        id = out.add_and(a, b);
+        break;
+      case GateOp::kOr:
+        id = out.add_or(a, b);
+        break;
+      case GateOp::kXor:
+        id = out.add_xor(a, b);
+        break;
+      case GateOp::kNot:
+        id = out.add_not(a);
+        break;
+      default:
+        id = 0;  // unreachable; inputs/constants handled by callers
+        break;
+    }
+    known.push_back(Known::kOther);
+    cse.emplace(key, id);
+    return id;
+  }
+};
+
+}  // namespace
+
+Circuit fold_constants(const Circuit& c) {
+  FoldState st;
+  st.remap.resize(c.gates().size());
+  // Track, for ~~x elimination, the operand of NOT gates in the new
+  // circuit.
+  std::vector<std::optional<std::uint32_t>> not_operand;
+
+  auto not_of = [&](std::uint32_t new_id) -> std::optional<std::uint32_t> {
+    if (new_id < not_operand.size()) return not_operand[new_id];
+    return std::nullopt;
+  };
+  auto record = [&](std::uint32_t new_id,
+                    std::optional<std::uint32_t> operand) {
+    if (not_operand.size() <= new_id) not_operand.resize(new_id + 1);
+    not_operand[new_id] = operand;
+  };
+
+  for (std::size_t i = 0; i < c.gates().size(); ++i) {
+    const Gate& g = c.gates()[i];
+    std::uint32_t id = 0;
+    switch (g.op) {
+      case GateOp::kInput:
+        id = st.out.add_input();
+        st.known.push_back(Known::kOther);
+        break;
+      case GateOp::kConstZero:
+        id = st.constant(false);
+        break;
+      case GateOp::kConstOne:
+        id = st.constant(true);
+        break;
+      case GateOp::kNot: {
+        const std::uint32_t a = st.remap[g.a];
+        if (st.known[a] == Known::kZero) {
+          id = st.constant(true);
+        } else if (st.known[a] == Known::kOne) {
+          id = st.constant(false);
+        } else if (auto inner = not_of(a)) {
+          id = *inner;  // ~~x == x
+        } else {
+          id = st.emit(GateOp::kNot, a, 0);
+          record(id, a);
+        }
+        break;
+      }
+      default: {  // binary gates
+        const std::uint32_t a = st.remap[g.a];
+        const std::uint32_t b = st.remap[g.b];
+        const Known ka = st.known[a];
+        const Known kb = st.known[b];
+        const auto fold_binary =
+            [&](std::uint32_t xid, Known kconst,
+                std::uint32_t cid) -> std::optional<std::uint32_t> {
+          switch (g.op) {
+            case GateOp::kAnd:
+              if (kconst == Known::kZero) return st.constant(false);
+              return xid;  // x & 1 == x
+            case GateOp::kOr:
+              if (kconst == Known::kOne) return st.constant(true);
+              return xid;  // x | 0 == x
+            case GateOp::kXor:
+              if (kconst == Known::kZero) return xid;
+              // x ^ 1 == ~x
+              if (auto inner = not_of(xid)) return *inner;
+              {
+                const std::uint32_t nid = st.emit(GateOp::kNot, xid, 0);
+                record(nid, xid);
+                return nid;
+              }
+            default:
+              (void)cid;
+              return std::nullopt;
+          }
+        };
+        if (ka != Known::kOther && kb != Known::kOther) {
+          const bool va = ka == Known::kOne;
+          const bool vb = kb == Known::kOne;
+          bool v = false;
+          if (g.op == GateOp::kAnd) v = va && vb;
+          if (g.op == GateOp::kOr) v = va || vb;
+          if (g.op == GateOp::kXor) v = va != vb;
+          id = st.constant(v);
+        } else if (ka != Known::kOther) {
+          id = *fold_binary(b, ka, a);
+        } else if (kb != Known::kOther) {
+          id = *fold_binary(a, kb, b);
+        } else if (a == b) {
+          if (g.op == GateOp::kXor) {
+            id = st.constant(false);
+          } else {
+            id = a;  // x & x == x | x == x
+          }
+        } else {
+          id = st.emit(g.op, a, b);
+        }
+        break;
+      }
+    }
+    st.remap[i] = id;
+  }
+
+  for (auto out_id : c.outputs()) st.out.mark_output(st.remap[out_id]);
+  return st.out;
+}
+
+Circuit eliminate_dead(const Circuit& c) {
+  std::vector<bool> live(c.gates().size(), false);
+  std::vector<std::uint32_t> stack(c.outputs().begin(), c.outputs().end());
+  while (!stack.empty()) {
+    const std::uint32_t id = stack.back();
+    stack.pop_back();
+    if (live[id]) continue;
+    live[id] = true;
+    const Gate& g = c.gates()[id];
+    switch (g.op) {
+      case GateOp::kAnd:
+      case GateOp::kOr:
+      case GateOp::kXor:
+        stack.push_back(g.a);
+        stack.push_back(g.b);
+        break;
+      case GateOp::kNot:
+        stack.push_back(g.a);
+        break;
+      default:
+        break;
+    }
+  }
+
+  Circuit out;
+  std::vector<std::uint32_t> remap(c.gates().size(), 0);
+  for (std::size_t i = 0; i < c.gates().size(); ++i) {
+    const Gate& g = c.gates()[i];
+    if (g.op == GateOp::kInput) {
+      remap[i] = out.add_input();  // inputs always survive (keeps arity)
+      continue;
+    }
+    if (!live[i]) continue;
+    switch (g.op) {
+      case GateOp::kConstZero:
+        remap[i] = out.add_const(false);
+        break;
+      case GateOp::kConstOne:
+        remap[i] = out.add_const(true);
+        break;
+      case GateOp::kAnd:
+        remap[i] = out.add_and(remap[g.a], remap[g.b]);
+        break;
+      case GateOp::kOr:
+        remap[i] = out.add_or(remap[g.a], remap[g.b]);
+        break;
+      case GateOp::kXor:
+        remap[i] = out.add_xor(remap[g.a], remap[g.b]);
+        break;
+      case GateOp::kNot:
+        remap[i] = out.add_not(remap[g.a]);
+        break;
+      case GateOp::kInput:
+        break;
+    }
+  }
+  for (auto id : c.outputs()) out.mark_output(remap[id]);
+  return out;
+}
+
+Circuit optimize(const Circuit& c) {
+  Circuit current = c;
+  for (;;) {
+    Circuit next = eliminate_dead(fold_constants(current));
+    if (next.gates().size() == current.gates().size()) return next;
+    current = std::move(next);
+  }
+}
+
+}  // namespace swbpbc::circuit

@@ -1,0 +1,26 @@
+// Netlist optimization passes: constant folding + algebraic
+// simplification + structural deduplication, and dead-gate elimination.
+//
+// Baking the scoring constants (gap/c1/c2) into the SW-cell circuit and
+// folding shows how much of the per-cell work the generic 48s-18 bound
+// spends on constant operands — the ablation behind the "constant-operand
+// arithmetic" benchmark.
+#pragma once
+
+#include "circuit/circuit.hpp"
+
+namespace swbpbc::circuit {
+
+/// Constant folding, algebraic identities (x&0, x|1, x^x, ~~x, x&x, ...)
+/// and structural dedup. Keeps all input nodes (evaluator arity is
+/// preserved). Output order is preserved.
+Circuit fold_constants(const Circuit& c);
+
+/// Removes gates that no output transitively depends on. Input nodes are
+/// always kept.
+Circuit eliminate_dead(const Circuit& c);
+
+/// fold_constants followed by eliminate_dead, iterated to a fixed point.
+Circuit optimize(const Circuit& c);
+
+}  // namespace swbpbc::circuit

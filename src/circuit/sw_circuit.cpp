@@ -1,0 +1,103 @@
+#include "circuit/sw_circuit.hpp"
+
+#include <span>
+#include <vector>
+
+#include "bitops/arith.hpp"
+#include "circuit/wire.hpp"
+
+namespace swbpbc::circuit {
+namespace {
+
+std::vector<Wire> inputs(unsigned n) {
+  std::vector<Wire> v;
+  v.reserve(n);
+  for (unsigned i = 0; i < n; ++i) v.push_back(Wire::input());
+  return v;
+}
+
+void mark_all(Circuit& c, const std::vector<Wire>& v) {
+  for (const Wire& w : v) c.mark_output(w.node());
+}
+
+}  // namespace
+
+Circuit build_ge(unsigned s) {
+  Circuit c;
+  WireScope scope(c);
+  const auto a = inputs(s);
+  const auto b = inputs(s);
+  const Wire p = bitops::ge_mask<Wire>(a, b);
+  c.mark_output(p.node());
+  return c;
+}
+
+Circuit build_max(unsigned s) {
+  Circuit c;
+  WireScope scope(c);
+  const auto a = inputs(s);
+  const auto b = inputs(s);
+  std::vector<Wire> q(s);
+  bitops::max_b<Wire>(a, b, q);
+  mark_all(c, q);
+  return c;
+}
+
+Circuit build_add(unsigned s) {
+  Circuit c;
+  WireScope scope(c);
+  const auto a = inputs(s);
+  const auto b = inputs(s);
+  std::vector<Wire> q(s);
+  bitops::add_b<Wire>(a, b, q);
+  mark_all(c, q);
+  return c;
+}
+
+Circuit build_ssub(unsigned s) {
+  Circuit c;
+  WireScope scope(c);
+  const auto a = inputs(s);
+  const auto b = inputs(s);
+  std::vector<Wire> q(s);
+  bitops::ssub_b<Wire>(a, b, q);
+  mark_all(c, q);
+  return c;
+}
+
+namespace {
+
+Circuit build_cell(unsigned s, const sw::ScoreParams* baked) {
+  Circuit c;
+  WireScope scope(c);
+  const auto a = inputs(s);
+  const auto b = inputs(s);
+  const auto diag = inputs(s);
+  const auto x = inputs(2);  // L, H
+  const auto y = inputs(2);
+  std::vector<Wire> gap, c1, c2;
+  if (baked != nullptr) {
+    gap = bitops::broadcast_constant<Wire>(baked->gap, s);
+    c1 = bitops::broadcast_constant<Wire>(baked->match, s);
+    c2 = bitops::broadcast_constant<Wire>(baked->mismatch, s);
+  } else {
+    gap = inputs(s);
+    c1 = inputs(s);
+    c2 = inputs(s);
+  }
+  const Wire e = bitops::mismatch_mask<Wire>(x, y);
+  std::vector<Wire> out(s), t(s), u(s), r(s);
+  bitops::sw_cell<Wire>(a, b, diag, e, gap, c1, c2, out, t, u, r);
+  mark_all(c, out);
+  return c;
+}
+
+}  // namespace
+
+Circuit build_sw_cell(unsigned s) { return build_cell(s, nullptr); }
+
+Circuit build_sw_cell_const(unsigned s, const sw::ScoreParams& params) {
+  return build_cell(s, &params);
+}
+
+}  // namespace swbpbc::circuit

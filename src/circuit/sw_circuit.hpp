@@ -1,0 +1,38 @@
+// Netlist builders for the Section IV.A arithmetic and the full SW cell.
+//
+// Each builder instantiates the corresponding bitops/arith.hpp template
+// with circuit::Wire, so the gate structure is the production code's
+// operation structure by construction (the lemma op counts become gate
+// counts; tests assert the equality).
+#pragma once
+
+#include <cstdint>
+
+#include "circuit/circuit.hpp"
+#include "sw/params.hpp"
+
+namespace swbpbc::circuit {
+
+/// ge_mask circuit. Inputs: A[0..s), B[0..s). Output: 1 bit (A >= B).
+Circuit build_ge(unsigned s);
+
+/// max_B circuit. Inputs: A, B (s bits each). Outputs: max (s bits).
+Circuit build_max(unsigned s);
+
+/// add_B circuit. Inputs: A, B. Outputs: sum mod 2^s.
+Circuit build_add(unsigned s);
+
+/// SSub_B circuit. Inputs: A, B. Outputs: max(A - B, 0).
+Circuit build_ssub(unsigned s);
+
+/// Full SW cell with generic cost inputs.
+/// Inputs, in order: A[s] (up), B[s] (left), C[s] (diag),
+/// x[2] (pattern char, L then H plane), y[2] (text char),
+/// gap[s], c1[s], c2[s]. Outputs: d[i][j] (s bits).
+Circuit build_sw_cell(unsigned s);
+
+/// SW cell with the scoring costs baked in as constants; run through the
+/// optimizer this is the "constant-operand" specialized circuit.
+Circuit build_sw_cell_const(unsigned s, const sw::ScoreParams& params);
+
+}  // namespace swbpbc::circuit

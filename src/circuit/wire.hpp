@@ -1,0 +1,82 @@
+// Wire — a lane-word type whose bitwise operators *record gates* instead of
+// computing values.
+//
+// Instantiating the Section IV.A arithmetic templates (bitops/arith.hpp)
+// with Wire elaborates the exact production code into a Circuit netlist:
+// the "convert the computation into a circuit" step of the paper happens
+// mechanically, and the netlist can then be bulk-evaluated, optimized, or
+// counted. A WireScope binds the circuit under construction for the
+// current thread.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+#include "bitops/slices.hpp"
+#include "circuit/circuit.hpp"
+
+namespace swbpbc::circuit {
+
+class Wire;
+
+/// RAII binding of the circuit that Wire operators append to.
+class WireScope {
+ public:
+  explicit WireScope(Circuit& c) : previous_(current_) { current_ = &c; }
+  ~WireScope() { current_ = previous_; }
+  WireScope(const WireScope&) = delete;
+  WireScope& operator=(const WireScope&) = delete;
+
+  static Circuit& current() {
+    assert(current_ != nullptr && "no WireScope active");
+    return *current_;
+  }
+
+ private:
+  static inline thread_local Circuit* current_ = nullptr;
+  Circuit* previous_;
+};
+
+class Wire {
+ public:
+  Wire() = default;
+  explicit Wire(std::uint32_t node) : node_(node) {}
+
+  /// Fresh circuit input.
+  static Wire input() { return Wire(WireScope::current().add_input()); }
+  static Wire constant(bool one) {
+    return Wire(WireScope::current().add_const(one));
+  }
+
+  [[nodiscard]] std::uint32_t node() const { return node_; }
+
+  friend Wire operator&(Wire a, Wire b) {
+    return Wire(WireScope::current().add_and(a.node_, b.node_));
+  }
+  friend Wire operator|(Wire a, Wire b) {
+    return Wire(WireScope::current().add_or(a.node_, b.node_));
+  }
+  friend Wire operator^(Wire a, Wire b) {
+    return Wire(WireScope::current().add_xor(a.node_, b.node_));
+  }
+  friend Wire operator~(Wire a) {
+    return Wire(WireScope::current().add_not(a.node_));
+  }
+
+ private:
+  std::uint32_t node_ = 0;
+};
+
+}  // namespace swbpbc::circuit
+
+namespace swbpbc::bitops {
+
+/// Lets Wire satisfy the SliceWord concept so the arith.hpp templates can
+/// be instantiated with it.
+template <>
+struct word_traits<circuit::Wire> {
+  static circuit::Wire zero() { return circuit::Wire::constant(false); }
+  static circuit::Wire ones() { return circuit::Wire::constant(true); }
+};
+
+}  // namespace swbpbc::bitops

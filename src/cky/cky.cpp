@@ -1,0 +1,106 @@
+#include "cky/cky.hpp"
+
+#include <stdexcept>
+
+namespace swbpbc::cky {
+
+std::vector<std::vector<NonterminalSet>> cky_table(const Grammar& grammar,
+                                                   std::string_view input) {
+  const std::size_t n = input.size();
+  // table[len][i] is the set for span [i, i+len), len in 1..n.
+  std::vector<std::vector<NonterminalSet>> table(n + 1);
+  if (n == 0) return table;
+  for (std::size_t len = 1; len <= n; ++len) {
+    table[len].assign(n - len + 1, 0);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    table[1][i] = grammar.terminal_mask(input[i]);
+  }
+  for (std::size_t len = 2; len <= n; ++len) {
+    for (std::size_t i = 0; i + len <= n; ++i) {
+      NonterminalSet set = 0;
+      for (std::size_t k = 1; k < len; ++k) {
+        const NonterminalSet left = table[k][i];
+        const NonterminalSet right = table[len - k][i + k];
+        for (const auto& rule : grammar.binary_rules()) {
+          if (((left >> rule.b) & 1u) != 0 &&
+              ((right >> rule.c) & 1u) != 0) {
+            set |= NonterminalSet{1} << rule.a;
+          }
+        }
+      }
+      table[len][i] = set;
+    }
+  }
+  return table;
+}
+
+bool cky_accepts(const Grammar& grammar, std::string_view input) {
+  if (input.empty()) return false;
+  const auto table = cky_table(grammar, input);
+  return (table[input.size()][0] & grammar.start_mask()) != 0;
+}
+
+template <bitsim::LaneWord W>
+W bpbc_cky_accepts(const Grammar& grammar,
+                   std::span<const std::string> inputs) {
+  constexpr unsigned kLanes = bitsim::word_bits_v<W>;
+  if (inputs.size() > kLanes)
+    throw std::invalid_argument("more inputs than lanes");
+  if (inputs.empty()) return 0;
+  const std::size_t n = inputs.front().size();
+  for (const auto& s : inputs) {
+    if (s.size() != n)
+      throw std::invalid_argument("inputs must have equal length");
+  }
+  if (n == 0) return 0;
+
+  const std::size_t n_nt = grammar.nonterminal_count();
+  // table[len][i * n_nt + A]: bit k = instance k derives A over the span.
+  std::vector<std::vector<W>> table(n + 1);
+  for (std::size_t len = 1; len <= n; ++len) {
+    table[len].assign((n - len + 1) * n_nt, 0);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t lane = 0; lane < inputs.size(); ++lane) {
+      const NonterminalSet mask = grammar.terminal_mask(inputs[lane][i]);
+      for (std::size_t a = 0; a < n_nt; ++a) {
+        if ((mask >> a) & 1u) {
+          table[1][i * n_nt + a] =
+              static_cast<W>(table[1][i * n_nt + a] | (W{1} << lane));
+        }
+      }
+    }
+  }
+  for (std::size_t len = 2; len <= n; ++len) {
+    for (std::size_t i = 0; i + len <= n; ++i) {
+      W* cell = table[len].data() + i * n_nt;
+      for (std::size_t k = 1; k < len; ++k) {
+        const W* left = table[k].data() + i * n_nt;
+        const W* right = table[len - k].data() + (i + k) * n_nt;
+        // The ref-[14] circuit: one AND + one OR per rule per split,
+        // answered for all W instances at once.
+        for (const auto& rule : grammar.binary_rules()) {
+          cell[rule.a] =
+              static_cast<W>(cell[rule.a] | (left[rule.b] & right[rule.c]));
+        }
+      }
+    }
+  }
+
+  W accept = 0;
+  const NonterminalSet start = grammar.start_mask();
+  for (std::size_t a = 0; a < n_nt; ++a) {
+    if ((start >> a) & 1u) {
+      accept = static_cast<W>(accept | table[n][a]);
+    }
+  }
+  return accept;
+}
+
+template std::uint32_t bpbc_cky_accepts<std::uint32_t>(
+    const Grammar&, std::span<const std::string>);
+template std::uint64_t bpbc_cky_accepts<std::uint64_t>(
+    const Grammar&, std::span<const std::string>);
+
+}  // namespace swbpbc::cky

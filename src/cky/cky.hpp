@@ -1,0 +1,47 @@
+// CKY recognition: scalar reference and the BPBC bulk version.
+//
+// The DP cell of CKY holds the set of nonterminals deriving a span; the
+// combination step
+//
+//   A in N[i][len]  iff  exists rule A->BC and split k with
+//                        B in N[i][k] and C in N[i+k][len-k]
+//
+// is a fixed boolean circuit per (rule, split) — the structure ref [14]
+// exploits. The BPBC version keeps, per (span, nonterminal), one lane
+// word whose bit k answers the membership question for input instance k,
+// recognizing W strings per pass.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bitsim/swapcopy.hpp"
+#include "cky/grammar.hpp"
+
+namespace swbpbc::cky {
+
+/// Scalar CKY: does the grammar derive `input`? Empty inputs are
+/// rejected (CNF without epsilon productions).
+bool cky_accepts(const Grammar& grammar, std::string_view input);
+
+/// Scalar CKY returning the full nonterminal-set table; entry
+/// (len, i) -> set for span [i, i+len). Used by tests.
+std::vector<std::vector<NonterminalSet>> cky_table(const Grammar& grammar,
+                                                   std::string_view input);
+
+/// BPBC CKY over up to W equal-length strings: bit k of the result is 1
+/// iff inputs[k] is derived. Throws std::invalid_argument on unequal
+/// lengths or more inputs than lanes.
+template <bitsim::LaneWord W>
+W bpbc_cky_accepts(const Grammar& grammar,
+                   std::span<const std::string> inputs);
+
+extern template std::uint32_t bpbc_cky_accepts<std::uint32_t>(
+    const Grammar&, std::span<const std::string>);
+extern template std::uint64_t bpbc_cky_accepts<std::uint64_t>(
+    const Grammar&, std::span<const std::string>);
+
+}  // namespace swbpbc::cky

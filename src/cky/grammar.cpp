@@ -1,0 +1,68 @@
+#include "cky/grammar.hpp"
+
+#include <stdexcept>
+
+namespace swbpbc::cky {
+
+std::uint8_t Grammar::nonterminal(const std::string& name) {
+  if (auto it = index_.find(name); it != index_.end()) return it->second;
+  if (names_.size() >= 32)
+    throw std::invalid_argument("at most 32 nonterminals supported");
+  const auto id = static_cast<std::uint8_t>(names_.size());
+  names_.push_back(name);
+  index_.emplace(name, id);
+  if (names_.size() == 1) start_mask_ = 1u;
+  return id;
+}
+
+void Grammar::add_terminal_rule(const std::string& a, char ch) {
+  terminals_[ch] |= NonterminalSet{1} << nonterminal(a);
+}
+
+void Grammar::add_binary_rule(const std::string& a, const std::string& b,
+                              const std::string& c) {
+  rules_.push_back(
+      BinaryRule{nonterminal(a), nonterminal(b), nonterminal(c)});
+}
+
+void Grammar::set_start(const std::string& name) {
+  start_mask_ = NonterminalSet{1} << nonterminal(name);
+}
+
+NonterminalSet Grammar::terminal_mask(char ch) const {
+  const auto it = terminals_.find(ch);
+  return it == terminals_.end() ? 0u : it->second;
+}
+
+Grammar balanced_parentheses_grammar() {
+  // S -> S S | L R | L T ;  T -> S R ;  L -> '(' ;  R -> ')'.
+  Grammar g;
+  g.nonterminal("S");
+  g.add_terminal_rule("L", '(');
+  g.add_terminal_rule("R", ')');
+  g.add_binary_rule("S", "S", "S");
+  g.add_binary_rule("S", "L", "R");
+  g.add_binary_rule("S", "L", "T");
+  g.add_binary_rule("T", "S", "R");
+  g.set_start("S");
+  return g;
+}
+
+Grammar palindrome_grammar() {
+  // Even-length palindromes over {a, b}:
+  // S -> A A | B B | A TA | B TB ;  TA -> S A ;  TB -> S B.
+  Grammar g;
+  g.nonterminal("S");
+  g.add_terminal_rule("A", 'a');
+  g.add_terminal_rule("B", 'b');
+  g.add_binary_rule("S", "A", "A");
+  g.add_binary_rule("S", "B", "B");
+  g.add_binary_rule("S", "A", "TA");
+  g.add_binary_rule("S", "B", "TB");
+  g.add_binary_rule("TA", "S", "A");
+  g.add_binary_rule("TB", "S", "B");
+  g.set_start("S");
+  return g;
+}
+
+}  // namespace swbpbc::cky

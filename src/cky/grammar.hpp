@@ -1,0 +1,69 @@
+// Chomsky-normal-form grammars for the CKY substrate.
+//
+// The paper's §I cites CKY parsing as the second application of BPBC
+// (ref [14]): "the CKY parsing can be done by repeatedly evaluating the
+// same combinational circuit many times", and BPBC evaluates that
+// circuit for many input strings at once. Nonterminal sets are
+// represented as bit masks (at most 32 nonterminals), so one rule
+// application is a handful of word operations.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace swbpbc::cky {
+
+/// Set of nonterminals as a bit mask (nonterminal id = bit index).
+using NonterminalSet = std::uint32_t;
+
+class Grammar {
+ public:
+  /// Registers (or looks up) a nonterminal; at most 32 are supported.
+  std::uint8_t nonterminal(const std::string& name);
+
+  /// Adds A -> 'ch'.
+  void add_terminal_rule(const std::string& a, char ch);
+
+  /// Adds A -> B C.
+  void add_binary_rule(const std::string& a, const std::string& b,
+                       const std::string& c);
+
+  /// Sets the start symbol (defaults to the first nonterminal added).
+  void set_start(const std::string& name);
+
+  [[nodiscard]] std::size_t nonterminal_count() const {
+    return names_.size();
+  }
+  [[nodiscard]] NonterminalSet start_mask() const { return start_mask_; }
+
+  /// Nonterminals that directly derive `ch` (empty mask if none).
+  [[nodiscard]] NonterminalSet terminal_mask(char ch) const;
+
+  struct BinaryRule {
+    std::uint8_t a;  // left-hand side
+    std::uint8_t b;  // first right-hand nonterminal
+    std::uint8_t c;  // second right-hand nonterminal
+  };
+  [[nodiscard]] const std::vector<BinaryRule>& binary_rules() const {
+    return rules_;
+  }
+
+ private:
+  std::vector<std::string> names_;
+  std::map<std::string, std::uint8_t> index_;
+  std::map<char, NonterminalSet> terminals_;
+  std::vector<BinaryRule> rules_;
+  NonterminalSet start_mask_ = 0;
+};
+
+/// A grammar for balanced parentheses over {(, )} — used by tests and
+/// the documentation example.
+Grammar balanced_parentheses_grammar();
+
+/// A grammar for even-length palindromes over {a, b}.
+Grammar palindrome_grammar();
+
+}  // namespace swbpbc::cky

@@ -1,0 +1,54 @@
+// Lock-step kernel launcher — the simulator's analogue of a CUDA kernel
+// launch.
+//
+// A kernel factory builds one kernel object per block; the launcher runs
+// blocks concurrently on the host thread pool (streaming multiprocessors)
+// and, within a block, advances all threads phase by phase. Every phase
+// boundary is an implicit __syncthreads(): values a thread publishes in
+// phase p are visible to every thread of the block from phase p+1 on.
+// Within a phase, threads execute sequentially (SIMT-style), which makes
+// the simulation deterministic and race-free by construction.
+//
+// Kernel requirements (duck-typed):
+//   unsigned    block_dim()  const;
+//   std::size_t num_phases() const;
+//   void        step(std::size_t phase, unsigned tid);
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "bulk/executor.hpp"
+#include "device/metrics.hpp"
+
+namespace swbpbc::device {
+
+struct LaunchConfig {
+  std::size_t grid_dim = 1;      // number of blocks
+  bool record_metrics = false;   // enable access tracing
+  bulk::Mode mode = bulk::Mode::kParallel;  // blocks across the pool
+};
+
+/// Launches `factory(block_idx, recorder)` for every block and returns the
+/// aggregated memory metrics (all-zero when record_metrics is off).
+template <typename Factory>
+MetricTotals launch(const LaunchConfig& cfg, Factory&& factory) {
+  std::vector<MetricTotals> per_block(cfg.grid_dim);
+  bulk::for_each_instance(cfg.grid_dim, cfg.mode, [&](std::size_t b) {
+    BlockRecorder recorder(cfg.record_metrics);
+    auto kernel = factory(b, recorder);
+    const std::size_t phases = kernel.num_phases();
+    const unsigned dim = kernel.block_dim();
+    for (std::size_t phase = 0; phase < phases; ++phase) {
+      for (unsigned tid = 0; tid < dim; ++tid) kernel.step(phase, tid);
+      recorder.end_phase();  // __syncthreads()
+    }
+    per_block[b] = recorder.totals();
+  });
+  MetricTotals total;
+  for (const auto& m : per_block) total.add(m);
+  return total;
+}
+
+}  // namespace swbpbc::device

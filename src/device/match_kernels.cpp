@@ -1,0 +1,132 @@
+#include "device/match_kernels.hpp"
+
+#include <stdexcept>
+
+#include "device/launch.hpp"
+#include "device/memory.hpp"
+#include "util/timer.hpp"
+
+namespace swbpbc::device {
+namespace {
+
+using W = std::uint32_t;
+constexpr unsigned kLanes = 32;
+
+struct MatchBuffers {
+  std::span<W> x_hi, x_lo, y_hi, y_lo, flags;
+  std::uint64_t x_hi_base = 0, x_lo_base = 0, y_hi_base = 0, y_lo_base = 0,
+                flags_base = 0;
+};
+
+class MatchKernel {
+ public:
+  MatchKernel(std::size_t group, BlockRecorder& rec, unsigned block_dim,
+              std::size_t m, std::size_t n, const MatchBuffers& buf)
+      : block_dim_(block_dim),
+        m_(m),
+        offsets_(n - m + 1),
+        x_hi_(buf.x_hi.subspan(group * m, m),
+              buf.x_hi_base + group * m * sizeof(W), &rec),
+        x_lo_(buf.x_lo.subspan(group * m, m),
+              buf.x_lo_base + group * m * sizeof(W), &rec),
+        y_hi_(buf.y_hi.subspan(group * n, n),
+              buf.y_hi_base + group * n * sizeof(W), &rec),
+        y_lo_(buf.y_lo.subspan(group * n, n),
+              buf.y_lo_base + group * n * sizeof(W), &rec),
+        flags_(buf.flags.subspan(group * offsets_, offsets_),
+               buf.flags_base + group * offsets_ * sizeof(W), &rec) {}
+
+  [[nodiscard]] unsigned block_dim() const { return block_dim_; }
+  [[nodiscard]] std::size_t num_phases() const {
+    return (offsets_ + block_dim_ - 1) / block_dim_;
+  }
+
+  void step(std::size_t phase, unsigned tid) {
+    const std::size_t j = phase * block_dim_ + tid;
+    if (j >= offsets_) return;
+    W d = 0;
+    for (std::size_t i = 0; i < m_; ++i) {
+      const W xh = x_hi_.load(i, tid);
+      const W xl = x_lo_.load(i, tid);
+      const W yh = y_hi_.load(i + j, tid);
+      const W yl = y_lo_.load(i + j, tid);
+      d |= (xh ^ yh) | (xl ^ yl);
+    }
+    flags_.store(j, d, tid);
+  }
+
+ private:
+  unsigned block_dim_;
+  std::size_t m_;
+  std::size_t offsets_;
+  GlobalSpan<W> x_hi_, x_lo_, y_hi_, y_lo_, flags_;
+};
+
+}  // namespace
+
+GpuMatchResult gpu_bpbc_match(std::span<const encoding::Sequence> xs,
+                              std::span<const encoding::Sequence> ys,
+                              unsigned block_dim, bool record_metrics,
+                              bulk::Mode mode) {
+  if (xs.size() != ys.size())
+    throw std::invalid_argument("pattern/text count mismatch");
+  GpuMatchResult result;
+  if (xs.empty()) return result;
+  const std::size_t m = xs.front().size();
+  const std::size_t n = ys.front().size();
+  if (m == 0 || m > n)
+    throw std::invalid_argument("need 0 < m <= n");
+  result.offsets = n - m + 1;
+
+  const auto bx = encoding::transpose_strings<W>(xs);
+  const auto by = encoding::transpose_strings<W>(ys);
+  const std::size_t n_groups = bx.groups.size();
+
+  // Device buffers (flattened transposed slices + output flags).
+  std::vector<W> x_hi(n_groups * m), x_lo(n_groups * m);
+  std::vector<W> y_hi(n_groups * n), y_lo(n_groups * n);
+  std::vector<W> flags(n_groups * result.offsets, 0);
+  for (std::size_t g = 0; g < n_groups; ++g) {
+    std::copy(bx.groups[g].hi.begin(), bx.groups[g].hi.end(),
+              x_hi.begin() + static_cast<std::ptrdiff_t>(g * m));
+    std::copy(bx.groups[g].lo.begin(), bx.groups[g].lo.end(),
+              x_lo.begin() + static_cast<std::ptrdiff_t>(g * m));
+    std::copy(by.groups[g].hi.begin(), by.groups[g].hi.end(),
+              y_hi.begin() + static_cast<std::ptrdiff_t>(g * n));
+    std::copy(by.groups[g].lo.begin(), by.groups[g].lo.end(),
+              y_lo.begin() + static_cast<std::ptrdiff_t>(g * n));
+  }
+
+  MatchBuffers buf;
+  buf.x_hi = x_hi;
+  buf.x_lo = x_lo;
+  buf.y_hi = y_hi;
+  buf.y_lo = y_lo;
+  buf.flags = flags;
+  std::uint64_t base = 0;
+  const auto assign = [&base](std::span<W> data) {
+    const std::uint64_t b = base;
+    base += (data.size() * sizeof(W) + kSegmentBytes) / kSegmentBytes *
+                kSegmentBytes +
+            kSegmentBytes;
+    return b;
+  };
+  buf.x_hi_base = assign(buf.x_hi);
+  buf.x_lo_base = assign(buf.x_lo);
+  buf.y_hi_base = assign(buf.y_hi);
+  buf.y_lo_base = assign(buf.y_lo);
+  buf.flags_base = assign(buf.flags);
+
+  util::WallTimer timer;
+  result.metrics =
+      launch(LaunchConfig{n_groups, record_metrics, mode},
+             [&](std::size_t g, BlockRecorder& rec) {
+               return MatchKernel(g, rec, block_dim, m, n, buf);
+             });
+  result.elapsed_ms = timer.elapsed_ms();
+  result.group_flags = std::move(flags);
+  (void)kLanes;
+  return result;
+}
+
+}  // namespace swbpbc::device

@@ -1,0 +1,38 @@
+// Simulated-GPU kernel for the §II BPBC string matching (the paper's
+// introductory example; its GPU treatment follows refs [19]/[20]).
+//
+// One block per group of W pattern/text pairs; threads stride across the
+// n - m + 1 alignment offsets. Each offset's difference word is
+// independent, so the kernel needs no shared memory — it isolates the
+// *global-memory* behaviour of BPBC inputs: every thread streams the same
+// x slices (broadcast-friendly) against offset-shifted y slices.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bulk/executor.hpp"
+#include "device/metrics.hpp"
+#include "encoding/batch.hpp"
+#include "encoding/dna.hpp"
+
+namespace swbpbc::device {
+
+struct GpuMatchResult {
+  // flags[k * (n - m + 1) + j]: bit lane = instance, 0 = match at offset.
+  std::vector<std::uint32_t> group_flags;  // one row per group, flattened
+  std::size_t offsets = 0;                 // n - m + 1
+  double elapsed_ms = 0.0;
+  MetricTotals metrics;
+};
+
+/// Runs the BPBC straightforward matching for all pairs on the simulated
+/// device (32-bit lanes). Returns per-group difference words.
+GpuMatchResult gpu_bpbc_match(std::span<const encoding::Sequence> xs,
+                              std::span<const encoding::Sequence> ys,
+                              unsigned block_dim = 128,
+                              bool record_metrics = false,
+                              bulk::Mode mode = bulk::Mode::kParallel);
+
+}  // namespace swbpbc::device

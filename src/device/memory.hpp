@@ -1,0 +1,98 @@
+// Instrumented device memory views.
+//
+// Kernels running inside the simulator access "global memory" through
+// GlobalSpan (so each access can be attributed to a thread and reduced to
+// coalesced transactions) and "shared memory" through SharedArray (so each
+// access lands on a 4-byte bank and conflicts can be counted).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "device/metrics.hpp"
+
+namespace swbpbc::device {
+
+/// A view of a global-memory buffer with per-thread access recording.
+/// `base_addr` gives the buffer a distinct byte range so that accesses to
+/// different buffers never share a coalescing segment.
+template <typename T>
+class GlobalSpan {
+ public:
+  GlobalSpan() = default;
+  GlobalSpan(std::span<T> data, std::uint64_t base_addr, BlockRecorder* rec)
+      : data_(data), base_(base_addr), rec_(rec) {}
+
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+
+  T load(std::size_t i, unsigned tid) const {
+    if (rec_ != nullptr)
+      rec_->record_global_read(tid, base_ + i * sizeof(T));
+    return data_[i];
+  }
+
+  void store(std::size_t i, T v, unsigned tid) {
+    if (rec_ != nullptr)
+      rec_->record_global_write(tid, base_ + i * sizeof(T));
+    data_[i] = v;
+  }
+
+ private:
+  std::span<T> data_{};
+  std::uint64_t base_ = 0;
+  BlockRecorder* rec_ = nullptr;
+};
+
+/// Hands out non-overlapping base addresses for GlobalSpan views.
+class AddressSpace {
+ public:
+  template <typename T>
+  GlobalSpan<T> view(std::span<T> data, BlockRecorder* rec) {
+    const std::uint64_t base = next_;
+    // Keep buffers segment-aligned and separated.
+    const std::uint64_t bytes = data.size() * sizeof(T);
+    next_ += (bytes + kSegmentBytes - 1) / kSegmentBytes * kSegmentBytes +
+             kSegmentBytes;
+    return GlobalSpan<T>(data, base, rec);
+  }
+
+ private:
+  std::uint64_t next_ = 0;
+};
+
+/// Per-block shared memory with 4-byte bank accounting.
+template <typename W>
+class SharedArray {
+ public:
+  explicit SharedArray(std::size_t n, BlockRecorder* rec)
+      : data_(n, W{0}), rec_(rec) {}
+
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+
+  W load(std::size_t i, unsigned tid) const {
+    record(i, tid);
+    return data_[i];
+  }
+
+  void store(std::size_t i, W v, unsigned tid) {
+    record(i, tid);
+    data_[i] = v;
+  }
+
+ private:
+  void record(std::size_t i, unsigned tid) const {
+    if (rec_ == nullptr || !rec_->enabled()) return;
+    // A W-sized element spans sizeof(W)/4 consecutive banks.
+    constexpr std::size_t kWordsPer = sizeof(W) < 4 ? 1 : sizeof(W) / 4;
+    const std::uint64_t first_bank = i * kWordsPer;
+    for (std::size_t w = 0; w < kWordsPer; ++w) {
+      rec_->record_shared(tid, (first_bank + w) % kBankCount);
+    }
+  }
+
+  std::vector<W> data_;
+  BlockRecorder* rec_;
+};
+
+}  // namespace swbpbc::device

@@ -1,0 +1,66 @@
+#include "device/metrics.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace swbpbc::device {
+
+void MetricTotals::add(const MetricTotals& o) {
+  global_reads += o.global_reads;
+  global_writes += o.global_writes;
+  global_read_transactions += o.global_read_transactions;
+  global_write_transactions += o.global_write_transactions;
+  shared_accesses += o.shared_accesses;
+  shared_bank_conflicts += o.shared_bank_conflicts;
+}
+
+std::uint64_t BlockRecorder::transactions(std::vector<Access>& accesses) {
+  // Per warp, count distinct 128-byte segments touched in this phase.
+  std::uint64_t tx = 0;
+  std::sort(accesses.begin(), accesses.end(),
+            [](const Access& a, const Access& b) {
+              const unsigned wa = a.tid / kWarpSize;
+              const unsigned wb = b.tid / kWarpSize;
+              if (wa != wb) return wa < wb;
+              return a.addr / kSegmentBytes < b.addr / kSegmentBytes;
+            });
+  for (std::size_t i = 0; i < accesses.size(); ++i) {
+    if (i == 0 ||
+        accesses[i].tid / kWarpSize != accesses[i - 1].tid / kWarpSize ||
+        accesses[i].addr / kSegmentBytes !=
+            accesses[i - 1].addr / kSegmentBytes) {
+      ++tx;
+    }
+  }
+  return tx;
+}
+
+std::uint64_t BlockRecorder::bank_conflicts() {
+  // Per warp: the warp's accesses serialize into max-per-bank passes;
+  // conflicts = passes - 1 summed over banks... more precisely the number
+  // of extra serialized cycles is (max bank load) - 1 per warp, but we
+  // report the total surplus over one-access-per-bank, which is the
+  // quantity that scales with conflict pressure.
+  std::map<std::pair<unsigned, std::uint64_t>, std::uint64_t> per_bank;
+  for (const Access& a : shared_) {
+    ++per_bank[{a.tid / kWarpSize, a.addr % kBankCount}];
+  }
+  std::uint64_t conflicts = 0;
+  for (const auto& [key, count] : per_bank) conflicts += count - 1;
+  return conflicts;
+}
+
+void BlockRecorder::end_phase() {
+  if (!enabled_) return;
+  totals_.global_reads += reads_.size();
+  totals_.global_writes += writes_.size();
+  totals_.global_read_transactions += transactions(reads_);
+  totals_.global_write_transactions += transactions(writes_);
+  totals_.shared_accesses += shared_.size();
+  totals_.shared_bank_conflicts += bank_conflicts();
+  reads_.clear();
+  writes_.clear();
+  shared_.clear();
+}
+
+}  // namespace swbpbc::device

@@ -1,0 +1,76 @@
+// Memory-traffic instrumentation for the GPU execution-model simulator.
+//
+// CUDA performance hinges on two effects the paper calls out in §I:
+// *coalescing* of global-memory accesses (a warp's accesses to one aligned
+// 128-byte segment merge into one transaction) and shared-memory *bank
+// conflicts* (a warp's simultaneous accesses to the same 4-byte-wide bank
+// serialize). The simulator records per-phase access traces and reduces
+// them to these two metrics so kernels can be checked for the layout
+// properties the paper's implementation relies on.
+//
+// Granularity note: real hardware resolves conflicts per instruction; the
+// simulator resolves them per lock-step phase, which upper-bounds warp
+// concurrency the same way but merges instructions a thread issues within
+// one phase. Tests account for this.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace swbpbc::device {
+
+inline constexpr unsigned kWarpSize = 32;
+inline constexpr unsigned kSegmentBytes = 128;  // coalescing segment
+inline constexpr unsigned kBankCount = 32;      // 4-byte-wide banks
+
+struct MetricTotals {
+  std::uint64_t global_reads = 0;   // individual word reads
+  std::uint64_t global_writes = 0;  // individual word writes
+  std::uint64_t global_read_transactions = 0;
+  std::uint64_t global_write_transactions = 0;
+  std::uint64_t shared_accesses = 0;
+  std::uint64_t shared_bank_conflicts = 0;  // serialized extra passes
+
+  void add(const MetricTotals& o);
+};
+
+/// Per-block access trace for the current phase. Disabled recorders are
+/// no-ops so production launches pay only a branch.
+class BlockRecorder {
+ public:
+  explicit BlockRecorder(bool enabled) : enabled_(enabled) {}
+
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  void record_global_read(unsigned tid, std::uint64_t byte_addr) {
+    if (enabled_) reads_.push_back({tid, byte_addr});
+  }
+  void record_global_write(unsigned tid, std::uint64_t byte_addr) {
+    if (enabled_) writes_.push_back({tid, byte_addr});
+  }
+  void record_shared(unsigned tid, std::uint64_t bank) {
+    if (enabled_) shared_.push_back({tid, bank});
+  }
+
+  /// Reduces the phase trace into the running totals and clears it.
+  void end_phase();
+
+  [[nodiscard]] const MetricTotals& totals() const { return totals_; }
+
+ private:
+  struct Access {
+    unsigned tid;
+    std::uint64_t addr;  // byte address (global) or bank index (shared)
+  };
+
+  bool enabled_;
+  std::vector<Access> reads_;
+  std::vector<Access> writes_;
+  std::vector<Access> shared_;
+  MetricTotals totals_;
+
+  static std::uint64_t transactions(std::vector<Access>& accesses);
+  std::uint64_t bank_conflicts();
+};
+
+}  // namespace swbpbc::device

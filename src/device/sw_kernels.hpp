@@ -1,0 +1,75 @@
+// The paper's §V GPU pipeline, executed on the device simulator:
+//
+//   Step 1 (H2G): copy wordwise input strings to device global memory.
+//   Step 2 (W2B): kernel — bit-transpose the inputs (Table I plans).
+//   Step 3 (SWA): kernel — BPBC wavefront DP, one block per group of W
+//                 pairs, one thread per pattern row, cell handoff through
+//                 shared memory (Fig. 2), pipelined running-max reduction.
+//   Step 4 (B2W): kernel — bit-untranspose the per-lane max scores.
+//   Step 5 (G2H): copy wordwise scores back to the host.
+//
+// A wordwise wavefront kernel (one block per pair, plain integer cells) is
+// provided as the GPU baseline of Table IV's "Wordwise 32-bits" rows.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bulk/executor.hpp"
+#include "device/metrics.hpp"
+#include "encoding/dna.hpp"
+#include "sw/bpbc.hpp"
+#include "sw/params.hpp"
+
+namespace swbpbc::device {
+
+struct GpuTimings {
+  double h2g_ms = 0.0;
+  double w2b_ms = 0.0;
+  double swa_ms = 0.0;
+  double b2w_ms = 0.0;
+  double g2h_ms = 0.0;
+  [[nodiscard]] double total_ms() const {
+    return h2g_ms + w2b_ms + swa_ms + b2w_ms + g2h_ms;
+  }
+};
+
+struct GpuRunOptions {
+  bool record_metrics = false;  // trace coalescing / bank conflicts
+  bulk::Mode mode = bulk::Mode::kParallel;  // blocks across the host pool
+  unsigned w2b_block_dim = 256;  // threads per block for the W2B kernel
+};
+
+struct GpuRunResult {
+  std::vector<std::uint32_t> scores;
+  GpuTimings timings;
+  MetricTotals w2b_metrics;
+  MetricTotals swa_metrics;
+  MetricTotals b2w_metrics;
+
+  [[nodiscard]] MetricTotals metrics() const {
+    MetricTotals t;
+    t.add(w2b_metrics);
+    t.add(swa_metrics);
+    t.add(b2w_metrics);
+    return t;
+  }
+};
+
+/// Full BPBC pipeline on the simulated device. All xs share one length m,
+/// all ys one length n (the bit-transpose batch requirement).
+GpuRunResult gpu_bpbc_max_scores(std::span<const encoding::Sequence> xs,
+                                 std::span<const encoding::Sequence> ys,
+                                 const sw::ScoreParams& params,
+                                 sw::LaneWidth width,
+                                 const GpuRunOptions& options = {});
+
+/// Wordwise wavefront baseline on the simulated device (no W2B/B2W; one
+/// block per pair, integer cells handed off through shared memory).
+GpuRunResult gpu_wordwise_max_scores(std::span<const encoding::Sequence> xs,
+                                     std::span<const encoding::Sequence> ys,
+                                     const sw::ScoreParams& params,
+                                     const GpuRunOptions& options = {});
+
+}  // namespace swbpbc::device

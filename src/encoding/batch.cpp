@@ -1,0 +1,155 @@
+#include "encoding/batch.hpp"
+
+#include <algorithm>
+#include <array>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+
+namespace swbpbc::encoding {
+namespace {
+
+template <bitsim::LaneWord W>
+const bitsim::TransposePlan& char_plan() {
+  static const bitsim::TransposePlan plan =
+      bitsim::TransposePlan::transpose_low_bits(bitsim::word_bits_v<W>,
+                                                kBitsPerBase);
+  return plan;
+}
+
+// B2W plans are cached per (W, s); callers may run on pool threads.
+template <bitsim::LaneWord W>
+const bitsim::TransposePlan& value_plan(unsigned s) {
+  static std::mutex mutex;
+  static std::map<unsigned, bitsim::TransposePlan> plans;
+  std::lock_guard<std::mutex> lk(mutex);
+  auto it = plans.find(s);
+  if (it == plans.end()) {
+    it = plans
+             .emplace(s, bitsim::TransposePlan::untranspose_low_bits(
+                             bitsim::word_bits_v<W>, s))
+             .first;
+  }
+  return it->second;
+}
+
+}  // namespace
+
+template <bitsim::LaneWord W>
+TransposedBatch<W> transpose_strings(std::span<const Sequence> seqs,
+                                     TransposeMethod method) {
+  constexpr unsigned kLanes = bitsim::word_bits_v<W>;
+  TransposedBatch<W> batch;
+  batch.count = seqs.size();
+  batch.length = seqs.empty() ? 0 : seqs.front().size();
+  for (const auto& s : seqs) {
+    if (s.size() != batch.length)
+      throw std::invalid_argument(
+          "transpose_strings requires equal-length sequences");
+  }
+
+  const std::size_t n_groups = (seqs.size() + kLanes - 1) / kLanes;
+  batch.groups.resize(n_groups);
+  for (std::size_t g = 0; g < n_groups; ++g) {
+    auto& group = batch.groups[g];
+    group.length = batch.length;
+    group.hi.assign(batch.length, 0);
+    group.lo.assign(batch.length, 0);
+    const std::size_t base_idx = g * kLanes;
+    const std::size_t lanes_used =
+        std::min<std::size_t>(kLanes, seqs.size() - base_idx);
+
+    if (method == TransposeMethod::kNaive) {
+      for (std::size_t lane = 0; lane < lanes_used; ++lane) {
+        const Sequence& seq = seqs[base_idx + lane];
+        for (std::size_t i = 0; i < batch.length; ++i) {
+          group.hi[i] |= static_cast<W>(static_cast<W>(high_bit(seq[i]))
+                                        << lane);
+          group.lo[i] |= static_cast<W>(static_cast<W>(low_bit(seq[i]))
+                                        << lane);
+        }
+      }
+      continue;
+    }
+
+    // Planned path (paper's W2B): for each character position, gather one
+    // 2-bit code per lane into a W-word scratch block and run the s=2
+    // specialized transpose; row 0 is the L slice, row 1 the H slice.
+    const bitsim::TransposePlan& plan = char_plan<W>();
+    std::array<W, kLanes> scratch;
+    for (std::size_t i = 0; i < batch.length; ++i) {
+      scratch.fill(0);
+      for (std::size_t lane = 0; lane < lanes_used; ++lane) {
+        scratch[lane] = static_cast<W>(code(seqs[base_idx + lane][i]));
+      }
+      plan.apply(std::span<W>(scratch));
+      group.lo[i] = scratch[0];
+      group.hi[i] = scratch[1];
+    }
+  }
+  return batch;
+}
+
+template <bitsim::LaneWord W>
+std::vector<std::uint32_t> untranspose_values(std::span<const W> slices,
+                                              unsigned s,
+                                              TransposeMethod method) {
+  constexpr unsigned kLanes = bitsim::word_bits_v<W>;
+  if (slices.size() != s)
+    throw std::invalid_argument("slices.size() must equal s");
+  if (s > 32) throw std::invalid_argument("s must be <= 32");
+  std::vector<std::uint32_t> out(kLanes, 0);
+  if (s == 0) return out;
+
+  if (method == TransposeMethod::kNaive) {
+    for (unsigned l = 0; l < s; ++l) {
+      for (unsigned lane = 0; lane < kLanes; ++lane) {
+        out[lane] |= static_cast<std::uint32_t>((slices[l] >> lane) & 1)
+                     << l;
+      }
+    }
+    return out;
+  }
+
+  std::array<W, kLanes> scratch;
+  scratch.fill(0);
+  for (unsigned l = 0; l < s; ++l) scratch[l] = slices[l];
+  value_plan<W>(s).apply(std::span<W>(scratch));
+  const std::uint32_t mask =
+      s >= 32 ? ~std::uint32_t{0} : ((std::uint32_t{1} << s) - 1);
+  for (unsigned lane = 0; lane < kLanes; ++lane) {
+    out[lane] = static_cast<std::uint32_t>(scratch[lane]) & mask;
+  }
+  return out;
+}
+
+template <bitsim::LaneWord W>
+std::vector<W> transpose_values(std::span<const std::uint32_t> values,
+                                unsigned s) {
+  constexpr unsigned kLanes = bitsim::word_bits_v<W>;
+  if (values.size() > kLanes)
+    throw std::invalid_argument("more values than lanes");
+  std::vector<W> slices(s, 0);
+  for (std::size_t lane = 0; lane < values.size(); ++lane) {
+    for (unsigned l = 0; l < s; ++l) {
+      slices[l] |= static_cast<W>(static_cast<W>((values[lane] >> l) & 1)
+                                  << lane);
+    }
+  }
+  return slices;
+}
+
+// Explicit instantiations for the two lane widths the library supports.
+template TransposedBatch<std::uint32_t> transpose_strings<std::uint32_t>(
+    std::span<const Sequence>, TransposeMethod);
+template TransposedBatch<std::uint64_t> transpose_strings<std::uint64_t>(
+    std::span<const Sequence>, TransposeMethod);
+template std::vector<std::uint32_t> untranspose_values<std::uint32_t>(
+    std::span<const std::uint32_t>, unsigned, TransposeMethod);
+template std::vector<std::uint32_t> untranspose_values<std::uint64_t>(
+    std::span<const std::uint64_t>, unsigned, TransposeMethod);
+template std::vector<std::uint32_t> transpose_values<std::uint32_t>(
+    std::span<const std::uint32_t>, unsigned);
+template std::vector<std::uint64_t> transpose_values<std::uint64_t>(
+    std::span<const std::uint32_t>, unsigned);
+}  // namespace swbpbc::encoding

@@ -1,0 +1,53 @@
+#include "encoding/dna.hpp"
+
+namespace swbpbc::encoding {
+
+Base base_from_char(char ch) {
+  switch (ch) {
+    case 'A':
+    case 'a':
+      return Base::A;
+    case 'C':
+    case 'c':
+      return Base::C;
+    case 'G':
+    case 'g':
+      return Base::G;
+    case 'T':
+    case 't':
+      return Base::T;
+    default:
+      throw std::invalid_argument(std::string("not a DNA base: '") + ch +
+                                  "'");
+  }
+}
+
+char to_char(Base b) {
+  switch (b) {
+    case Base::A:
+      return 'A';
+    case Base::C:
+      return 'C';
+    case Base::G:
+      return 'G';
+    case Base::T:
+      return 'T';
+  }
+  return '?';  // unreachable for valid Base values
+}
+
+Sequence sequence_from_string(std::string_view text) {
+  Sequence seq;
+  seq.reserve(text.size());
+  for (char ch : text) seq.push_back(base_from_char(ch));
+  return seq;
+}
+
+std::string to_string(const Sequence& seq) {
+  std::string out;
+  out.reserve(seq.size());
+  for (Base b : seq) out.push_back(to_char(b));
+  return out;
+}
+
+}  // namespace swbpbc::encoding

@@ -1,0 +1,59 @@
+// 2-bit DNA alphabet used throughout the library.
+//
+// The paper (Section II) fixes the encoding A=00, T=01, G=10, C=11; the
+// low bit is the "L" plane and the high bit the "H" plane of the
+// bit-transpose format.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace swbpbc::encoding {
+
+enum class Base : std::uint8_t {
+  A = 0b00,
+  T = 0b01,
+  G = 0b10,
+  C = 0b11,
+};
+
+inline constexpr unsigned kBitsPerBase = 2;  // epsilon in the paper
+
+/// A DNA strand as a flat run of 2-bit codes.
+using Sequence = std::vector<Base>;
+
+/// 2-bit code of a base.
+constexpr std::uint8_t code(Base b) { return static_cast<std::uint8_t>(b); }
+
+/// High ("H") bit of a base's 2-bit code.
+constexpr std::uint8_t high_bit(Base b) {
+  return static_cast<std::uint8_t>((code(b) >> 1) & 1);
+}
+
+/// Low ("L") bit of a base's 2-bit code.
+constexpr std::uint8_t low_bit(Base b) {
+  return static_cast<std::uint8_t>(code(b) & 1);
+}
+
+/// Base from a 2-bit code (masks to 2 bits).
+constexpr Base base_from_code(std::uint8_t c) {
+  return static_cast<Base>(c & 0b11);
+}
+
+/// IUPAC character -> Base. Throws std::invalid_argument on anything
+/// outside {A,C,G,T,a,c,g,t}.
+Base base_from_char(char ch);
+
+/// Base -> uppercase character.
+char to_char(Base b);
+
+/// "ACGT..." -> Sequence. Throws on invalid characters.
+Sequence sequence_from_string(std::string_view text);
+
+/// Sequence -> "ACGT..." string.
+std::string to_string(const Sequence& seq);
+
+}  // namespace swbpbc::encoding

@@ -1,0 +1,47 @@
+#include "encoding/fasta.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace swbpbc::encoding {
+
+std::vector<FastaRecord> read_fasta(std::istream& in) {
+  std::vector<FastaRecord> records;
+  std::string line;
+  bool have_record = false;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (line.front() == '>') {
+      records.push_back(FastaRecord{line.substr(1), {}});
+      have_record = true;
+      continue;
+    }
+    if (!have_record)
+      throw std::invalid_argument("FASTA: sequence data before any header");
+    Sequence& seq = records.back().sequence;
+    for (char ch : line) seq.push_back(base_from_char(ch));
+  }
+  return records;
+}
+
+std::vector<FastaRecord> read_fasta_string(const std::string& text) {
+  std::istringstream in(text);
+  return read_fasta(in);
+}
+
+void write_fasta(std::ostream& out, const std::vector<FastaRecord>& records,
+                 std::size_t width) {
+  for (const auto& rec : records) {
+    out << '>' << rec.name << '\n';
+    for (std::size_t i = 0; i < rec.sequence.size(); i += width) {
+      const std::size_t hi = std::min(i + width, rec.sequence.size());
+      for (std::size_t j = i; j < hi; ++j) out << to_char(rec.sequence[j]);
+      out << '\n';
+    }
+  }
+}
+
+}  // namespace swbpbc::encoding

@@ -1,0 +1,29 @@
+// Minimal FASTA reader/writer so examples can run on real sequence files.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "encoding/dna.hpp"
+
+namespace swbpbc::encoding {
+
+struct FastaRecord {
+  std::string name;  // header line without the leading '>'
+  Sequence sequence;
+};
+
+/// Parses FASTA from a stream. Skips blank lines; concatenates wrapped
+/// sequence lines; throws std::invalid_argument on malformed input or
+/// non-ACGT characters.
+std::vector<FastaRecord> read_fasta(std::istream& in);
+
+/// Convenience: parse from a string.
+std::vector<FastaRecord> read_fasta_string(const std::string& text);
+
+/// Writes records in FASTA format, wrapping sequence lines at `width`.
+void write_fasta(std::ostream& out, const std::vector<FastaRecord>& records,
+                 std::size_t width = 70);
+
+}  // namespace swbpbc::encoding

@@ -1,0 +1,82 @@
+#include "encoding/generic_batch.hpp"
+
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+
+namespace swbpbc::encoding {
+
+template <bitsim::LaneWord W>
+TransposedGenericBatch<W> transpose_generic(
+    std::span<const GenericSequence> seqs, unsigned bits,
+    TransposeMethod method) {
+  constexpr unsigned kLanes = bitsim::word_bits_v<W>;
+  if (bits == 0 || bits > 8)
+    throw std::invalid_argument("character width must be in [1, 8] bits");
+
+  TransposedGenericBatch<W> batch;
+  batch.count = seqs.size();
+  batch.length = seqs.empty() ? 0 : seqs.front().size();
+  batch.planes = bits;
+  const std::uint8_t max_code =
+      bits >= 8 ? 0xFF : static_cast<std::uint8_t>((1u << bits) - 1);
+  for (const auto& s : seqs) {
+    if (s.size() != batch.length)
+      throw std::invalid_argument(
+          "transpose_generic requires equal-length sequences");
+    for (std::uint8_t c : s) {
+      if (c > max_code)
+        throw std::invalid_argument("character code exceeds plane width");
+    }
+  }
+
+  const bitsim::TransposePlan plan =
+      bitsim::TransposePlan::transpose_low_bits(kLanes, bits);
+
+  const std::size_t n_groups = (seqs.size() + kLanes - 1) / kLanes;
+  batch.groups.resize(n_groups);
+  for (std::size_t g = 0; g < n_groups; ++g) {
+    auto& group = batch.groups[g];
+    group.length = batch.length;
+    group.planes = bits;
+    group.slices.assign(batch.length * bits, 0);
+    const std::size_t first = g * kLanes;
+    const std::size_t lanes_used =
+        std::min<std::size_t>(kLanes, seqs.size() - first);
+
+    if (method == TransposeMethod::kNaive) {
+      for (std::size_t lane = 0; lane < lanes_used; ++lane) {
+        const GenericSequence& seq = seqs[first + lane];
+        for (std::size_t i = 0; i < batch.length; ++i) {
+          for (unsigned p = 0; p < bits; ++p) {
+            group.slices[i * bits + p] |= static_cast<W>(
+                static_cast<W>((seq[i] >> p) & 1u) << lane);
+          }
+        }
+      }
+      continue;
+    }
+
+    std::array<W, kLanes> scratch;
+    for (std::size_t i = 0; i < batch.length; ++i) {
+      scratch.fill(0);
+      for (std::size_t lane = 0; lane < lanes_used; ++lane) {
+        scratch[lane] = static_cast<W>(seqs[first + lane][i]);
+      }
+      plan.apply(std::span<W>(scratch));
+      for (unsigned p = 0; p < bits; ++p) {
+        group.slices[i * bits + p] = scratch[p];
+      }
+    }
+  }
+  return batch;
+}
+
+template TransposedGenericBatch<std::uint32_t>
+transpose_generic<std::uint32_t>(std::span<const GenericSequence>, unsigned,
+                                 TransposeMethod);
+template TransposedGenericBatch<std::uint64_t>
+transpose_generic<std::uint64_t>(std::span<const GenericSequence>, unsigned,
+                                 TransposeMethod);
+
+}  // namespace swbpbc::encoding

@@ -1,0 +1,78 @@
+// Bit-transpose storage for arbitrary epsilon-bit alphabets.
+//
+// Generalizes batch.hpp's hi/lo (epsilon = 2) layout to `planes`
+// bit-planes per character position: plane p of position i holds bit p
+// of character i of all W lanes. The W2B conversion reuses the Table I
+// transpose plans with the payload width set to epsilon.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bitsim/plan.hpp"
+#include "bitsim/swapcopy.hpp"
+#include "encoding/alphabet.hpp"
+#include "encoding/batch.hpp"
+
+namespace swbpbc::encoding {
+
+/// One group of W equal-length generic strings: `slices[i * planes + p]`
+/// is plane p of character position i.
+template <bitsim::LaneWord W>
+struct TransposedGeneric {
+  std::size_t length = 0;
+  unsigned planes = 0;
+  std::vector<W> slices;
+
+  /// Plane p of position i.
+  [[nodiscard]] W plane(std::size_t i, unsigned p) const {
+    return slices[i * planes + p];
+  }
+  /// All planes of position i (the epsilon-slice character view used by
+  /// bitops::mismatch_mask).
+  [[nodiscard]] std::span<const W> character(std::size_t i) const {
+    return {slices.data() + i * planes, planes};
+  }
+
+  static constexpr unsigned lanes() { return bitsim::word_bits_v<W>; }
+};
+
+/// Batch of `count` strings split into ceil(count / W) groups; unused
+/// lanes of the tail group read as code 0.
+template <bitsim::LaneWord W>
+struct TransposedGenericBatch {
+  std::size_t count = 0;
+  std::size_t length = 0;
+  unsigned planes = 0;
+  std::vector<TransposedGeneric<W>> groups;
+};
+
+/// W2B for generic sequences; `bits` is epsilon (every character code
+/// must fit in it). Throws std::invalid_argument on unequal lengths or
+/// out-of-range codes.
+template <bitsim::LaneWord W>
+TransposedGenericBatch<W> transpose_generic(
+    std::span<const GenericSequence> seqs, unsigned bits,
+    TransposeMethod method = TransposeMethod::kPlanned);
+
+/// Test/debug helper: reads character i of lane `lane` back out.
+template <bitsim::LaneWord W>
+std::uint8_t read_code(const TransposedGeneric<W>& group, std::size_t lane,
+                       std::size_t i) {
+  std::uint8_t c = 0;
+  for (unsigned p = 0; p < group.planes; ++p) {
+    c = static_cast<std::uint8_t>(
+        c | (((group.plane(i, p) >> lane) & 1u) << p));
+  }
+  return c;
+}
+
+extern template TransposedGenericBatch<std::uint32_t>
+transpose_generic<std::uint32_t>(std::span<const GenericSequence>, unsigned,
+                                 TransposeMethod);
+extern template TransposedGenericBatch<std::uint64_t>
+transpose_generic<std::uint64_t>(std::span<const GenericSequence>, unsigned,
+                                 TransposeMethod);
+
+}  // namespace swbpbc::encoding

@@ -1,0 +1,44 @@
+#include "encoding/packed.hpp"
+
+#include <stdexcept>
+
+namespace swbpbc::encoding {
+
+PackedSequence PackedSequence::pack(const Sequence& seq) {
+  PackedSequence out;
+  out.size_ = seq.size();
+  out.bytes_.assign((seq.size() + 3) / 4, 0);
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    out.bytes_[i / 4] = static_cast<std::uint8_t>(
+        out.bytes_[i / 4] | (code(seq[i]) << (2 * (i % 4))));
+  }
+  return out;
+}
+
+Sequence PackedSequence::unpack() const {
+  Sequence out;
+  out.reserve(size_);
+  for (std::size_t i = 0; i < size_; ++i) out.push_back(get(i));
+  return out;
+}
+
+Base PackedSequence::get(std::size_t i) const {
+  if (i >= size_) throw std::out_of_range("PackedSequence::get");
+  return base_from_code(
+      static_cast<std::uint8_t>(bytes_[i / 4] >> (2 * (i % 4))));
+}
+
+void PackedSequence::set(std::size_t i, Base b) {
+  if (i >= size_) throw std::out_of_range("PackedSequence::set");
+  const unsigned shift = 2 * (i % 4);
+  bytes_[i / 4] = static_cast<std::uint8_t>(
+      (bytes_[i / 4] & ~(0b11u << shift)) | (code(b) << shift));
+}
+
+void PackedSequence::push_back(Base b) {
+  if (size_ % 4 == 0) bytes_.push_back(0);
+  ++size_;
+  set(size_ - 1, b);
+}
+
+}  // namespace swbpbc::encoding

@@ -1,0 +1,47 @@
+// The "packed format" of §II: four 2-bit DNA characters per byte.
+//
+// The paper contrasts three storage formats — wordwise (one character per
+// word; wastes space and bandwidth), packed (dense, but "reading and
+// writing 2-bit characters needs messy bitwise operations"), and the
+// bit-transpose format BPBC uses. This class supplies the packed format
+// so the trade-off is measurable, and as a compact at-rest representation
+// for large databases.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "encoding/dna.hpp"
+
+namespace swbpbc::encoding {
+
+class PackedSequence {
+ public:
+  PackedSequence() = default;
+
+  /// Packs a plain sequence (4 characters per byte).
+  static PackedSequence pack(const Sequence& seq);
+
+  [[nodiscard]] Sequence unpack() const;
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  /// Bytes of storage used (ceil(size / 4)).
+  [[nodiscard]] std::size_t storage_bytes() const { return bytes_.size(); }
+
+  [[nodiscard]] Base get(std::size_t i) const;
+  void set(std::size_t i, Base b);
+
+  /// Appends one character.
+  void push_back(Base b);
+
+  friend bool operator==(const PackedSequence&,
+                         const PackedSequence&) = default;
+
+ private:
+  std::size_t size_ = 0;
+  std::vector<std::uint8_t> bytes_;
+};
+
+}  // namespace swbpbc::encoding

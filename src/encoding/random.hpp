@@ -1,0 +1,29 @@
+// Synthetic DNA workload generation (the paper evaluates on random DNA
+// pairs; see DESIGN.md substitution table).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "encoding/dna.hpp"
+#include "util/rng.hpp"
+
+namespace swbpbc::encoding {
+
+/// Uniform random strand of `length` bases.
+Sequence random_sequence(util::Xoshiro256& rng, std::size_t length);
+
+/// `count` independent uniform random strands of `length` bases.
+std::vector<Sequence> random_sequences(util::Xoshiro256& rng,
+                                       std::size_t count, std::size_t length);
+
+/// Copy of `seq` where each base mutates to a different uniform base with
+/// probability `rate` (0..1). Used by the read-mapper example to simulate
+/// sequencing errors / SNPs.
+Sequence mutate(const Sequence& seq, double rate, util::Xoshiro256& rng);
+
+/// Overwrites `host[pos .. pos+motif.size())` with `motif` (planting a
+/// homologous region so that screening has true positives to find).
+void plant_motif(Sequence& host, const Sequence& motif, std::size_t pos);
+
+}  // namespace swbpbc::encoding

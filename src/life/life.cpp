@@ -1,0 +1,193 @@
+#include "life/life.hpp"
+
+#include <stdexcept>
+
+namespace swbpbc::life {
+
+// --- scalar reference --------------------------------------------------------
+
+ScalarLife::ScalarLife(std::size_t width, std::size_t height)
+    : width_(width), height_(height), cells_(width * height, 0) {
+  if (width == 0 || height == 0)
+    throw std::invalid_argument("grid dimensions must be positive");
+}
+
+bool ScalarLife::get(std::size_t x, std::size_t y) const {
+  return cells_[y * width_ + x] != 0;
+}
+
+void ScalarLife::set(std::size_t x, std::size_t y, bool alive) {
+  cells_[y * width_ + x] = alive ? 1 : 0;
+}
+
+void ScalarLife::step() {
+  std::vector<std::uint8_t> next(cells_.size(), 0);
+  for (std::size_t y = 0; y < height_; ++y) {
+    for (std::size_t x = 0; x < width_; ++x) {
+      unsigned n = 0;
+      for (int dy = -1; dy <= 1; ++dy) {
+        for (int dx = -1; dx <= 1; ++dx) {
+          if (dx == 0 && dy == 0) continue;
+          const std::ptrdiff_t nx = static_cast<std::ptrdiff_t>(x) + dx;
+          const std::ptrdiff_t ny = static_cast<std::ptrdiff_t>(y) + dy;
+          if (nx < 0 || ny < 0 ||
+              nx >= static_cast<std::ptrdiff_t>(width_) ||
+              ny >= static_cast<std::ptrdiff_t>(height_)) {
+            continue;  // dead border
+          }
+          n += get(static_cast<std::size_t>(nx),
+                   static_cast<std::size_t>(ny))
+                   ? 1u
+                   : 0u;
+        }
+      }
+      const bool alive = get(x, y);
+      next[y * width_ + x] = (n == 3 || (alive && n == 2)) ? 1 : 0;
+    }
+  }
+  cells_ = std::move(next);
+}
+
+void ScalarLife::step(std::size_t generations) {
+  for (std::size_t g = 0; g < generations; ++g) step();
+}
+
+std::size_t ScalarLife::population() const {
+  std::size_t p = 0;
+  for (auto c : cells_) p += c;
+  return p;
+}
+
+// --- BPBC implementation ------------------------------------------------------
+
+template <bitsim::LaneWord W>
+BpbcLife<W>::BpbcLife(std::size_t width, std::size_t height)
+    : width_(width),
+      height_(height),
+      words_per_row_((width + bitsim::word_bits_v<W> - 1) /
+                     bitsim::word_bits_v<W>),
+      rows_(words_per_row_ * height, 0),
+      next_(words_per_row_ * height, 0) {
+  if (width == 0 || height == 0)
+    throw std::invalid_argument("grid dimensions must be positive");
+}
+
+template <bitsim::LaneWord W>
+bool BpbcLife<W>::get(std::size_t x, std::size_t y) const {
+  constexpr unsigned kBits = bitsim::word_bits_v<W>;
+  return ((rows_[y * words_per_row_ + x / kBits] >> (x % kBits)) & 1u) != 0;
+}
+
+template <bitsim::LaneWord W>
+void BpbcLife<W>::set(std::size_t x, std::size_t y, bool alive) {
+  constexpr unsigned kBits = bitsim::word_bits_v<W>;
+  W& word = rows_[y * words_per_row_ + x / kBits];
+  const W bit = static_cast<W>(W{1} << (x % kBits));
+  word = alive ? static_cast<W>(word | bit) : static_cast<W>(word & ~bit);
+}
+
+namespace {
+
+/// Two-bit horizontal triple sum (west + center + east) of one word.
+template <typename W>
+struct Triple {
+  W s0;  // low bit of the count
+  W s1;  // high bit
+};
+
+}  // namespace
+
+template <bitsim::LaneWord W>
+void BpbcLife<W>::step() {
+  constexpr unsigned kBits = bitsim::word_bits_v<W>;
+  // Mask off the unused tail bits of the last word in each row so they
+  // never act as phantom live cells.
+  const unsigned tail = static_cast<unsigned>(width_ % kBits);
+  const W tail_mask =
+      tail == 0 ? static_cast<W>(~W{0})
+                : static_cast<W>((W{1} << tail) - 1);
+
+  const auto row_view = [&](std::ptrdiff_t y, std::size_t k) -> W {
+    if (y < 0 || y >= static_cast<std::ptrdiff_t>(height_)) return 0;
+    return rows_[static_cast<std::size_t>(y) * words_per_row_ + k];
+  };
+  const auto neighbor_word = [&](std::ptrdiff_t y, std::ptrdiff_t k) -> W {
+    if (k < 0 || k >= static_cast<std::ptrdiff_t>(words_per_row_)) return 0;
+    return row_view(y, static_cast<std::size_t>(k));
+  };
+  // Horizontal triple count of row y at word k: west/center/east views
+  // with carry bits pulled from the adjacent words.
+  const auto triple = [&](std::ptrdiff_t y, std::size_t k) -> Triple<W> {
+    const W c = row_view(y, k);
+    const W west = static_cast<W>(
+        (c << 1) |
+        (neighbor_word(y, static_cast<std::ptrdiff_t>(k) - 1) >>
+         (kBits - 1)));
+    const W east = static_cast<W>(
+        (c >> 1) |
+        (neighbor_word(y, static_cast<std::ptrdiff_t>(k) + 1)
+         << (kBits - 1)));
+    // Full adder: s1 s0 = west + c + east.
+    const W wxc = static_cast<W>(west ^ c);
+    return Triple<W>{static_cast<W>(wxc ^ east),
+                     static_cast<W>((west & c) | (east & wxc))};
+  };
+
+  for (std::size_t y = 0; y < height_; ++y) {
+    for (std::size_t k = 0; k < words_per_row_; ++k) {
+      const Triple<W> up = triple(static_cast<std::ptrdiff_t>(y) - 1, k);
+      const Triple<W> mid = triple(static_cast<std::ptrdiff_t>(y), k);
+      const Triple<W> dn = triple(static_cast<std::ptrdiff_t>(y) + 1, k);
+
+      // total = up + mid + dn, a 4-bit number t3 t2 t1 t0 (0..9) that
+      // includes the center cell itself.
+      // First: up + mid -> 3 bits.
+      const W a0 = static_cast<W>(up.s0 ^ mid.s0);
+      const W c0 = static_cast<W>(up.s0 & mid.s0);
+      const W x1 = static_cast<W>(up.s1 ^ mid.s1);
+      const W a1 = static_cast<W>(x1 ^ c0);
+      const W a2 = static_cast<W>((up.s1 & mid.s1) | (c0 & x1));
+      // Then: (a2 a1 a0) + (dn.s1 dn.s0) -> 4 bits.
+      const W t0 = static_cast<W>(a0 ^ dn.s0);
+      const W k0 = static_cast<W>(a0 & dn.s0);
+      const W x2 = static_cast<W>(a1 ^ dn.s1);
+      const W t1 = static_cast<W>(x2 ^ k0);
+      const W k1 = static_cast<W>((a1 & dn.s1) | (k0 & x2));
+      const W t2 = static_cast<W>(a2 ^ k1);
+      const W t3 = static_cast<W>(a2 & k1);
+
+      // Rule with the center included in the count:
+      //   alive' = (total == 3) | (alive & total == 4).
+      const W alive = row_view(static_cast<std::ptrdiff_t>(y), k);
+      const W eq3 = static_cast<W>(~t3 & ~t2 & t1 & t0);
+      const W eq4 = static_cast<W>(~t3 & t2 & ~t1 & ~t0);
+      W out = static_cast<W>(eq3 | (alive & eq4));
+      if (k + 1 == words_per_row_) out = static_cast<W>(out & tail_mask);
+      next_[y * words_per_row_ + k] = out;
+    }
+  }
+  rows_.swap(next_);
+}
+
+template <bitsim::LaneWord W>
+void BpbcLife<W>::step(std::size_t generations) {
+  for (std::size_t g = 0; g < generations; ++g) step();
+}
+
+template <bitsim::LaneWord W>
+std::size_t BpbcLife<W>::population() const {
+  std::size_t p = 0;
+  for (const W word : rows_) {
+    W v = word;
+    while (v != 0) {
+      v = static_cast<W>(v & (v - 1));
+      ++p;
+    }
+  }
+  return p;
+}
+
+template class BpbcLife<std::uint32_t>;
+template class BpbcLife<std::uint64_t>;
+
+}  // namespace swbpbc::life

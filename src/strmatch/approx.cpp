@@ -1,0 +1,76 @@
+#include "strmatch/approx.hpp"
+
+#include <bit>
+
+#include "bitops/arith.hpp"
+#include "bitops/slices.hpp"
+
+namespace swbpbc::strmatch {
+
+unsigned counter_slices(std::size_t m) {
+  return m == 0 ? 1
+               : static_cast<unsigned>(
+                     std::bit_width(static_cast<std::uint64_t>(m)));
+}
+
+template <bitsim::LaneWord W>
+std::vector<std::vector<W>> bpbc_hamming_slices(
+    const encoding::TransposedStrings<W>& x,
+    const encoding::TransposedStrings<W>& y) {
+  const std::size_t m = x.length;
+  const std::size_t n = y.length;
+  if (m == 0 || m > n) return {};
+  const unsigned s = counter_slices(m);
+  std::vector<std::vector<W>> out(n - m + 1);
+  for (std::size_t j = 0; j + m <= n; ++j) {
+    std::vector<W> cnt(s, 0);
+    for (std::size_t i = 0; i < m; ++i) {
+      // Per-lane mismatch flag, then bit-sliced increment-by-flag: a
+      // ripple-carry +e over the counter slices (2 ops per slice).
+      W carry = static_cast<W>((x.hi[i] ^ y.hi[i + j]) |
+                               (x.lo[i] ^ y.lo[i + j]));
+      for (unsigned l = 0; l < s && carry != 0; ++l) {
+        const W next_carry = static_cast<W>(cnt[l] & carry);
+        cnt[l] = static_cast<W>(cnt[l] ^ carry);
+        carry = next_carry;
+      }
+    }
+    out[j] = std::move(cnt);
+  }
+  return out;
+}
+
+template <bitsim::LaneWord W>
+std::vector<W> bpbc_approx_match(const encoding::TransposedStrings<W>& x,
+                                 const encoding::TransposedStrings<W>& y,
+                                 std::uint32_t k) {
+  const auto slices = bpbc_hamming_slices(x, y);
+  if (slices.empty()) return {};
+  const unsigned s = counter_slices(x.length);
+  const std::vector<W> bound = bitops::broadcast_constant<W>(
+      k >= (std::uint32_t{1} << s) - 1 ? (std::uint32_t{1} << s) - 1 : k, s);
+  std::vector<W> out(slices.size(), 0);
+  for (std::size_t j = 0; j < slices.size(); ++j) {
+    // dist <= k  <=>  k >= dist  <=>  ge_mask(bound, dist).
+    out[j] = bitops::ge_mask<W>(std::span<const W>(bound),
+                                std::span<const W>(slices[j]));
+  }
+  return out;
+}
+
+template std::vector<std::vector<std::uint32_t>>
+bpbc_hamming_slices<std::uint32_t>(
+    const encoding::TransposedStrings<std::uint32_t>&,
+    const encoding::TransposedStrings<std::uint32_t>&);
+template std::vector<std::vector<std::uint64_t>>
+bpbc_hamming_slices<std::uint64_t>(
+    const encoding::TransposedStrings<std::uint64_t>&,
+    const encoding::TransposedStrings<std::uint64_t>&);
+template std::vector<std::uint32_t> bpbc_approx_match<std::uint32_t>(
+    const encoding::TransposedStrings<std::uint32_t>&,
+    const encoding::TransposedStrings<std::uint32_t>&, std::uint32_t);
+template std::vector<std::uint64_t> bpbc_approx_match<std::uint64_t>(
+    const encoding::TransposedStrings<std::uint64_t>&,
+    const encoding::TransposedStrings<std::uint64_t>&, std::uint32_t);
+
+}  // namespace swbpbc::strmatch

@@ -1,0 +1,54 @@
+// Approximate (Hamming-threshold) BPBC string matching — the extension the
+// paper's §II alludes to ("the approximate string matching that we will
+// show later is an extension of the straightforward string matching").
+//
+// Per offset j, a bit-sliced counter accumulates the number of mismatching
+// positions across the window; the per-lane comparison against the
+// distance bound k re-uses the ge_mask circuit of bitops/arith.hpp.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bitsim/swapcopy.hpp"
+#include "encoding/batch.hpp"
+
+namespace swbpbc::strmatch {
+
+/// Bit-sliced Hamming distances for one group: result[j] holds the
+/// distances between pattern and text window at offset j in slice layout
+/// (slice l = bit l of every lane's count), with
+/// `counter_slices(m)` slices each.
+template <bitsim::LaneWord W>
+std::vector<std::vector<W>> bpbc_hamming_slices(
+    const encoding::TransposedStrings<W>& x,
+    const encoding::TransposedStrings<W>& y);
+
+/// Number of slices needed to count up to m mismatches.
+unsigned counter_slices(std::size_t m);
+
+/// Per-offset masks of lanes whose Hamming distance is <= k:
+/// bit `lane` of result[j] is 1 iff dist(lane, j) <= k.
+template <bitsim::LaneWord W>
+std::vector<W> bpbc_approx_match(const encoding::TransposedStrings<W>& x,
+                                 const encoding::TransposedStrings<W>& y,
+                                 std::uint32_t k);
+
+extern template std::vector<std::vector<std::uint32_t>>
+bpbc_hamming_slices<std::uint32_t>(
+    const encoding::TransposedStrings<std::uint32_t>&,
+    const encoding::TransposedStrings<std::uint32_t>&);
+extern template std::vector<std::vector<std::uint64_t>>
+bpbc_hamming_slices<std::uint64_t>(
+    const encoding::TransposedStrings<std::uint64_t>&,
+    const encoding::TransposedStrings<std::uint64_t>&);
+extern template std::vector<std::uint32_t>
+bpbc_approx_match<std::uint32_t>(
+    const encoding::TransposedStrings<std::uint32_t>&,
+    const encoding::TransposedStrings<std::uint32_t>&, std::uint32_t);
+extern template std::vector<std::uint64_t>
+bpbc_approx_match<std::uint64_t>(
+    const encoding::TransposedStrings<std::uint64_t>&,
+    const encoding::TransposedStrings<std::uint64_t>&, std::uint32_t);
+
+}  // namespace swbpbc::strmatch

@@ -1,0 +1,30 @@
+#include "strmatch/bpbc_match.hpp"
+
+namespace swbpbc::strmatch {
+
+template <bitsim::LaneWord W>
+std::vector<W> bpbc_match_flags(const encoding::TransposedStrings<W>& x,
+                                const encoding::TransposedStrings<W>& y) {
+  const std::size_t m = x.length;
+  const std::size_t n = y.length;
+  if (m == 0 || m > n) return {};
+  std::vector<W> d(n - m + 1, 0);
+  for (std::size_t j = 0; j + m <= n; ++j) {
+    W flags = 0;
+    for (std::size_t i = 0; i < m; ++i) {
+      flags = static_cast<W>(flags | ((x.hi[i] ^ y.hi[i + j]) |
+                                      (x.lo[i] ^ y.lo[i + j])));
+    }
+    d[j] = flags;
+  }
+  return d;
+}
+
+template std::vector<std::uint32_t> bpbc_match_flags<std::uint32_t>(
+    const encoding::TransposedStrings<std::uint32_t>&,
+    const encoding::TransposedStrings<std::uint32_t>&);
+template std::vector<std::uint64_t> bpbc_match_flags<std::uint64_t>(
+    const encoding::TransposedStrings<std::uint64_t>&,
+    const encoding::TransposedStrings<std::uint64_t>&);
+
+}  // namespace swbpbc::strmatch

@@ -1,0 +1,30 @@
+// BPBC straightforward string matching (paper §II): 32/64 instance pairs
+// matched simultaneously with three bitwise operations per (i, j).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bitsim/swapcopy.hpp"
+#include "encoding/batch.hpp"
+
+namespace swbpbc::strmatch {
+
+/// Per-offset difference masks for one bit-transposed group: bit k of
+/// result[j] is 0 iff instance k's pattern matches its text at offset j.
+/// result.size() == n - m + 1 (empty if m == 0 or m > n).
+///
+/// This is the paper's [BPBC straightforward string matching]:
+///   d[j] |= (x_i^H xor y_{i+j}^H) | (x_i^L xor y_{i+j}^L)
+template <bitsim::LaneWord W>
+std::vector<W> bpbc_match_flags(const encoding::TransposedStrings<W>& x,
+                                const encoding::TransposedStrings<W>& y);
+
+extern template std::vector<std::uint32_t> bpbc_match_flags<std::uint32_t>(
+    const encoding::TransposedStrings<std::uint32_t>&,
+    const encoding::TransposedStrings<std::uint32_t>&);
+extern template std::vector<std::uint64_t> bpbc_match_flags<std::uint64_t>(
+    const encoding::TransposedStrings<std::uint64_t>&,
+    const encoding::TransposedStrings<std::uint64_t>&);
+
+}  // namespace swbpbc::strmatch

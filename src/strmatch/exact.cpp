@@ -1,0 +1,46 @@
+#include "strmatch/exact.hpp"
+
+namespace swbpbc::strmatch {
+
+std::vector<std::uint8_t> match_flags(const encoding::Sequence& x,
+                                      const encoding::Sequence& y) {
+  const std::size_t m = x.size();
+  const std::size_t n = y.size();
+  if (m == 0 || m > n) return {};
+  std::vector<std::uint8_t> d(n - m + 1, 0);
+  for (std::size_t j = 0; j + m <= n; ++j) {
+    for (std::size_t i = 0; i < m; ++i) {
+      if (x[i] != y[i + j]) {
+        d[j] = 1;
+        break;  // the paper's loop keeps scanning; the flag is identical
+      }
+    }
+  }
+  return d;
+}
+
+std::vector<std::size_t> find_occurrences(const encoding::Sequence& x,
+                                          const encoding::Sequence& y) {
+  std::vector<std::size_t> out;
+  const auto d = match_flags(x, y);
+  for (std::size_t j = 0; j < d.size(); ++j) {
+    if (d[j] == 0) out.push_back(j);
+  }
+  return out;
+}
+
+std::vector<std::size_t> hamming_profile(const encoding::Sequence& x,
+                                         const encoding::Sequence& y) {
+  const std::size_t m = x.size();
+  const std::size_t n = y.size();
+  if (m == 0 || m > n) return {};
+  std::vector<std::size_t> dist(n - m + 1, 0);
+  for (std::size_t j = 0; j + m <= n; ++j) {
+    std::size_t c = 0;
+    for (std::size_t i = 0; i < m; ++i) c += x[i] != y[i + j] ? 1u : 0u;
+    dist[j] = c;
+  }
+  return dist;
+}
+
+}  // namespace swbpbc::strmatch

@@ -1,0 +1,27 @@
+// Straightforward O(mn) string matching (paper §II) — the didactic example
+// the BPBC technique is introduced with, kept as the scalar reference for
+// the bit-parallel version.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "encoding/dna.hpp"
+
+namespace swbpbc::strmatch {
+
+/// d[j] = 0 iff x matches y at offset j (paper's difference flags), for
+/// j in [0, n - m]. Empty result if m > n or m == 0.
+std::vector<std::uint8_t> match_flags(const encoding::Sequence& x,
+                                      const encoding::Sequence& y);
+
+/// Offsets j where x occurs in y.
+std::vector<std::size_t> find_occurrences(const encoding::Sequence& x,
+                                          const encoding::Sequence& y);
+
+/// Per-offset Hamming distance between x and y[j .. j+m) (the scalar
+/// reference for the approximate BPBC matcher).
+std::vector<std::size_t> hamming_profile(const encoding::Sequence& x,
+                                         const encoding::Sequence& y);
+
+}  // namespace swbpbc::strmatch

@@ -1,0 +1,177 @@
+#include "sw/affine.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+namespace swbpbc::sw {
+
+unsigned affine_required_slices(const AffineParams& p, std::size_t m,
+                                std::size_t n) {
+  ScoreParams linear;
+  linear.match = p.match;
+  linear.mismatch = p.mismatch;
+  linear.gap = std::max(p.gap_open, p.gap_extend);
+  return required_slices(linear, m, n);
+}
+
+std::uint32_t affine_max_score(const encoding::Sequence& x,
+                               const encoding::Sequence& y,
+                               const AffineParams& params) {
+  const std::size_t m = x.size();
+  const std::size_t n = y.size();
+  if (m == 0 || n == 0) return 0;
+  const auto ssub = [](std::uint32_t a, std::uint32_t b) {
+    return a > b ? a - b : 0u;
+  };
+  std::vector<std::uint32_t> h_row(n + 1, 0), f_row(n + 1, 0);
+  std::uint32_t best = 0;
+  for (std::size_t i = 1; i <= m; ++i) {
+    std::uint32_t diag_prev = h_row[0];
+    std::uint32_t e = 0;  // E of the current row, running along j
+    std::uint32_t h_left = 0;
+    for (std::size_t j = 1; j <= n; ++j) {
+      const std::uint32_t h_up = h_row[j];
+      e = std::max(ssub(h_left, params.gap_open),
+                   ssub(e, params.gap_extend));
+      const std::uint32_t f =
+          std::max(ssub(h_up, params.gap_open),
+                   ssub(f_row[j], params.gap_extend));
+      const std::uint32_t match_val =
+          x[i - 1] == y[j - 1] ? diag_prev + params.match
+                               : ssub(diag_prev, params.mismatch);
+      const std::uint32_t h = std::max({match_val, e, f});
+      h_row[j] = h;
+      f_row[j] = f;
+      h_left = h;
+      diag_prev = h_up;
+      best = std::max(best, h);
+    }
+  }
+  return best;
+}
+
+template <bitsim::LaneWord W>
+AffineBpbcAligner<W>::AffineBpbcAligner(const AffineParams& params,
+                                        std::size_t m, std::size_t n)
+    : params_(params),
+      m_(m),
+      n_(n),
+      s_(affine_required_slices(params, m, n)),
+      open_(bitops::broadcast_constant<W>(params.gap_open, s_)),
+      extend_(bitops::broadcast_constant<W>(params.gap_extend, s_)),
+      c1_(bitops::broadcast_constant<W>(params.match, s_)),
+      c2_(bitops::broadcast_constant<W>(params.mismatch, s_)) {}
+
+template <bitsim::LaneWord W>
+void AffineBpbcAligner<W>::max_score_slices(
+    const encoding::TransposedStrings<W>& x,
+    const encoding::TransposedStrings<W>& y,
+    std::span<W> out_slices) const {
+  if (x.length != m_ || y.length != n_)
+    throw std::invalid_argument("group lengths do not match aligner (m, n)");
+  if (out_slices.size() != s_)
+    throw std::invalid_argument("out_slices.size() must equal slices()");
+  const unsigned s = s_;
+  const std::size_t n = n_;
+  constexpr W kZero = bitops::word_traits<W>::zero();
+
+  // Bit-sliced rows of H and F; E runs along the row.
+  std::vector<W> h_row((n + 1) * s, kZero);
+  std::vector<W> f_row((n + 1) * s, kZero);
+  std::vector<W> diag(s), old_up(s), e_col(s), f_cell(s);
+  std::vector<W> t(s), u(s), t2(s), r(s), scratch(s), best(s, kZero);
+
+  const std::span<const W> open(open_);
+  const std::span<const W> extend(extend_);
+  const std::span<const W> c1(c1_);
+  const std::span<const W> c2(c2_);
+
+  for (std::size_t i = 0; i < m_; ++i) {
+    const W xh = x.hi[i];
+    const W xl = x.lo[i];
+    std::fill(diag.begin(), diag.end(), kZero);
+    std::fill(e_col.begin(), e_col.end(), kZero);
+    for (std::size_t j = 1; j <= n; ++j) {
+      const std::span<W> h_up(h_row.data() + j * s, s);
+      const std::span<const W> h_left(h_row.data() + (j - 1) * s, s);
+      const std::span<W> f_up(f_row.data() + j * s, s);
+      const W e = static_cast<W>((xh ^ y.hi[j - 1]) | (xl ^ y.lo[j - 1]));
+      std::copy(h_up.begin(), h_up.end(), old_up.begin());
+
+      // E = max(H_left - open, E - extend)
+      bitops::ssub_b<W>(h_left, open, std::span<W>(t));
+      bitops::ssub_b<W>(std::span<const W>(e_col), extend,
+                        std::span<W>(u));
+      bitops::max_b<W>(std::span<const W>(t), std::span<const W>(u),
+                       std::span<W>(e_col));
+      // F = max(H_up - open, F_up - extend)
+      bitops::ssub_b<W>(std::span<const W>(old_up), open, std::span<W>(t));
+      bitops::ssub_b<W>(std::span<const W>(f_up), extend, std::span<W>(u));
+      bitops::max_b<W>(std::span<const W>(t), std::span<const W>(u),
+                       std::span<W>(f_cell));
+      std::copy(f_cell.begin(), f_cell.end(), f_up.begin());
+      // H = max(diag + w, E, F) (non-negativity is implicit).
+      bitops::matching_b<W>(std::span<const W>(diag), e, c1, c2,
+                            std::span<W>(t2), std::span<W>(r),
+                            std::span<W>(scratch));
+      bitops::max_b<W>(std::span<const W>(t2), std::span<const W>(e_col),
+                       std::span<W>(t));
+      bitops::max_b<W>(std::span<const W>(t), std::span<const W>(f_cell),
+                       h_up);
+      bitops::max_b<W>(std::span<const W>(best), std::span<const W>(h_up),
+                       std::span<W>(best));
+      std::copy(old_up.begin(), old_up.end(), diag.begin());
+    }
+  }
+  std::copy(best.begin(), best.end(), out_slices.begin());
+}
+
+template <bitsim::LaneWord W>
+std::vector<std::uint32_t> AffineBpbcAligner<W>::max_scores(
+    const encoding::TransposedStrings<W>& x,
+    const encoding::TransposedStrings<W>& y) const {
+  std::vector<W> slices(s_);
+  max_score_slices(x, y, std::span<W>(slices));
+  return encoding::untranspose_values<W>(std::span<const W>(slices), s_);
+}
+
+namespace {
+
+template <bitsim::LaneWord W>
+std::vector<std::uint32_t> run_affine(
+    std::span<const encoding::Sequence> xs,
+    std::span<const encoding::Sequence> ys, const AffineParams& params) {
+  constexpr unsigned kLanes = bitsim::word_bits_v<W>;
+  const auto bx = encoding::transpose_strings<W>(xs);
+  const auto by = encoding::transpose_strings<W>(ys);
+  const AffineBpbcAligner<W> aligner(params, bx.length, by.length);
+  std::vector<std::uint32_t> scores(xs.size(), 0);
+  for (std::size_t g = 0; g < bx.groups.size(); ++g) {
+    const auto lane_scores = aligner.max_scores(bx.groups[g], by.groups[g]);
+    const std::size_t first = g * kLanes;
+    const std::size_t used =
+        std::min<std::size_t>(kLanes, xs.size() - first);
+    std::copy_n(lane_scores.begin(), used,
+                scores.begin() + static_cast<std::ptrdiff_t>(first));
+  }
+  return scores;
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> affine_bpbc_max_scores(
+    std::span<const encoding::Sequence> xs,
+    std::span<const encoding::Sequence> ys, const AffineParams& params,
+    LaneWidth width) {
+  if (xs.size() != ys.size())
+    throw std::invalid_argument("pattern/text count mismatch");
+  if (xs.empty()) return {};
+  return width == LaneWidth::k32 ? run_affine<std::uint32_t>(xs, ys, params)
+                                 : run_affine<std::uint64_t>(xs, ys, params);
+}
+
+template class AffineBpbcAligner<std::uint32_t>;
+template class AffineBpbcAligner<std::uint64_t>;
+
+}  // namespace swbpbc::sw

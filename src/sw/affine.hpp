@@ -1,0 +1,77 @@
+// Affine-gap Smith-Waterman (Gotoh) in BPBC form — the "coupling BPBC
+// with other Smith-Waterman strategies" direction the paper's conclusion
+// proposes as future work.
+//
+// Recurrence (all values saturating-non-negative, which is sound for
+// local alignment because H's outer max-with-0 absorbs any clamped E/F):
+//
+//   E[i][j] = max(H[i][j-1] - open, E[i][j-1] - extend)   gap in x
+//   F[i][j] = max(H[i-1][j] - open, F[i-1][j] - extend)   gap in y
+//   H[i][j] = max(0, H[i-1][j-1] + w(x,y), E[i][j], F[i][j])
+//
+// With open == extend this degenerates to the paper's linear-gap
+// recurrence; the tests assert that equivalence as a property.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bitops/arith.hpp"
+#include "encoding/batch.hpp"
+#include "sw/bpbc.hpp"  // LaneWidth
+#include "sw/params.hpp"
+
+namespace swbpbc::sw {
+
+struct AffineParams {
+  std::uint32_t match = 2;
+  std::uint32_t mismatch = 1;
+  std::uint32_t gap_open = 3;    // cost of the first gap column
+  std::uint32_t gap_extend = 1;  // cost of each further gap column
+};
+
+/// Slice count for the affine DP (same bound: match * min(m, n)).
+unsigned affine_required_slices(const AffineParams& p, std::size_t m,
+                                std::size_t n);
+
+/// Scalar reference: max H over the matrix.
+std::uint32_t affine_max_score(const encoding::Sequence& x,
+                               const encoding::Sequence& y,
+                               const AffineParams& params);
+
+/// BPBC Gotoh aligner for one bit-transposed group.
+template <bitsim::LaneWord W>
+class AffineBpbcAligner {
+ public:
+  AffineBpbcAligner(const AffineParams& params, std::size_t m,
+                    std::size_t n);
+
+  [[nodiscard]] unsigned slices() const { return s_; }
+
+  void max_score_slices(const encoding::TransposedStrings<W>& x,
+                        const encoding::TransposedStrings<W>& y,
+                        std::span<W> out_slices) const;
+
+  [[nodiscard]] std::vector<std::uint32_t> max_scores(
+      const encoding::TransposedStrings<W>& x,
+      const encoding::TransposedStrings<W>& y) const;
+
+ private:
+  AffineParams params_;
+  std::size_t m_;
+  std::size_t n_;
+  unsigned s_;
+  std::vector<W> open_, extend_, c1_, c2_;
+};
+
+/// Batch front end (serial).
+std::vector<std::uint32_t> affine_bpbc_max_scores(
+    std::span<const encoding::Sequence> xs,
+    std::span<const encoding::Sequence> ys, const AffineParams& params,
+    LaneWidth width = LaneWidth::k64);
+
+extern template class AffineBpbcAligner<std::uint32_t>;
+extern template class AffineBpbcAligner<std::uint64_t>;
+
+}  // namespace swbpbc::sw

@@ -1,0 +1,63 @@
+// Banded Smith-Waterman in BPBC form — the classic pruning strategy
+// (restrict the DP to |i - j| <= band around the main diagonal),
+// another instance of the conclusion's "couple BPBC with other SW
+// strategies". Out-of-band cells read as zero, so the banded score is a
+// monotone lower bound of the full score and equals it once the band
+// covers the whole matrix; both properties are asserted by the tests.
+//
+// Complexity drops from O(mn) to O(m * band) cells per instance while
+// still advancing W instances per word op.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "encoding/batch.hpp"
+#include "sw/bpbc.hpp"
+#include "sw/params.hpp"
+
+namespace swbpbc::sw {
+
+/// Scalar reference: max banded DP score (band = max |i - j|, 0-based).
+std::uint32_t banded_max_score(const encoding::Sequence& x,
+                               const encoding::Sequence& y,
+                               const ScoreParams& params, std::size_t band);
+
+/// BPBC banded aligner for one bit-transposed group.
+template <bitsim::LaneWord W>
+class BandedBpbcAligner {
+ public:
+  BandedBpbcAligner(const ScoreParams& params, std::size_t m,
+                    std::size_t n, std::size_t band);
+
+  [[nodiscard]] unsigned slices() const { return s_; }
+  [[nodiscard]] std::size_t band() const { return band_; }
+
+  void max_score_slices(const encoding::TransposedStrings<W>& x,
+                        const encoding::TransposedStrings<W>& y,
+                        std::span<W> out_slices) const;
+
+  [[nodiscard]] std::vector<std::uint32_t> max_scores(
+      const encoding::TransposedStrings<W>& x,
+      const encoding::TransposedStrings<W>& y) const;
+
+ private:
+  ScoreParams params_;
+  std::size_t m_;
+  std::size_t n_;
+  std::size_t band_;
+  unsigned s_;
+  std::vector<W> gap_, c1_, c2_;
+};
+
+/// Batch front end (serial).
+std::vector<std::uint32_t> banded_bpbc_max_scores(
+    std::span<const encoding::Sequence> xs,
+    std::span<const encoding::Sequence> ys, const ScoreParams& params,
+    std::size_t band, LaneWidth width = LaneWidth::k64);
+
+extern template class BandedBpbcAligner<std::uint32_t>;
+extern template class BandedBpbcAligner<std::uint64_t>;
+
+}  // namespace swbpbc::sw

@@ -1,0 +1,94 @@
+// The BPBC Smith-Waterman (paper §IV.B) — the library's core contribution.
+//
+// A `BpbcAligner<W>` scores one bit-transposed group (W instances, one per
+// bit lane) by running the SW cell circuit of bitops/arith.hpp over the
+// (m+1) x (n+1) DP grid in row-major order, keeping one bit-sliced row of
+// the matrix plus a running bit-sliced maximum. One pass therefore
+// advances W = 32 or 64 alignments simultaneously.
+//
+// `bpbc_max_scores` is the batch front end: it performs W2B (bit
+// transpose), the bulk DP over all groups (serially or on the thread
+// pool), and B2W (bit untranspose) — the exact Step 2/3/4 structure of the
+// paper's GPU pipeline, with per-phase timings for the Table IV harness.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bitops/arith.hpp"
+#include "bulk/executor.hpp"
+#include "encoding/batch.hpp"
+#include "encoding/dna.hpp"
+#include "sw/params.hpp"
+
+namespace swbpbc::sw {
+
+/// Scores bit-transposed groups of fixed (m, n, params). Stateless across
+/// calls except for precomputed constant slices: safe to share between
+/// threads.
+template <bitsim::LaneWord W>
+class BpbcAligner {
+ public:
+  BpbcAligner(const ScoreParams& params, std::size_t m, std::size_t n);
+
+  [[nodiscard]] unsigned slices() const { return s_; }
+  [[nodiscard]] std::size_t m() const { return m_; }
+  [[nodiscard]] std::size_t n() const { return n_; }
+
+  /// Computes the per-lane maximum DP score of the group, leaving the
+  /// result in bit-sliced layout: out_slices[l] holds bit l of every
+  /// lane's score. out_slices.size() must equal slices().
+  void max_score_slices(const encoding::TransposedStrings<W>& x,
+                        const encoding::TransposedStrings<W>& y,
+                        std::span<W> out_slices) const;
+
+  /// Convenience: scores untransposed to one integer per lane.
+  [[nodiscard]] std::vector<std::uint32_t> max_scores(
+      const encoding::TransposedStrings<W>& x,
+      const encoding::TransposedStrings<W>& y) const;
+
+  /// Per-lane mask of scores >= threshold, computed entirely in bit-sliced
+  /// form (ge_mask against broadcast threshold slices) — the screening
+  /// filter compare of §III.
+  [[nodiscard]] W threshold_mask(std::span<const W> score_slices,
+                                 std::uint32_t threshold) const;
+
+ private:
+  ScoreParams params_;
+  std::size_t m_;
+  std::size_t n_;
+  unsigned s_;
+  std::vector<W> gap_;
+  std::vector<W> c1_;
+  std::vector<W> c2_;
+};
+
+/// Lane-word width selector for the non-template front ends.
+enum class LaneWidth {
+  k32,  // 32 instances per word (paper's GPU-preferred width)
+  k64,  // 64 instances per word (paper's CPU-preferred width)
+};
+
+/// Phase timings in milliseconds (Table IV columns).
+struct PhaseTimings {
+  double w2b_ms = 0.0;
+  double swa_ms = 0.0;
+  double b2w_ms = 0.0;
+  [[nodiscard]] double total_ms() const { return w2b_ms + swa_ms + b2w_ms; }
+};
+
+/// Scores all pairs (xs[k], ys[k]) with the BPBC technique. All xs must
+/// share one length m and all ys one length n. `timings`, when non-null,
+/// receives per-phase wall times.
+std::vector<std::uint32_t> bpbc_max_scores(
+    std::span<const encoding::Sequence> xs,
+    std::span<const encoding::Sequence> ys, const ScoreParams& params,
+    LaneWidth width = LaneWidth::k64, bulk::Mode mode = bulk::Mode::kSerial,
+    encoding::TransposeMethod method = encoding::TransposeMethod::kPlanned,
+    PhaseTimings* timings = nullptr);
+
+extern template class BpbcAligner<std::uint32_t>;
+extern template class BpbcAligner<std::uint64_t>;
+
+}  // namespace swbpbc::sw

@@ -1,0 +1,133 @@
+#include "sw/generic.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace swbpbc::sw {
+
+std::uint32_t generic_max_score(const encoding::GenericSequence& x,
+                                const encoding::GenericSequence& y,
+                                const ScoreParams& params) {
+  const std::size_t m = x.size();
+  const std::size_t n = y.size();
+  if (m == 0 || n == 0) return 0;
+  const auto ssub = [](std::uint32_t a, std::uint32_t b) {
+    return a > b ? a - b : 0u;
+  };
+  std::vector<std::uint32_t> row(n + 1, 0);
+  std::uint32_t best = 0;
+  for (std::size_t i = 1; i <= m; ++i) {
+    std::uint32_t diag_prev = row[0];
+    for (std::size_t j = 1; j <= n; ++j) {
+      const std::uint32_t up = row[j];
+      const std::uint32_t match_val =
+          x[i - 1] == y[j - 1] ? diag_prev + params.match
+                               : ssub(diag_prev, params.mismatch);
+      const std::uint32_t gap_val =
+          ssub(std::max(up, row[j - 1]), params.gap);
+      const std::uint32_t v = std::max(match_val, gap_val);
+      row[j] = v;
+      diag_prev = up;
+      best = std::max(best, v);
+    }
+  }
+  return best;
+}
+
+template <bitsim::LaneWord W>
+GenericBpbcAligner<W>::GenericBpbcAligner(const ScoreParams& params,
+                                          std::size_t m, std::size_t n)
+    : params_(params),
+      m_(m),
+      n_(n),
+      s_(required_slices(params, m, n)),
+      gap_(bitops::broadcast_constant<W>(params.gap, s_)),
+      c1_(bitops::broadcast_constant<W>(params.match, s_)),
+      c2_(bitops::broadcast_constant<W>(params.mismatch, s_)) {}
+
+template <bitsim::LaneWord W>
+void GenericBpbcAligner<W>::max_score_slices(
+    const encoding::TransposedGeneric<W>& x,
+    const encoding::TransposedGeneric<W>& y,
+    std::span<W> out_slices) const {
+  if (x.length != m_ || y.length != n_)
+    throw std::invalid_argument("group lengths do not match aligner (m, n)");
+  if (x.planes != y.planes)
+    throw std::invalid_argument("pattern/text plane counts differ");
+  if (out_slices.size() != s_)
+    throw std::invalid_argument("out_slices.size() must equal slices()");
+  const unsigned s = s_;
+  const std::size_t n = n_;
+  constexpr W kZero = bitops::word_traits<W>::zero();
+
+  std::vector<W> row((n + 1) * s, kZero);
+  std::vector<W> diag(s), old_up(s), t(s), u(s), r(s), best(s, kZero);
+
+  const std::span<const W> gap(gap_);
+  const std::span<const W> c1(c1_);
+  const std::span<const W> c2(c2_);
+
+  for (std::size_t i = 0; i < m_; ++i) {
+    const std::span<const W> xc = x.character(i);
+    std::fill(diag.begin(), diag.end(), kZero);
+    for (std::size_t j = 1; j <= n; ++j) {
+      const std::span<W> up(row.data() + j * s, s);
+      const std::span<const W> left(row.data() + (j - 1) * s, s);
+      const W e = bitops::mismatch_mask<W>(xc, y.character(j - 1));
+      std::copy(up.begin(), up.end(), old_up.begin());
+      bitops::sw_cell<W>(std::span<const W>(old_up), left,
+                         std::span<const W>(diag), e, gap, c1, c2, up, t, u,
+                         r);
+      bitops::max_b<W>(std::span<const W>(best), std::span<const W>(up),
+                       std::span<W>(best));
+      std::copy(old_up.begin(), old_up.end(), diag.begin());
+    }
+  }
+  std::copy(best.begin(), best.end(), out_slices.begin());
+}
+
+template <bitsim::LaneWord W>
+std::vector<std::uint32_t> GenericBpbcAligner<W>::max_scores(
+    const encoding::TransposedGeneric<W>& x,
+    const encoding::TransposedGeneric<W>& y) const {
+  std::vector<W> slices(s_);
+  max_score_slices(x, y, std::span<W>(slices));
+  return encoding::untranspose_values<W>(std::span<const W>(slices), s_);
+}
+
+template <bitsim::LaneWord W>
+std::vector<std::uint32_t> generic_bpbc_max_scores(
+    std::span<const encoding::GenericSequence> xs,
+    std::span<const encoding::GenericSequence> ys, unsigned bits,
+    const ScoreParams& params) {
+  constexpr unsigned kLanes = bitsim::word_bits_v<W>;
+  if (xs.size() != ys.size())
+    throw std::invalid_argument("pattern/text count mismatch");
+  if (xs.empty()) return {};
+  const auto bx = encoding::transpose_generic<W>(xs, bits);
+  const auto by = encoding::transpose_generic<W>(ys, bits);
+  const GenericBpbcAligner<W> aligner(params, bx.length, by.length);
+  std::vector<std::uint32_t> scores(xs.size(), 0);
+  for (std::size_t g = 0; g < bx.groups.size(); ++g) {
+    const auto lane_scores = aligner.max_scores(bx.groups[g], by.groups[g]);
+    const std::size_t first = g * kLanes;
+    const std::size_t used =
+        std::min<std::size_t>(kLanes, xs.size() - first);
+    std::copy_n(lane_scores.begin(), used,
+                scores.begin() + static_cast<std::ptrdiff_t>(first));
+  }
+  return scores;
+}
+
+template class GenericBpbcAligner<std::uint32_t>;
+template class GenericBpbcAligner<std::uint64_t>;
+template std::vector<std::uint32_t> generic_bpbc_max_scores<std::uint32_t>(
+    std::span<const encoding::GenericSequence>,
+    std::span<const encoding::GenericSequence>, unsigned,
+    const ScoreParams&);
+template std::vector<std::uint32_t> generic_bpbc_max_scores<std::uint64_t>(
+    std::span<const encoding::GenericSequence>,
+    std::span<const encoding::GenericSequence>, unsigned,
+    const ScoreParams&);
+
+}  // namespace swbpbc::sw

@@ -1,0 +1,70 @@
+// Smith-Waterman over arbitrary epsilon-bit alphabets (protein etc.) —
+// the generalization §IV's epsilon parameter promises. Identical scoring
+// model to the DNA paths (+match / -mismatch / -gap); only the character
+// comparison widens to epsilon bit planes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bitops/arith.hpp"
+#include "encoding/generic_batch.hpp"
+#include "sw/params.hpp"
+
+namespace swbpbc::sw {
+
+/// Scalar reference: max DP score for generic sequences.
+std::uint32_t generic_max_score(const encoding::GenericSequence& x,
+                                const encoding::GenericSequence& y,
+                                const ScoreParams& params);
+
+/// BPBC aligner over epsilon-plane batches (the generic analogue of
+/// BpbcAligner). Stateless across calls; safe to share between threads.
+template <bitsim::LaneWord W>
+class GenericBpbcAligner {
+ public:
+  GenericBpbcAligner(const ScoreParams& params, std::size_t m,
+                     std::size_t n);
+
+  [[nodiscard]] unsigned slices() const { return s_; }
+
+  /// Per-lane max DP score of one group, in slice layout
+  /// (out_slices.size() == slices()).
+  void max_score_slices(const encoding::TransposedGeneric<W>& x,
+                        const encoding::TransposedGeneric<W>& y,
+                        std::span<W> out_slices) const;
+
+  [[nodiscard]] std::vector<std::uint32_t> max_scores(
+      const encoding::TransposedGeneric<W>& x,
+      const encoding::TransposedGeneric<W>& y) const;
+
+ private:
+  ScoreParams params_;
+  std::size_t m_;
+  std::size_t n_;
+  unsigned s_;
+  std::vector<W> gap_, c1_, c2_;
+};
+
+/// Batch front end over all groups (serial).
+template <bitsim::LaneWord W>
+std::vector<std::uint32_t> generic_bpbc_max_scores(
+    std::span<const encoding::GenericSequence> xs,
+    std::span<const encoding::GenericSequence> ys, unsigned bits,
+    const ScoreParams& params);
+
+extern template class GenericBpbcAligner<std::uint32_t>;
+extern template class GenericBpbcAligner<std::uint64_t>;
+extern template std::vector<std::uint32_t>
+generic_bpbc_max_scores<std::uint32_t>(
+    std::span<const encoding::GenericSequence>,
+    std::span<const encoding::GenericSequence>, unsigned,
+    const ScoreParams&);
+extern template std::vector<std::uint32_t>
+generic_bpbc_max_scores<std::uint64_t>(
+    std::span<const encoding::GenericSequence>,
+    std::span<const encoding::GenericSequence>, unsigned,
+    const ScoreParams&);
+
+}  // namespace swbpbc::sw

@@ -1,0 +1,50 @@
+// Scoring parameters of the Smith-Waterman recurrence (paper, §III):
+//
+//   d[i][j] = max(0, d[i-1][j] - gap, d[i][j-1] - gap,
+//                 d[i-1][j-1] + w(x_i, y_j))
+//   w = +match on x_i == y_j, -mismatch otherwise.
+//
+// All three costs are stored as non-negative magnitudes; the BPBC kernels
+// subtract them with saturating arithmetic, which is exactly the
+// clamp-at-zero the recurrence performs.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <stdexcept>
+
+namespace swbpbc::sw {
+
+struct ScoreParams {
+  std::uint32_t match = 2;     // c1 in the paper (Table II example: 2)
+  std::uint32_t mismatch = 1;  // c2 magnitude (Table II example: 1)
+  std::uint32_t gap = 1;       // gap magnitude (Table II example: 1)
+};
+
+/// Number of bit slices `s` needed to hold every value of the scoring
+/// matrix for pattern length m and text length n.
+///
+/// The maximum score is match * min(m, n) (a full match of the shorter
+/// string), which needs bit_width(match * min(m, n)) bits. Note: the paper
+/// states ceil(log2(c1*m)), which is one bit short when c1*m is a power of
+/// two (e.g. m = 128, c1 = 2 -> score 256 needs 9 bits); see DESIGN.md.
+inline unsigned required_slices(const ScoreParams& p, std::size_t m,
+                                std::size_t n) {
+  const std::size_t shorter = m < n ? m : n;
+  const std::uint64_t max_score =
+      static_cast<std::uint64_t>(p.match) * shorter;
+  unsigned s = max_score == 0 ? 1 : static_cast<unsigned>(
+                                        std::bit_width(max_score));
+  // Every constant must also be representable.
+  const std::uint32_t max_const =
+      std::max({p.match, p.mismatch, p.gap});
+  const auto const_bits = static_cast<unsigned>(std::bit_width(
+      static_cast<std::uint64_t>(max_const)));
+  if (const_bits > s) s = const_bits;
+  if (s > 32)
+    throw std::invalid_argument("score range exceeds 32 bit slices");
+  return s;
+}
+
+}  // namespace swbpbc::sw

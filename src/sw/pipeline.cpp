@@ -1,0 +1,34 @@
+#include "sw/pipeline.hpp"
+
+#include "util/timer.hpp"
+
+namespace swbpbc::sw {
+
+ScreenReport screen(std::span<const encoding::Sequence> xs,
+                    std::span<const encoding::Sequence> ys,
+                    const ScreenConfig& config) {
+  ScreenReport report;
+  report.scores = bpbc_max_scores(xs, ys, config.params, config.width,
+                                  config.mode, config.method, &report.bpbc);
+
+  for (std::size_t k = 0; k < report.scores.size(); ++k) {
+    if (report.scores[k] >= config.threshold) {
+      report.hits.push_back(ScreenHit{k, report.scores[k], {}});
+    }
+  }
+
+  if (config.traceback) {
+    util::WallTimer timer;
+    bulk::for_each_instance(report.hits.size(), config.mode,
+                            [&](std::size_t h) {
+                              ScreenHit& hit = report.hits[h];
+                              hit.detail = align(xs[hit.index],
+                                                 ys[hit.index],
+                                                 config.params);
+                            });
+    report.traceback_ms = timer.elapsed_ms();
+  }
+  return report;
+}
+
+}  // namespace swbpbc::sw

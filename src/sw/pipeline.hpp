@@ -1,0 +1,46 @@
+// The screening pipeline of paper §III: the BPBC pass computes every
+// pair's maximum DP score; pairs whose score reaches the threshold tau are
+// re-aligned in detail (score + traceback) by the scalar CPU aligner.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bulk/executor.hpp"
+#include "encoding/batch.hpp"
+#include "encoding/dna.hpp"
+#include "sw/bpbc.hpp"
+#include "sw/scalar.hpp"
+
+namespace swbpbc::sw {
+
+struct ScreenConfig {
+  ScoreParams params;
+  std::uint32_t threshold = 0;  // tau: select pairs with max score >= tau
+  LaneWidth width = LaneWidth::k64;
+  bulk::Mode mode = bulk::Mode::kSerial;
+  encoding::TransposeMethod method = encoding::TransposeMethod::kPlanned;
+  bool traceback = true;  // run the detailed CPU alignment on hits
+};
+
+struct ScreenHit {
+  std::size_t index = 0;          // pair index into the input spans
+  std::uint32_t bpbc_score = 0;   // max score from the screening pass
+  Alignment detail;               // filled when config.traceback is set
+};
+
+struct ScreenReport {
+  std::vector<std::uint32_t> scores;  // BPBC max score of every pair
+  std::vector<ScreenHit> hits;        // pairs with score >= threshold
+  PhaseTimings bpbc;                  // W2B / SWA / B2W wall times
+  double traceback_ms = 0.0;
+};
+
+/// Screens pairs (xs[k], ys[k]) and re-aligns the hits. All xs must share
+/// one length and all ys one length (the BPBC batch requirement).
+ScreenReport screen(std::span<const encoding::Sequence> xs,
+                    std::span<const encoding::Sequence> ys,
+                    const ScreenConfig& config);
+
+}  // namespace swbpbc::sw

@@ -1,0 +1,132 @@
+#include "sw/scalar.hpp"
+
+#include <algorithm>
+
+namespace swbpbc::sw {
+namespace {
+
+std::int64_t w_cost(encoding::Base a, encoding::Base b,
+                    const ScoreParams& p) {
+  return a == b ? static_cast<std::int64_t>(p.match)
+                : -static_cast<std::int64_t>(p.mismatch);
+}
+
+std::uint32_t clamp0(std::int64_t v) {
+  return v > 0 ? static_cast<std::uint32_t>(v) : 0u;
+}
+
+}  // namespace
+
+ScoreMatrix score_matrix(const encoding::Sequence& x,
+                         const encoding::Sequence& y,
+                         const ScoreParams& params) {
+  const std::size_t m = x.size();
+  const std::size_t n = y.size();
+  ScoreMatrix d(m, n);
+  for (std::size_t i = 1; i <= m; ++i) {
+    for (std::size_t j = 1; j <= n; ++j) {
+      const std::int64_t diag = static_cast<std::int64_t>(d.at(i - 1, j - 1)) +
+                                w_cost(x[i - 1], y[j - 1], params);
+      const std::int64_t up = static_cast<std::int64_t>(d.at(i - 1, j)) -
+                              static_cast<std::int64_t>(params.gap);
+      const std::int64_t left = static_cast<std::int64_t>(d.at(i, j - 1)) -
+                                static_cast<std::int64_t>(params.gap);
+      d.at(i, j) = clamp0(std::max({std::int64_t{0}, diag, up, left}));
+    }
+  }
+  return d;
+}
+
+std::uint32_t max_score(const encoding::Sequence& x,
+                        const encoding::Sequence& y,
+                        const ScoreParams& params) {
+  const std::size_t m = x.size();
+  const std::size_t n = y.size();
+  if (m == 0 || n == 0) return 0;
+  std::vector<std::uint32_t> row(n + 1, 0);
+  std::uint32_t best = 0;
+  for (std::size_t i = 1; i <= m; ++i) {
+    std::uint32_t diag_prev = row[0];  // d[i-1][j-1] as j advances
+    for (std::size_t j = 1; j <= n; ++j) {
+      const std::uint32_t up = row[j];
+      const std::int64_t diag = static_cast<std::int64_t>(diag_prev) +
+                                w_cost(x[i - 1], y[j - 1], params);
+      const std::int64_t up_c = static_cast<std::int64_t>(up) -
+                                static_cast<std::int64_t>(params.gap);
+      const std::int64_t left_c = static_cast<std::int64_t>(row[j - 1]) -
+                                  static_cast<std::int64_t>(params.gap);
+      const std::uint32_t v =
+          clamp0(std::max({std::int64_t{0}, diag, up_c, left_c}));
+      row[j] = v;
+      diag_prev = up;
+      best = std::max(best, v);
+    }
+  }
+  return best;
+}
+
+Alignment align(const encoding::Sequence& x, const encoding::Sequence& y,
+                const ScoreParams& params) {
+  Alignment out;
+  const std::size_t m = x.size();
+  const std::size_t n = y.size();
+  if (m == 0 || n == 0) return out;
+
+  const ScoreMatrix d = score_matrix(x, y, params);
+
+  // Locate the maximum (row-major first occurrence).
+  std::size_t bi = 0, bj = 0;
+  for (std::size_t i = 1; i <= m; ++i) {
+    for (std::size_t j = 1; j <= n; ++j) {
+      if (d.at(i, j) > out.score) {
+        out.score = d.at(i, j);
+        bi = i;
+        bj = j;
+      }
+    }
+  }
+  if (out.score == 0) return out;
+
+  // Traceback until a zero cell; preference diagonal > up > left.
+  std::string xr, mr, yr;
+  std::size_t i = bi, j = bj;
+  while (i > 0 && j > 0 && d.at(i, j) > 0) {
+    const std::uint32_t here = d.at(i, j);
+    const std::int64_t diag = static_cast<std::int64_t>(d.at(i - 1, j - 1)) +
+                              w_cost(x[i - 1], y[j - 1], params);
+    const std::int64_t up = static_cast<std::int64_t>(d.at(i - 1, j)) -
+                            static_cast<std::int64_t>(params.gap);
+    if (diag == static_cast<std::int64_t>(here)) {
+      const char cx = encoding::to_char(x[i - 1]);
+      const char cy = encoding::to_char(y[j - 1]);
+      xr.push_back(cx);
+      yr.push_back(cy);
+      mr.push_back(cx == cy ? '|' : '.');
+      --i;
+      --j;
+    } else if (up == static_cast<std::int64_t>(here)) {
+      xr.push_back(encoding::to_char(x[i - 1]));
+      yr.push_back('-');
+      mr.push_back(' ');
+      --i;
+    } else {
+      xr.push_back('-');
+      yr.push_back(encoding::to_char(y[j - 1]));
+      mr.push_back(' ');
+      --j;
+    }
+  }
+  out.x_begin = i;
+  out.x_end = bi;
+  out.y_begin = j;
+  out.y_end = bj;
+  std::reverse(xr.begin(), xr.end());
+  std::reverse(mr.begin(), mr.end());
+  std::reverse(yr.begin(), yr.end());
+  out.x_row = std::move(xr);
+  out.mid_row = std::move(mr);
+  out.y_row = std::move(yr);
+  return out;
+}
+
+}  // namespace swbpbc::sw

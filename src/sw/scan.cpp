@@ -1,0 +1,66 @@
+#include "sw/scan.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace swbpbc::sw {
+
+ScanReport scan_text(const encoding::Sequence& query,
+                     const encoding::Sequence& text,
+                     const ScanConfig& config) {
+  const std::size_t m = query.size();
+  if (m == 0) throw std::invalid_argument("query must not be empty");
+  const std::size_t overlap =
+      config.overlap == 0 ? 2 * m : config.overlap;
+  if (config.window <= overlap)
+    throw std::invalid_argument("window must exceed overlap");
+
+  ScanReport report;
+  if (text.empty()) return report;
+
+  // Window spans, each full-length except when the text is short; the
+  // final window is right-aligned so the tail is fully covered.
+  std::vector<std::pair<std::size_t, std::size_t>> spans;
+  if (text.size() <= config.window) {
+    spans.emplace_back(0, text.size());
+  } else {
+    const std::size_t step = config.window - overlap;
+    for (std::size_t start = 0;; start += step) {
+      if (start + config.window >= text.size()) {
+        spans.emplace_back(text.size() - config.window, text.size());
+        break;
+      }
+      spans.emplace_back(start, start + config.window);
+    }
+  }
+  report.windows = spans.size();
+
+  // Pack windows into lanes (all spans share one length by construction).
+  std::vector<encoding::Sequence> windows;
+  windows.reserve(spans.size());
+  for (const auto& [begin, end] : spans) {
+    windows.emplace_back(
+        text.begin() + static_cast<std::ptrdiff_t>(begin),
+        text.begin() + static_cast<std::ptrdiff_t>(end));
+  }
+  const std::vector<encoding::Sequence> queries(spans.size(), query);
+  const auto scores = bpbc_max_scores(queries, windows, config.params,
+                                      config.width, config.mode);
+
+  for (std::size_t w = 0; w < spans.size(); ++w) {
+    if (scores[w] < config.threshold) continue;
+    ScanHit hit;
+    hit.text_begin = spans[w].first;
+    hit.text_end = spans[w].second;
+    hit.score = scores[w];
+    if (config.traceback) {
+      hit.detail = align(query, windows[w], config.params);
+      hit.detail.y_begin += spans[w].first;  // map to text coordinates
+      hit.detail.y_end += spans[w].first;
+    }
+    report.hits.push_back(std::move(hit));
+  }
+  return report;
+}
+
+}  // namespace swbpbc::sw

@@ -1,0 +1,53 @@
+// Long-text scanning: one query screened against a single long sequence
+// (chromosome / database concatenation) by slicing the text into
+// overlapping windows and packing the windows into BPBC lanes — the
+// database-search usage of the technique (cf. Munekawa et al. [21]).
+//
+// Windows overlap by `overlap` characters so that any local alignment
+// whose text span is at most `overlap` long lies entirely inside some
+// window. A score-tau alignment of an m-char query spans at most
+// m + (match * m - tau) / gap text characters, so the default overlap
+// (2 * m) is safe for every tau >= match * m - m * gap; pass a larger
+// overlap for lower thresholds.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "encoding/dna.hpp"
+#include "sw/bpbc.hpp"
+#include "sw/scalar.hpp"
+
+namespace swbpbc::sw {
+
+struct ScanConfig {
+  ScoreParams params;
+  std::uint32_t threshold = 0;   // report windows with score >= threshold
+  std::size_t window = 4096;     // window length (must be > overlap)
+  std::size_t overlap = 0;       // 0 = default 2 * query length
+  LaneWidth width = LaneWidth::k64;
+  bulk::Mode mode = bulk::Mode::kSerial;
+  bool traceback = false;  // align hits in detail (coordinates mapped back)
+};
+
+struct ScanHit {
+  std::size_t text_begin = 0;   // window start in the text
+  std::size_t text_end = 0;     // window end (exclusive)
+  std::uint32_t score = 0;      // BPBC max score within the window
+  Alignment detail;             // when config.traceback; y-coordinates are
+                                // *text* positions (window offset applied)
+};
+
+struct ScanReport {
+  std::size_t windows = 0;
+  std::vector<ScanHit> hits;  // ordered by text_begin; overlapping windows
+                              // may both report the same alignment
+};
+
+/// Scans `text` for local alignments of `query` scoring >= threshold.
+/// Throws std::invalid_argument if query is empty or window <= overlap.
+ScanReport scan_text(const encoding::Sequence& query,
+                     const encoding::Sequence& text,
+                     const ScanConfig& config);
+
+}  // namespace swbpbc::sw

@@ -1,0 +1,256 @@
+#include "sw/traceback.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "bitops/arith.hpp"
+
+namespace swbpbc::sw {
+namespace {
+
+/// Bits needed to index positions 0..count-1.
+unsigned index_slices(std::size_t count) {
+  unsigned s = 1;
+  while ((std::size_t{1} << s) < count) ++s;
+  return s;
+}
+
+}  // namespace
+
+template <bitsim::LaneWord W>
+TracebackMatrices<W> bpbc_traceback_matrices(
+    const encoding::TransposedStrings<W>& x,
+    const encoding::TransposedStrings<W>& y, const ScoreParams& params) {
+  constexpr unsigned kLanes = bitsim::word_bits_v<W>;
+  constexpr W kZero = bitops::word_traits<W>::zero();
+  const std::size_t m = x.length;
+  const std::size_t n = y.length;
+  const unsigned s = required_slices(params, m == 0 ? 1 : m,
+                                     n == 0 ? 1 : n);
+
+  TracebackMatrices<W> out;
+  out.m = m;
+  out.n = n;
+  out.dir0.assign(m * n, kZero);
+  out.dir1.assign(m * n, kZero);
+  out.best_score.assign(kLanes, 0);
+  out.best_i.assign(kLanes, 0);
+  out.best_j.assign(kLanes, 0);
+  if (m == 0 || n == 0) return out;
+
+  const auto gap = bitops::broadcast_constant<W>(params.gap, s);
+  const auto c1 = bitops::broadcast_constant<W>(params.match, s);
+  const auto c2 = bitops::broadcast_constant<W>(params.mismatch, s);
+
+  const unsigned si = index_slices(m);
+  const unsigned sj = index_slices(n);
+
+  std::vector<W> row((n + 1) * s, kZero);
+  std::vector<W> diag(s), old_up(s), t(s), u(s), t2(s), r(s), scratch(s);
+  std::vector<W> best(s, kZero), bi(si, kZero), bj(sj, kZero);
+
+  // Column-index constants, hoisted out of the DP loops.
+  std::vector<std::vector<W>> jconsts;
+  jconsts.reserve(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    jconsts.push_back(bitops::broadcast_constant<W>(
+        static_cast<std::uint32_t>(j), sj));
+  }
+
+  for (std::size_t i = 0; i < m; ++i) {
+    const W xh = x.hi[i];
+    const W xl = x.lo[i];
+    const auto iconst =
+        bitops::broadcast_constant<W>(static_cast<std::uint32_t>(i), si);
+    std::fill(diag.begin(), diag.end(), kZero);
+    for (std::size_t j = 1; j <= n; ++j) {
+      const std::span<W> up(row.data() + j * s, s);
+      const std::span<const W> left(row.data() + (j - 1) * s, s);
+      const W e = static_cast<W>((xh ^ y.hi[j - 1]) | (xl ^ y.lo[j - 1]));
+      std::copy(up.begin(), up.end(), old_up.begin());
+
+      // The SW cell with its selector masks exposed:
+      //   T  = max(A, B)  with sel_up = (A >= B)
+      //   U  = max(T - gap, 0)
+      //   T2 = C + w(x, y)
+      //   out = max(T2, U) with sel_diag = (T2 >= U)
+      const std::span<const W> a(old_up);
+      const W sel_up = bitops::ge_mask<W>(a, left);
+      bitops::max_b<W>(a, left, std::span<W>(t));
+      bitops::ssub_b<W>(std::span<const W>(t), std::span<const W>(gap),
+                        std::span<W>(u));
+      bitops::matching_b<W>(std::span<const W>(diag), e,
+                            std::span<const W>(c1), std::span<const W>(c2),
+                            std::span<W>(t2), std::span<W>(r),
+                            std::span<W>(scratch));
+      const W sel_diag =
+          bitops::ge_mask<W>(std::span<const W>(t2), std::span<const W>(u));
+      for (unsigned l = 0; l < s; ++l) {
+        up[l] = static_cast<W>((t2[l] & sel_diag) | (u[l] & ~sel_diag));
+      }
+
+      // Direction planes: nonzero-cell mask gates the encoding.
+      W z = up[0];
+      for (unsigned l = 1; l < s; ++l) z = static_cast<W>(z | up[l]);
+      const std::size_t cell = i * n + (j - 1);
+      out.dir0[cell] = static_cast<W>((sel_diag | ~sel_up) & z);
+      out.dir1[cell] = static_cast<W>(~sel_diag & z);
+
+      // Bit-sliced argmax (strictly greater keeps the first maximum in
+      // row-major order, matching sw::align's tie-breaking).
+      const W gt = static_cast<W>(
+          ~bitops::ge_mask<W>(std::span<const W>(best),
+                              std::span<const W>(up)));
+      bitops::max_b<W>(std::span<const W>(best), std::span<const W>(up),
+                       std::span<W>(best));
+      for (unsigned l = 0; l < si; ++l) {
+        bi[l] = static_cast<W>((iconst[l] & gt) | (bi[l] & ~gt));
+      }
+      const auto& jconst = jconsts[j - 1];
+      for (unsigned l = 0; l < sj; ++l) {
+        bj[l] = static_cast<W>((jconst[l] & gt) | (bj[l] & ~gt));
+      }
+
+      std::copy(old_up.begin(), old_up.end(), diag.begin());
+    }
+  }
+
+  out.best_score =
+      encoding::untranspose_values<W>(std::span<const W>(best), s);
+  out.best_i = encoding::untranspose_values<W>(std::span<const W>(bi), si);
+  out.best_j = encoding::untranspose_values<W>(std::span<const W>(bj), sj);
+  return out;
+}
+
+namespace {
+
+template <bitsim::LaneWord W>
+Alignment walk(const TracebackMatrices<W>& tb, std::size_t lane,
+               const encoding::Sequence& x, const encoding::Sequence& y) {
+  Alignment a;
+  a.score = tb.best_score[lane];
+  if (a.score == 0) return a;
+
+  // Positions are 0-based cell indices; convert to the 1-based DP frame
+  // used by Alignment's half-open ranges.
+  std::ptrdiff_t i = static_cast<std::ptrdiff_t>(tb.best_i[lane]);
+  std::ptrdiff_t j = static_cast<std::ptrdiff_t>(tb.best_j[lane]);
+  a.x_end = static_cast<std::size_t>(i) + 1;
+  a.y_end = static_cast<std::size_t>(j) + 1;
+
+  std::string xr, mr, yr;
+  while (i >= 0 && j >= 0) {
+    const unsigned dir = tb.direction(lane, static_cast<std::size_t>(i),
+                                      static_cast<std::size_t>(j));
+    if (dir == 0) break;  // stop: cell value is zero
+    if (dir == 1) {       // diagonal
+      const char cx = encoding::to_char(x[static_cast<std::size_t>(i)]);
+      const char cy = encoding::to_char(y[static_cast<std::size_t>(j)]);
+      xr.push_back(cx);
+      yr.push_back(cy);
+      mr.push_back(cx == cy ? '|' : '.');
+      --i;
+      --j;
+    } else if (dir == 2) {  // up: gap in y
+      xr.push_back(encoding::to_char(x[static_cast<std::size_t>(i)]));
+      yr.push_back('-');
+      mr.push_back(' ');
+      --i;
+    } else {  // left: gap in x
+      xr.push_back('-');
+      yr.push_back(encoding::to_char(y[static_cast<std::size_t>(j)]));
+      mr.push_back(' ');
+      --j;
+    }
+  }
+  a.x_begin = static_cast<std::size_t>(i + 1);
+  a.y_begin = static_cast<std::size_t>(j + 1);
+  std::reverse(xr.begin(), xr.end());
+  std::reverse(mr.begin(), mr.end());
+  std::reverse(yr.begin(), yr.end());
+  a.x_row = std::move(xr);
+  a.mid_row = std::move(mr);
+  a.y_row = std::move(yr);
+  return a;
+}
+
+}  // namespace
+
+template <bitsim::LaneWord W>
+std::vector<Alignment> bpbc_align_group(
+    const encoding::TransposedStrings<W>& xg,
+    const encoding::TransposedStrings<W>& yg,
+    std::span<const encoding::Sequence> xs,
+    std::span<const encoding::Sequence> ys, const ScoreParams& params) {
+  if (xs.size() != ys.size())
+    throw std::invalid_argument("pattern/text count mismatch");
+  if (xs.size() > bitsim::word_bits_v<W>)
+    throw std::invalid_argument("more sequences than lanes");
+  const TracebackMatrices<W> tb = bpbc_traceback_matrices(xg, yg, params);
+  std::vector<Alignment> out;
+  out.reserve(xs.size());
+  for (std::size_t lane = 0; lane < xs.size(); ++lane) {
+    out.push_back(walk(tb, lane, xs[lane], ys[lane]));
+  }
+  return out;
+}
+
+namespace {
+
+template <bitsim::LaneWord W>
+std::vector<Alignment> bpbc_align_impl(
+    std::span<const encoding::Sequence> xs,
+    std::span<const encoding::Sequence> ys, const ScoreParams& params) {
+  constexpr unsigned kLanes = bitsim::word_bits_v<W>;
+  const auto bx = encoding::transpose_strings<W>(xs);
+  const auto by = encoding::transpose_strings<W>(ys);
+  std::vector<Alignment> out;
+  out.reserve(xs.size());
+  for (std::size_t g = 0; g < bx.groups.size(); ++g) {
+    const std::size_t first = g * kLanes;
+    const std::size_t used =
+        std::min<std::size_t>(kLanes, xs.size() - first);
+    auto group = bpbc_align_group<W>(bx.groups[g], by.groups[g],
+                                     xs.subspan(first, used),
+                                     ys.subspan(first, used), params);
+    for (auto& a : group) out.push_back(std::move(a));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Alignment> bpbc_align(std::span<const encoding::Sequence> xs,
+                                  std::span<const encoding::Sequence> ys,
+                                  const ScoreParams& params,
+                                  LaneWidth width) {
+  if (xs.size() != ys.size())
+    throw std::invalid_argument("pattern/text count mismatch");
+  if (xs.empty()) return {};
+  return width == LaneWidth::k32
+             ? bpbc_align_impl<std::uint32_t>(xs, ys, params)
+             : bpbc_align_impl<std::uint64_t>(xs, ys, params);
+}
+
+template struct TracebackMatrices<std::uint32_t>;
+template struct TracebackMatrices<std::uint64_t>;
+template TracebackMatrices<std::uint32_t>
+bpbc_traceback_matrices<std::uint32_t>(
+    const encoding::TransposedStrings<std::uint32_t>&,
+    const encoding::TransposedStrings<std::uint32_t>&, const ScoreParams&);
+template TracebackMatrices<std::uint64_t>
+bpbc_traceback_matrices<std::uint64_t>(
+    const encoding::TransposedStrings<std::uint64_t>&,
+    const encoding::TransposedStrings<std::uint64_t>&, const ScoreParams&);
+template std::vector<Alignment> bpbc_align_group<std::uint32_t>(
+    const encoding::TransposedStrings<std::uint32_t>&,
+    const encoding::TransposedStrings<std::uint32_t>&,
+    std::span<const encoding::Sequence>,
+    std::span<const encoding::Sequence>, const ScoreParams&);
+template std::vector<Alignment> bpbc_align_group<std::uint64_t>(
+    const encoding::TransposedStrings<std::uint64_t>&,
+    const encoding::TransposedStrings<std::uint64_t>&,
+    std::span<const encoding::Sequence>,
+    std::span<const encoding::Sequence>, const ScoreParams&);
+
+}  // namespace swbpbc::sw

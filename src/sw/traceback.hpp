@@ -1,0 +1,81 @@
+// BPBC traceback: direction matrices computed alongside the scoring pass.
+//
+// §III of the paper notes that "the SWA often uses a traceback matrix to
+// record the direction of the alignment from one cell to another along
+// the path ... the traceback matrix can [be] computed along with the
+// scoring matrix". This module implements that remark in bit-sliced
+// form: every DP cell stores a 2-bit direction per lane
+// (00 = stop, 01 = diagonal, 10 = up, 11 = left) in two W-word planes,
+// and the per-lane argmax cell is tracked bit-sliced as well, so a full
+// local alignment for all W lanes costs one BPBC pass plus W short
+// direction walks (no per-lane rescoring).
+//
+// Tie-breaking matches sw::align exactly (diagonal, then up, then left;
+// first maximum in row-major order), so the reconstructed alignments are
+// identical to the scalar reference — the test suite asserts this.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "encoding/batch.hpp"
+#include "sw/bpbc.hpp"
+#include "sw/scalar.hpp"
+
+namespace swbpbc::sw {
+
+/// Direction planes and argmax of one group's DP run.
+template <bitsim::LaneWord W>
+struct TracebackMatrices {
+  std::size_t m = 0;
+  std::size_t n = 0;
+  std::vector<W> dir0;  // bit 0 of the direction, cell-major [i * n + j]
+  std::vector<W> dir1;  // bit 1
+  std::vector<std::uint32_t> best_score;  // per lane
+  std::vector<std::uint32_t> best_i;      // per lane, 0-based cell row
+  std::vector<std::uint32_t> best_j;      // per lane, 0-based cell column
+
+  /// 2-bit direction of lane `lane` at cell (i, j).
+  [[nodiscard]] unsigned direction(std::size_t lane, std::size_t i,
+                                   std::size_t j) const {
+    const std::size_t c = i * n + j;
+    return static_cast<unsigned>(((dir0[c] >> lane) & 1u) |
+                                 (((dir1[c] >> lane) & 1u) << 1));
+  }
+};
+
+/// Runs the BPBC DP over one group, filling direction planes and the
+/// bit-sliced argmax. O(m * n) words of direction storage per group.
+template <bitsim::LaneWord W>
+TracebackMatrices<W> bpbc_traceback_matrices(
+    const encoding::TransposedStrings<W>& x,
+    const encoding::TransposedStrings<W>& y, const ScoreParams& params);
+
+/// Full alignments for every used lane of one group. `xs`/`ys` are the
+/// original sequences of this group's lanes (xs.size() lanes used).
+template <bitsim::LaneWord W>
+std::vector<Alignment> bpbc_align_group(
+    const encoding::TransposedStrings<W>& xg,
+    const encoding::TransposedStrings<W>& yg,
+    std::span<const encoding::Sequence> xs,
+    std::span<const encoding::Sequence> ys, const ScoreParams& params);
+
+/// Batch front end: alignments for all pairs (xs[k], ys[k]).
+std::vector<Alignment> bpbc_align(std::span<const encoding::Sequence> xs,
+                                  std::span<const encoding::Sequence> ys,
+                                  const ScoreParams& params,
+                                  LaneWidth width = LaneWidth::k64);
+
+extern template struct TracebackMatrices<std::uint32_t>;
+extern template struct TracebackMatrices<std::uint64_t>;
+extern template TracebackMatrices<std::uint32_t>
+bpbc_traceback_matrices<std::uint32_t>(
+    const encoding::TransposedStrings<std::uint32_t>&,
+    const encoding::TransposedStrings<std::uint32_t>&, const ScoreParams&);
+extern template TracebackMatrices<std::uint64_t>
+bpbc_traceback_matrices<std::uint64_t>(
+    const encoding::TransposedStrings<std::uint64_t>&,
+    const encoding::TransposedStrings<std::uint64_t>&, const ScoreParams&);
+
+}  // namespace swbpbc::sw

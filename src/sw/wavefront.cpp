@@ -1,0 +1,44 @@
+#include "sw/wavefront.hpp"
+
+#include <algorithm>
+
+namespace swbpbc::sw {
+
+std::vector<std::pair<std::size_t, std::size_t>> wavefront_cells(
+    std::size_t m, std::size_t n, std::size_t t) {
+  std::vector<std::pair<std::size_t, std::size_t>> cells;
+  if (m == 0 || n == 0) return cells;
+  // i ranges over rows whose column j = t - i is in [0, n).
+  const std::size_t i_lo = t >= n - 1 ? t - (n - 1) : 0;
+  const std::size_t i_hi = std::min(t, m - 1);
+  for (std::size_t i = i_lo; i <= i_hi && i < m; ++i) {
+    cells.emplace_back(i, t - i);
+  }
+  return cells;
+}
+
+ScoreMatrix score_matrix_wavefront(const encoding::Sequence& x,
+                                   const encoding::Sequence& y,
+                                   const ScoreParams& params) {
+  const std::size_t m = x.size();
+  const std::size_t n = y.size();
+  ScoreMatrix d(m, n);
+  for (std::size_t t = 0; t < wavefront_steps(m, n); ++t) {
+    for (const auto& [i, j] : wavefront_cells(m, n, t)) {
+      const std::int64_t w =
+          x[i] == y[j] ? static_cast<std::int64_t>(params.match)
+                       : -static_cast<std::int64_t>(params.mismatch);
+      const std::int64_t diag =
+          static_cast<std::int64_t>(d.at(i, j)) + w;  // d.at uses +1 offset
+      const std::int64_t up = static_cast<std::int64_t>(d.at(i, j + 1)) -
+                              static_cast<std::int64_t>(params.gap);
+      const std::int64_t left = static_cast<std::int64_t>(d.at(i + 1, j)) -
+                                static_cast<std::int64_t>(params.gap);
+      const std::int64_t v = std::max({std::int64_t{0}, diag, up, left});
+      d.at(i + 1, j + 1) = static_cast<std::uint32_t>(v);
+    }
+  }
+  return d;
+}
+
+}  // namespace swbpbc::sw

@@ -1,0 +1,41 @@
+// Anti-diagonal (wavefront) schedule of the parallel SWA (paper §III,
+// Table III): cell (i, j) of the DP matrix is computable at step i + j,
+// because its dependencies (i-1, j), (i, j-1), (i-1, j-1) all lie on
+// earlier anti-diagonals. The GPU simulator's SW kernel executes this
+// schedule with one thread per row; the helpers here define the schedule
+// and provide a host-side wavefront evaluator used to validate it.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "encoding/dna.hpp"
+#include "sw/params.hpp"
+#include "sw/scalar.hpp"
+
+namespace swbpbc::sw {
+
+/// Step (value of t) at which cell (i, j) (0-based) is computed.
+constexpr std::size_t wavefront_step(std::size_t i, std::size_t j) {
+  return i + j;
+}
+
+/// Total number of wavefront steps for an m x n matrix (t = 0 .. m+n-2).
+constexpr std::size_t wavefront_steps(std::size_t m, std::size_t n) {
+  return (m == 0 || n == 0) ? 0 : m + n - 1;
+}
+
+/// The cells (i, j) computed at step t, in increasing i.
+std::vector<std::pair<std::size_t, std::size_t>> wavefront_cells(
+    std::size_t m, std::size_t n, std::size_t t);
+
+/// Scalar SWA evaluated in wavefront order (one anti-diagonal at a time)
+/// instead of row-major order. Must produce the identical matrix; the test
+/// suite asserts this equivalence, which is what justifies the GPU
+/// kernel's schedule.
+ScoreMatrix score_matrix_wavefront(const encoding::Sequence& x,
+                                   const encoding::Sequence& y,
+                                   const ScoreParams& params);
+
+}  // namespace swbpbc::sw

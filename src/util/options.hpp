@@ -1,0 +1,48 @@
+// Minimal CLI option parsing shared by the bench harnesses and examples.
+//
+// Supports `--key=value` and bare `--flag` (boolean true), with
+// environment-variable fallbacks (SWBPBC_<KEY>) so the harnesses can be
+// reconfigured even when launched with no arguments.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace swbpbc::util {
+
+class Options {
+ public:
+  Options(int argc, char** argv);
+
+  /// True if --name was given (with or without a value).
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  [[nodiscard]] std::string get(const std::string& name,
+                                const std::string& fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& name,
+                                  double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Comma-separated integer list, e.g. --n=1024,2048,4096.
+  [[nodiscard]] std::vector<std::int64_t> get_int_list(
+      const std::string& name, std::vector<std::int64_t> fallback) const;
+
+  /// Positional (non --key) arguments in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+ private:
+  /// Raw lookup: CLI first, then SWBPBC_<NAME> env var; empty optional-like
+  /// result is signalled via `found`.
+  [[nodiscard]] std::string raw(const std::string& name, bool& found) const;
+
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace swbpbc::util

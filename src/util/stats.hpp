@@ -1,0 +1,42 @@
+// Small descriptive-statistics helpers for the benchmark harnesses.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace swbpbc::util {
+
+struct Summary {
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double median = 0.0;
+  double stddev = 0.0;
+  std::size_t count = 0;
+};
+
+/// Descriptive statistics of a sample. Empty input yields a zero Summary.
+inline Summary summarize(std::span<const double> xs) {
+  Summary s;
+  s.count = xs.size();
+  if (xs.empty()) return s;
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  s.min = sorted.front();
+  s.max = sorted.back();
+  const std::size_t n = sorted.size();
+  s.median = (n % 2 == 1) ? sorted[n / 2]
+                          : 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
+  double sum = 0.0;
+  for (double x : sorted) sum += x;
+  s.mean = sum / static_cast<double>(n);
+  double ss = 0.0;
+  for (double x : sorted) ss += (x - s.mean) * (x - s.mean);
+  s.stddev = n > 1 ? std::sqrt(ss / static_cast<double>(n - 1)) : 0.0;
+  return s;
+}
+
+}  // namespace swbpbc::util

@@ -1,0 +1,62 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace swbpbc::util {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  rows_.push_back(Row{std::move(cells), pending_rule_});
+  pending_rule_ = false;
+}
+
+void TextTable::add_rule() { pending_rule_ = true; }
+
+std::string TextTable::num(double v, int prec) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  return buf;
+}
+
+std::string TextTable::render() const {
+  std::size_t ncols = header_.size();
+  for (const auto& r : rows_) ncols = std::max(ncols, r.cells.size());
+
+  std::vector<std::size_t> width(ncols, 0);
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    width[c] = header_[c].size();
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.cells.size(); ++c)
+      width[c] = std::max(width[c], r.cells[c].size());
+
+  std::ostringstream out;
+  auto emit_rule = [&] {
+    for (std::size_t c = 0; c < ncols; ++c) {
+      out << '+' << std::string(width[c] + 2, '-');
+    }
+    out << "+\n";
+  };
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < ncols; ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string{};
+      out << "| " << cell << std::string(width[c] - cell.size() + 1, ' ');
+    }
+    out << "|\n";
+  };
+
+  emit_rule();
+  emit_row(header_);
+  emit_rule();
+  for (const auto& r : rows_) {
+    if (r.rule_before) emit_rule();
+    emit_row(r.cells);
+  }
+  emit_rule();
+  return out.str();
+}
+
+}  // namespace swbpbc::util

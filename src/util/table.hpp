@@ -1,0 +1,40 @@
+// Plain-text table renderer so the bench harnesses can print rows/columns in
+// the same layout as the paper's tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace swbpbc::util {
+
+/// Column-aligned ASCII table. Usage:
+///   TextTable t({"n", "CPU", "GPU"});
+///   t.add_row({"1024", "0.76", "1877.40"});
+///   std::cout << t.render();
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends one row; missing cells render empty, extra cells are kept and
+  /// widen the table.
+  void add_row(std::vector<std::string> cells);
+
+  /// Inserts a horizontal rule before the next added row.
+  void add_rule();
+
+  [[nodiscard]] std::string render() const;
+
+  /// Formats a double with `prec` decimals (helper for bench output).
+  static std::string num(double v, int prec = 2);
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool rule_before = false;
+  };
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+  bool pending_rule_ = false;
+};
+
+}  // namespace swbpbc::util

@@ -1,0 +1,144 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
+namespace swbpbc::util {
+
+// The ForJob declared in the header carries chunk-claiming state; completion
+// is tracked via `pending_workers` (re-used as the remaining-iteration
+// counter) plus `users` (workers still holding the job pointer). The
+// submitting caller may only destroy the job once both reach zero.
+
+ThreadPool::ThreadPool(std::size_t n_threads) {
+  workers_.reserve(n_threads);
+  for (std::size_t t = 0; t < n_threads; ++t) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::drive(ForJob& job) {
+  const auto retire = [&job](std::size_t n) {
+    if (n == 0) return;
+    if (job.pending_workers.fetch_sub(n) == n) {
+      std::lock_guard<std::mutex> lk(job.done_mutex);
+      job.done_cv.notify_all();
+    }
+  };
+  for (;;) {
+    const std::size_t lo = job.next.fetch_add(job.grain);
+    if (lo >= job.end) break;
+    const std::size_t hi = std::min(lo + job.grain, job.end);
+    try {
+      for (std::size_t i = lo; i < hi; ++i) (*job.fn)(i);
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lk(job.err_mutex);
+        if (!job.error) job.error = std::current_exception();
+      }
+      // Stop handing out chunks and retire the iterations that will now
+      // never be claimed, so the submitter's wait can complete.
+      const std::size_t old = job.next.exchange(job.end);
+      if (old < job.end) retire(job.end - old);
+    }
+    retire(hi - lo);
+  }
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    ForJob* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lk(mutex_);
+      cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      if (queue_.empty()) continue;
+      job = queue_.front();
+      std::lock_guard<std::mutex> jl(job->done_mutex);
+      ++job->users;  // registered while still holding the pool mutex
+    }
+    drive(*job);
+    {
+      std::lock_guard<std::mutex> lk(mutex_);
+      if (!queue_.empty() && queue_.front() == job) queue_.pop_front();
+    }
+    {
+      // Signal the submitter that this worker no longer touches the job.
+      std::lock_guard<std::mutex> lk(job->done_mutex);
+      --job->users;
+      job->done_cv.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& fn,
+                              std::size_t grain) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  if (grain == 0) grain = std::max<std::size_t>(1, n / (4 * (size() + 1)));
+  if (workers_.empty() || n <= grain) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+
+  ForJob job;
+  job.end = end;
+  job.grain = grain;
+  job.fn = &fn;
+  job.next.store(begin);
+  job.pending_workers.store(n);  // iterations still to finish
+
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    queue_.push_back(&job);
+  }
+  cv_.notify_all();
+
+  drive(job);
+
+  // Pull the job out of the queue so no new worker can pick it up, then wait
+  // until every iteration finished before letting `job` go out of scope.
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (*it == &job) {
+        queue_.erase(it);
+        break;
+      }
+    }
+  }
+  {
+    std::unique_lock<std::mutex> lk(job.done_mutex);
+    job.done_cv.wait(lk, [&job] {
+      return job.pending_workers.load() == 0 && job.users == 0;
+    });
+  }
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+std::size_t ThreadPool::default_thread_count() {
+  if (const char* env = std::getenv("SWBPBC_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 0) return static_cast<std::size_t>(v);
+  }
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : hc;
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool(default_thread_count());
+  return pool;
+}
+
+}  // namespace swbpbc::util

@@ -1,0 +1,71 @@
+// A small fixed-size worker pool with a blocking parallel_for.
+//
+// The BPBC "GPU" simulator (src/device) schedules CUDA-style blocks across
+// this pool, and the bulk executor (src/bulk) uses parallel_for directly.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace swbpbc::util {
+
+/// Fixed-size thread pool. `n_threads == 0` degrades every operation to
+/// serial execution on the calling thread (useful for deterministic tests).
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t n_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads (0 means serial mode).
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// Runs `fn(i)` for every i in [begin, end). Blocks until all iterations
+  /// finish. The calling thread participates. Iterations are handed out in
+  /// contiguous chunks of `grain` to limit scheduling overhead. The first
+  /// exception thrown by any iteration is re-thrown on the caller.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& fn,
+                    std::size_t grain = 1);
+
+  /// Process-wide pool sized from SWBPBC_THREADS (default:
+  /// hardware_concurrency).
+  static ThreadPool& global();
+
+  /// Thread count the global pool would use (reads SWBPBC_THREADS).
+  static std::size_t default_thread_count();
+
+ private:
+  struct ForJob {
+    std::size_t end = 0;
+    std::size_t grain = 1;
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> pending_workers{0};
+    int users = 0;  // workers currently holding a pointer to this job
+    std::mutex err_mutex;
+    std::exception_ptr error;
+    std::condition_variable done_cv;
+    std::mutex done_mutex;
+  };
+
+  void worker_loop();
+  static void drive(ForJob& job);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<ForJob*> queue_;
+  bool stop_ = false;
+};
+
+}  // namespace swbpbc::util

@@ -1,0 +1,45 @@
+// Monotonic wall-clock timing helpers used by the benchmark harnesses.
+#pragma once
+
+#include <chrono>
+
+namespace swbpbc::util {
+
+/// Monotonic stopwatch. Construction starts the clock.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restart the stopwatch.
+  void reset() { start_ = Clock::now(); }
+
+  /// Elapsed time in milliseconds since construction / last reset().
+  [[nodiscard]] double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+  /// Elapsed time in seconds since construction / last reset().
+  [[nodiscard]] double elapsed_s() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates elapsed time of a region into a double, RAII style.
+class ScopedAccumulator {
+ public:
+  explicit ScopedAccumulator(double& sink_ms) : sink_ms_(sink_ms) {}
+  ~ScopedAccumulator() { sink_ms_ += timer_.elapsed_ms(); }
+  ScopedAccumulator(const ScopedAccumulator&) = delete;
+  ScopedAccumulator& operator=(const ScopedAccumulator&) = delete;
+
+ private:
+  double& sink_ms_;
+  WallTimer timer_;
+};
+
+}  // namespace swbpbc::util

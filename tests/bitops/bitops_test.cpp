@@ -1,0 +1,268 @@
+// Property tests: the bit-sliced arithmetic must agree with ordinary
+// unsigned arithmetic on every lane, for random values and every slice
+// width.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+#include "bitops/arith.hpp"
+#include "bitops/slices.hpp"
+
+namespace swbpbc::bitops {
+namespace {
+
+template <typename W>
+constexpr unsigned lanes() {
+  return static_cast<unsigned>(8 * sizeof(W));
+}
+
+// Builds slice layout from per-lane values.
+template <typename W>
+std::vector<W> to_slices(const std::vector<std::uint32_t>& values,
+                         unsigned s) {
+  std::vector<W> out(s, 0);
+  for (unsigned lane = 0; lane < values.size(); ++lane) {
+    for (unsigned l = 0; l < s; ++l) {
+      out[l] |= static_cast<W>(static_cast<W>((values[lane] >> l) & 1)
+                               << lane);
+    }
+  }
+  return out;
+}
+
+template <typename W>
+std::vector<std::uint32_t> from_slices(const std::vector<W>& slices) {
+  std::vector<std::uint32_t> out(lanes<W>(), 0);
+  for (unsigned l = 0; l < slices.size(); ++l) {
+    for (unsigned lane = 0; lane < lanes<W>(); ++lane) {
+      out[lane] |= static_cast<std::uint32_t>((slices[l] >> lane) & 1) << l;
+    }
+  }
+  return out;
+}
+
+template <typename W>
+std::vector<std::uint32_t> random_values(std::mt19937& rng, unsigned s) {
+  const std::uint32_t mask =
+      s >= 32 ? ~0u : ((std::uint32_t{1} << s) - 1);
+  std::vector<std::uint32_t> v(lanes<W>());
+  for (auto& x : v) x = static_cast<std::uint32_t>(rng()) & mask;
+  return v;
+}
+
+using Width = unsigned;
+
+class Arith32 : public ::testing::TestWithParam<Width> {};
+
+TEST_P(Arith32, GeMaskMatchesScalarCompare) {
+  const unsigned s = GetParam();
+  std::mt19937 rng(100 + s);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto va = random_values<std::uint32_t>(rng, s);
+    const auto vb = random_values<std::uint32_t>(rng, s);
+    const auto sa = to_slices<std::uint32_t>(va, s);
+    const auto sb = to_slices<std::uint32_t>(vb, s);
+    const std::uint32_t mask = ge_mask<std::uint32_t>(sa, sb);
+    for (unsigned lane = 0; lane < 32; ++lane) {
+      const bool ge = (mask >> lane) & 1;
+      EXPECT_EQ(ge, va[lane] >= vb[lane]) << "lane " << lane;
+    }
+  }
+}
+
+TEST_P(Arith32, MaxMatchesScalarMax) {
+  const unsigned s = GetParam();
+  std::mt19937 rng(200 + s);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto va = random_values<std::uint32_t>(rng, s);
+    const auto vb = random_values<std::uint32_t>(rng, s);
+    const auto sa = to_slices<std::uint32_t>(va, s);
+    const auto sb = to_slices<std::uint32_t>(vb, s);
+    std::vector<std::uint32_t> q(s);
+    max_b<std::uint32_t>(sa, sb, q);
+    const auto vq = from_slices(q);
+    for (unsigned lane = 0; lane < 32; ++lane) {
+      EXPECT_EQ(vq[lane], std::max(va[lane], vb[lane])) << "lane " << lane;
+    }
+  }
+}
+
+TEST_P(Arith32, AddMatchesScalarAddModulo) {
+  const unsigned s = GetParam();
+  std::mt19937 rng(300 + s);
+  const std::uint32_t mask = s >= 32 ? ~0u : ((std::uint32_t{1} << s) - 1);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto va = random_values<std::uint32_t>(rng, s);
+    const auto vb = random_values<std::uint32_t>(rng, s);
+    const auto sa = to_slices<std::uint32_t>(va, s);
+    const auto sb = to_slices<std::uint32_t>(vb, s);
+    std::vector<std::uint32_t> q(s);
+    add_b<std::uint32_t>(sa, sb, q);
+    const auto vq = from_slices(q);
+    for (unsigned lane = 0; lane < 32; ++lane) {
+      EXPECT_EQ(vq[lane], (va[lane] + vb[lane]) & mask) << "lane " << lane;
+    }
+  }
+}
+
+TEST_P(Arith32, SsubMatchesSaturatingSubtract) {
+  const unsigned s = GetParam();
+  std::mt19937 rng(400 + s);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto va = random_values<std::uint32_t>(rng, s);
+    const auto vb = random_values<std::uint32_t>(rng, s);
+    const auto sa = to_slices<std::uint32_t>(va, s);
+    const auto sb = to_slices<std::uint32_t>(vb, s);
+    std::vector<std::uint32_t> q(s);
+    ssub_b<std::uint32_t>(sa, sb, q);
+    const auto vq = from_slices(q);
+    for (unsigned lane = 0; lane < 32; ++lane) {
+      const std::uint32_t expect =
+          va[lane] > vb[lane] ? va[lane] - vb[lane] : 0u;
+      EXPECT_EQ(vq[lane], expect) << "lane " << lane;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SliceWidths, Arith32,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 9u, 13u, 17u,
+                                           31u, 32u));
+
+TEST(Arith, MismatchMaskFlagsDifferingChars) {
+  // epsilon = 2 characters: lanes 0..3 get chars (0,1,2,3) in x and char 2
+  // in y -> only lane 2 matches.
+  const std::vector<std::uint32_t> xl = {0b1010};  // L bits of 0,1,2,3
+  const std::vector<std::uint32_t> xh = {0b1100};  // H bits
+  const std::vector<std::uint32_t> yl = {0b0000};
+  const std::vector<std::uint32_t> yh = {0b1111};
+  const std::vector<std::uint32_t> x = {xl[0], xh[0]};
+  const std::vector<std::uint32_t> y = {yl[0], yh[0]};
+  const std::uint32_t e = mismatch_mask<std::uint32_t>(x, y);
+  EXPECT_EQ(e & 0xF, 0b1011u);  // lane 2 (char 2 == char 2) matches
+}
+
+TEST(Arith, MatchingSelectsAddOrSsubPerLane) {
+  const unsigned s = 6;
+  std::mt19937 rng(55);
+  const auto vc = random_values<std::uint32_t>(rng, s - 1);  // headroom
+  const auto sc = to_slices<std::uint32_t>(vc, s);
+  const auto c1 = broadcast_constant<std::uint32_t>(2, s);
+  const auto c2 = broadcast_constant<std::uint32_t>(1, s);
+  const std::uint32_t e = 0xA5A5A5A5u;
+  std::vector<std::uint32_t> q(s), r(s), t(s);
+  matching_b<std::uint32_t>(sc, e, c1, c2, q, r, t);
+  const auto vq = from_slices(q);
+  for (unsigned lane = 0; lane < 32; ++lane) {
+    const bool mismatch = (e >> lane) & 1;
+    const std::uint32_t expect =
+        mismatch ? (vc[lane] > 1 ? vc[lane] - 1 : 0) : vc[lane] + 2;
+    EXPECT_EQ(vq[lane], expect) << "lane " << lane;
+  }
+}
+
+TEST(Arith, SwCellMatchesScalarRecurrence) {
+  const unsigned s = 9;
+  std::mt19937 rng(77);
+  struct {
+    std::uint32_t match, mismatch, gap;
+  } params{2, 1, 1};
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto va = random_values<std::uint32_t>(rng, s - 2);
+    const auto vb = random_values<std::uint32_t>(rng, s - 2);
+    const auto vc = random_values<std::uint32_t>(rng, s - 2);
+    const auto e = static_cast<std::uint32_t>(rng());
+    const auto sa = to_slices<std::uint32_t>(va, s);
+    const auto sb = to_slices<std::uint32_t>(vb, s);
+    const auto sc = to_slices<std::uint32_t>(vc, s);
+    const auto gap = broadcast_constant<std::uint32_t>(params.gap, s);
+    const auto c1 = broadcast_constant<std::uint32_t>(params.match, s);
+    const auto c2 = broadcast_constant<std::uint32_t>(params.mismatch, s);
+    std::vector<std::uint32_t> out(s), t(s), u(s), r(s);
+    sw_cell<std::uint32_t>(sa, sb, sc, e, gap, c1, c2, out, t, u, r);
+    const auto vout = from_slices(out);
+    for (unsigned lane = 0; lane < 32; ++lane) {
+      const auto ssub = [](std::uint32_t a, std::uint32_t b) {
+        return a > b ? a - b : 0u;
+      };
+      const bool mismatch = (e >> lane) & 1;
+      const std::uint32_t w = mismatch ? ssub(vc[lane], params.mismatch)
+                                       : vc[lane] + params.match;
+      const std::uint32_t g =
+          ssub(std::max(va[lane], vb[lane]), params.gap);
+      EXPECT_EQ(vout[lane], std::max(w, g)) << "lane " << lane;
+    }
+  }
+}
+
+TEST(Arith, SwCellOutMayAliasInputs) {
+  const unsigned s = 5;
+  std::mt19937 rng(88);
+  const auto va = random_values<std::uint32_t>(rng, s - 1);
+  const auto vb = random_values<std::uint32_t>(rng, s - 1);
+  const auto vc = random_values<std::uint32_t>(rng, s - 1);
+  const std::uint32_t e = 0x0F0F0F0Fu;
+  auto sa = to_slices<std::uint32_t>(va, s);
+  const auto sb = to_slices<std::uint32_t>(vb, s);
+  const auto sc = to_slices<std::uint32_t>(vc, s);
+  const auto gap = broadcast_constant<std::uint32_t>(1, s);
+  const auto c1 = broadcast_constant<std::uint32_t>(2, s);
+  const auto c2 = broadcast_constant<std::uint32_t>(1, s);
+  std::vector<std::uint32_t> t(s), u(s), r(s), ref(s);
+  sw_cell<std::uint32_t>(sa, sb, sc, e, gap, c1, c2, ref, t, u, r);
+  // Now alias out with a.
+  sw_cell<std::uint32_t>(sa, sb, sc, e, gap, c1, c2, sa, t, u, r);
+  EXPECT_EQ(sa, ref);
+}
+
+TEST(Arith, BroadcastConstant) {
+  const auto s5 = broadcast_constant<std::uint32_t>(0b10110, 5);
+  ASSERT_EQ(s5.size(), 5u);
+  EXPECT_EQ(s5[0], 0u);
+  EXPECT_EQ(s5[1], ~0u);
+  EXPECT_EQ(s5[2], ~0u);
+  EXPECT_EQ(s5[3], 0u);
+  EXPECT_EQ(s5[4], ~0u);
+}
+
+TEST(Arith, ZeroSlices) {
+  const auto z = zero_slices<std::uint64_t>(4);
+  ASSERT_EQ(z.size(), 4u);
+  for (auto w : z) EXPECT_EQ(w, 0u);
+}
+
+// 64-bit lanes: a slimmer sweep (the template is identical).
+TEST(Arith64, SsubAndMaxAgreeWithScalar) {
+  const unsigned s = 9;
+  std::mt19937_64 rng(99);
+  std::vector<std::uint32_t> va(64), vb(64);
+  const std::uint32_t mask = (1u << s) - 1;
+  for (auto& v : va) v = static_cast<std::uint32_t>(rng()) & mask;
+  for (auto& v : vb) v = static_cast<std::uint32_t>(rng()) & mask;
+  std::vector<std::uint64_t> sa(s, 0), sb(s, 0);
+  for (unsigned lane = 0; lane < 64; ++lane) {
+    for (unsigned l = 0; l < s; ++l) {
+      sa[l] |= static_cast<std::uint64_t>((va[lane] >> l) & 1) << lane;
+      sb[l] |= static_cast<std::uint64_t>((vb[lane] >> l) & 1) << lane;
+    }
+  }
+  std::vector<std::uint64_t> q(s);
+  ssub_b<std::uint64_t>(sa, sb, q);
+  std::vector<std::uint64_t> qm(s);
+  max_b<std::uint64_t>(sa, sb, qm);
+  for (unsigned lane = 0; lane < 64; ++lane) {
+    std::uint32_t vsub = 0, vmax = 0;
+    for (unsigned l = 0; l < s; ++l) {
+      vsub |= static_cast<std::uint32_t>((q[l] >> lane) & 1) << l;
+      vmax |= static_cast<std::uint32_t>((qm[l] >> lane) & 1) << l;
+    }
+    EXPECT_EQ(vsub, va[lane] > vb[lane] ? va[lane] - vb[lane] : 0u);
+    EXPECT_EQ(vmax, std::max(va[lane], vb[lane]));
+  }
+}
+
+}  // namespace
+}  // namespace swbpbc::bitops

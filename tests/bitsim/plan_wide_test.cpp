@@ -1,0 +1,93 @@
+// Planner behaviour on the other word widths the library supports (the
+// paper derives Table I for 32-bit words only; the 64-bit plans drive the
+// bitwise-64 rows of Table IV).
+#include <gtest/gtest.h>
+
+#include "bitsim/plan.hpp"
+#include "bitsim/transpose.hpp"
+
+namespace swbpbc::bitsim {
+namespace {
+
+TEST(WidePlans, DnaPlanCosts) {
+  // W2B for 2-bit characters across widths; each halving of s relative
+  // to the word width keeps shaving swaps into copies.
+  const TransposePlan p8 = TransposePlan::transpose_low_bits(8, 2);
+  const TransposePlan p16 = TransposePlan::transpose_low_bits(16, 2);
+  const TransposePlan p32 = TransposePlan::transpose_low_bits(32, 2);
+  const TransposePlan p64 = TransposePlan::transpose_low_bits(64, 2);
+  EXPECT_LT(p8.total_operations(), p16.total_operations());
+  EXPECT_LT(p16.total_operations(), p32.total_operations());
+  EXPECT_LT(p32.total_operations(), p64.total_operations());
+  // 32-bit value matches Table I; the others follow the same recipe.
+  EXPECT_EQ(p32.total_operations(), 127u);
+  // Per transposed character the planned cost shrinks with lane width:
+  // ops / lanes is the amortized cost of one instance's character.
+  EXPECT_LT(static_cast<double>(p64.total_operations()) / 64.0,
+            static_cast<double>(p32.total_operations()) / 32.0 + 1.0);
+}
+
+TEST(WidePlans, FullWidthEqualsDenseNetworkEverywhere) {
+  EXPECT_EQ(TransposePlan::transpose_low_bits(8, 8).total_operations(),
+            full_transpose_ops<std::uint8_t>());
+  EXPECT_EQ(TransposePlan::transpose_low_bits(16, 16).total_operations(),
+            16u / 2 * 4 * 7);  // 4 steps x 8 swaps
+  EXPECT_EQ(TransposePlan::transpose_low_bits(64, 64).total_operations(),
+            full_transpose_ops<std::uint64_t>());
+}
+
+TEST(WidePlans, SixteenBitFunctionalSweep) {
+  for (unsigned s = 1; s <= 16; ++s) {
+    const TransposePlan plan = TransposePlan::transpose_low_bits(16, s);
+    std::vector<std::uint16_t> a(16), full(16);
+    std::uint32_t seed = 0x1234u + s;
+    const auto next = [&seed] {
+      seed = seed * 1664525u + 1013904223u;
+      return static_cast<std::uint16_t>(seed >> 16);
+    };
+    const auto mask = static_cast<std::uint16_t>(
+        s >= 16 ? 0xFFFFu : ((1u << s) - 1));
+    for (auto& w : a) w = static_cast<std::uint16_t>(next() & mask);
+    full = a;
+    transpose_bits(std::span<std::uint16_t>(full));
+    plan.apply(std::span<std::uint16_t>(a));
+    for (unsigned r = 0; r < s; ++r) {
+      ASSERT_EQ(a[r], full[r]) << "s=" << s << " row=" << r;
+    }
+  }
+}
+
+TEST(WidePlans, EightBitPaperFigure1Shape) {
+  // The paper's Fig. 1 walks an 8x8 transpose: 3 steps of 4 swaps = 84
+  // ops (stated in §II).
+  const TransposePlan plan = TransposePlan::transpose_low_bits(8, 8);
+  ASSERT_EQ(plan.steps().size(), 3u);
+  for (const auto& st : plan.steps()) {
+    EXPECT_EQ(st.swaps, 4u);
+    EXPECT_EQ(st.copies, 0u);
+  }
+  EXPECT_EQ(plan.total_operations(), 84u);
+}
+
+TEST(WidePlans, PaperCopyExample8x8TwoBit) {
+  // §II's small example: eight 8-bit words holding 2-bit numbers can be
+  // transposed with 6 copies and 1 swap = 31 operations.
+  const TransposePlan plan = TransposePlan::transpose_low_bits(8, 2);
+  EXPECT_EQ(plan.copy_count(), 6u);
+  EXPECT_EQ(plan.swap_count(), 1u);
+  EXPECT_EQ(plan.total_operations(), 31u);
+}
+
+TEST(WidePlans, UntransposeMirrorsTransposeCost) {
+  for (unsigned s : {2u, 5u, 9u}) {
+    const auto fwd = TransposePlan::transpose_low_bits(32, s);
+    const auto bwd = TransposePlan::untranspose_low_bits(32, s);
+    // Not necessarily identical op-for-op, but the same order of
+    // magnitude and both below the dense network.
+    EXPECT_LT(bwd.total_operations(), 560u);
+    EXPECT_LE(fwd.total_operations(), 560u);
+  }
+}
+
+}  // namespace
+}  // namespace swbpbc::bitsim

@@ -1,0 +1,102 @@
+// Obliviousness certification (paper §I / refs [10], [12]): the library's
+// bulk kernels must have input-independent address traces; a
+// data-dependent algorithm must be flagged.
+#include <gtest/gtest.h>
+
+#include "bulk/oblivious.hpp"
+#include "util/rng.hpp"
+
+namespace swbpbc::bulk {
+namespace {
+
+std::vector<std::vector<long>> random_inputs(std::size_t count,
+                                             std::size_t len,
+                                             std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<std::vector<long>> inputs(count);
+  for (auto& in : inputs) {
+    in.resize(len);
+    for (auto& v : in) v = static_cast<long>(rng.below(100));
+  }
+  return inputs;
+}
+
+TEST(Oblivious, PrefixSumsAreOblivious) {
+  // The paper's own example: b[i] <- b[i] + b[i-1] for all i in turn.
+  const auto algorithm = [](TracedArray<long>& b) {
+    for (std::size_t i = 1; i < b.size(); ++i) {
+      b.write(i, b.read(i) + b.read(i - 1));
+    }
+  };
+  EXPECT_TRUE(is_oblivious<long>(algorithm, random_inputs(5, 32, 1)));
+}
+
+TEST(Oblivious, RowMajorSwaLoopIsOblivious) {
+  // The SWA DP update d[j] = f(d[j], d[j-1], diag) visits the same
+  // addresses regardless of the sequence contents — the property that
+  // lets BPBC advance 32 instances in lock step.
+  const auto algorithm = [](TracedArray<long>& row) {
+    long diag = 0;
+    for (std::size_t i = 0; i < 4; ++i) {  // 4 pattern rows
+      for (std::size_t j = 1; j < row.size(); ++j) {
+        const long up = row.read(j);
+        const long left = row.read(j - 1);
+        row.write(j, std::max({0L, diag + 1, up - 1, left - 1}));
+        diag = up;
+      }
+    }
+  };
+  EXPECT_TRUE(is_oblivious<long>(algorithm, random_inputs(4, 16, 2)));
+}
+
+TEST(Oblivious, DataDependentScanIsNotOblivious) {
+  // "Find first element > 50 and zero everything after it" — the trace
+  // length depends on the data.
+  const auto algorithm = [](TracedArray<long>& b) {
+    for (std::size_t i = 0; i < b.size(); ++i) {
+      if (b.read(i) > 50) {
+        for (std::size_t j = i; j < b.size(); ++j) b.write(j, 0);
+        return;
+      }
+    }
+  };
+  EXPECT_FALSE(is_oblivious<long>(algorithm, random_inputs(8, 32, 3)));
+}
+
+TEST(Oblivious, BinarySearchIsNotOblivious) {
+  const auto algorithm = [](TracedArray<long>& b) {
+    std::size_t lo = 0, hi = b.size();
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (b.read(mid) < 42) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+  };
+  EXPECT_FALSE(is_oblivious<long>(algorithm, random_inputs(8, 64, 4)));
+}
+
+TEST(Oblivious, SingleInputIsTriviallyOblivious) {
+  const auto algorithm = [](TracedArray<long>& b) {
+    if (b.read(0) > 0) b.write(1, 0);
+  };
+  EXPECT_TRUE(is_oblivious<long>(algorithm, random_inputs(1, 4, 5)));
+}
+
+TEST(Oblivious, TraceRecordsKindsAndIndices) {
+  AccessTrace trace;
+  TracedArray<int> arr({10, 20}, &trace);
+  (void)arr.read(1);
+  arr.write(0, 7);
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace[0].kind, Access::Kind::kRead);
+  EXPECT_EQ(trace[0].index, 1u);
+  EXPECT_EQ(trace[1].kind, Access::Kind::kWrite);
+  EXPECT_EQ(trace[1].index, 0u);
+  EXPECT_EQ(arr.data()[0], 7);
+}
+
+}  // namespace
+}  // namespace swbpbc::bulk

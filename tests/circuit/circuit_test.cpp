@@ -1,0 +1,254 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "bitops/arith.hpp"
+#include "circuit/circuit.hpp"
+#include "circuit/evaluate.hpp"
+#include "circuit/optimize.hpp"
+#include "circuit/sw_circuit.hpp"
+#include "circuit/wire.hpp"
+
+namespace swbpbc::circuit {
+namespace {
+
+TEST(Circuit, BasicGateEvaluation) {
+  Circuit c;
+  const auto a = c.add_input();
+  const auto b = c.add_input();
+  c.mark_output(c.add_and(a, b));
+  c.mark_output(c.add_or(a, b));
+  c.mark_output(c.add_xor(a, b));
+  c.mark_output(c.add_not(a));
+  const std::vector<std::uint32_t> in{0b1100, 0b1010};
+  const auto out = evaluate<std::uint32_t>(c, in);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0], 0b1000u);
+  EXPECT_EQ(out[1], 0b1110u);
+  EXPECT_EQ(out[2], 0b0110u);
+  EXPECT_EQ(out[3], ~0b1100u);
+}
+
+TEST(Circuit, EvaluateChecksInputArity) {
+  Circuit c;
+  c.add_input();
+  const std::vector<std::uint32_t> none;
+  EXPECT_THROW(evaluate<std::uint32_t>(c, none), std::invalid_argument);
+}
+
+TEST(Circuit, CountsAndDump) {
+  Circuit c;
+  const auto a = c.add_input();
+  const auto z = c.add_const(false);
+  c.mark_output(c.add_and(a, z));
+  const GateCounts counts = c.counts();
+  EXPECT_EQ(counts.inputs, 1u);
+  EXPECT_EQ(counts.constants, 1u);
+  EXPECT_EQ(counts.and_gates, 1u);
+  EXPECT_EQ(counts.logic(), 1u);
+  EXPECT_NE(c.dump().find("and"), std::string::npos);
+}
+
+TEST(Wire, ScopeBindsThreadLocalCircuit) {
+  Circuit c;
+  {
+    WireScope scope(c);
+    const Wire a = Wire::input();
+    const Wire b = Wire::input();
+    const Wire q = (a & b) | ~a;
+    c.mark_output(q.node());
+  }
+  EXPECT_EQ(c.input_count(), 2u);
+  const std::vector<std::uint32_t> in{0b10, 0b11};
+  const auto out = evaluate<std::uint32_t>(c, in);
+  EXPECT_EQ(out[0], (0b10u & 0b11u) | ~0b10u);
+}
+
+// --- gate counts == paper op counts ----------------------------------------
+
+TEST(SwCircuit, GateCountsEqualLemmaOpCounts) {
+  for (unsigned s : {2u, 5u, 9u, 16u}) {
+    EXPECT_EQ(build_ge(s).counts().logic(), bitops::ops_greaterthan(s));
+    EXPECT_EQ(build_max(s).counts().logic(), bitops::ops_max(s));
+    EXPECT_EQ(build_add(s).counts().logic(), bitops::ops_add(s));
+    EXPECT_EQ(build_ssub(s).counts().logic(), bitops::ops_ssub(s));
+    EXPECT_EQ(build_sw_cell(s).counts().logic(), bitops::ops_sw_cell(s, 2));
+  }
+}
+
+// --- circuit output == direct bitops ----------------------------------------
+
+TEST(SwCircuit, MaxCircuitMatchesBitops) {
+  const unsigned s = 7;
+  std::mt19937 rng(3);
+  const Circuit c = build_max(s);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<std::uint32_t> in(2 * s);
+    for (auto& w : in) w = static_cast<std::uint32_t>(rng());
+    const auto out = evaluate<std::uint32_t>(c, in);
+    std::vector<std::uint32_t> expect(s);
+    bitops::max_b<std::uint32_t>(
+        std::span<const std::uint32_t>(in.data(), s),
+        std::span<const std::uint32_t>(in.data() + s, s),
+        std::span<std::uint32_t>(expect));
+    EXPECT_EQ(out, expect);
+  }
+}
+
+TEST(SwCircuit, SwCellCircuitMatchesBitops) {
+  const unsigned s = 6;
+  std::mt19937 rng(4);
+  const Circuit c = build_sw_cell(s);
+  ASSERT_EQ(c.input_count(), 3 * s + 4 + 3 * s);
+  for (int trial = 0; trial < 10; ++trial) {
+    // Inputs: A, B, C, x(2), y(2), gap, c1, c2.
+    std::vector<std::uint32_t> in(c.input_count());
+    for (auto& w : in) w = static_cast<std::uint32_t>(rng());
+    // Use broadcast constants for the cost slices (realistic usage).
+    const auto gap = bitops::broadcast_constant<std::uint32_t>(1, s);
+    const auto c1 = bitops::broadcast_constant<std::uint32_t>(2, s);
+    const auto c2 = bitops::broadcast_constant<std::uint32_t>(1, s);
+    std::copy(gap.begin(), gap.end(), in.begin() + 3 * s + 4);
+    std::copy(c1.begin(), c1.end(), in.begin() + 4 * s + 4);
+    std::copy(c2.begin(), c2.end(), in.begin() + 5 * s + 4);
+    const auto out = evaluate<std::uint32_t>(c, in);
+
+    const std::span<const std::uint32_t> a(in.data(), s);
+    const std::span<const std::uint32_t> b(in.data() + s, s);
+    const std::span<const std::uint32_t> diag(in.data() + 2 * s, s);
+    const std::span<const std::uint32_t> x(in.data() + 3 * s, 2);
+    const std::span<const std::uint32_t> y(in.data() + 3 * s + 2, 2);
+    const std::uint32_t e = bitops::mismatch_mask<std::uint32_t>(x, y);
+    std::vector<std::uint32_t> expect(s), t(s), u(s), r(s);
+    bitops::sw_cell<std::uint32_t>(a, b, diag, e, gap, c1, c2,
+                                   std::span<std::uint32_t>(expect), t, u,
+                                   r);
+    EXPECT_EQ(out, expect) << "trial " << trial;
+  }
+}
+
+// --- optimizer ---------------------------------------------------------------
+
+TEST(Optimize, FoldsConstantsAndIdentities) {
+  Circuit c;
+  const auto a = c.add_input();
+  const auto zero = c.add_const(false);
+  const auto one = c.add_const(true);
+  c.mark_output(c.add_and(a, zero));            // -> 0
+  c.mark_output(c.add_and(a, one));             // -> a
+  c.mark_output(c.add_xor(a, a));               // -> 0
+  c.mark_output(c.add_not(c.add_not(a)));       // -> a
+  c.mark_output(c.add_or(zero, one));           // -> 1
+  const Circuit opt = optimize(c);
+  EXPECT_EQ(opt.counts().logic(), 0u);
+  const std::vector<std::uint32_t> in{0xDEADBEEFu};
+  const auto out = evaluate<std::uint32_t>(opt, in);
+  EXPECT_EQ(out[0], 0u);
+  EXPECT_EQ(out[1], 0xDEADBEEFu);
+  EXPECT_EQ(out[2], 0u);
+  EXPECT_EQ(out[3], 0xDEADBEEFu);
+  EXPECT_EQ(out[4], ~0u);
+}
+
+TEST(Optimize, DeduplicatesStructurallyEqualGates) {
+  Circuit c;
+  const auto a = c.add_input();
+  const auto b = c.add_input();
+  c.mark_output(c.add_and(a, b));
+  c.mark_output(c.add_and(b, a));  // commutative duplicate
+  const Circuit opt = optimize(c);
+  EXPECT_EQ(opt.counts().and_gates, 1u);
+}
+
+TEST(Optimize, RemovesDeadGates) {
+  Circuit c;
+  const auto a = c.add_input();
+  const auto b = c.add_input();
+  (void)c.add_xor(a, b);  // dead
+  c.mark_output(c.add_and(a, b));
+  const Circuit opt = eliminate_dead(c);
+  EXPECT_EQ(opt.counts().xor_gates, 0u);
+  EXPECT_EQ(opt.counts().and_gates, 1u);
+  EXPECT_EQ(opt.input_count(), 2u);  // inputs preserved
+}
+
+TEST(Optimize, PreservesSemanticsOnRandomCircuits) {
+  std::mt19937 rng(9);
+  for (int trial = 0; trial < 20; ++trial) {
+    Circuit c;
+    std::vector<std::uint32_t> nodes;
+    for (int i = 0; i < 4; ++i) nodes.push_back(c.add_input());
+    nodes.push_back(c.add_const(false));
+    nodes.push_back(c.add_const(true));
+    for (int g = 0; g < 40; ++g) {
+      const auto pick = [&] {
+        return nodes[rng() % nodes.size()];
+      };
+      switch (rng() % 4) {
+        case 0:
+          nodes.push_back(c.add_and(pick(), pick()));
+          break;
+        case 1:
+          nodes.push_back(c.add_or(pick(), pick()));
+          break;
+        case 2:
+          nodes.push_back(c.add_xor(pick(), pick()));
+          break;
+        default:
+          nodes.push_back(c.add_not(pick()));
+          break;
+      }
+    }
+    for (int o = 0; o < 5; ++o) c.mark_output(nodes[rng() % nodes.size()]);
+
+    const Circuit opt = optimize(c);
+    EXPECT_LE(opt.gates().size(), c.gates().size());
+    for (int v = 0; v < 5; ++v) {
+      std::vector<std::uint32_t> in(4);
+      for (auto& w : in) w = static_cast<std::uint32_t>(rng());
+      EXPECT_EQ(evaluate<std::uint32_t>(opt, in),
+                evaluate<std::uint32_t>(c, in))
+          << "trial " << trial;
+    }
+  }
+}
+
+TEST(Optimize, ConstantBakedSwCellIsSmaller) {
+  const unsigned s = 9;
+  const sw::ScoreParams params{2, 1, 1};
+  const Circuit generic = build_sw_cell(s);
+  const Circuit baked = optimize(build_sw_cell_const(s, params));
+  EXPECT_LT(baked.counts().logic(), generic.counts().logic());
+
+  // And it must still agree with the generic circuit when the generic one
+  // is fed the same constants.
+  std::mt19937 rng(11);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<std::uint32_t> baked_in(3 * s + 4);
+    for (auto& w : baked_in) w = static_cast<std::uint32_t>(rng());
+    std::vector<std::uint32_t> generic_in = baked_in;
+    const auto gap = bitops::broadcast_constant<std::uint32_t>(params.gap, s);
+    const auto c1 =
+        bitops::broadcast_constant<std::uint32_t>(params.match, s);
+    const auto c2 =
+        bitops::broadcast_constant<std::uint32_t>(params.mismatch, s);
+    generic_in.insert(generic_in.end(), gap.begin(), gap.end());
+    generic_in.insert(generic_in.end(), c1.begin(), c1.end());
+    generic_in.insert(generic_in.end(), c2.begin(), c2.end());
+    EXPECT_EQ(evaluate<std::uint32_t>(baked, baked_in),
+              evaluate<std::uint32_t>(generic, generic_in));
+  }
+}
+
+TEST(Optimize, SwCellOptimizationReportedInDesignDoc) {
+  // The optimized generic cell should shed some gates (shared
+  // subexpressions like repeated ~p terms) without changing arity.
+  const unsigned s = 9;
+  const Circuit generic = build_sw_cell(s);
+  const Circuit opt = optimize(generic);
+  EXPECT_EQ(opt.input_count(), generic.input_count());
+  EXPECT_LE(opt.counts().logic(), generic.counts().logic());
+}
+
+}  // namespace
+}  // namespace swbpbc::circuit

@@ -1,0 +1,113 @@
+// Additional circuit coverage: 64-lane evaluation, matching_B netlists,
+// and optimizer idempotence.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "bitops/arith.hpp"
+#include "circuit/evaluate.hpp"
+#include "circuit/optimize.hpp"
+#include "circuit/sw_circuit.hpp"
+#include "circuit/wire.hpp"
+
+namespace swbpbc::circuit {
+namespace {
+
+TEST(CircuitWide, EvaluatorRuns64Lanes) {
+  const unsigned s = 5;
+  const Circuit c = build_add(s);
+  std::mt19937_64 rng(1);
+  std::vector<std::uint64_t> in(2 * s);
+  for (auto& w : in) w = rng();
+  const auto out = evaluate<std::uint64_t>(c, in);
+  std::vector<std::uint64_t> expect(s);
+  bitops::add_b<std::uint64_t>(
+      std::span<const std::uint64_t>(in.data(), s),
+      std::span<const std::uint64_t>(in.data() + s, s),
+      std::span<std::uint64_t>(expect));
+  EXPECT_EQ(out, expect);
+}
+
+TEST(CircuitWide, MatchingNetlistFromWires) {
+  // Elaborate matching_B via Wire and cross-check against bitops.
+  const unsigned s = 4, eps = 2;
+  Circuit c;
+  {
+    WireScope scope(c);
+    std::vector<Wire> cc, c1, c2, x, y;
+    for (unsigned i = 0; i < s; ++i) cc.push_back(Wire::input());
+    for (unsigned i = 0; i < eps; ++i) x.push_back(Wire::input());
+    for (unsigned i = 0; i < eps; ++i) y.push_back(Wire::input());
+    for (unsigned i = 0; i < s; ++i) c1.push_back(Wire::input());
+    for (unsigned i = 0; i < s; ++i) c2.push_back(Wire::input());
+    const Wire e = bitops::mismatch_mask<Wire>(x, y);
+    std::vector<Wire> q(s), r(s), t(s);
+    bitops::matching_b<Wire>(cc, e, c1, c2, q, r, t);
+    for (const Wire& w : q) c.mark_output(w.node());
+  }
+  EXPECT_EQ(c.counts().logic(), bitops::ops_matching(s, eps));
+
+  std::mt19937 rng(2);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<std::uint32_t> in(c.input_count());
+    for (auto& w : in) w = static_cast<std::uint32_t>(rng());
+    const auto out = evaluate<std::uint32_t>(c, in);
+
+    const std::span<const std::uint32_t> cc(in.data(), s);
+    const std::span<const std::uint32_t> x(in.data() + s, eps);
+    const std::span<const std::uint32_t> y(in.data() + s + eps, eps);
+    const std::span<const std::uint32_t> c1(in.data() + s + 2 * eps, s);
+    const std::span<const std::uint32_t> c2(in.data() + 2 * s + 2 * eps,
+                                            s);
+    const std::uint32_t e = bitops::mismatch_mask<std::uint32_t>(x, y);
+    std::vector<std::uint32_t> q(s), r(s), t(s);
+    bitops::matching_b<std::uint32_t>(cc, e, c1, c2, q, r, t);
+    EXPECT_EQ(out, q) << "trial " << trial;
+  }
+}
+
+TEST(CircuitWide, OptimizeIsIdempotent) {
+  const Circuit cell = build_sw_cell_const(7, {2, 1, 1});
+  const Circuit once = optimize(cell);
+  const Circuit twice = optimize(once);
+  EXPECT_EQ(once.gates().size(), twice.gates().size());
+  EXPECT_EQ(once.counts().logic(), twice.counts().logic());
+}
+
+TEST(CircuitWide, GeCircuitSingleOutputSemantics) {
+  const unsigned s = 6;
+  const Circuit c = build_ge(s);
+  ASSERT_EQ(c.outputs().size(), 1u);
+  std::mt19937 rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<std::uint32_t> in(2 * s);
+    const std::uint32_t mask = (1u << s) - 1;
+    // Encode one value pair in lane 0 only.
+    const std::uint32_t va = rng() & mask;
+    const std::uint32_t vb = rng() & mask;
+    for (unsigned l = 0; l < s; ++l) {
+      in[l] = (va >> l) & 1u;
+      in[s + l] = (vb >> l) & 1u;
+    }
+    const auto out = evaluate<std::uint32_t>(c, in);
+    EXPECT_EQ(out[0] & 1u, va >= vb ? 1u : 0u)
+        << "va=" << va << " vb=" << vb;
+  }
+}
+
+TEST(CircuitWide, WireScopeNesting) {
+  Circuit outer, inner;
+  WireScope a(outer);
+  (void)Wire::input();
+  {
+    WireScope b(inner);
+    (void)Wire::input();
+    (void)Wire::input();
+  }
+  (void)Wire::input();  // back in the outer scope
+  EXPECT_EQ(outer.input_count(), 2u);
+  EXPECT_EQ(inner.input_count(), 2u);
+}
+
+}  // namespace
+}  // namespace swbpbc::circuit

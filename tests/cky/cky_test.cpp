@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "cky/cky.hpp"
+#include "cky/grammar.hpp"
+
+namespace swbpbc::cky {
+namespace {
+
+TEST(Grammar, BuildsAndLooksUp) {
+  Grammar g;
+  const auto s = g.nonterminal("S");
+  EXPECT_EQ(s, 0u);
+  EXPECT_EQ(g.nonterminal("S"), 0u);  // idempotent
+  g.add_terminal_rule("A", 'a');
+  EXPECT_EQ(g.terminal_mask('a'), 1u << g.nonterminal("A"));
+  EXPECT_EQ(g.terminal_mask('z'), 0u);
+  g.add_binary_rule("S", "A", "A");
+  ASSERT_EQ(g.binary_rules().size(), 1u);
+  EXPECT_EQ(g.start_mask(), 1u);  // defaults to the first nonterminal
+  g.set_start("A");
+  EXPECT_EQ(g.start_mask(), 1u << g.nonterminal("A"));
+}
+
+TEST(Grammar, RejectsTooManyNonterminals) {
+  Grammar g;
+  for (int i = 0; i < 32; ++i) g.nonterminal("N" + std::to_string(i));
+  EXPECT_THROW(g.nonterminal("overflow"), std::invalid_argument);
+}
+
+TEST(ScalarCky, BalancedParentheses) {
+  const Grammar g = balanced_parentheses_grammar();
+  EXPECT_TRUE(cky_accepts(g, "()"));
+  EXPECT_TRUE(cky_accepts(g, "()()"));
+  EXPECT_TRUE(cky_accepts(g, "(())"));
+  EXPECT_TRUE(cky_accepts(g, "(()())()"));
+  EXPECT_FALSE(cky_accepts(g, ""));
+  EXPECT_FALSE(cky_accepts(g, "("));
+  EXPECT_FALSE(cky_accepts(g, ")("));
+  EXPECT_FALSE(cky_accepts(g, "(()"));
+  EXPECT_FALSE(cky_accepts(g, "())("));
+}
+
+TEST(ScalarCky, EvenPalindromes) {
+  const Grammar g = palindrome_grammar();
+  EXPECT_TRUE(cky_accepts(g, "aa"));
+  EXPECT_TRUE(cky_accepts(g, "abba"));
+  EXPECT_TRUE(cky_accepts(g, "baab"));
+  EXPECT_TRUE(cky_accepts(g, "abaaba"));
+  EXPECT_FALSE(cky_accepts(g, "ab"));
+  EXPECT_FALSE(cky_accepts(g, "aab"));   // odd length
+  EXPECT_FALSE(cky_accepts(g, "abab"));
+}
+
+TEST(ScalarCky, TableSpansAreConsistent) {
+  const Grammar g = balanced_parentheses_grammar();
+  const auto table = cky_table(g, "(())");
+  // Span [1,3) = "()" derives S.
+  EXPECT_NE(table[2][1] & g.start_mask(), 0u);
+  // Span [0,2) = "((" derives nothing.
+  EXPECT_EQ(table[2][0], 0u);
+}
+
+std::string random_paren_string(std::mt19937& rng, std::size_t len,
+                                bool balanced) {
+  std::string s;
+  if (balanced) {
+    // Random balanced string via a counter walk.
+    std::size_t open = 0;
+    while (s.size() < len) {
+      const std::size_t remaining = len - s.size();
+      if (open == 0 || (open < remaining && (rng() & 1) != 0)) {
+        s.push_back('(');
+        ++open;
+      } else {
+        s.push_back(')');
+        --open;
+      }
+    }
+    return s;
+  }
+  for (std::size_t i = 0; i < len; ++i) {
+    s.push_back((rng() & 1) != 0 ? '(' : ')');
+  }
+  return s;
+}
+
+template <bitsim::LaneWord W>
+void check_bulk_vs_scalar(std::size_t count, std::size_t len,
+                          unsigned seed) {
+  std::mt19937 rng(seed);
+  const Grammar g = balanced_parentheses_grammar();
+  std::vector<std::string> inputs;
+  for (std::size_t k = 0; k < count; ++k) {
+    inputs.push_back(random_paren_string(rng, len, (k % 2) == 0));
+  }
+  const W accept = bpbc_cky_accepts<W>(g, inputs);
+  for (std::size_t k = 0; k < count; ++k) {
+    EXPECT_EQ(((accept >> k) & 1u) != 0, cky_accepts(g, inputs[k]))
+        << "instance " << k << ": " << inputs[k];
+  }
+}
+
+TEST(BpbcCky, MatchesScalar32) { check_bulk_vs_scalar<std::uint32_t>(32, 12, 1); }
+TEST(BpbcCky, MatchesScalar64) { check_bulk_vs_scalar<std::uint64_t>(64, 10, 2); }
+TEST(BpbcCky, PartialLaneCount) { check_bulk_vs_scalar<std::uint32_t>(7, 8, 3); }
+
+TEST(BpbcCky, PalindromesBulk) {
+  const Grammar g = palindrome_grammar();
+  const std::vector<std::string> inputs = {"abba", "aaaa", "abab", "bbbb",
+                                           "baab", "abaa"};
+  const auto accept = bpbc_cky_accepts<std::uint32_t>(g, inputs);
+  // Lanes (5..0) = abaa, baab, bbbb, abab, aaaa, abba -> 0 1 1 0 1 1.
+  EXPECT_EQ(accept & 0x3Fu, 0b011011u);
+}
+
+TEST(BpbcCky, ValidatesInput) {
+  const Grammar g = balanced_parentheses_grammar();
+  const std::vector<std::string> unequal = {"()", "()()"};
+  EXPECT_THROW(bpbc_cky_accepts<std::uint32_t>(g, unequal),
+               std::invalid_argument);
+  const std::vector<std::string> too_many(33, "()");
+  EXPECT_THROW(bpbc_cky_accepts<std::uint32_t>(g, too_many),
+               std::invalid_argument);
+  const std::vector<std::string> none;
+  EXPECT_EQ(bpbc_cky_accepts<std::uint32_t>(g, none), 0u);
+}
+
+}  // namespace
+}  // namespace swbpbc::cky

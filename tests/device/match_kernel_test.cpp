@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include "device/match_kernels.hpp"
+#include "encoding/random.hpp"
+#include "strmatch/exact.hpp"
+
+namespace swbpbc::device {
+namespace {
+
+TEST(GpuMatchKernel, MatchesScalarFlags) {
+  util::Xoshiro256 rng(42);
+  const std::size_t count = 70, m = 6, n = 40;
+  auto xs = encoding::random_sequences(rng, count, m);
+  auto ys = encoding::random_sequences(rng, count, n);
+  for (std::size_t k = 0; k < count; k += 4) {
+    encoding::plant_motif(ys[k], xs[k], k % (n - m + 1));
+  }
+  const GpuMatchResult result =
+      gpu_bpbc_match(xs, ys, /*block_dim=*/16, /*record_metrics=*/false,
+                     bulk::Mode::kSerial);
+  ASSERT_EQ(result.offsets, n - m + 1);
+  for (std::size_t k = 0; k < count; ++k) {
+    const auto scalar = strmatch::match_flags(xs[k], ys[k]);
+    const std::size_t g = k / 32;
+    const std::size_t lane = k % 32;
+    for (std::size_t j = 0; j < result.offsets; ++j) {
+      const std::uint32_t word =
+          result.group_flags[g * result.offsets + j];
+      EXPECT_EQ((word >> lane) & 1u, scalar[j])
+          << "instance " << k << " offset " << j;
+    }
+  }
+}
+
+TEST(GpuMatchKernel, MetricsCountEveryCharacterRead) {
+  util::Xoshiro256 rng(43);
+  const std::size_t count = 32, m = 5, n = 20;
+  const auto xs = encoding::random_sequences(rng, count, m);
+  const auto ys = encoding::random_sequences(rng, count, n);
+  const GpuMatchResult result =
+      gpu_bpbc_match(xs, ys, 8, /*record_metrics=*/true,
+                     bulk::Mode::kSerial);
+  // Per offset: m positions x 4 slice reads; one flag write per offset.
+  const std::uint64_t offsets = n - m + 1;
+  EXPECT_EQ(result.metrics.global_reads, offsets * m * 4);
+  EXPECT_EQ(result.metrics.global_writes, offsets);
+  EXPECT_GT(result.metrics.global_read_transactions, 0u);
+}
+
+TEST(GpuMatchKernel, ValidatesInput) {
+  util::Xoshiro256 rng(44);
+  const auto xs = encoding::random_sequences(rng, 2, 8);
+  const auto ys = encoding::random_sequences(rng, 2, 4);  // m > n
+  EXPECT_THROW(gpu_bpbc_match(xs, ys), std::invalid_argument);
+  const auto ys2 = encoding::random_sequences(rng, 3, 16);
+  EXPECT_THROW(gpu_bpbc_match(xs, ys2), std::invalid_argument);
+  const std::vector<encoding::Sequence> none;
+  EXPECT_TRUE(gpu_bpbc_match(none, none).group_flags.empty());
+}
+
+TEST(GpuMatchKernel, ParallelMatchesSerial) {
+  util::Xoshiro256 rng(45);
+  const auto xs = encoding::random_sequences(rng, 96, 5);
+  const auto ys = encoding::random_sequences(rng, 96, 24);
+  const auto a = gpu_bpbc_match(xs, ys, 16, false, bulk::Mode::kSerial);
+  const auto b = gpu_bpbc_match(xs, ys, 16, false, bulk::Mode::kParallel);
+  EXPECT_EQ(a.group_flags, b.group_flags);
+}
+
+}  // namespace
+}  // namespace swbpbc::device

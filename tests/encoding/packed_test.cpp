@@ -1,0 +1,57 @@
+#include <gtest/gtest.h>
+
+#include "encoding/packed.hpp"
+#include "encoding/random.hpp"
+
+namespace swbpbc::encoding {
+namespace {
+
+TEST(Packed, PackUnpackRoundTrip) {
+  util::Xoshiro256 rng(1);
+  for (std::size_t len : {0u, 1u, 3u, 4u, 5u, 100u, 1023u}) {
+    const Sequence seq = random_sequence(rng, len);
+    const PackedSequence packed = PackedSequence::pack(seq);
+    EXPECT_EQ(packed.size(), len);
+    EXPECT_EQ(packed.unpack(), seq);
+  }
+}
+
+TEST(Packed, FourCharactersPerByte) {
+  const Sequence seq = sequence_from_string("ACGTACGTA");  // 9 chars
+  const PackedSequence packed = PackedSequence::pack(seq);
+  EXPECT_EQ(packed.storage_bytes(), 3u);  // ceil(9 / 4)
+  EXPECT_TRUE(PackedSequence().empty());
+}
+
+TEST(Packed, GetSetIndividualCharacters) {
+  Sequence seq = sequence_from_string("AAAAAAAA");
+  PackedSequence packed = PackedSequence::pack(seq);
+  packed.set(3, Base::C);
+  packed.set(7, Base::G);
+  EXPECT_EQ(packed.get(3), Base::C);
+  EXPECT_EQ(packed.get(7), Base::G);
+  EXPECT_EQ(packed.get(0), Base::A);
+  EXPECT_EQ(to_string(packed.unpack()), "AAACAAAG");
+  EXPECT_THROW((void)packed.get(8), std::out_of_range);
+  EXPECT_THROW(packed.set(8, Base::A), std::out_of_range);
+}
+
+TEST(Packed, PushBackGrowsByteWise) {
+  PackedSequence packed;
+  const std::string text = "GATTACA";
+  for (char ch : text) packed.push_back(base_from_char(ch));
+  EXPECT_EQ(packed.size(), text.size());
+  EXPECT_EQ(packed.storage_bytes(), 2u);
+  EXPECT_EQ(to_string(packed.unpack()), text);
+}
+
+TEST(Packed, EqualityComparesContent) {
+  const Sequence seq = sequence_from_string("ACGT");
+  EXPECT_EQ(PackedSequence::pack(seq), PackedSequence::pack(seq));
+  Sequence other = seq;
+  other[0] = Base::T;
+  EXPECT_NE(PackedSequence::pack(seq), PackedSequence::pack(other));
+}
+
+}  // namespace
+}  // namespace swbpbc::encoding

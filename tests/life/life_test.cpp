@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "life/life.hpp"
+
+namespace swbpbc::life {
+namespace {
+
+constexpr std::string_view kBlinker =
+    ".....\n"
+    ".###.\n"
+    ".....\n";
+
+constexpr std::string_view kBlock =
+    "....\n"
+    ".##.\n"
+    ".##.\n"
+    "....\n";
+
+constexpr std::string_view kGlider =
+    ".#....\n"
+    "..#...\n"
+    "###...\n"
+    "......\n";
+
+template <typename Grid>
+std::string render(const Grid& g) {
+  std::string out;
+  for (std::size_t y = 0; y < g.height(); ++y) {
+    for (std::size_t x = 0; x < g.width(); ++x) {
+      out.push_back(g.get(x, y) ? '#' : '.');
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+TEST(ScalarLife, BlockIsStill) {
+  ScalarLife g(4, 4);
+  load_picture(g, kBlock);
+  const std::string before = render(g);
+  g.step(5);
+  EXPECT_EQ(render(g), before);
+}
+
+TEST(ScalarLife, BlinkerOscillatesWithPeriod2) {
+  ScalarLife g(5, 3);
+  load_picture(g, kBlinker);
+  const std::string horizontal = render(g);
+  g.step();
+  EXPECT_NE(render(g), horizontal);
+  EXPECT_EQ(g.population(), 3u);
+  g.step();
+  EXPECT_EQ(render(g), horizontal);
+}
+
+TEST(ScalarLife, BordersAreDead) {
+  // A blinker against the edge loses cells (no wrap-around).
+  ScalarLife g(3, 1);
+  g.set(0, 0, true);
+  g.set(1, 0, true);
+  g.set(2, 0, true);
+  g.step();
+  EXPECT_EQ(g.population(), 1u);  // only the middle survives... and then
+  g.step();
+  EXPECT_EQ(g.population(), 0u);  // dies of loneliness
+}
+
+template <bitsim::LaneWord W>
+void check_glider_translates() {
+  BpbcLife<W> g(40, 40);
+  load_picture(g, kGlider);
+  BpbcLife<W> expect(40, 40);
+  load_picture(expect, kGlider);
+  g.step(4);  // a glider self-copies one cell diagonally every 4 steps
+  for (std::size_t y = 0; y < 6; ++y) {
+    for (std::size_t x = 0; x < 6; ++x) {
+      EXPECT_EQ(g.get(x + 1, y + 1), expect.get(x, y))
+          << "x=" << x << " y=" << y;
+    }
+  }
+  EXPECT_EQ(g.population(), 5u);
+}
+
+TEST(BpbcLife, GliderTranslates32) {
+  check_glider_translates<std::uint32_t>();
+}
+
+TEST(BpbcLife, GliderTranslates64) {
+  check_glider_translates<std::uint64_t>();
+}
+
+template <bitsim::LaneWord W>
+void check_random_vs_scalar(std::size_t w, std::size_t h,
+                            std::uint64_t seed) {
+  ScalarLife ref(w, h);
+  BpbcLife<W> bpbc(w, h);
+  util::Xoshiro256 rng_a(seed), rng_b(seed);
+  randomize(ref, 0.35, rng_a);
+  randomize(bpbc, 0.35, rng_b);
+  ASSERT_EQ(render(bpbc), render(ref));
+  for (int gen = 0; gen < 8; ++gen) {
+    ref.step();
+    bpbc.step();
+    ASSERT_EQ(render(bpbc), render(ref)) << "generation " << gen;
+  }
+}
+
+TEST(BpbcLife, MatchesScalarOnRandomGrids32) {
+  // Widths straddling word boundaries exercise the cross-word carries.
+  check_random_vs_scalar<std::uint32_t>(31, 17, 1);
+  check_random_vs_scalar<std::uint32_t>(32, 9, 2);
+  check_random_vs_scalar<std::uint32_t>(33, 12, 3);
+  check_random_vs_scalar<std::uint32_t>(100, 20, 4);
+}
+
+TEST(BpbcLife, MatchesScalarOnRandomGrids64) {
+  check_random_vs_scalar<std::uint64_t>(63, 11, 5);
+  check_random_vs_scalar<std::uint64_t>(64, 11, 6);
+  check_random_vs_scalar<std::uint64_t>(130, 14, 7);
+}
+
+TEST(BpbcLife, TinyGrids) {
+  check_random_vs_scalar<std::uint32_t>(1, 1, 8);
+  check_random_vs_scalar<std::uint32_t>(2, 2, 9);
+  check_random_vs_scalar<std::uint32_t>(1, 5, 10);
+}
+
+TEST(BpbcLife, PopulationAndAccessors) {
+  BpbcLife<std::uint32_t> g(10, 10);
+  EXPECT_EQ(g.population(), 0u);
+  g.set(3, 4, true);
+  g.set(9, 9, true);
+  EXPECT_TRUE(g.get(3, 4));
+  EXPECT_EQ(g.population(), 2u);
+  g.set(3, 4, false);
+  EXPECT_FALSE(g.get(3, 4));
+  EXPECT_EQ(g.population(), 1u);
+}
+
+TEST(Life, RejectsEmptyGrids) {
+  EXPECT_THROW(ScalarLife(0, 4), std::invalid_argument);
+  EXPECT_THROW(BpbcLife<std::uint32_t>(4, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace swbpbc::life

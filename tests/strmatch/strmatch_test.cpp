@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include "encoding/batch.hpp"
+#include "encoding/random.hpp"
+#include "strmatch/approx.hpp"
+#include "strmatch/bpbc_match.hpp"
+#include "strmatch/exact.hpp"
+
+namespace swbpbc::strmatch {
+namespace {
+
+using encoding::sequence_from_string;
+
+TEST(Exact, PaperIntroExample) {
+  // Paper §II: X = ATTCG, Y = AAATTCGGGA -> d = 110111... the paper prints
+  // "110111" but with n - m + 1 = 6 offsets the match is at j = 2:
+  // d = 1,1,0,1,1,1.
+  const auto d = match_flags(sequence_from_string("ATTCG"),
+                             sequence_from_string("AAATTCGGGA"));
+  const std::vector<std::uint8_t> expect{1, 1, 0, 1, 1, 1};
+  EXPECT_EQ(d, expect);
+}
+
+TEST(Exact, FindOccurrences) {
+  const auto occ = find_occurrences(sequence_from_string("ACA"),
+                                    sequence_from_string("ACACACA"));
+  const std::vector<std::size_t> expect{0, 2, 4};
+  EXPECT_EQ(occ, expect);
+}
+
+TEST(Exact, EdgeCases) {
+  const auto x = sequence_from_string("ACGT");
+  EXPECT_TRUE(match_flags(x, sequence_from_string("AC")).empty());
+  EXPECT_TRUE(match_flags({}, x).empty());
+  // m == n exact match.
+  const auto d = match_flags(x, x);
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_EQ(d[0], 0);
+}
+
+TEST(Exact, HammingProfile) {
+  const auto prof = hamming_profile(sequence_from_string("AAA"),
+                                    sequence_from_string("AATAA"));
+  const std::vector<std::size_t> expect{1, 1, 1};
+  EXPECT_EQ(prof, expect);
+}
+
+TEST(BpbcMatch, PaperWorkedExample) {
+  // Paper §II, the 4-instance example. The paper's printed d words are the
+  // complement of its own algorithm's output (it prints 1 where strings
+  // match, while the algorithm sets d = 0 on match); we assert the
+  // algorithm's semantics and note the complement.
+  const std::vector<encoding::Sequence> xs = {
+      sequence_from_string("ATCGA"), sequence_from_string("TCGAC"),
+      sequence_from_string("AAAAA"), sequence_from_string("TTTTT")};
+  const std::vector<encoding::Sequence> ys = {
+      sequence_from_string("AATCGACA"), sequence_from_string("AATCGACA"),
+      sequence_from_string("AAAAAAAA"), sequence_from_string("AATTTTTT")};
+  const auto bx = encoding::transpose_strings<std::uint32_t>(xs);
+  const auto by = encoding::transpose_strings<std::uint32_t>(ys);
+  const auto d = bpbc_match_flags<std::uint32_t>(bx.groups[0], by.groups[0]);
+  ASSERT_EQ(d.size(), 4u);
+  // Mismatch masks over lanes (3,2,1,0); complement of the paper's print.
+  EXPECT_EQ(d[0] & 0xF, 0b1011u);  // paper prints 0100
+  EXPECT_EQ(d[1] & 0xF, 0b1010u);  // paper prints 0101
+  EXPECT_EQ(d[2] & 0xF, 0b0001u);  // paper prints 1110
+  EXPECT_EQ(d[3] & 0xF, 0b0011u);  // paper prints 1100
+}
+
+template <bitsim::LaneWord W>
+void check_bpbc_vs_scalar(std::size_t count, std::size_t m, std::size_t n,
+                          std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  auto xs = encoding::random_sequences(rng, count, m);
+  auto ys = encoding::random_sequences(rng, count, n);
+  // Plant some exact occurrences so matches exist.
+  for (std::size_t k = 0; k < count; k += 3) {
+    encoding::plant_motif(ys[k], xs[k], k % (n - m + 1));
+  }
+  const auto bx = encoding::transpose_strings<W>(xs);
+  const auto by = encoding::transpose_strings<W>(ys);
+  constexpr unsigned kLanes = bitsim::word_bits_v<W>;
+  for (std::size_t g = 0; g < bx.groups.size(); ++g) {
+    const auto d = bpbc_match_flags<W>(bx.groups[g], by.groups[g]);
+    const std::size_t lanes_used =
+        std::min<std::size_t>(kLanes, count - g * kLanes);
+    for (std::size_t lane = 0; lane < lanes_used; ++lane) {
+      const std::size_t k = g * kLanes + lane;
+      const auto scalar = match_flags(xs[k], ys[k]);
+      ASSERT_EQ(d.size(), scalar.size());
+      for (std::size_t j = 0; j < d.size(); ++j) {
+        EXPECT_EQ((d[j] >> lane) & 1u, scalar[j])
+            << "instance " << k << " offset " << j;
+      }
+    }
+  }
+}
+
+TEST(BpbcMatch, MatchesScalar32) {
+  check_bpbc_vs_scalar<std::uint32_t>(40, 6, 30, 101);
+}
+
+TEST(BpbcMatch, MatchesScalar64) {
+  check_bpbc_vs_scalar<std::uint64_t>(70, 5, 20, 102);
+}
+
+TEST(BpbcMatch, EmptyWhenPatternLonger) {
+  util::Xoshiro256 rng(103);
+  const auto xs = encoding::random_sequences(rng, 32, 10);
+  const auto ys = encoding::random_sequences(rng, 32, 5);
+  const auto bx = encoding::transpose_strings<std::uint32_t>(xs);
+  const auto by = encoding::transpose_strings<std::uint32_t>(ys);
+  EXPECT_TRUE(
+      bpbc_match_flags<std::uint32_t>(bx.groups[0], by.groups[0]).empty());
+}
+
+TEST(Approx, CounterSlices) {
+  EXPECT_EQ(counter_slices(1), 1u);
+  EXPECT_EQ(counter_slices(3), 2u);
+  EXPECT_EQ(counter_slices(4), 3u);
+  EXPECT_EQ(counter_slices(255), 8u);
+  EXPECT_EQ(counter_slices(256), 9u);
+}
+
+TEST(Approx, HammingSlicesMatchScalarProfile) {
+  util::Xoshiro256 rng(104);
+  const std::size_t count = 32, m = 9, n = 40;
+  const auto xs = encoding::random_sequences(rng, count, m);
+  const auto ys = encoding::random_sequences(rng, count, n);
+  const auto bx = encoding::transpose_strings<std::uint32_t>(xs);
+  const auto by = encoding::transpose_strings<std::uint32_t>(ys);
+  const auto slices = bpbc_hamming_slices<std::uint32_t>(bx.groups[0],
+                                                         by.groups[0]);
+  const unsigned s = counter_slices(m);
+  ASSERT_EQ(slices.size(), n - m + 1);
+  for (std::size_t lane = 0; lane < count; ++lane) {
+    const auto prof = hamming_profile(xs[lane], ys[lane]);
+    for (std::size_t j = 0; j < prof.size(); ++j) {
+      std::uint32_t dist = 0;
+      for (unsigned l = 0; l < s; ++l) {
+        dist |= ((slices[j][l] >> lane) & 1u) << l;
+      }
+      EXPECT_EQ(dist, prof[j]) << "lane " << lane << " offset " << j;
+    }
+  }
+}
+
+TEST(Approx, ThresholdMatchingMatchesScalar) {
+  util::Xoshiro256 rng(105);
+  const std::size_t count = 64, m = 8, n = 32;
+  auto xs = encoding::random_sequences(rng, count, m);
+  auto ys = encoding::random_sequences(rng, count, n);
+  for (std::size_t k = 0; k < count; k += 5) {
+    auto noisy = encoding::mutate(xs[k], 0.15, rng);
+    encoding::plant_motif(ys[k], noisy, 3);
+  }
+  const auto bx = encoding::transpose_strings<std::uint64_t>(xs);
+  const auto by = encoding::transpose_strings<std::uint64_t>(ys);
+  for (std::uint32_t k : {0u, 1u, 2u, 4u}) {
+    const auto masks =
+        bpbc_approx_match<std::uint64_t>(bx.groups[0], by.groups[0], k);
+    for (std::size_t lane = 0; lane < count; ++lane) {
+      const auto prof = hamming_profile(xs[lane], ys[lane]);
+      for (std::size_t j = 0; j < prof.size(); ++j) {
+        EXPECT_EQ((masks[j] >> lane) & 1u, prof[j] <= k ? 1u : 0u)
+            << "k=" << k << " lane=" << lane << " j=" << j;
+      }
+    }
+  }
+}
+
+TEST(Approx, KAboveMSelectsEverything) {
+  util::Xoshiro256 rng(106);
+  const auto xs = encoding::random_sequences(rng, 32, 6);
+  const auto ys = encoding::random_sequences(rng, 32, 20);
+  const auto bx = encoding::transpose_strings<std::uint32_t>(xs);
+  const auto by = encoding::transpose_strings<std::uint32_t>(ys);
+  const auto masks =
+      bpbc_approx_match<std::uint32_t>(bx.groups[0], by.groups[0], 6);
+  for (auto w : masks) EXPECT_EQ(w, ~0u);
+}
+
+}  // namespace
+}  // namespace swbpbc::strmatch

@@ -1,0 +1,116 @@
+// Affine-gap (Gotoh) extension: scalar reference vs the bit-sliced
+// implementation, plus the degeneration property open == extend ==
+// linear gap.
+#include <gtest/gtest.h>
+
+#include "encoding/random.hpp"
+#include "sw/affine.hpp"
+#include "sw/bpbc.hpp"
+#include "sw/scalar.hpp"
+
+namespace swbpbc::sw {
+namespace {
+
+TEST(AffineScalar, PerfectMatch) {
+  const auto x = encoding::sequence_from_string("ACGTACGT");
+  EXPECT_EQ(affine_max_score(x, x, {2, 1, 3, 1}), 16u);
+}
+
+TEST(AffineScalar, LongGapCheaperThanRepeatedOpens) {
+  // x = AAAATTTT...TTTTAAAA-like: one long gap should cost
+  // open + (k-1) * extend, not k * open.
+  // x matches y with one 5-column gap (the TTTTT run); no contiguous
+  // region of x scores higher than the two 4-match halves (8 each).
+  const auto x = encoding::sequence_from_string("GGGGCCCC");
+  const auto y = encoding::sequence_from_string("GGGGAAAAACCCC");
+  // Best: GGGG [5-gap] CCCC = 8 matches * 2 - (3 + 4 * 1) = 16 - 7 = 9.
+  EXPECT_EQ(affine_max_score(x, y, {2, 1, 3, 1}), 9u);
+  // With every gap column priced at the open cost the gap costs 15, so
+  // the best alignment degrades to one ungapped half (score 8).
+  EXPECT_EQ(affine_max_score(x, y, {2, 1, 3, 3}), 8u);
+  EXPECT_GT(affine_max_score(x, y, {2, 1, 3, 1}),
+            affine_max_score(x, y, {2, 1, 3, 3}));
+}
+
+TEST(AffineScalar, OpenEqualsExtendDegeneratesToLinear) {
+  util::Xoshiro256 rng(1);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto x = encoding::random_sequence(rng, 6 + rng.below(12));
+    const auto y = encoding::random_sequence(rng, 12 + rng.below(30));
+    const auto g = static_cast<std::uint32_t>(1 + rng.below(3));
+    const AffineParams affine{2, 1, g, g};
+    const ScoreParams linear{2, 1, g};
+    EXPECT_EQ(affine_max_score(x, y, affine), max_score(x, y, linear))
+        << "trial " << trial;
+  }
+}
+
+TEST(AffineScalar, EmptyInputs) {
+  const auto x = encoding::sequence_from_string("ACGT");
+  EXPECT_EQ(affine_max_score({}, x, {2, 1, 3, 1}), 0u);
+  EXPECT_EQ(affine_max_score(x, {}, {2, 1, 3, 1}), 0u);
+}
+
+struct AffineCase {
+  std::size_t count, m, n;
+  AffineParams params;
+  std::uint64_t seed;
+};
+
+class AffineBpbcVsScalar : public ::testing::TestWithParam<AffineCase> {};
+
+TEST_P(AffineBpbcVsScalar, Lane32) {
+  const AffineCase c = GetParam();
+  util::Xoshiro256 rng(c.seed);
+  auto xs = encoding::random_sequences(rng, c.count, c.m);
+  auto ys = encoding::random_sequences(rng, c.count, c.n);
+  for (std::size_t k = 0; k < c.count; k += 4) {
+    encoding::plant_motif(ys[k], xs[k], k % (c.n - c.m));
+  }
+  const auto scores =
+      affine_bpbc_max_scores(xs, ys, c.params, LaneWidth::k32);
+  for (std::size_t k = 0; k < c.count; ++k) {
+    EXPECT_EQ(scores[k], affine_max_score(xs[k], ys[k], c.params))
+        << "instance " << k;
+  }
+}
+
+TEST_P(AffineBpbcVsScalar, Lane64) {
+  const AffineCase c = GetParam();
+  util::Xoshiro256 rng(c.seed + 100);
+  const auto xs = encoding::random_sequences(rng, c.count, c.m);
+  const auto ys = encoding::random_sequences(rng, c.count, c.n);
+  const auto scores =
+      affine_bpbc_max_scores(xs, ys, c.params, LaneWidth::k64);
+  for (std::size_t k = 0; k < c.count; ++k) {
+    EXPECT_EQ(scores[k], affine_max_score(xs[k], ys[k], c.params))
+        << "instance " << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, AffineBpbcVsScalar,
+    ::testing::Values(AffineCase{32, 8, 24, {2, 1, 3, 1}, 1},
+                      AffineCase{40, 10, 30, {2, 1, 2, 1}, 2},
+                      AffineCase{16, 12, 36, {3, 2, 4, 1}, 3},
+                      AffineCase{16, 6, 20, {2, 1, 1, 1}, 4},
+                      AffineCase{7, 9, 18, {2, 1, 5, 2}, 5}));
+
+TEST(AffineBpbc, AgreesWithLinearPathWhenDegenerate) {
+  util::Xoshiro256 rng(9);
+  const auto xs = encoding::random_sequences(rng, 32, 9);
+  const auto ys = encoding::random_sequences(rng, 32, 30);
+  const AffineParams affine{2, 1, 1, 1};
+  const ScoreParams linear{2, 1, 1};
+  EXPECT_EQ(affine_bpbc_max_scores(xs, ys, affine),
+            bpbc_max_scores(xs, ys, linear));
+}
+
+TEST(AffineBpbc, SliceSizing) {
+  EXPECT_GE(affine_required_slices({2, 1, 3, 1}, 128, 1024), 9u);
+  // The open cost must be representable even if the score range is tiny.
+  EXPECT_GE(affine_required_slices({1, 1, 7, 7}, 1, 2), 3u);
+}
+
+}  // namespace
+}  // namespace swbpbc::sw

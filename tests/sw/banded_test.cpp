@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "encoding/random.hpp"
+#include "sw/banded.hpp"
+#include "sw/scalar.hpp"
+
+namespace swbpbc::sw {
+namespace {
+
+TEST(BandedScalar, FullBandEqualsUnrestricted) {
+  util::Xoshiro256 rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto x = encoding::random_sequence(rng, 6 + rng.below(10));
+    const auto y = encoding::random_sequence(rng, 10 + rng.below(30));
+    const ScoreParams params{2, 1, 1};
+    const std::size_t wide = x.size() + y.size();
+    EXPECT_EQ(banded_max_score(x, y, params, wide),
+              max_score(x, y, params))
+        << "trial " << trial;
+  }
+}
+
+TEST(BandedScalar, MonotoneInBandWidth) {
+  util::Xoshiro256 rng(2);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto x = encoding::random_sequence(rng, 12);
+    const auto y = encoding::random_sequence(rng, 40);
+    const ScoreParams params{2, 1, 1};
+    std::uint32_t prev = 0;
+    for (std::size_t band = 0; band <= 52; band += 4) {
+      const std::uint32_t score = banded_max_score(x, y, params, band);
+      EXPECT_GE(score, prev) << "trial " << trial << " band " << band;
+      prev = score;
+    }
+    EXPECT_EQ(prev, max_score(x, y, params));
+  }
+}
+
+TEST(BandedScalar, DiagonalMotifFoundWithNarrowBand) {
+  // A motif planted right on the diagonal needs no band slack at all.
+  util::Xoshiro256 rng(3);
+  const auto x = encoding::random_sequence(rng, 16);
+  auto y = encoding::random_sequence(rng, 16);
+  y = x;  // identical: pure diagonal alignment
+  EXPECT_EQ(banded_max_score(x, y, {2, 1, 1}, 0), 32u);
+}
+
+TEST(BandedScalar, OffDiagonalMotifNeedsWiderBand) {
+  util::Xoshiro256 rng(4);
+  const auto x = encoding::random_sequence(rng, 12);
+  auto y = encoding::random_sequence(rng, 60);
+  encoding::plant_motif(y, x, 40);  // 40 columns off the diagonal
+  const ScoreParams params{2, 1, 1};
+  EXPECT_LT(banded_max_score(x, y, params, 4), 24u);
+  EXPECT_EQ(banded_max_score(x, y, params, 52), 24u);
+}
+
+struct BandedCase {
+  std::size_t count, m, n, band;
+  std::uint64_t seed;
+};
+
+class BandedBpbcVsScalar : public ::testing::TestWithParam<BandedCase> {};
+
+TEST_P(BandedBpbcVsScalar, Lane32) {
+  const BandedCase c = GetParam();
+  util::Xoshiro256 rng(c.seed);
+  auto xs = encoding::random_sequences(rng, c.count, c.m);
+  auto ys = encoding::random_sequences(rng, c.count, c.n);
+  for (std::size_t k = 0; k < c.count; k += 3) {
+    encoding::plant_motif(ys[k], xs[k], k % (c.n - c.m + 1));
+  }
+  const ScoreParams params{2, 1, 1};
+  const auto scores =
+      banded_bpbc_max_scores(xs, ys, params, c.band, LaneWidth::k32);
+  for (std::size_t k = 0; k < c.count; ++k) {
+    EXPECT_EQ(scores[k], banded_max_score(xs[k], ys[k], params, c.band))
+        << "instance " << k;
+  }
+}
+
+TEST_P(BandedBpbcVsScalar, Lane64) {
+  const BandedCase c = GetParam();
+  util::Xoshiro256 rng(c.seed + 50);
+  const auto xs = encoding::random_sequences(rng, c.count, c.m);
+  const auto ys = encoding::random_sequences(rng, c.count, c.n);
+  const ScoreParams params{2, 1, 1};
+  const auto scores =
+      banded_bpbc_max_scores(xs, ys, params, c.band, LaneWidth::k64);
+  for (std::size_t k = 0; k < c.count; ++k) {
+    EXPECT_EQ(scores[k], banded_max_score(xs[k], ys[k], params, c.band))
+        << "instance " << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BandedBpbcVsScalar,
+    ::testing::Values(BandedCase{32, 8, 24, 0, 1},
+                      BandedCase{32, 8, 24, 3, 2},
+                      BandedCase{40, 10, 30, 8, 3},
+                      BandedCase{16, 12, 12, 2, 4},
+                      BandedCase{7, 9, 40, 16, 5},
+                      BandedCase{16, 6, 20, 30, 6}));  // band > n
+
+TEST(BandedBpbc, WideBandEqualsFullBpbc) {
+  util::Xoshiro256 rng(9);
+  const auto xs = encoding::random_sequences(rng, 48, 9);
+  const auto ys = encoding::random_sequences(rng, 48, 30);
+  const ScoreParams params{2, 1, 1};
+  EXPECT_EQ(banded_bpbc_max_scores(xs, ys, params, 64),
+            bpbc_max_scores(xs, ys, params));
+}
+
+}  // namespace
+}  // namespace swbpbc::sw

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "encoding/random.hpp"
+#include "sw/pipeline.hpp"
+
+namespace swbpbc::sw {
+namespace {
+
+TEST(Pipeline, FindsPlantedMotifsAndOnlyThose) {
+  util::Xoshiro256 rng(1234);
+  const std::size_t count = 64, m = 16, n = 96;
+  const auto xs = encoding::random_sequences(rng, count, m);
+  std::vector<encoding::Sequence> ys =
+      encoding::random_sequences(rng, count, n);
+  // Plant the pattern into every 4th text.
+  std::vector<std::size_t> planted;
+  for (std::size_t k = 0; k < count; k += 4) {
+    encoding::plant_motif(ys[k], xs[k], 20);
+    planted.push_back(k);
+  }
+
+  ScreenConfig config;
+  config.params = {2, 1, 1};
+  config.threshold = 2 * static_cast<std::uint32_t>(m) - 4;  // near-perfect
+  const ScreenReport report = screen(xs, ys, config);
+
+  ASSERT_EQ(report.scores.size(), count);
+  // Every planted pair must be reported as a hit.
+  for (std::size_t k : planted) {
+    const bool hit = std::any_of(
+        report.hits.begin(), report.hits.end(),
+        [k](const ScreenHit& h) { return h.index == k; });
+    EXPECT_TRUE(hit) << "planted pair " << k << " missed";
+  }
+  // Hit scores and detailed alignments must agree with the BPBC filter.
+  for (const ScreenHit& h : report.hits) {
+    EXPECT_GE(h.bpbc_score, config.threshold);
+    EXPECT_EQ(h.detail.score, h.bpbc_score)
+        << "traceback disagrees with filter for pair " << h.index;
+  }
+}
+
+TEST(Pipeline, ThresholdZeroSelectsEverything) {
+  util::Xoshiro256 rng(7);
+  const auto xs = encoding::random_sequences(rng, 8, 6);
+  const auto ys = encoding::random_sequences(rng, 8, 18);
+  ScreenConfig config;
+  config.params = {2, 1, 1};
+  config.threshold = 0;
+  config.traceback = false;
+  const ScreenReport report = screen(xs, ys, config);
+  EXPECT_EQ(report.hits.size(), 8u);
+  EXPECT_DOUBLE_EQ(report.traceback_ms, 0.0);
+}
+
+TEST(Pipeline, ImpossibleThresholdSelectsNothing) {
+  util::Xoshiro256 rng(8);
+  const auto xs = encoding::random_sequences(rng, 8, 6);
+  const auto ys = encoding::random_sequences(rng, 8, 18);
+  ScreenConfig config;
+  config.params = {2, 1, 1};
+  config.threshold = 1000;  // > c1 * m
+  const ScreenReport report = screen(xs, ys, config);
+  EXPECT_TRUE(report.hits.empty());
+}
+
+TEST(Pipeline, Width64AndParallelAgreeWith32Serial) {
+  util::Xoshiro256 rng(9);
+  const auto xs = encoding::random_sequences(rng, 48, 10);
+  const auto ys = encoding::random_sequences(rng, 48, 40);
+  ScreenConfig base;
+  base.params = {2, 1, 1};
+  base.threshold = 10;
+  base.traceback = false;
+  ScreenConfig alt = base;
+  alt.width = LaneWidth::k32;
+  alt.mode = bulk::Mode::kSerial;
+  ScreenConfig alt2 = base;
+  alt2.width = LaneWidth::k64;
+  alt2.mode = bulk::Mode::kParallel;
+  const auto r1 = screen(xs, ys, alt);
+  const auto r2 = screen(xs, ys, alt2);
+  EXPECT_EQ(r1.scores, r2.scores);
+  EXPECT_EQ(r1.hits.size(), r2.hits.size());
+}
+
+}  // namespace
+}  // namespace swbpbc::sw

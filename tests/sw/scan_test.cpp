@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "encoding/random.hpp"
+#include "sw/scan.hpp"
+
+namespace swbpbc::sw {
+namespace {
+
+TEST(Scan, FindsMotifsAcrossWindowBoundaries) {
+  util::Xoshiro256 rng(1);
+  const std::size_t m = 16;
+  const auto query = encoding::random_sequence(rng, m);
+  auto text = encoding::random_sequence(rng, 4000);
+
+  ScanConfig config;
+  config.params = {2, 1, 1};
+  config.window = 256;
+  config.threshold = 2 * static_cast<std::uint32_t>(m) - 4;
+
+  // Plant exact copies, including one straddling a window step boundary
+  // (step = window - 2m = 224).
+  const std::size_t positions[] = {10, 220, 1000, 2239, 3900};
+  for (const std::size_t pos : positions) {
+    encoding::plant_motif(text, query, pos);
+  }
+
+  const ScanReport report = scan_text(query, text, config);
+  EXPECT_GT(report.windows, 10u);
+  for (const std::size_t pos : positions) {
+    const bool covered = std::any_of(
+        report.hits.begin(), report.hits.end(), [&](const ScanHit& h) {
+          return h.text_begin <= pos && pos + m <= h.text_end;
+        });
+    EXPECT_TRUE(covered) << "motif at " << pos << " missed";
+  }
+}
+
+TEST(Scan, BestHitEqualsGlobalScore) {
+  // With the default overlap, the best window score equals the global
+  // alignment maximum for near-exact hits.
+  util::Xoshiro256 rng(2);
+  const std::size_t m = 12;
+  const auto query = encoding::random_sequence(rng, m);
+  auto text = encoding::random_sequence(rng, 1500);
+  encoding::plant_motif(text, query, 777);
+
+  ScanConfig config;
+  config.params = {2, 1, 1};
+  config.window = 200;
+  config.threshold = 0;
+  const ScanReport report = scan_text(query, text, config);
+  std::uint32_t best = 0;
+  for (const auto& h : report.hits) best = std::max(best, h.score);
+  EXPECT_EQ(best, max_score(query, text, config.params));
+}
+
+TEST(Scan, TracebackCoordinatesMapToText) {
+  util::Xoshiro256 rng(3);
+  const std::size_t m = 14;
+  const auto query = encoding::random_sequence(rng, m);
+  auto text = encoding::random_sequence(rng, 1200);
+  encoding::plant_motif(text, query, 600);
+
+  ScanConfig config;
+  config.params = {2, 1, 1};
+  config.window = 300;
+  config.threshold = 2 * static_cast<std::uint32_t>(m);
+  config.traceback = true;
+  const ScanReport report = scan_text(query, text, config);
+  ASSERT_FALSE(report.hits.empty());
+  for (const auto& h : report.hits) {
+    ASSERT_LE(h.detail.y_end, text.size());
+    // Matched text characters (skipping gaps) must equal the text at the
+    // reported coordinates.
+    std::size_t tpos = h.detail.y_begin;
+    for (std::size_t c = 0; c < h.detail.y_row.size(); ++c) {
+      if (h.detail.y_row[c] == '-') continue;
+      EXPECT_EQ(encoding::to_char(text[tpos]), h.detail.y_row[c]);
+      ++tpos;
+    }
+    EXPECT_EQ(tpos, h.detail.y_end);
+  }
+}
+
+TEST(Scan, ShortTextSingleWindow) {
+  util::Xoshiro256 rng(4);
+  const auto query = encoding::random_sequence(rng, 8);
+  const auto text = encoding::random_sequence(rng, 50);
+  ScanConfig config;
+  config.params = {2, 1, 1};
+  config.window = 128;
+  config.threshold = 0;
+  const ScanReport report = scan_text(query, text, config);
+  EXPECT_EQ(report.windows, 1u);
+  ASSERT_EQ(report.hits.size(), 1u);
+  EXPECT_EQ(report.hits[0].score, max_score(query, text, config.params));
+}
+
+TEST(Scan, WindowsCoverTheWholeText) {
+  util::Xoshiro256 rng(5);
+  const auto query = encoding::random_sequence(rng, 6);
+  const auto text = encoding::random_sequence(rng, 999);
+  ScanConfig config;
+  config.params = {2, 1, 1};
+  config.window = 100;
+  config.threshold = 0;  // every window reports
+  const ScanReport report = scan_text(query, text, config);
+  ASSERT_EQ(report.hits.size(), report.windows);
+  EXPECT_EQ(report.hits.front().text_begin, 0u);
+  EXPECT_EQ(report.hits.back().text_end, text.size());
+  for (std::size_t w = 1; w < report.hits.size(); ++w) {
+    // Consecutive windows overlap (no gaps).
+    EXPECT_LT(report.hits[w].text_begin, report.hits[w - 1].text_end);
+  }
+}
+
+TEST(Scan, ValidatesArguments) {
+  util::Xoshiro256 rng(6);
+  const auto text = encoding::random_sequence(rng, 100);
+  ScanConfig config;
+  config.window = 16;
+  config.overlap = 20;  // > window
+  EXPECT_THROW(scan_text(encoding::random_sequence(rng, 4), text, config),
+               std::invalid_argument);
+  ScanConfig empty_query;
+  EXPECT_THROW(scan_text({}, text, empty_query), std::invalid_argument);
+}
+
+TEST(Scan, EmptyTextReportsNothing) {
+  util::Xoshiro256 rng(7);
+  const auto query = encoding::random_sequence(rng, 4);
+  ScanConfig config;
+  config.params = {2, 1, 1};
+  const ScanReport report = scan_text(query, {}, config);
+  EXPECT_EQ(report.windows, 0u);
+  EXPECT_TRUE(report.hits.empty());
+}
+
+}  // namespace
+}  // namespace swbpbc::sw

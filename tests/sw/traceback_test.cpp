@@ -1,0 +1,146 @@
+// BPBC traceback: direction matrices + bit-sliced argmax must reproduce
+// the scalar aligner's alignments exactly (same tie-breaking).
+#include <gtest/gtest.h>
+
+#include "encoding/random.hpp"
+#include "sw/traceback.hpp"
+
+namespace swbpbc::sw {
+namespace {
+
+void expect_same_alignment(const Alignment& a, const Alignment& b,
+                           std::size_t k) {
+  EXPECT_EQ(a.score, b.score) << "pair " << k;
+  EXPECT_EQ(a.x_begin, b.x_begin) << "pair " << k;
+  EXPECT_EQ(a.x_end, b.x_end) << "pair " << k;
+  EXPECT_EQ(a.y_begin, b.y_begin) << "pair " << k;
+  EXPECT_EQ(a.y_end, b.y_end) << "pair " << k;
+  EXPECT_EQ(a.x_row, b.x_row) << "pair " << k;
+  EXPECT_EQ(a.mid_row, b.mid_row) << "pair " << k;
+  EXPECT_EQ(a.y_row, b.y_row) << "pair " << k;
+}
+
+TEST(BpbcTraceback, PaperExampleAlignment) {
+  const std::vector<encoding::Sequence> xs(
+      32, encoding::sequence_from_string("TACTG"));
+  const std::vector<encoding::Sequence> ys(
+      32, encoding::sequence_from_string("GAACTGA"));
+  const auto alignments = bpbc_align(xs, ys, {2, 1, 1}, LaneWidth::k32);
+  ASSERT_EQ(alignments.size(), 32u);
+  for (const Alignment& a : alignments) {
+    EXPECT_EQ(a.score, 8u);
+    EXPECT_EQ(a.x_row, "ACTG");
+    EXPECT_EQ(a.y_row, "ACTG");
+  }
+}
+
+class TracebackVsScalar
+    : public ::testing::TestWithParam<std::tuple<int, LaneWidth>> {};
+
+TEST_P(TracebackVsScalar, AlignmentsIdenticalToScalar) {
+  const auto [seed, width] = GetParam();
+  util::Xoshiro256 rng(static_cast<std::uint64_t>(seed));
+  const std::size_t count = 48, m = 11, n = 37;
+  auto xs = encoding::random_sequences(rng, count, m);
+  auto ys = encoding::random_sequences(rng, count, n);
+  for (std::size_t k = 0; k < count; k += 3) {
+    auto noisy = encoding::mutate(xs[k], 0.15, rng);
+    encoding::plant_motif(ys[k], noisy, k % (n - m));
+  }
+  const ScoreParams params{2, 1, 1};
+  const auto bpbc = bpbc_align(xs, ys, params, width);
+  ASSERT_EQ(bpbc.size(), count);
+  for (std::size_t k = 0; k < count; ++k) {
+    expect_same_alignment(bpbc[k], align(xs[k], ys[k], params), k);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndWidths, TracebackVsScalar,
+    ::testing::Combine(::testing::Values(1, 2, 3),
+                       ::testing::Values(LaneWidth::k32, LaneWidth::k64)));
+
+TEST(BpbcTraceback, DirectionMatrixProperties) {
+  util::Xoshiro256 rng(77);
+  const std::size_t m = 8, n = 20;
+  const auto xs = encoding::random_sequences(rng, 32, m);
+  const auto ys = encoding::random_sequences(rng, 32, n);
+  const auto bx = encoding::transpose_strings<std::uint32_t>(xs);
+  const auto by = encoding::transpose_strings<std::uint32_t>(ys);
+  const ScoreParams params{2, 1, 1};
+  const auto tb =
+      bpbc_traceback_matrices<std::uint32_t>(bx.groups[0], by.groups[0],
+                                             params);
+  ASSERT_EQ(tb.m, m);
+  ASSERT_EQ(tb.n, n);
+  for (std::size_t lane = 0; lane < 32; ++lane) {
+    const ScoreMatrix d = score_matrix(xs[lane], ys[lane], params);
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        const unsigned dir = tb.direction(lane, i, j);
+        // Stop exactly where the scoring matrix is zero.
+        EXPECT_EQ(dir == 0, d.at(i + 1, j + 1) == 0)
+            << "lane " << lane << " cell " << i << "," << j;
+      }
+    }
+    // The argmax matches the scalar matrix maximum (first in row-major).
+    std::uint32_t best = 0;
+    std::size_t bi = 0, bj = 0;
+    for (std::size_t i = 1; i <= m; ++i) {
+      for (std::size_t j = 1; j <= n; ++j) {
+        if (d.at(i, j) > best) {
+          best = d.at(i, j);
+          bi = i - 1;
+          bj = j - 1;
+        }
+      }
+    }
+    EXPECT_EQ(tb.best_score[lane], best) << "lane " << lane;
+    if (best > 0) {
+      EXPECT_EQ(tb.best_i[lane], bi) << "lane " << lane;
+      EXPECT_EQ(tb.best_j[lane], bj) << "lane " << lane;
+    }
+  }
+}
+
+TEST(BpbcTraceback, AllMismatchGivesEmptyAlignments) {
+  const std::vector<encoding::Sequence> xs(
+      32, encoding::sequence_from_string("AAAA"));
+  const std::vector<encoding::Sequence> ys(
+      32, encoding::sequence_from_string("CCCCCCCC"));
+  const auto alignments = bpbc_align(xs, ys, {2, 1, 1});
+  for (const Alignment& a : alignments) {
+    EXPECT_EQ(a.score, 0u);
+    EXPECT_TRUE(a.x_row.empty());
+  }
+}
+
+TEST(BpbcTraceback, PartialGroupAndMultiGroup) {
+  util::Xoshiro256 rng(88);
+  const std::size_t count = 37;  // 2 groups of 32 lanes, second partial
+  auto xs = encoding::random_sequences(rng, count, 7);
+  auto ys = encoding::random_sequences(rng, count, 25);
+  const ScoreParams params{2, 1, 1};
+  const auto bpbc = bpbc_align(xs, ys, params, LaneWidth::k32);
+  ASSERT_EQ(bpbc.size(), count);
+  for (std::size_t k = 0; k < count; ++k) {
+    expect_same_alignment(bpbc[k], align(xs[k], ys[k], params), k);
+  }
+}
+
+TEST(BpbcTraceback, GapAlignmentsReproduced) {
+  // Pairs engineered to require gaps in the optimal alignment.
+  std::vector<encoding::Sequence> xs, ys;
+  for (int k = 0; k < 32; ++k) {
+    xs.push_back(encoding::sequence_from_string("ACGGTACG"));
+    ys.push_back(encoding::sequence_from_string("TTACGTACGTT"));
+  }
+  const ScoreParams params{2, 1, 1};
+  const auto bpbc = bpbc_align(xs, ys, params);
+  for (std::size_t k = 0; k < 32; ++k) {
+    expect_same_alignment(bpbc[k], align(xs[k], ys[k], params), k);
+  }
+}
+
+}  // namespace
+}  // namespace swbpbc::sw

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "encoding/random.hpp"
+#include "sw/wavefront.hpp"
+
+namespace swbpbc::sw {
+namespace {
+
+TEST(Wavefront, StepMatchesPaperTable3) {
+  // Paper Table III (shifted to 0-based): cell (i, j) is computed at
+  // anti-diagonal t = i + j; the first cell at t = 0 and the last at
+  // t = m + n - 2.
+  EXPECT_EQ(wavefront_step(0, 0), 0u);
+  EXPECT_EQ(wavefront_step(0, 6), 6u);   // top-right of the 5x7 example
+  EXPECT_EQ(wavefront_step(4, 0), 4u);   // bottom-left
+  EXPECT_EQ(wavefront_step(4, 6), 10u);  // bottom-right (t = 10)
+  EXPECT_EQ(wavefront_steps(5, 7), 11u);
+}
+
+TEST(Wavefront, DependenciesComputedEarlier) {
+  for (std::size_t i = 1; i < 8; ++i) {
+    for (std::size_t j = 1; j < 8; ++j) {
+      EXPECT_LT(wavefront_step(i - 1, j), wavefront_step(i, j));
+      EXPECT_LT(wavefront_step(i, j - 1), wavefront_step(i, j));
+      EXPECT_LT(wavefront_step(i - 1, j - 1), wavefront_step(i, j));
+    }
+  }
+}
+
+TEST(Wavefront, CellsPartitionTheMatrix) {
+  const std::size_t m = 5, n = 7;
+  std::vector<std::vector<int>> seen(m, std::vector<int>(n, 0));
+  for (std::size_t t = 0; t < wavefront_steps(m, n); ++t) {
+    for (const auto& [i, j] : wavefront_cells(m, n, t)) {
+      ASSERT_LT(i, m);
+      ASSERT_LT(j, n);
+      EXPECT_EQ(wavefront_step(i, j), t);
+      seen[i][j]++;
+    }
+  }
+  for (const auto& row : seen) {
+    for (int c : row) EXPECT_EQ(c, 1);
+  }
+}
+
+TEST(Wavefront, ParallelWidthBoundedByM) {
+  // At most m cells are ever computed in one step (one thread per row).
+  const std::size_t m = 6, n = 9;
+  std::size_t widest = 0;
+  for (std::size_t t = 0; t < wavefront_steps(m, n); ++t) {
+    widest = std::max(widest, wavefront_cells(m, n, t).size());
+  }
+  EXPECT_EQ(widest, m);
+}
+
+TEST(Wavefront, MatrixEqualsRowMajorEvaluation) {
+  util::Xoshiro256 rng(11);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto x = encoding::random_sequence(rng, 9);
+    const auto y = encoding::random_sequence(rng, 21);
+    const ScoreParams params{2, 1, 1};
+    const ScoreMatrix a = score_matrix(x, y, params);
+    const ScoreMatrix b = score_matrix_wavefront(x, y, params);
+    for (std::size_t i = 0; i <= 9; ++i) {
+      for (std::size_t j = 0; j <= 21; ++j) {
+        ASSERT_EQ(a.at(i, j), b.at(i, j))
+            << "trial " << trial << " cell " << i << "," << j;
+      }
+    }
+  }
+}
+
+TEST(Wavefront, EmptyMatrix) {
+  EXPECT_EQ(wavefront_steps(0, 5), 0u);
+  EXPECT_TRUE(wavefront_cells(0, 5, 0).empty());
+}
+
+}  // namespace
+}  // namespace swbpbc::sw
