@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_s_sweep.dir/ablation_s_sweep.cpp.o"
+  "CMakeFiles/ablation_s_sweep.dir/ablation_s_sweep.cpp.o.d"
+  "ablation_s_sweep"
+  "ablation_s_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_s_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_bitops.dir/micro_bitops.cpp.o"
+  "CMakeFiles/micro_bitops.dir/micro_bitops.cpp.o.d"
+  "micro_bitops"
+  "micro_bitops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_bitops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

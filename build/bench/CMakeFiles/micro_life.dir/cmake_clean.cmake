@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_life.dir/micro_life.cpp.o"
+  "CMakeFiles/micro_life.dir/micro_life.cpp.o.d"
+  "micro_life"
+  "micro_life.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_life.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_strmatch.dir/micro_strmatch.cpp.o"
+  "CMakeFiles/micro_strmatch.dir/micro_strmatch.cpp.o.d"
+  "micro_strmatch"
+  "micro_strmatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_strmatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_transpose.dir/micro_transpose.cpp.o"
+  "CMakeFiles/micro_transpose.dir/micro_transpose.cpp.o.d"
+  "micro_transpose"
+  "micro_transpose.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_transpose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_transpose_ops.dir/table1_transpose_ops.cpp.o"
+  "CMakeFiles/table1_transpose_ops.dir/table1_transpose_ops.cpp.o.d"
+  "table1_transpose_ops"
+  "table1_transpose_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_transpose_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_runtime.dir/harness.cpp.o"
+  "CMakeFiles/table4_runtime.dir/harness.cpp.o.d"
+  "CMakeFiles/table4_runtime.dir/table4_runtime.cpp.o"
+  "CMakeFiles/table4_runtime.dir/table4_runtime.cpp.o.d"
+  "table4_runtime"
+  "table4_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

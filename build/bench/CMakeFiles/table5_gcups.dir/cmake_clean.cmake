@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_gcups.dir/harness.cpp.o"
+  "CMakeFiles/table5_gcups.dir/harness.cpp.o.d"
+  "CMakeFiles/table5_gcups.dir/table5_gcups.cpp.o"
+  "CMakeFiles/table5_gcups.dir/table5_gcups.cpp.o.d"
+  "table5_gcups"
+  "table5_gcups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_gcups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/database_filter.dir/database_filter.cpp.o"
+  "CMakeFiles/database_filter.dir/database_filter.cpp.o.d"
+  "database_filter"
+  "database_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/database_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grammar_check.dir/grammar_check.cpp.o"
+  "CMakeFiles/grammar_check.dir/grammar_check.cpp.o.d"
+  "grammar_check"
+  "grammar_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grammar_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protein_screen.dir/protein_screen.cpp.o"
+  "CMakeFiles/protein_screen.dir/protein_screen.cpp.o.d"
+  "protein_screen"
+  "protein_screen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protein_screen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

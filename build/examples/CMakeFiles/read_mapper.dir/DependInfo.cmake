@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/read_mapper.cpp" "examples/CMakeFiles/read_mapper.dir/read_mapper.cpp.o" "gcc" "examples/CMakeFiles/read_mapper.dir/read_mapper.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/circuit/CMakeFiles/swbpbc_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/strmatch/CMakeFiles/swbpbc_strmatch.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/swbpbc_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/sw/CMakeFiles/swbpbc_sw.dir/DependInfo.cmake"
+  "/root/repo/build/src/encoding/CMakeFiles/swbpbc_encoding.dir/DependInfo.cmake"
+  "/root/repo/build/src/bulk/CMakeFiles/swbpbc_bulk.dir/DependInfo.cmake"
+  "/root/repo/build/src/life/CMakeFiles/swbpbc_life.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/swbpbc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/cky/CMakeFiles/swbpbc_cky.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitsim/CMakeFiles/swbpbc_bitsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/read_mapper.dir/read_mapper.cpp.o"
+  "CMakeFiles/read_mapper.dir/read_mapper.cpp.o.d"
+  "read_mapper"
+  "read_mapper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/read_mapper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

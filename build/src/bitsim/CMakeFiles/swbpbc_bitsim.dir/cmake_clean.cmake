@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swbpbc_bitsim.dir/plan.cpp.o"
+  "CMakeFiles/swbpbc_bitsim.dir/plan.cpp.o.d"
+  "CMakeFiles/swbpbc_bitsim.dir/transpose.cpp.o"
+  "CMakeFiles/swbpbc_bitsim.dir/transpose.cpp.o.d"
+  "libswbpbc_bitsim.a"
+  "libswbpbc_bitsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swbpbc_bitsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swbpbc_bulk.dir/fft.cpp.o"
+  "CMakeFiles/swbpbc_bulk.dir/fft.cpp.o.d"
+  "libswbpbc_bulk.a"
+  "libswbpbc_bulk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swbpbc_bulk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libswbpbc_bulk.a"
+)

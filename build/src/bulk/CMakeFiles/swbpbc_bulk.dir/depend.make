@@ -1,0 +1,2 @@
+# Empty dependencies file for swbpbc_bulk.
+# This may be replaced when dependencies are built.

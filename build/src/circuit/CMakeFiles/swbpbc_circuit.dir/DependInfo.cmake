@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuit/circuit.cpp" "src/circuit/CMakeFiles/swbpbc_circuit.dir/circuit.cpp.o" "gcc" "src/circuit/CMakeFiles/swbpbc_circuit.dir/circuit.cpp.o.d"
+  "/root/repo/src/circuit/optimize.cpp" "src/circuit/CMakeFiles/swbpbc_circuit.dir/optimize.cpp.o" "gcc" "src/circuit/CMakeFiles/swbpbc_circuit.dir/optimize.cpp.o.d"
+  "/root/repo/src/circuit/sw_circuit.cpp" "src/circuit/CMakeFiles/swbpbc_circuit.dir/sw_circuit.cpp.o" "gcc" "src/circuit/CMakeFiles/swbpbc_circuit.dir/sw_circuit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bitsim/CMakeFiles/swbpbc_bitsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

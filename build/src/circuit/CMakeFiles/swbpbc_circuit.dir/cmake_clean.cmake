@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swbpbc_circuit.dir/circuit.cpp.o"
+  "CMakeFiles/swbpbc_circuit.dir/circuit.cpp.o.d"
+  "CMakeFiles/swbpbc_circuit.dir/optimize.cpp.o"
+  "CMakeFiles/swbpbc_circuit.dir/optimize.cpp.o.d"
+  "CMakeFiles/swbpbc_circuit.dir/sw_circuit.cpp.o"
+  "CMakeFiles/swbpbc_circuit.dir/sw_circuit.cpp.o.d"
+  "libswbpbc_circuit.a"
+  "libswbpbc_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swbpbc_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swbpbc_cky.dir/cky.cpp.o"
+  "CMakeFiles/swbpbc_cky.dir/cky.cpp.o.d"
+  "CMakeFiles/swbpbc_cky.dir/grammar.cpp.o"
+  "CMakeFiles/swbpbc_cky.dir/grammar.cpp.o.d"
+  "libswbpbc_cky.a"
+  "libswbpbc_cky.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swbpbc_cky.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

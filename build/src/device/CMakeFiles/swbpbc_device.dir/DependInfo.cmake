@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/device/match_kernels.cpp" "src/device/CMakeFiles/swbpbc_device.dir/match_kernels.cpp.o" "gcc" "src/device/CMakeFiles/swbpbc_device.dir/match_kernels.cpp.o.d"
+  "/root/repo/src/device/metrics.cpp" "src/device/CMakeFiles/swbpbc_device.dir/metrics.cpp.o" "gcc" "src/device/CMakeFiles/swbpbc_device.dir/metrics.cpp.o.d"
+  "/root/repo/src/device/sw_kernels.cpp" "src/device/CMakeFiles/swbpbc_device.dir/sw_kernels.cpp.o" "gcc" "src/device/CMakeFiles/swbpbc_device.dir/sw_kernels.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sw/CMakeFiles/swbpbc_sw.dir/DependInfo.cmake"
+  "/root/repo/build/src/encoding/CMakeFiles/swbpbc_encoding.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/swbpbc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/bulk/CMakeFiles/swbpbc_bulk.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitsim/CMakeFiles/swbpbc_bitsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

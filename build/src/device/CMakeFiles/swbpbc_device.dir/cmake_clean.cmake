@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swbpbc_device.dir/match_kernels.cpp.o"
+  "CMakeFiles/swbpbc_device.dir/match_kernels.cpp.o.d"
+  "CMakeFiles/swbpbc_device.dir/metrics.cpp.o"
+  "CMakeFiles/swbpbc_device.dir/metrics.cpp.o.d"
+  "CMakeFiles/swbpbc_device.dir/sw_kernels.cpp.o"
+  "CMakeFiles/swbpbc_device.dir/sw_kernels.cpp.o.d"
+  "libswbpbc_device.a"
+  "libswbpbc_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swbpbc_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/encoding/alphabet.cpp" "src/encoding/CMakeFiles/swbpbc_encoding.dir/alphabet.cpp.o" "gcc" "src/encoding/CMakeFiles/swbpbc_encoding.dir/alphabet.cpp.o.d"
+  "/root/repo/src/encoding/batch.cpp" "src/encoding/CMakeFiles/swbpbc_encoding.dir/batch.cpp.o" "gcc" "src/encoding/CMakeFiles/swbpbc_encoding.dir/batch.cpp.o.d"
+  "/root/repo/src/encoding/dna.cpp" "src/encoding/CMakeFiles/swbpbc_encoding.dir/dna.cpp.o" "gcc" "src/encoding/CMakeFiles/swbpbc_encoding.dir/dna.cpp.o.d"
+  "/root/repo/src/encoding/fasta.cpp" "src/encoding/CMakeFiles/swbpbc_encoding.dir/fasta.cpp.o" "gcc" "src/encoding/CMakeFiles/swbpbc_encoding.dir/fasta.cpp.o.d"
+  "/root/repo/src/encoding/generic_batch.cpp" "src/encoding/CMakeFiles/swbpbc_encoding.dir/generic_batch.cpp.o" "gcc" "src/encoding/CMakeFiles/swbpbc_encoding.dir/generic_batch.cpp.o.d"
+  "/root/repo/src/encoding/packed.cpp" "src/encoding/CMakeFiles/swbpbc_encoding.dir/packed.cpp.o" "gcc" "src/encoding/CMakeFiles/swbpbc_encoding.dir/packed.cpp.o.d"
+  "/root/repo/src/encoding/random.cpp" "src/encoding/CMakeFiles/swbpbc_encoding.dir/random.cpp.o" "gcc" "src/encoding/CMakeFiles/swbpbc_encoding.dir/random.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bitsim/CMakeFiles/swbpbc_bitsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/swbpbc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swbpbc_encoding.dir/alphabet.cpp.o"
+  "CMakeFiles/swbpbc_encoding.dir/alphabet.cpp.o.d"
+  "CMakeFiles/swbpbc_encoding.dir/batch.cpp.o"
+  "CMakeFiles/swbpbc_encoding.dir/batch.cpp.o.d"
+  "CMakeFiles/swbpbc_encoding.dir/dna.cpp.o"
+  "CMakeFiles/swbpbc_encoding.dir/dna.cpp.o.d"
+  "CMakeFiles/swbpbc_encoding.dir/fasta.cpp.o"
+  "CMakeFiles/swbpbc_encoding.dir/fasta.cpp.o.d"
+  "CMakeFiles/swbpbc_encoding.dir/generic_batch.cpp.o"
+  "CMakeFiles/swbpbc_encoding.dir/generic_batch.cpp.o.d"
+  "CMakeFiles/swbpbc_encoding.dir/packed.cpp.o"
+  "CMakeFiles/swbpbc_encoding.dir/packed.cpp.o.d"
+  "CMakeFiles/swbpbc_encoding.dir/random.cpp.o"
+  "CMakeFiles/swbpbc_encoding.dir/random.cpp.o.d"
+  "libswbpbc_encoding.a"
+  "libswbpbc_encoding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swbpbc_encoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

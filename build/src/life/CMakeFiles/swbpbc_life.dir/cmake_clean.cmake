@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swbpbc_life.dir/life.cpp.o"
+  "CMakeFiles/swbpbc_life.dir/life.cpp.o.d"
+  "libswbpbc_life.a"
+  "libswbpbc_life.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swbpbc_life.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/strmatch/approx.cpp" "src/strmatch/CMakeFiles/swbpbc_strmatch.dir/approx.cpp.o" "gcc" "src/strmatch/CMakeFiles/swbpbc_strmatch.dir/approx.cpp.o.d"
+  "/root/repo/src/strmatch/bpbc_match.cpp" "src/strmatch/CMakeFiles/swbpbc_strmatch.dir/bpbc_match.cpp.o" "gcc" "src/strmatch/CMakeFiles/swbpbc_strmatch.dir/bpbc_match.cpp.o.d"
+  "/root/repo/src/strmatch/exact.cpp" "src/strmatch/CMakeFiles/swbpbc_strmatch.dir/exact.cpp.o" "gcc" "src/strmatch/CMakeFiles/swbpbc_strmatch.dir/exact.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/encoding/CMakeFiles/swbpbc_encoding.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/swbpbc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitsim/CMakeFiles/swbpbc_bitsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swbpbc_strmatch.dir/approx.cpp.o"
+  "CMakeFiles/swbpbc_strmatch.dir/approx.cpp.o.d"
+  "CMakeFiles/swbpbc_strmatch.dir/bpbc_match.cpp.o"
+  "CMakeFiles/swbpbc_strmatch.dir/bpbc_match.cpp.o.d"
+  "CMakeFiles/swbpbc_strmatch.dir/exact.cpp.o"
+  "CMakeFiles/swbpbc_strmatch.dir/exact.cpp.o.d"
+  "libswbpbc_strmatch.a"
+  "libswbpbc_strmatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swbpbc_strmatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

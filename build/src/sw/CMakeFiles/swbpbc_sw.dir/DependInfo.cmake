@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sw/affine.cpp" "src/sw/CMakeFiles/swbpbc_sw.dir/affine.cpp.o" "gcc" "src/sw/CMakeFiles/swbpbc_sw.dir/affine.cpp.o.d"
+  "/root/repo/src/sw/banded.cpp" "src/sw/CMakeFiles/swbpbc_sw.dir/banded.cpp.o" "gcc" "src/sw/CMakeFiles/swbpbc_sw.dir/banded.cpp.o.d"
+  "/root/repo/src/sw/bpbc.cpp" "src/sw/CMakeFiles/swbpbc_sw.dir/bpbc.cpp.o" "gcc" "src/sw/CMakeFiles/swbpbc_sw.dir/bpbc.cpp.o.d"
+  "/root/repo/src/sw/generic.cpp" "src/sw/CMakeFiles/swbpbc_sw.dir/generic.cpp.o" "gcc" "src/sw/CMakeFiles/swbpbc_sw.dir/generic.cpp.o.d"
+  "/root/repo/src/sw/pipeline.cpp" "src/sw/CMakeFiles/swbpbc_sw.dir/pipeline.cpp.o" "gcc" "src/sw/CMakeFiles/swbpbc_sw.dir/pipeline.cpp.o.d"
+  "/root/repo/src/sw/scalar.cpp" "src/sw/CMakeFiles/swbpbc_sw.dir/scalar.cpp.o" "gcc" "src/sw/CMakeFiles/swbpbc_sw.dir/scalar.cpp.o.d"
+  "/root/repo/src/sw/scan.cpp" "src/sw/CMakeFiles/swbpbc_sw.dir/scan.cpp.o" "gcc" "src/sw/CMakeFiles/swbpbc_sw.dir/scan.cpp.o.d"
+  "/root/repo/src/sw/traceback.cpp" "src/sw/CMakeFiles/swbpbc_sw.dir/traceback.cpp.o" "gcc" "src/sw/CMakeFiles/swbpbc_sw.dir/traceback.cpp.o.d"
+  "/root/repo/src/sw/wavefront.cpp" "src/sw/CMakeFiles/swbpbc_sw.dir/wavefront.cpp.o" "gcc" "src/sw/CMakeFiles/swbpbc_sw.dir/wavefront.cpp.o.d"
+  "/root/repo/src/sw/wordwise.cpp" "src/sw/CMakeFiles/swbpbc_sw.dir/wordwise.cpp.o" "gcc" "src/sw/CMakeFiles/swbpbc_sw.dir/wordwise.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/encoding/CMakeFiles/swbpbc_encoding.dir/DependInfo.cmake"
+  "/root/repo/build/src/bulk/CMakeFiles/swbpbc_bulk.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/swbpbc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitsim/CMakeFiles/swbpbc_bitsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

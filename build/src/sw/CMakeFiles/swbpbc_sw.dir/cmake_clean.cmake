@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swbpbc_sw.dir/affine.cpp.o"
+  "CMakeFiles/swbpbc_sw.dir/affine.cpp.o.d"
+  "CMakeFiles/swbpbc_sw.dir/banded.cpp.o"
+  "CMakeFiles/swbpbc_sw.dir/banded.cpp.o.d"
+  "CMakeFiles/swbpbc_sw.dir/bpbc.cpp.o"
+  "CMakeFiles/swbpbc_sw.dir/bpbc.cpp.o.d"
+  "CMakeFiles/swbpbc_sw.dir/generic.cpp.o"
+  "CMakeFiles/swbpbc_sw.dir/generic.cpp.o.d"
+  "CMakeFiles/swbpbc_sw.dir/pipeline.cpp.o"
+  "CMakeFiles/swbpbc_sw.dir/pipeline.cpp.o.d"
+  "CMakeFiles/swbpbc_sw.dir/scalar.cpp.o"
+  "CMakeFiles/swbpbc_sw.dir/scalar.cpp.o.d"
+  "CMakeFiles/swbpbc_sw.dir/scan.cpp.o"
+  "CMakeFiles/swbpbc_sw.dir/scan.cpp.o.d"
+  "CMakeFiles/swbpbc_sw.dir/traceback.cpp.o"
+  "CMakeFiles/swbpbc_sw.dir/traceback.cpp.o.d"
+  "CMakeFiles/swbpbc_sw.dir/wavefront.cpp.o"
+  "CMakeFiles/swbpbc_sw.dir/wavefront.cpp.o.d"
+  "CMakeFiles/swbpbc_sw.dir/wordwise.cpp.o"
+  "CMakeFiles/swbpbc_sw.dir/wordwise.cpp.o.d"
+  "libswbpbc_sw.a"
+  "libswbpbc_sw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swbpbc_sw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

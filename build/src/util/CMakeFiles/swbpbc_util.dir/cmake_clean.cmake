@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swbpbc_util.dir/options.cpp.o"
+  "CMakeFiles/swbpbc_util.dir/options.cpp.o.d"
+  "CMakeFiles/swbpbc_util.dir/rng.cpp.o"
+  "CMakeFiles/swbpbc_util.dir/rng.cpp.o.d"
+  "CMakeFiles/swbpbc_util.dir/table.cpp.o"
+  "CMakeFiles/swbpbc_util.dir/table.cpp.o.d"
+  "CMakeFiles/swbpbc_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/swbpbc_util.dir/thread_pool.cpp.o.d"
+  "libswbpbc_util.a"
+  "libswbpbc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swbpbc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitsim_test.dir/bitsim/bitsim_test.cpp.o"
+  "CMakeFiles/bitsim_test.dir/bitsim/bitsim_test.cpp.o.d"
+  "CMakeFiles/bitsim_test.dir/bitsim/plan_wide_test.cpp.o"
+  "CMakeFiles/bitsim_test.dir/bitsim/plan_wide_test.cpp.o.d"
+  "bitsim_test"
+  "bitsim_test.pdb"
+  "bitsim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitsim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cky_test.dir/cky/cky_test.cpp.o"
+  "CMakeFiles/cky_test.dir/cky/cky_test.cpp.o.d"
+  "cky_test"
+  "cky_test.pdb"
+  "cky_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cky_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

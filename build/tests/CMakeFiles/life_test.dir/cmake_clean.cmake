@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/life_test.dir/life/life_test.cpp.o"
+  "CMakeFiles/life_test.dir/life/life_test.cpp.o.d"
+  "life_test"
+  "life_test.pdb"
+  "life_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/life_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

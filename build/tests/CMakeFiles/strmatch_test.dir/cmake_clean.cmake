@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strmatch_test.dir/strmatch/strmatch_test.cpp.o"
+  "CMakeFiles/strmatch_test.dir/strmatch/strmatch_test.cpp.o.d"
+  "strmatch_test"
+  "strmatch_test.pdb"
+  "strmatch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strmatch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sw_test.dir/sw/affine_test.cpp.o"
+  "CMakeFiles/sw_test.dir/sw/affine_test.cpp.o.d"
+  "CMakeFiles/sw_test.dir/sw/banded_test.cpp.o"
+  "CMakeFiles/sw_test.dir/sw/banded_test.cpp.o.d"
+  "CMakeFiles/sw_test.dir/sw/bpbc_test.cpp.o"
+  "CMakeFiles/sw_test.dir/sw/bpbc_test.cpp.o.d"
+  "CMakeFiles/sw_test.dir/sw/generic_test.cpp.o"
+  "CMakeFiles/sw_test.dir/sw/generic_test.cpp.o.d"
+  "CMakeFiles/sw_test.dir/sw/pipeline_test.cpp.o"
+  "CMakeFiles/sw_test.dir/sw/pipeline_test.cpp.o.d"
+  "CMakeFiles/sw_test.dir/sw/scalar_test.cpp.o"
+  "CMakeFiles/sw_test.dir/sw/scalar_test.cpp.o.d"
+  "CMakeFiles/sw_test.dir/sw/scan_test.cpp.o"
+  "CMakeFiles/sw_test.dir/sw/scan_test.cpp.o.d"
+  "CMakeFiles/sw_test.dir/sw/traceback_test.cpp.o"
+  "CMakeFiles/sw_test.dir/sw/traceback_test.cpp.o.d"
+  "CMakeFiles/sw_test.dir/sw/wavefront_test.cpp.o"
+  "CMakeFiles/sw_test.dir/sw/wavefront_test.cpp.o.d"
+  "sw_test"
+  "sw_test.pdb"
+  "sw_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sw_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/encoding_test[1]_include.cmake")
+include("/root/repo/build/tests/bitsim_test[1]_include.cmake")
+include("/root/repo/build/tests/bitops_test[1]_include.cmake")
+include("/root/repo/build/tests/sw_test[1]_include.cmake")
+include("/root/repo/build/tests/strmatch_test[1]_include.cmake")
+include("/root/repo/build/tests/circuit_test[1]_include.cmake")
+include("/root/repo/build/tests/device_test[1]_include.cmake")
+include("/root/repo/build/tests/bulk_test[1]_include.cmake")
+include("/root/repo/build/tests/life_test[1]_include.cmake")
+include("/root/repo/build/tests/cky_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
