@@ -16,11 +16,14 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "bulk/executor.hpp"
+#include "device/fault.hpp"
 #include "device/metrics.hpp"
+#include "util/status.hpp"
 
 namespace swbpbc::device {
 
@@ -28,6 +31,16 @@ struct LaunchConfig {
   std::size_t grid_dim = 1;      // number of blocks
   bool record_metrics = false;   // enable access tracing
   bulk::Mode mode = bulk::Mode::kParallel;  // blocks across the pool
+  // Optional fault model (see device/fault.hpp). When set, every block
+  // gets a deterministic per-block fault stream attached to its recorder.
+  FaultInjector* faults = nullptr;
+  // Watchdog deadline in lock-step phases (0 = disabled). A block whose
+  // phase count — including injected stall phases — exceeds the deadline
+  // is killed: with an injector attached the kill is logged as a watchdog
+  // trip and the block's outputs keep their launch-time contents (the
+  // corruption the self-checking pipeline must catch); without an
+  // injector a StatusError(kKernelTimeout) is thrown instead.
+  std::size_t watchdog_phases = 0;
 };
 
 /// Launches `factory(block_idx, recorder)` for every block and returns the
@@ -37,9 +50,29 @@ MetricTotals launch(const LaunchConfig& cfg, Factory&& factory) {
   std::vector<MetricTotals> per_block(cfg.grid_dim);
   bulk::for_each_instance(cfg.grid_dim, cfg.mode, [&](std::size_t b) {
     BlockRecorder recorder(cfg.record_metrics);
+    BlockFaults faults;
+    if (cfg.faults != nullptr) {
+      faults = cfg.faults->block_faults(b);
+      recorder.set_faults(&faults);
+    }
     auto kernel = factory(b, recorder);
     const std::size_t phases = kernel.num_phases();
     const unsigned dim = kernel.block_dim();
+    faults.bind_num_phases(phases);
+    if (cfg.watchdog_phases != 0 &&
+        phases + faults.stall_phases() > cfg.watchdog_phases) {
+      if (cfg.faults != nullptr) {
+        // Simulated kill: record the trip and leave the block's outputs
+        // untouched (stale/zero), like a real watchdog reset would.
+        cfg.faults->record_watchdog_trip();
+        per_block[b] = recorder.totals();
+        return;
+      }
+      throw util::StatusError(util::Status::kernel_timeout(
+          "block " + std::to_string(b) + " needs " + std::to_string(phases) +
+          " phases, watchdog allows " +
+          std::to_string(cfg.watchdog_phases)));
+    }
     for (std::size_t phase = 0; phase < phases; ++phase) {
       for (unsigned tid = 0; tid < dim; ++tid) kernel.step(phase, tid);
       recorder.end_phase();  // __syncthreads()

@@ -10,6 +10,7 @@
 #include <span>
 #include <vector>
 
+#include "device/fault.hpp"
 #include "device/metrics.hpp"
 
 namespace swbpbc::device {
@@ -22,23 +23,44 @@ class GlobalSpan {
  public:
   GlobalSpan() = default;
   GlobalSpan(std::span<T> data, std::uint64_t base_addr, BlockRecorder* rec)
-      : data_(data), base_(base_addr), rec_(rec) {}
+      : data_(data),
+        base_(base_addr),
+        rec_(rec != nullptr ? rec->sink() : nullptr) {}
 
   [[nodiscard]] std::size_t size() const { return data_.size(); }
 
+  // rec_ is non-null only when the recorder has work to do (metrics or
+  // faults — see BlockRecorder::sink()), so the production hot path is a
+  // single predictable null test straight to the underlying buffer; the
+  // instrumented path lives out of line to keep the inlined kernels tight.
   T load(std::size_t i, unsigned tid) const {
-    if (rec_ != nullptr)
-      rec_->record_global_read(tid, base_ + i * sizeof(T));
-    return data_[i];
+    if (rec_ == nullptr) return data_[i];
+    return load_slow(i, tid);
   }
 
   void store(std::size_t i, T v, unsigned tid) {
-    if (rec_ != nullptr)
-      rec_->record_global_write(tid, base_ + i * sizeof(T));
-    data_[i] = v;
+    if (rec_ == nullptr) {
+      data_[i] = v;
+      return;
+    }
+    store_slow(i, v, tid);
   }
 
  private:
+  [[gnu::noinline, gnu::cold]] T load_slow(std::size_t i,
+                                           unsigned tid) const {
+    rec_->record_global_read(tid, base_ + i * sizeof(T));
+    if (BlockFaults* f = rec_->faults(); f != nullptr)
+      return f->mutate_global_load(data_[i]);
+    return data_[i];
+  }
+
+  [[gnu::noinline, gnu::cold]] void store_slow(std::size_t i, T v,
+                                               unsigned tid) {
+    rec_->record_global_write(tid, base_ + i * sizeof(T));
+    data_[i] = v;
+  }
+
   std::span<T> data_{};
   std::uint64_t base_ = 0;
   BlockRecorder* rec_ = nullptr;
@@ -66,23 +88,47 @@ template <typename W>
 class SharedArray {
  public:
   explicit SharedArray(std::size_t n, BlockRecorder* rec)
-      : data_(n, W{0}), rec_(rec) {}
+      : data_(n, W{0}), rec_(rec != nullptr ? rec->sink() : nullptr) {}
 
   [[nodiscard]] std::size_t size() const { return data_.size(); }
 
+  // As with GlobalSpan, rec_ is nullptr unless metrics or faults are on,
+  // and the instrumented path is compiled out of line.
   W load(std::size_t i, unsigned tid) const {
-    record(i, tid);
-    return data_[i];
+    if (rec_ == nullptr) return data_[i];
+    return load_slow(i, tid);
   }
 
   void store(std::size_t i, W v, unsigned tid) {
-    record(i, tid);
-    data_[i] = v;
+    if (rec_ == nullptr) {
+      data_[i] = v;
+      return;
+    }
+    store_slow(i, v, tid);
   }
 
  private:
+  [[gnu::noinline, gnu::cold]] W load_slow(std::size_t i,
+                                           unsigned tid) const {
+    record(i, tid);
+    if (BlockFaults* f = rec_->faults(); f != nullptr)
+      return f->mutate_shared_load(data_[i]);
+    return data_[i];
+  }
+
+  [[gnu::noinline, gnu::cold]] void store_slow(std::size_t i, W v,
+                                               unsigned tid) {
+    record(i, tid);
+    // A dropped sync loses this phase's publication: the store never
+    // lands, so consumers keep reading the stale value.
+    if (BlockFaults* f = rec_->faults();
+        f != nullptr && f->drop_store(rec_->phase()))
+      return;
+    data_[i] = v;
+  }
+
   void record(std::size_t i, unsigned tid) const {
-    if (rec_ == nullptr || !rec_->enabled()) return;
+    if (!rec_->enabled()) return;
     // A W-sized element spans sizeof(W)/4 consecutive banks.
     constexpr std::size_t kWordsPer = sizeof(W) < 4 ? 1 : sizeof(W) / 4;
     const std::uint64_t first_bank = i * kWordsPer;

@@ -51,6 +51,7 @@ std::uint64_t BlockRecorder::bank_conflicts() {
 }
 
 void BlockRecorder::end_phase() {
+  ++phase_;
   if (!enabled_) return;
   totals_.global_reads += reads_.size();
   totals_.global_writes += writes_.size();

@@ -14,10 +14,13 @@
 // one phase. Tests account for this.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
 namespace swbpbc::device {
+
+class BlockFaults;  // device/fault.hpp
 
 inline constexpr unsigned kWarpSize = 32;
 inline constexpr unsigned kSegmentBytes = 128;  // coalescing segment
@@ -52,10 +55,27 @@ class BlockRecorder {
     if (enabled_) shared_.push_back({tid, bank});
   }
 
-  /// Reduces the phase trace into the running totals and clears it.
+  /// Reduces the phase trace into the running totals and clears it; also
+  /// advances the phase counter used by the fault model.
   void end_phase();
 
   [[nodiscard]] const MetricTotals& totals() const { return totals_; }
+
+  /// Optional fault state for this block (see device/fault.hpp). The
+  /// memory views consult it on every access; nullptr means no faults.
+  void set_faults(BlockFaults* faults) { faults_ = faults; }
+  [[nodiscard]] BlockFaults* faults() const { return faults_; }
+
+  /// Index of the lock-step phase currently executing.
+  [[nodiscard]] std::size_t phase() const { return phase_; }
+
+  /// The pointer the memory views should hold: this recorder when it has
+  /// anything to do (metrics or faults), nullptr otherwise. Views test
+  /// that single pointer on their hot path, so a production launch with
+  /// instrumentation and fault injection both off touches memory directly.
+  [[nodiscard]] BlockRecorder* sink() {
+    return (enabled_ || faults_ != nullptr) ? this : nullptr;
+  }
 
  private:
   struct Access {
@@ -64,6 +84,8 @@ class BlockRecorder {
   };
 
   bool enabled_;
+  BlockFaults* faults_ = nullptr;
+  std::size_t phase_ = 0;
   std::vector<Access> reads_;
   std::vector<Access> writes_;
   std::vector<Access> shared_;

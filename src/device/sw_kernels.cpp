@@ -425,6 +425,12 @@ GpuRunResult run_bpbc(std::span<const Sequence> xs,
   GpuRunResult result;
   util::WallTimer timer;
 
+  // Each device run is one fault campaign: retries of a failing batch
+  // observe a fresh (still seed-deterministic) fault pattern.
+  const std::uint64_t trips_before =
+      options.faults != nullptr ? options.faults->log().watchdog_trips : 0;
+  if (options.faults != nullptr) options.faults->begin_run();
+
   // Host wordwise packing (the paper's assumed host format).
   const std::vector<std::uint32_t> host_x = pack_wordwise(xs, m);
   const std::vector<std::uint32_t> host_y = pack_wordwise(ys, n);
@@ -456,7 +462,8 @@ GpuRunResult run_bpbc(std::span<const Sequence> xs,
                                                 encoding::kBitsPerBase);
   timer.reset();
   result.w2b_metrics = launch(
-      LaunchConfig{n_groups, options.record_metrics, options.mode},
+      LaunchConfig{n_groups, options.record_metrics, options.mode,
+                   options.faults},
       [&](std::size_t g, BlockRecorder& rec) {
         return W2bKernel<W>(g, rec, options.w2b_block_dim, char_plan, count,
                             m, n, b_x_words, b_y_words, b_x_hi, b_x_lo,
@@ -472,7 +479,8 @@ GpuRunResult run_bpbc(std::span<const Sequence> xs,
   consts.c2 = bitops::broadcast_constant<W>(params.mismatch, s);
   timer.reset();
   result.swa_metrics = launch(
-      LaunchConfig{n_groups, options.record_metrics, options.mode},
+      LaunchConfig{n_groups, options.record_metrics, options.mode,
+                   options.faults, options.watchdog_phases},
       [&](std::size_t g, BlockRecorder& rec) {
         return SwWavefrontKernel<W>(g, rec, consts, m, n, b_x_hi, b_x_lo,
                                     b_y_hi, b_y_lo, b_slices);
@@ -484,7 +492,8 @@ GpuRunResult run_bpbc(std::span<const Sequence> xs,
       bitsim::TransposePlan::untranspose_low_bits(kLanes, s);
   timer.reset();
   result.b2w_metrics = launch(
-      LaunchConfig{n_groups, options.record_metrics, options.mode},
+      LaunchConfig{n_groups, options.record_metrics, options.mode,
+                   options.faults},
       [&](std::size_t g, BlockRecorder& rec) {
         return B2wKernel<W>(g, rec, score_plan, s, count, b_slices,
                             b_scores);
@@ -496,6 +505,14 @@ GpuRunResult run_bpbc(std::span<const Sequence> xs,
   result.scores.assign(d_scores.begin(),
                        d_scores.begin() + static_cast<std::ptrdiff_t>(count));
   result.timings.g2h_ms = timer.elapsed_ms();
+
+  if (options.faults != nullptr) {
+    const std::uint64_t trips =
+        options.faults->log().watchdog_trips - trips_before;
+    if (trips != 0)
+      result.status = util::Status::kernel_timeout(
+          std::to_string(trips) + " block(s) killed by the watchdog");
+  }
   return result;
 }
 
@@ -526,6 +543,10 @@ GpuRunResult gpu_wordwise_max_scores(std::span<const Sequence> xs,
   const std::size_t m = xs.front().size();
   const std::size_t n = ys.front().size();
 
+  const std::uint64_t trips_before =
+      options.faults != nullptr ? options.faults->log().watchdog_trips : 0;
+  if (options.faults != nullptr) options.faults->begin_run();
+
   util::WallTimer timer;
   const std::vector<std::uint32_t> host_x = pack_wordwise(xs, m);
   const std::vector<std::uint32_t> host_y = pack_wordwise(ys, n);
@@ -543,7 +564,8 @@ GpuRunResult gpu_wordwise_max_scores(std::span<const Sequence> xs,
 
   timer.reset();
   result.swa_metrics = launch(
-      LaunchConfig{count, options.record_metrics, options.mode},
+      LaunchConfig{count, options.record_metrics, options.mode,
+                   options.faults, options.watchdog_phases},
       [&](std::size_t pair, BlockRecorder& rec) {
         return WordwiseKernel(pair, rec, params, m, n, b_x, b_y, b_scores);
       });
@@ -552,7 +574,26 @@ GpuRunResult gpu_wordwise_max_scores(std::span<const Sequence> xs,
   timer.reset();
   result.scores = d_scores;
   result.timings.g2h_ms = timer.elapsed_ms();
+
+  if (options.faults != nullptr) {
+    const std::uint64_t trips =
+        options.faults->log().watchdog_trips - trips_before;
+    if (trips != 0)
+      result.status = util::Status::kernel_timeout(
+          std::to_string(trips) + " block(s) killed by the watchdog");
+  }
   return result;
+}
+
+sw::ScoreBackend make_screen_backend(const sw::ScoreParams& params,
+                                     sw::LaneWidth width,
+                                     GpuRunOptions options) {
+  return [params, width, options](std::span<const Sequence> xs,
+                                  std::span<const Sequence> ys) {
+    // Watchdog kills and injected faults surface as corrupted scores; the
+    // screening pipeline's self-check is responsible for catching them.
+    return gpu_bpbc_max_scores(xs, ys, params, width, options).scores;
+  };
 }
 
 }  // namespace swbpbc::device

@@ -17,10 +17,13 @@
 #include <vector>
 
 #include "bulk/executor.hpp"
+#include "device/fault.hpp"
 #include "device/metrics.hpp"
 #include "encoding/dna.hpp"
 #include "sw/bpbc.hpp"
 #include "sw/params.hpp"
+#include "sw/pipeline.hpp"
+#include "util/status.hpp"
 
 namespace swbpbc::device {
 
@@ -39,6 +42,13 @@ struct GpuRunOptions {
   bool record_metrics = false;  // trace coalescing / bank conflicts
   bulk::Mode mode = bulk::Mode::kParallel;  // blocks across the host pool
   unsigned w2b_block_dim = 256;  // threads per block for the W2B kernel
+  // Optional fault model (device/fault.hpp): attached to every kernel
+  // launch of the run; each run advances the injector's campaign.
+  FaultInjector* faults = nullptr;
+  // Watchdog deadline (phases) applied to the SWA wavefront launch; 0
+  // disables it. With an injector, stalled blocks are killed and logged;
+  // without one, exceeding the deadline throws kKernelTimeout.
+  std::size_t watchdog_phases = 0;
 };
 
 struct GpuRunResult {
@@ -47,6 +57,9 @@ struct GpuRunResult {
   MetricTotals w2b_metrics;
   MetricTotals swa_metrics;
   MetricTotals b2w_metrics;
+  // Ok unless the watchdog killed blocks this run (kKernelTimeout); the
+  // scores of killed blocks are whatever the launch-time buffers held.
+  util::Status status;
 
   [[nodiscard]] MetricTotals metrics() const {
     MetricTotals t;
@@ -71,5 +84,13 @@ GpuRunResult gpu_wordwise_max_scores(std::span<const encoding::Sequence> xs,
                                      std::span<const encoding::Sequence> ys,
                                      const sw::ScoreParams& params,
                                      const GpuRunOptions& options = {});
+
+/// Adapts the device-sim BPBC pipeline (optionally fault-injected via
+/// `options.faults`) to sw::ScreenConfig::backend, turning sw::screen into
+/// a correctness-under-fault harness: faults corrupt scores here, and the
+/// pipeline's self-check must detect and recover every one.
+sw::ScoreBackend make_screen_backend(const sw::ScoreParams& params,
+                                     sw::LaneWidth width,
+                                     GpuRunOptions options = {});
 
 }  // namespace swbpbc::device

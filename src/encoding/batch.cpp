@@ -36,16 +36,19 @@ const bitsim::TransposePlan& value_plan(unsigned s) {
 }  // namespace
 
 template <bitsim::LaneWord W>
-TransposedBatch<W> transpose_strings(std::span<const Sequence> seqs,
-                                     TransposeMethod method) {
+util::Expected<TransposedBatch<W>> try_transpose_strings(
+    std::span<const Sequence> seqs, TransposeMethod method) {
   constexpr unsigned kLanes = bitsim::word_bits_v<W>;
   TransposedBatch<W> batch;
   batch.count = seqs.size();
   batch.length = seqs.empty() ? 0 : seqs.front().size();
-  for (const auto& s : seqs) {
-    if (s.size() != batch.length)
-      throw std::invalid_argument(
-          "transpose_strings requires equal-length sequences");
+  for (std::size_t k = 0; k < seqs.size(); ++k) {
+    if (seqs[k].size() != batch.length)
+      return util::Status::invalid_input(
+          "transpose_strings requires equal-length sequences: seqs[" +
+          std::to_string(k) + "] has length " +
+          std::to_string(seqs[k].size()) + ", batch requires " +
+          std::to_string(batch.length));
   }
 
   const std::size_t n_groups = (seqs.size() + kLanes - 1) / kLanes;
@@ -88,6 +91,12 @@ TransposedBatch<W> transpose_strings(std::span<const Sequence> seqs,
     }
   }
   return batch;
+}
+
+template <bitsim::LaneWord W>
+TransposedBatch<W> transpose_strings(std::span<const Sequence> seqs,
+                                     TransposeMethod method) {
+  return try_transpose_strings<W>(seqs, method).value();
 }
 
 template <bitsim::LaneWord W>
@@ -140,6 +149,12 @@ std::vector<W> transpose_values(std::span<const std::uint32_t> values,
 }
 
 // Explicit instantiations for the two lane widths the library supports.
+template util::Expected<TransposedBatch<std::uint32_t>>
+try_transpose_strings<std::uint32_t>(std::span<const Sequence>,
+                                     TransposeMethod);
+template util::Expected<TransposedBatch<std::uint64_t>>
+try_transpose_strings<std::uint64_t>(std::span<const Sequence>,
+                                     TransposeMethod);
 template TransposedBatch<std::uint32_t> transpose_strings<std::uint32_t>(
     std::span<const Sequence>, TransposeMethod);
 template TransposedBatch<std::uint64_t> transpose_strings<std::uint64_t>(

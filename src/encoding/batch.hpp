@@ -15,6 +15,7 @@
 #include "bitsim/plan.hpp"
 #include "bitsim/swapcopy.hpp"
 #include "encoding/dna.hpp"
+#include "util/status.hpp"
 
 namespace swbpbc::encoding {
 
@@ -45,7 +46,14 @@ struct TransposedBatch {
 };
 
 /// Converts equal-length strings to bit-transpose format (the paper's
-/// "W2B" step). Throws std::invalid_argument if lengths differ.
+/// "W2B" step). Returns kInvalidInput, naming the offending index, if
+/// lengths differ.
+template <bitsim::LaneWord W>
+util::Expected<TransposedBatch<W>> try_transpose_strings(
+    std::span<const Sequence> seqs,
+    TransposeMethod method = TransposeMethod::kPlanned);
+
+/// Throwing convenience wrapper (throws util::StatusError).
 template <bitsim::LaneWord W>
 TransposedBatch<W> transpose_strings(
     std::span<const Sequence> seqs,

@@ -3,22 +3,32 @@
 namespace swbpbc::encoding {
 
 Base base_from_char(char ch) {
+  Base b;
+  if (!try_base_from_char(ch, b))
+    throw std::invalid_argument(std::string("not a DNA base: '") + ch + "'");
+  return b;
+}
+
+bool try_base_from_char(char ch, Base& out) {
   switch (ch) {
     case 'A':
     case 'a':
-      return Base::A;
+      out = Base::A;
+      return true;
     case 'C':
     case 'c':
-      return Base::C;
+      out = Base::C;
+      return true;
     case 'G':
     case 'g':
-      return Base::G;
+      out = Base::G;
+      return true;
     case 'T':
     case 't':
-      return Base::T;
+      out = Base::T;
+      return true;
     default:
-      throw std::invalid_argument(std::string("not a DNA base: '") + ch +
-                                  "'");
+      return false;
   }
 }
 

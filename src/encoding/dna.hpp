@@ -47,6 +47,11 @@ constexpr Base base_from_code(std::uint8_t c) {
 /// outside {A,C,G,T,a,c,g,t}.
 Base base_from_char(char ch);
 
+/// Non-throwing variant: writes the base and returns true, or returns
+/// false for anything outside {A,C,G,T,a,c,g,t} (parsers that need to
+/// report position information use this instead of catching).
+bool try_base_from_char(char ch, Base& out);
+
 /// Base -> uppercase character.
 char to_char(Base b);
 

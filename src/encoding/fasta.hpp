@@ -1,4 +1,9 @@
 // Minimal FASTA reader/writer so examples can run on real sequence files.
+//
+// The reader is hardened for pipeline use: malformed input is reported as
+// a typed kParseError naming the offending line (and column for bad
+// characters) instead of whatever base_from_char happened to throw, and
+// records with empty names or empty sequences are rejected.
 #pragma once
 
 #include <iosfwd>
@@ -6,6 +11,7 @@
 #include <vector>
 
 #include "encoding/dna.hpp"
+#include "util/status.hpp"
 
 namespace swbpbc::encoding {
 
@@ -15,11 +21,17 @@ struct FastaRecord {
 };
 
 /// Parses FASTA from a stream. Skips blank lines; concatenates wrapped
-/// sequence lines; throws std::invalid_argument on malformed input or
-/// non-ACGT characters.
-std::vector<FastaRecord> read_fasta(std::istream& in);
+/// sequence lines. Returns kParseError (with 1-based line, and column for
+/// invalid characters) on: sequence data before any header, an empty
+/// record name, a record with no sequence, or a non-ACGT character.
+util::Expected<std::vector<FastaRecord>> try_read_fasta(std::istream& in);
 
 /// Convenience: parse from a string.
+util::Expected<std::vector<FastaRecord>> try_read_fasta_string(
+    const std::string& text);
+
+/// Throwing wrappers around the try_ forms (throw util::StatusError).
+std::vector<FastaRecord> read_fasta(std::istream& in);
 std::vector<FastaRecord> read_fasta_string(const std::string& text);
 
 /// Writes records in FASTA format, wrapping sequence lines at `width`.

@@ -128,18 +128,45 @@ std::vector<std::uint32_t> run_bpbc(std::span<const encoding::Sequence> xs,
 
 }  // namespace
 
-std::vector<std::uint32_t> bpbc_max_scores(
+util::Expected<std::vector<std::uint32_t>> try_bpbc_max_scores(
     std::span<const encoding::Sequence> xs,
     std::span<const encoding::Sequence> ys, const ScoreParams& params,
     LaneWidth width, bulk::Mode mode, encoding::TransposeMethod method,
     PhaseTimings* timings) {
   if (xs.size() != ys.size())
-    throw std::invalid_argument("pattern/text count mismatch");
-  if (xs.empty()) return {};
+    return util::Status::invalid_input(
+        "pattern/text count mismatch: " + std::to_string(xs.size()) +
+        " patterns vs " + std::to_string(ys.size()) + " texts");
+  if (xs.empty()) return std::vector<std::uint32_t>{};
+  const std::size_t m = xs.front().size();
+  const std::size_t n = ys.front().size();
+  if (m == 0 || n == 0)
+    return util::Status::invalid_input("sequences must be non-empty");
+  for (std::size_t k = 0; k < xs.size(); ++k) {
+    if (xs[k].size() != m)
+      return util::Status::invalid_input(
+          "non-uniform batch: xs[" + std::to_string(k) + "] has length " +
+          std::to_string(xs[k].size()) + ", batch requires " +
+          std::to_string(m));
+    if (ys[k].size() != n)
+      return util::Status::invalid_input(
+          "non-uniform batch: ys[" + std::to_string(k) + "] has length " +
+          std::to_string(ys[k].size()) + ", batch requires " +
+          std::to_string(n));
+  }
   return width == LaneWidth::k32
              ? run_bpbc<std::uint32_t>(xs, ys, params, mode, method, timings)
              : run_bpbc<std::uint64_t>(xs, ys, params, mode, method,
                                        timings);
+}
+
+std::vector<std::uint32_t> bpbc_max_scores(
+    std::span<const encoding::Sequence> xs,
+    std::span<const encoding::Sequence> ys, const ScoreParams& params,
+    LaneWidth width, bulk::Mode mode, encoding::TransposeMethod method,
+    PhaseTimings* timings) {
+  return try_bpbc_max_scores(xs, ys, params, width, mode, method, timings)
+      .value();
 }
 
 }  // namespace swbpbc::sw

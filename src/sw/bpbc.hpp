@@ -21,6 +21,7 @@
 #include "encoding/batch.hpp"
 #include "encoding/dna.hpp"
 #include "sw/params.hpp"
+#include "util/status.hpp"
 
 namespace swbpbc::sw {
 
@@ -79,8 +80,18 @@ struct PhaseTimings {
 };
 
 /// Scores all pairs (xs[k], ys[k]) with the BPBC technique. All xs must
-/// share one length m and all ys one length n. `timings`, when non-null,
+/// share one length m and all ys one length n; violations are reported as
+/// kInvalidInput (with the offending index) instead of failing mid-batch.
+/// An empty batch scores to an empty vector. `timings`, when non-null,
 /// receives per-phase wall times.
+util::Expected<std::vector<std::uint32_t>> try_bpbc_max_scores(
+    std::span<const encoding::Sequence> xs,
+    std::span<const encoding::Sequence> ys, const ScoreParams& params,
+    LaneWidth width = LaneWidth::k64, bulk::Mode mode = bulk::Mode::kSerial,
+    encoding::TransposeMethod method = encoding::TransposeMethod::kPlanned,
+    PhaseTimings* timings = nullptr);
+
+/// Throwing convenience wrapper around try_bpbc_max_scores (StatusError).
 std::vector<std::uint32_t> bpbc_max_scores(
     std::span<const encoding::Sequence> xs,
     std::span<const encoding::Sequence> ys, const ScoreParams& params,

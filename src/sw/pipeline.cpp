@@ -1,15 +1,179 @@
 #include "sw/pipeline.hpp"
 
+#include <chrono>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "sw/wordwise.hpp"
 #include "util/timer.hpp"
 
 namespace swbpbc::sw {
 
-ScreenReport screen(std::span<const encoding::Sequence> xs,
-                    std::span<const encoding::Sequence> ys,
-                    const ScreenConfig& config) {
+namespace {
+
+using encoding::Sequence;
+
+util::Status validate_batch(std::span<const Sequence> xs,
+                            std::span<const Sequence> ys) {
+  if (xs.size() != ys.size())
+    return util::Status::invalid_input(
+        "pattern/text count mismatch: " + std::to_string(xs.size()) +
+        " patterns vs " + std::to_string(ys.size()) + " texts");
+  if (xs.empty())
+    return util::Status::invalid_input("empty batch: no pairs to screen");
+  const std::size_t m = xs.front().size();
+  const std::size_t n = ys.front().size();
+  if (m == 0 || n == 0)
+    return util::Status::invalid_input("sequences must be non-empty");
+  for (std::size_t k = 0; k < xs.size(); ++k) {
+    if (xs[k].size() != m)
+      return util::Status::invalid_input(
+          "non-uniform batch: xs[" + std::to_string(k) + "] has length " +
+          std::to_string(xs[k].size()) + ", batch requires " +
+          std::to_string(m));
+    if (ys[k].size() != n)
+      return util::Status::invalid_input(
+          "non-uniform batch: ys[" + std::to_string(k) + "] has length " +
+          std::to_string(ys[k].size()) + ", batch requires " +
+          std::to_string(n));
+  }
+  return {};
+}
+
+// Runs the verify-quarantine-retry-fallback recovery of reliability.hpp
+// over `scores` in place. Returns non-ok only if even the wordwise CPU
+// fallback disagrees with the scalar reference (a library invariant
+// violation, not a transient fault).
+util::Status self_check(std::span<const Sequence> xs,
+                        std::span<const Sequence> ys,
+                        const ScreenConfig& config,
+                        const ScoreBackend& rescore,
+                        std::vector<std::uint32_t>& scores,
+                        ReliabilityReport& rel) {
+  const std::size_t count = xs.size();
+  util::WallTimer verify_timer;
+
+  // Verification set: every sampled lane plus every apparent hit (a
+  // fabricated hit must never reach the detailed-alignment stage).
+  std::vector<char> selected(count, 0);
+  if (config.check.sample_every > 0) {
+    for (std::size_t k = 0; k < count; k += config.check.sample_every)
+      selected[k] = 1;
+  }
+  for (std::size_t k = 0; k < count; ++k) {
+    if (scores[k] >= config.threshold) selected[k] = 1;
+  }
+  std::vector<std::size_t> verify;
+  for (std::size_t k = 0; k < count; ++k) {
+    if (selected[k] != 0) verify.push_back(k);
+  }
+
+  std::vector<std::uint32_t> refs(count, 0);
+  bulk::for_each_instance(verify.size(), config.mode, [&](std::size_t v) {
+    const std::size_t k = verify[v];
+    refs[k] = max_score(xs[k], ys[k], config.params);
+  });
+
+  std::vector<std::size_t> quarantined;
+  for (std::size_t k : verify) {
+    if (scores[k] != refs[k]) quarantined.push_back(k);
+  }
+  rel.lanes_verified += verify.size();
+  rel.mismatches_detected += quarantined.size();
+  rel.lanes_quarantined += quarantined.size();
+  rel.verify_ms += verify_timer.elapsed_ms();
+
+  util::WallTimer retry_timer;
+  for (unsigned attempt = 1;
+       !quarantined.empty() && attempt <= config.check.max_retries;
+       ++attempt) {
+    if (config.check.backoff_base_ms > 0.0) {
+      const double wait_ms =
+          config.check.backoff_base_ms * static_cast<double>(1u << (attempt - 1));
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(wait_ms));
+      rel.backoff_ms += wait_ms;
+    }
+    ++rel.retry_attempts;
+
+    std::vector<Sequence> qx, qy;
+    qx.reserve(quarantined.size());
+    qy.reserve(quarantined.size());
+    for (std::size_t k : quarantined) {
+      qx.push_back(xs[k]);
+      qy.push_back(ys[k]);
+    }
+    const std::vector<std::uint32_t> rescored = rescore(qx, qy);
+    if (rescored.size() != quarantined.size())
+      return util::Status::internal(
+          "backend returned " + std::to_string(rescored.size()) +
+          " scores for a quarantine batch of " +
+          std::to_string(quarantined.size()));
+
+    std::vector<std::size_t> still;
+    for (std::size_t i = 0; i < quarantined.size(); ++i) {
+      const std::size_t k = quarantined[i];
+      if (rescored[i] == refs[k]) {
+        scores[k] = rescored[i];
+        ++rel.lanes_recovered;
+      } else {
+        still.push_back(k);
+      }
+    }
+    quarantined.swap(still);
+  }
+
+  // Retry budget exhausted: the wordwise CPU path settles the lane.
+  for (std::size_t k : quarantined) {
+    const std::uint32_t w = wordwise_max_score(xs[k], ys[k], config.params);
+    if (w != refs[k])
+      return util::Status::lane_corrupt(
+          "lane " + std::to_string(k) + ": wordwise fallback score " +
+          std::to_string(w) + " disagrees with scalar reference " +
+          std::to_string(refs[k]));
+    scores[k] = w;
+    ++rel.lanes_fell_back;
+  }
+  rel.retry_ms += retry_timer.elapsed_ms();
+  return {};
+}
+
+}  // namespace
+
+util::Expected<ScreenReport> try_screen(std::span<const Sequence> xs,
+                                        std::span<const Sequence> ys,
+                                        const ScreenConfig& config) {
+  if (util::Status s = validate_batch(xs, ys); !s.ok()) return s;
+
+  const ScoreBackend rescore =
+      config.backend
+          ? config.backend
+          : ScoreBackend([&config](std::span<const Sequence> qx,
+                                   std::span<const Sequence> qy) {
+              return bpbc_max_scores(qx, qy, config.params, config.width,
+                                     config.mode, config.method, nullptr);
+            });
+
   ScreenReport report;
-  report.scores = bpbc_max_scores(xs, ys, config.params, config.width,
-                                  config.mode, config.method, &report.bpbc);
+  if (config.backend) {
+    util::WallTimer timer;
+    report.scores = config.backend(xs, ys);
+    report.bpbc.swa_ms = timer.elapsed_ms();
+  } else {
+    report.scores = bpbc_max_scores(xs, ys, config.params, config.width,
+                                    config.mode, config.method, &report.bpbc);
+  }
+  if (report.scores.size() != xs.size())
+    return util::Status::internal(
+        "backend returned " + std::to_string(report.scores.size()) +
+        " scores for " + std::to_string(xs.size()) + " pairs");
+
+  if (config.check.enabled) {
+    if (util::Status s = self_check(xs, ys, config, rescore, report.scores,
+                                    report.reliability);
+        !s.ok())
+      return s;
+  }
 
   for (std::size_t k = 0; k < report.scores.size(); ++k) {
     if (report.scores[k] >= config.threshold) {
@@ -29,6 +193,12 @@ ScreenReport screen(std::span<const encoding::Sequence> xs,
     report.traceback_ms = timer.elapsed_ms();
   }
   return report;
+}
+
+ScreenReport screen(std::span<const Sequence> xs,
+                    std::span<const Sequence> ys,
+                    const ScreenConfig& config) {
+  return try_screen(xs, ys, config).value();
 }
 
 }  // namespace swbpbc::sw

@@ -1,9 +1,15 @@
 // The screening pipeline of paper §III: the BPBC pass computes every
 // pair's maximum DP score; pairs whose score reaches the threshold tau are
 // re-aligned in detail (score + traceback) by the scalar CPU aligner.
+//
+// Hardened form: inputs are validated up front (typed errors instead of
+// UB), and an optional self-check re-scores sampled lanes plus every hit
+// against the scalar reference, quarantining and retrying mismatching
+// lanes — see sw/reliability.hpp for the recovery model.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -11,9 +17,19 @@
 #include "encoding/batch.hpp"
 #include "encoding/dna.hpp"
 #include "sw/bpbc.hpp"
+#include "sw/reliability.hpp"
 #include "sw/scalar.hpp"
+#include "util/status.hpp"
 
 namespace swbpbc::sw {
+
+/// Pluggable scoring backend: maps pairs (xs[k], ys[k]) to their max DP
+/// scores. Lets screen() run on an alternative engine — notably the
+/// device simulator with fault injection (device::make_screen_backend) —
+/// without sw depending on device. Must accept any uniform-length subset
+/// of the batch (the quarantine-retry path re-submits subsets).
+using ScoreBackend = std::function<std::vector<std::uint32_t>(
+    std::span<const encoding::Sequence>, std::span<const encoding::Sequence>)>;
 
 struct ScreenConfig {
   ScoreParams params;
@@ -22,6 +38,8 @@ struct ScreenConfig {
   bulk::Mode mode = bulk::Mode::kSerial;
   encoding::TransposeMethod method = encoding::TransposeMethod::kPlanned;
   bool traceback = true;  // run the detailed CPU alignment on hits
+  ScoreBackend backend;   // empty: host BPBC path (bpbc_max_scores)
+  SelfCheckConfig check;  // verify-quarantine-retry; disabled by default
 };
 
 struct ScreenHit {
@@ -35,10 +53,19 @@ struct ScreenReport {
   std::vector<ScreenHit> hits;        // pairs with score >= threshold
   PhaseTimings bpbc;                  // W2B / SWA / B2W wall times
   double traceback_ms = 0.0;
+  ReliabilityReport reliability;      // populated when check.enabled
 };
 
 /// Screens pairs (xs[k], ys[k]) and re-aligns the hits. All xs must share
 /// one length and all ys one length (the BPBC batch requirement).
+/// Returns kInvalidInput for empty batches, mismatched xs/ys counts,
+/// empty sequences, or non-uniform lengths; kLaneCorrupt if recovery
+/// cannot reconcile a lane with the scalar reference.
+util::Expected<ScreenReport> try_screen(
+    std::span<const encoding::Sequence> xs,
+    std::span<const encoding::Sequence> ys, const ScreenConfig& config);
+
+/// Throwing convenience wrapper around try_screen (throws StatusError).
 ScreenReport screen(std::span<const encoding::Sequence> xs,
                     std::span<const encoding::Sequence> ys,
                     const ScreenConfig& config);

@@ -1,0 +1,59 @@
+// Self-check and recovery accounting for the screening pipeline.
+//
+// The BPBC filter is a screening step: a corrupted lane that silently
+// drops or fabricates a hit defeats its purpose. When SelfCheckConfig is
+// enabled, sw::screen re-scores a configurable sample of lanes (plus every
+// hit) against the scalar reference, quarantines mismatching lanes,
+// retries them through the same backend with exponential backoff, and
+// finally falls back to the wordwise CPU path; ReliabilityReport accounts
+// for every action so an operator can reconcile detected corruption with
+// injected faults (see device/fault.hpp).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace swbpbc::sw {
+
+struct SelfCheckConfig {
+  bool enabled = false;  // everything below is inert when false
+  // Re-score every k-th lane against the scalar reference (1 = verify all
+  // lanes, 0 = verify only hits). Hits are always verified.
+  std::size_t sample_every = 0;
+  // Quarantined lanes are re-run through the backend up to this many
+  // times before falling back to the wordwise CPU path.
+  unsigned max_retries = 3;
+  // Exponential backoff before retry r sleeps base * 2^(r-1) milliseconds
+  // (0 disables sleeping; deterministic tests want that).
+  double backoff_base_ms = 0.0;
+};
+
+struct ReliabilityReport {
+  std::uint64_t lanes_verified = 0;      // lanes re-scored vs scalar ref
+  std::uint64_t mismatches_detected = 0; // lanes whose score disagreed
+  std::uint64_t lanes_quarantined = 0;   // == mismatches_detected
+  std::uint64_t retry_attempts = 0;      // backend re-runs of quarantine
+  std::uint64_t lanes_recovered = 0;     // fixed by a backend retry
+  std::uint64_t lanes_fell_back = 0;     // fixed by the wordwise CPU path
+  double verify_ms = 0.0;
+  double retry_ms = 0.0;
+  double backoff_ms = 0.0;  // total time slept in exponential backoff
+
+  /// Every detected mismatch must end up recovered or fallen back — the
+  /// accounting invariant the fault drill asserts.
+  [[nodiscard]] bool balanced() const {
+    return mismatches_detected == lanes_recovered + lanes_fell_back;
+  }
+
+  /// One-line human-readable summary.
+  [[nodiscard]] std::string summary() const {
+    return "verified=" + std::to_string(lanes_verified) +
+           " mismatched=" + std::to_string(mismatches_detected) +
+           " retries=" + std::to_string(retry_attempts) +
+           " recovered=" + std::to_string(lanes_recovered) +
+           " fell_back=" + std::to_string(lanes_fell_back);
+  }
+};
+
+}  // namespace swbpbc::sw

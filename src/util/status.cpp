@@ -1,0 +1,37 @@
+#include "util/status.hpp"
+
+namespace swbpbc::util {
+
+const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk:
+      return "OK";
+    case ErrorCode::kInvalidInput:
+      return "INVALID_INPUT";
+    case ErrorCode::kParseError:
+      return "PARSE_ERROR";
+    case ErrorCode::kLaneCorrupt:
+      return "LANE_CORRUPT";
+    case ErrorCode::kKernelTimeout:
+      return "KERNEL_TIMEOUT";
+    case ErrorCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
+    case ErrorCode::kRetryExhausted:
+      return "RETRY_EXHAUSTED";
+    case ErrorCode::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::to_string() const {
+  if (ok()) return "OK";
+  std::string out = error_code_name(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace swbpbc::util

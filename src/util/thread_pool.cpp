@@ -6,6 +6,38 @@
 
 namespace swbpbc::util {
 
+namespace {
+
+// Upper bound on retained exception_ptrs per parallel_for; beyond it only
+// the drop count grows (unbounded retention could itself exhaust memory
+// when every iteration of a large loop throws).
+constexpr std::size_t kMaxCapturedErrors = 16;
+
+std::string describe(const std::exception_ptr& ep) {
+  try {
+    std::rethrow_exception(ep);
+  } catch (const std::exception& e) {
+    return e.what();
+  } catch (...) {
+    return "unknown exception";
+  }
+}
+
+}  // namespace
+
+AggregateError::AggregateError(std::vector<std::exception_ptr> errors,
+                               std::size_t dropped)
+    : std::runtime_error([&errors, dropped] {
+        std::string msg = std::to_string(errors.size() + dropped) +
+                          " parallel_for iterations threw:";
+        for (const auto& ep : errors) msg += " [" + describe(ep) + "]";
+        if (dropped != 0)
+          msg += " (+" + std::to_string(dropped) + " not retained)";
+        return msg;
+      }()),
+      errors_(std::move(errors)),
+      dropped_(dropped) {}
+
 // The ForJob declared in the header carries chunk-claiming state; completion
 // is tracked via `pending_workers` (re-used as the remaining-iteration
 // counter) plus `users` (workers still holding the job pointer). The
@@ -44,7 +76,10 @@ void ThreadPool::drive(ForJob& job) {
     } catch (...) {
       {
         std::lock_guard<std::mutex> lk(job.err_mutex);
-        if (!job.error) job.error = std::current_exception();
+        if (job.errors.size() < kMaxCapturedErrors)
+          job.errors.push_back(std::current_exception());
+        else
+          ++job.errors_dropped;
       }
       // Stop handing out chunks and retire the iterations that will now
       // never be claimed, so the submitter's wait can complete.
@@ -124,7 +159,11 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
       return job.pending_workers.load() == 0 && job.users == 0;
     });
   }
-  if (job.error) std::rethrow_exception(job.error);
+  if (!job.errors.empty()) {
+    if (job.errors.size() == 1 && job.errors_dropped == 0)
+      std::rethrow_exception(job.errors.front());
+    throw AggregateError(std::move(job.errors), job.errors_dropped);
+  }
 }
 
 std::size_t ThreadPool::default_thread_count() {

@@ -11,10 +11,31 @@
 #include <exception>
 #include <functional>
 #include <mutex>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
 namespace swbpbc::util {
+
+/// Thrown by parallel_for when more than one iteration threw: every
+/// captured exception (up to a small cap) is retained so no failure is
+/// silently discarded; what() concatenates their messages.
+class AggregateError : public std::runtime_error {
+ public:
+  AggregateError(std::vector<std::exception_ptr> errors, std::size_t dropped);
+
+  /// The captured exceptions, in capture order.
+  [[nodiscard]] const std::vector<std::exception_ptr>& errors() const {
+    return errors_;
+  }
+  /// Exceptions beyond the capture cap (counted, not retained).
+  [[nodiscard]] std::size_t dropped() const { return dropped_; }
+
+ private:
+  std::vector<std::exception_ptr> errors_;
+  std::size_t dropped_;
+};
 
 /// Fixed-size thread pool. `n_threads == 0` degrades every operation to
 /// serial execution on the calling thread (useful for deterministic tests).
@@ -31,8 +52,10 @@ class ThreadPool {
 
   /// Runs `fn(i)` for every i in [begin, end). Blocks until all iterations
   /// finish. The calling thread participates. Iterations are handed out in
-  /// contiguous chunks of `grain` to limit scheduling overhead. The first
-  /// exception thrown by any iteration is re-thrown on the caller.
+  /// contiguous chunks of `grain` to limit scheduling overhead. A single
+  /// throwing iteration re-throws its exception on the caller; when several
+  /// iterations throw concurrently they are aggregated into one
+  /// AggregateError so no failure is lost.
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& fn,
                     std::size_t grain = 1);
@@ -53,7 +76,8 @@ class ThreadPool {
     std::atomic<std::size_t> pending_workers{0};
     int users = 0;  // workers currently holding a pointer to this job
     std::mutex err_mutex;
-    std::exception_ptr error;
+    std::vector<std::exception_ptr> errors;  // capped at kMaxCapturedErrors
+    std::size_t errors_dropped = 0;
     std::condition_variable done_cv;
     std::mutex done_mutex;
   };

@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "encoding/fasta.hpp"
+#include "util/status.hpp"
+
+namespace swbpbc::encoding {
+namespace {
+
+util::Status parse_status(const std::string& text) {
+  const auto result = try_read_fasta_string(text);
+  EXPECT_FALSE(result.has_value()) << "input unexpectedly parsed: " << text;
+  return result.status();
+}
+
+TEST(FastaNegative, InvalidCharacterNamesLineAndColumn) {
+  const util::Status s = parse_status(">seq1\nACGT\nACGN\n");
+  EXPECT_EQ(s.code(), util::ErrorCode::kParseError);
+  EXPECT_NE(s.message().find("line 3"), std::string::npos) << s.message();
+  EXPECT_NE(s.message().find("column 4"), std::string::npos) << s.message();
+  EXPECT_NE(s.message().find("'N'"), std::string::npos) << s.message();
+}
+
+TEST(FastaNegative, SequenceDataBeforeHeader) {
+  const util::Status s = parse_status("ACGT\n>late\nACGT\n");
+  EXPECT_EQ(s.code(), util::ErrorCode::kParseError);
+  EXPECT_NE(s.message().find("line 1"), std::string::npos) << s.message();
+  EXPECT_NE(s.message().find("before any header"), std::string::npos)
+      << s.message();
+}
+
+TEST(FastaNegative, EmptyRecordName) {
+  const util::Status s = parse_status(">\nACGT\n");
+  EXPECT_EQ(s.code(), util::ErrorCode::kParseError);
+  EXPECT_NE(s.message().find("line 1"), std::string::npos) << s.message();
+  EXPECT_NE(s.message().find("empty record name"), std::string::npos)
+      << s.message();
+}
+
+TEST(FastaNegative, EmptySequenceMidFile) {
+  // Record 'a' (header on line 1) has no sequence before the next header.
+  const util::Status s = parse_status(">a\n>b\nACGT\n");
+  EXPECT_EQ(s.code(), util::ErrorCode::kParseError);
+  EXPECT_NE(s.message().find("line 1"), std::string::npos) << s.message();
+  EXPECT_NE(s.message().find("'a'"), std::string::npos) << s.message();
+  EXPECT_NE(s.message().find("no sequence"), std::string::npos)
+      << s.message();
+}
+
+TEST(FastaNegative, EmptySequenceAtEndOfFile) {
+  const util::Status s = parse_status(">a\nACGT\n>b\n");
+  EXPECT_EQ(s.code(), util::ErrorCode::kParseError);
+  EXPECT_NE(s.message().find("line 3"), std::string::npos) << s.message();
+  EXPECT_NE(s.message().find("'b'"), std::string::npos) << s.message();
+}
+
+TEST(FastaNegative, ThrowingWrapperCarriesStatus) {
+  try {
+    read_fasta_string("garbage\n");
+    FAIL() << "expected StatusError";
+  } catch (const util::StatusError& e) {
+    EXPECT_EQ(e.status().code(), util::ErrorCode::kParseError);
+  }
+  // Back-compat: StatusError is-a std::invalid_argument, so existing
+  // call sites catching the old type keep working.
+  EXPECT_THROW(read_fasta_string("garbage\n"), std::invalid_argument);
+}
+
+TEST(FastaNegative, WellFormedInputStillParses) {
+  const auto result = try_read_fasta_string(
+      ">first\r\nACGT\nacgt\n\n>second\nTTTT\nGG\n");
+  ASSERT_TRUE(result.has_value()) << result.status().to_string();
+  const auto& records = *result;
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].name, "first");
+  EXPECT_EQ(records[0].sequence.size(), 8u);
+  EXPECT_EQ(records[1].name, "second");
+  EXPECT_EQ(records[1].sequence.size(), 6u);
+}
+
+}  // namespace
+}  // namespace swbpbc::encoding

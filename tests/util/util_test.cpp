@@ -3,6 +3,8 @@
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "util/options.hpp"
@@ -45,6 +47,43 @@ TEST(ThreadPool, PropagatesExceptions) {
                                      throw std::runtime_error("boom");
                                  }),
                std::runtime_error);
+}
+
+TEST(ThreadPool, AggregatesConcurrentExceptions) {
+  // Two iterations rendezvous before throwing, so both are in flight on
+  // distinct threads and BOTH failures must be captured — the old behavior
+  // silently dropped all but the first.
+  ThreadPool pool(2);
+  std::atomic<int> entered{0};
+  try {
+    pool.parallel_for(0, 2, [&](std::size_t i) {
+      entered.fetch_add(1);
+      while (entered.load() < 2) std::this_thread::yield();
+      throw std::runtime_error("boom " + std::to_string(i));
+    });
+    FAIL() << "expected AggregateError";
+  } catch (const AggregateError& e) {
+    EXPECT_EQ(e.errors().size(), 2u);
+    EXPECT_EQ(e.dropped(), 0u);
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 parallel_for iterations threw"),
+              std::string::npos)
+        << what;
+    EXPECT_NE(what.find("boom 0"), std::string::npos) << what;
+    EXPECT_NE(what.find("boom 1"), std::string::npos) << what;
+  }
+}
+
+TEST(ThreadPool, SingleExceptionKeepsOriginalType) {
+  ThreadPool pool(2);
+  try {
+    pool.parallel_for(0, 100, [&](std::size_t i) {
+      if (i == 31) throw std::out_of_range("only one");
+    });
+    FAIL() << "expected out_of_range";
+  } catch (const std::out_of_range& e) {
+    EXPECT_STREQ(e.what(), "only one");
+  }
 }
 
 TEST(ThreadPool, EmptyRangeIsNoop) {
