@@ -56,8 +56,8 @@ void verify_prefix(const Workload& w, const sw::ScoreParams& params,
 
 }  // namespace
 
-RowTimes run_impl(Impl impl, const Workload& w,
-                  const sw::ScoreParams& params) {
+RowTimes run_impl(Impl impl, const Workload& w, const sw::ScoreParams& params,
+                  const RunOptions& run) {
   RowTimes row;
   switch (impl) {
     case Impl::kCpuBitwise32:
@@ -90,6 +90,8 @@ RowTimes run_impl(Impl impl, const Workload& w,
                                                      : sw::LaneWidth::k64;
       device::GpuRunOptions options;
       options.mode = bulk::Mode::kParallel;
+      options.integrity.enabled = run.integrity;
+      options.integrity.sample_every = run.integrity_sample_every;
       const auto result =
           device::gpu_bpbc_max_scores(w.xs, w.ys, params, width, options);
       verify_prefix(w, params, result.scores);
@@ -99,6 +101,10 @@ RowTimes run_impl(Impl impl, const Workload& w,
       row.b2w = result.timings.b2w_ms;
       row.g2h = result.timings.g2h_ms;
       row.total = result.timings.total_ms();
+      if (run.integrity) {
+        row.integrity = result.integrity_ms;
+        row.total += result.integrity_ms;
+      }
       return row;
     }
     case Impl::kGpuWordwise: {

@@ -33,6 +33,7 @@ struct RowTimes {
   double swa = -1.0;
   double b2w = -1.0;
   double g2h = -1.0;
+  double integrity = -1.0;  // in-band stage checks (device impls, opt-in)
   double total = 0.0;
 };
 
@@ -47,10 +48,19 @@ enum class Impl {
 
 std::string impl_name(Impl impl);
 
+/// Optional measurement knobs. `integrity` turns the device pipeline's
+/// in-band stage checks on (H2G/G2H checksums, sampled W2B/B2W round
+/// trips, SWA canary lanes) so their overhead lands in RowTimes::integrity
+/// and RowTimes::total; CPU implementations ignore it.
+struct RunOptions {
+  bool integrity = false;
+  std::size_t integrity_sample_every = 16;
+};
+
 /// Runs one implementation over the workload and checks the scores against
 /// the scalar reference on a small prefix (fail fast on miscomputation).
-RowTimes run_impl(Impl impl, const Workload& w,
-                  const sw::ScoreParams& params);
+RowTimes run_impl(Impl impl, const Workload& w, const sw::ScoreParams& params,
+                  const RunOptions& run = {});
 
 /// Billion cell updates per second for a measured row (pairs * m * n DP
 /// cells over the row's total time).

@@ -32,18 +32,33 @@ int main(int argc, char** argv) {
       static_cast<std::uint32_t>(opt.get_int("match", 2)),
       static_cast<std::uint32_t>(opt.get_int("mismatch", 1)),
       static_cast<std::uint32_t>(opt.get_int("gap", 1))};
+  bench::RunOptions run;
+  run.integrity = opt.get_bool("integrity", false);
+  run.integrity_sample_every =
+      static_cast<std::size_t>(opt.get_int("integrity-sample", 16));
 
   std::printf("Table IV reproduction: running time in ms for the SWA, "
               "%zu pairs, m = %zu\n", pairs, m);
   std::printf("(CPU = single host thread; GPUsim = lock-step device "
-              "simulator on the host pool)\n\n");
+              "simulator on the host pool)\n");
+  if (run.integrity) {
+    std::printf("(in-band stage integrity ON for the GPUsim rows: H2G/G2H "
+                "checksums, transpose round trips sampled every %zu "
+                "positions, SWA canary lanes — overhead in the INTG "
+                "column)\n",
+                run.integrity_sample_every);
+  }
+  std::printf("\n");
 
   const Impl impls[] = {Impl::kCpuBitwise32,  Impl::kCpuBitwise64,
                         Impl::kCpuWordwise,   Impl::kGpuBitwise32,
                         Impl::kGpuBitwise64,  Impl::kGpuWordwise};
 
-  util::TextTable table({"implementation", "n", "H2G", "W2B", "SWA", "B2W",
-                         "G2H", "Total"});
+  std::vector<std::string> header = {"implementation", "n",   "H2G", "W2B",
+                                     "SWA",            "B2W", "G2H"};
+  if (run.integrity) header.push_back("INTG");
+  header.push_back("Total");
+  util::TextTable table(header);
   const auto cell = [](double v) {
     return v < 0 ? std::string("-") : util::TextTable::num(v, 2);
   };
@@ -52,11 +67,14 @@ int main(int argc, char** argv) {
     for (const std::int64_t n : n_list) {
       const bench::Workload w = bench::make_workload(
           pairs, m, static_cast<std::size_t>(n), 20260705);
-      const bench::RowTimes row = bench::run_impl(impl, w, params);
-      table.add_row({bench::impl_name(impl), std::to_string(n),
-                     cell(row.h2g), cell(row.w2b), cell(row.swa),
-                     cell(row.b2w), cell(row.g2h),
-                     util::TextTable::num(row.total, 2)});
+      const bench::RowTimes row = bench::run_impl(impl, w, params, run);
+      std::vector<std::string> cells = {
+          bench::impl_name(impl), std::to_string(n), cell(row.h2g),
+          cell(row.w2b),          cell(row.swa),     cell(row.b2w),
+          cell(row.g2h)};
+      if (run.integrity) cells.push_back(cell(row.integrity));
+      cells.push_back(util::TextTable::num(row.total, 2));
+      table.add_row(cells);
       std::fflush(stdout);
     }
   }

@@ -1,11 +1,19 @@
 // Fault drill: hammer the device-simulator screening backend with seeded
-// fault campaigns (bit flips, dropped phase syncs, stalled blocks) and
-// show the self-checking pipeline detecting, quarantining, and recovering
-// every corrupted lane. Every campaign must end with scores identical to
-// the scalar reference and a balanced ReliabilityReport.
+// fault campaigns (bit flips, dropped phase syncs, stalled blocks, flipped
+// copy words) and show the survivable pipeline detecting, quarantining,
+// and recovering every corrupted lane. The batch streams through in
+// bounded chunks with in-band stage integrity on, so detections are
+// attributed to a (chunk, stage, block) and a retry resubmits one chunk,
+// not the whole batch; the lane-level self-check remains the backstop.
+// Every campaign must end with scores identical to the scalar reference
+// and a balanced ReliabilityReport.
 //
-//   ./fault_drill --campaigns=100 --count=64 --m=8 --n=24
-//   ./fault_drill --flip=1e-3 --drop-sync=0.05 --stall=0.05 --seed=42
+//   ./fault_drill --campaigns=100 --count=64 --m=8 --n=24 --chunk=16
+//   ./fault_drill --flip=1e-3 --drop-sync=0.05 --stall=0.05 --copy-flip=2e-3
+//   ./fault_drill --integrity=0     # lane self-check only, no stage checks
+//
+// Checkpoint/resume rides the same chunk boundaries — see
+// examples/screen_resume.cpp for the kill-and-resume walkthrough.
 
 #include <cstdio>
 #include <vector>
@@ -25,22 +33,27 @@ int main(int argc, char** argv) {
   const auto count = static_cast<std::size_t>(opt.get_int("count", 64));
   const auto m = static_cast<std::size_t>(opt.get_int("m", 8));
   const auto n = static_cast<std::size_t>(opt.get_int("n", 24));
+  const auto chunk = static_cast<std::size_t>(opt.get_int("chunk", 16));
   const auto seed = static_cast<std::uint64_t>(opt.get_int("seed", 42));
+  const bool integrity = opt.get_int("integrity", 1) != 0;
   const sw::ScoreParams params{2, 1, 1};
 
   device::FaultConfig fault;
   fault.flip_probability = opt.get_double("flip", 1e-3);
   fault.drop_sync_probability = opt.get_double("drop-sync", 0.05);
   fault.stall_probability = opt.get_double("stall", 0.05);
+  fault.copy_flip_probability = opt.get_double("copy-flip", 2e-3);
 
-  std::printf("fault drill: %zu campaigns, %zu pairs (m=%zu, n=%zu)\n",
-              campaigns, count, m, n);
-  std::printf("  flip=%g  drop-sync=%g  stall=%g\n\n",
+  std::printf("fault drill: %zu campaigns, %zu pairs (m=%zu, n=%zu), "
+              "chunks of %zu, stage integrity %s\n",
+              campaigns, count, m, n, chunk, integrity ? "on" : "off");
+  std::printf("  flip=%g  drop-sync=%g  stall=%g  copy-flip=%g\n\n",
               fault.flip_probability, fault.drop_sync_probability,
-              fault.stall_probability);
+              fault.stall_probability, fault.copy_flip_probability);
 
   sw::ReliabilityReport totals;
   device::FaultLog fault_totals;
+  std::size_t stage_hist[5] = {0, 0, 0, 0, 0};
   std::size_t clean_campaigns = 0, failed = 0;
   for (std::size_t c = 0; c < campaigns; ++c) {
     util::Xoshiro256 rng(seed + c);
@@ -52,13 +65,18 @@ int main(int argc, char** argv) {
     device::GpuRunOptions run;
     run.faults = &injector;
     run.watchdog_phases = m + n + 16;
+    run.integrity.enabled = integrity;
+    run.integrity.sample_every = 1;
 
     sw::ScreenConfig cfg;
     cfg.params = params;
     cfg.threshold = 12;
     cfg.width = sw::LaneWidth::k32;
     cfg.traceback = false;
-    cfg.backend = device::make_screen_backend(params, sw::LaneWidth::k32, run);
+    cfg.chunk_pairs = chunk;
+    cfg.chunk_retry_limit = 3;
+    cfg.chunk_backend =
+        device::make_chunk_backend(params, sw::LaneWidth::k32, run);
     cfg.check.enabled = true;
     cfg.check.sample_every = 1;  // verify every lane against the scalar ref
     cfg.check.max_retries = 4;
@@ -89,6 +107,12 @@ int main(int argc, char** argv) {
     totals.retry_attempts += report.reliability.retry_attempts;
     totals.lanes_recovered += report.reliability.lanes_recovered;
     totals.lanes_fell_back += report.reliability.lanes_fell_back;
+    totals.integrity_checks += report.reliability.integrity_checks;
+    totals.integrity_faults += report.reliability.integrity_faults;
+    totals.chunk_retries += report.reliability.chunk_retries;
+    totals.lanes_resubmitted += report.reliability.lanes_resubmitted;
+    for (const sw::StageFault& f : report.reliability.stage_faults)
+      ++stage_hist[static_cast<std::size_t>(f.stage)];
 
     if (log.total() > 0) {
       std::printf(
@@ -98,6 +122,16 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(log.watchdog_trips),
           report.reliability.summary().c_str(),
           wrong == 0 ? "" : "  ** SCORES WRONG **");
+      for (const sw::StageFault& f : report.reliability.stage_faults) {
+        if (f.block == sw::StageFault::kNoBlock) {
+          std::printf("              detected in-band: chunk %zu, stage %s\n",
+                      f.chunk, sw::stage_name(f.stage));
+        } else {
+          std::printf("              detected in-band: chunk %zu, stage %s, "
+                      "block %zu\n",
+                      f.chunk, sw::stage_name(f.stage), f.block);
+        }
+      }
     }
   }
 
@@ -107,6 +141,16 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(fault_totals.syncs_dropped),
               static_cast<unsigned long long>(fault_totals.watchdog_trips),
               clean_campaigns);
+  if (integrity) {
+    std::printf("in-band detections by stage: H2G=%zu W2B=%zu SWA=%zu "
+                "B2W=%zu G2H=%zu  (chunk retries=%llu, lanes "
+                "resubmitted=%llu of %zu per retry)\n",
+                stage_hist[0], stage_hist[1], stage_hist[2], stage_hist[3],
+                stage_hist[4],
+                static_cast<unsigned long long>(totals.chunk_retries),
+                static_cast<unsigned long long>(totals.lanes_resubmitted),
+                chunk);
+  }
   std::printf("recovered: %s\n", totals.summary().c_str());
   std::printf("%s\n", failed == 0
                           ? "DRILL PASSED: every lane reconciled with the "

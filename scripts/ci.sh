@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# CI gate: the tier-1 build + full test suite under the release preset,
+# then the tier2-sanitize robustness suites (fault injection, cancellation,
+# checkpoint streams, negative inputs) under ASan + UBSan.
+#
+#   scripts/ci.sh             # both tiers
+#   scripts/ci.sh --tier1     # release build + full ctest only
+#   scripts/ci.sh --tier2     # sanitize build + labeled suites only
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+run_tier1=1
+run_tier2=1
+case "${1:-}" in
+  --tier1) run_tier2=0 ;;
+  --tier2) run_tier1=0 ;;
+  "") ;;
+  *) echo "usage: scripts/ci.sh [--tier1|--tier2]" >&2; exit 2 ;;
+esac
+
+if [[ $run_tier1 -eq 1 ]]; then
+  echo "== tier 1: release build + full test suite =="
+  cmake --preset default
+  cmake --build --preset default -j"$(nproc)"
+  ctest --preset default
+fi
+
+if [[ $run_tier2 -eq 1 ]]; then
+  echo "== tier 2: ASan+UBSan build + tier2-sanitize suites =="
+  cmake --preset sanitize
+  cmake --build --preset sanitize -j"$(nproc)"
+  ctest --preset tier2-sanitize
+fi
+
+echo "CI OK"

@@ -23,13 +23,22 @@ enum class Mode {
 
 /// Runs `fn(index)` for every instance in [0, count) in the given mode.
 /// In parallel mode the chunk grain is chosen automatically.
+///
+/// `stop`, when non-null, is polled between instances (serial) or chunk
+/// claims (parallel); a triggered stop skips the remaining instances and
+/// throws the stop's typed StatusError (kCancelled / kDeadlineExceeded).
 inline void for_each_instance(std::size_t count, Mode mode,
-                              const std::function<void(std::size_t)>& fn) {
+                              const std::function<void(std::size_t)>& fn,
+                              const util::StopCondition* stop = nullptr) {
   if (mode == Mode::kSerial) {
-    for (std::size_t i = 0; i < count; ++i) fn(i);
+    for (std::size_t i = 0; i < count; ++i) {
+      if (stop != nullptr && stop->triggered())
+        throw util::StatusError(stop->status("bulk execution"));
+      fn(i);
+    }
     return;
   }
-  util::ThreadPool::global().parallel_for(0, count, fn, /*grain=*/0);
+  util::ThreadPool::global().parallel_for(0, count, fn, /*grain=*/0, stop);
 }
 
 /// Bulk-executes a kernel mapping inputs[i] -> outputs[i]. The kernel must

@@ -18,6 +18,7 @@ BlockFaults::BlockFaults(FaultInjector* owner, std::uint64_t seed)
     : owner_(owner), rng_(seed) {
   const FaultConfig& cfg = owner->config();
   flip_threshold_ = probability_threshold(cfg.flip_probability);
+  copy_threshold_ = probability_threshold(cfg.copy_flip_probability);
   flip_global_ = cfg.flip_global_loads && flip_threshold_ != 0;
   flip_shared_ = cfg.flip_shared_loads && flip_threshold_ != 0;
   drop_scheduled_ = chance(probability_threshold(cfg.drop_sync_probability));

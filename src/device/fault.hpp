@@ -35,6 +35,9 @@ struct FaultConfig {
   bool flip_shared_loads = true;      // flips apply to shared-memory loads
   double drop_sync_probability = 0.0; // lose one phase's shared stores
   double stall_probability = 0.0;     // block stalls past the watchdog
+  // Bit flip per word of a host<->device copy (the H2G / G2H steps).
+  // Caught by the pipeline's copy checksums, not by the kernel recorders.
+  double copy_flip_probability = 0.0;
   // Extra lock-step phases a stalled block would need; launch kills the
   // block when phases + stall exceed LaunchConfig::watchdog_phases.
   std::size_t stall_extra_phases = 1u << 20;
@@ -78,6 +81,16 @@ class BlockFaults {
   T mutate_shared_load(T v) {
     return flip_shared_ ? maybe_flip(v) : v;
   }
+  /// Fault channel for host<->device copies (H2G/G2H): flips bits with
+  /// copy_flip_probability per word. Inert unless that knob is set.
+  template <typename T>
+  T mutate_copy(T v) {
+    if (!chance(copy_threshold_)) return v;
+    record_flip();
+    constexpr unsigned kBits = sizeof(T) * 8;
+    const std::uint64_t bit = std::uint64_t{1} << rng_.below(kBits);
+    return static_cast<T>(v ^ static_cast<T>(bit));
+  }
 
  private:
   friend class FaultInjector;
@@ -104,6 +117,7 @@ class BlockFaults {
   FaultInjector* owner_ = nullptr;
   util::Xoshiro256 rng_{0};
   std::uint64_t flip_threshold_ = 0;  // P(flip) scaled to [0, 2^64)
+  std::uint64_t copy_threshold_ = 0;  // P(copy flip) scaled to [0, 2^64)
   bool flip_global_ = false;
   bool flip_shared_ = false;
   bool drop_scheduled_ = false;

@@ -23,6 +23,7 @@
 #include "bulk/executor.hpp"
 #include "device/fault.hpp"
 #include "device/metrics.hpp"
+#include "util/cancel.hpp"
 #include "util/status.hpp"
 
 namespace swbpbc::device {
@@ -41,6 +42,14 @@ struct LaunchConfig {
   // corruption the self-checking pipeline must catch); without an
   // injector a StatusError(kKernelTimeout) is thrown instead.
   std::size_t watchdog_phases = 0;
+  // Cooperative stop, polled at every lock-step phase boundary. A
+  // triggered stop aborts the launch with the stop's typed StatusError
+  // (kCancelled / kDeadlineExceeded); blocks already past their last
+  // phase are unaffected, so buffers are never torn mid-phase.
+  const util::StopCondition* stop = nullptr;
+  // When non-null (size >= grid_dim), watchdog-killed blocks set their
+  // flag so the caller can attribute the stale outputs to a block.
+  std::vector<char>* killed = nullptr;
 };
 
 /// Launches `factory(block_idx, recorder)` for every block and returns the
@@ -48,37 +57,46 @@ struct LaunchConfig {
 template <typename Factory>
 MetricTotals launch(const LaunchConfig& cfg, Factory&& factory) {
   std::vector<MetricTotals> per_block(cfg.grid_dim);
-  bulk::for_each_instance(cfg.grid_dim, cfg.mode, [&](std::size_t b) {
-    BlockRecorder recorder(cfg.record_metrics);
-    BlockFaults faults;
-    if (cfg.faults != nullptr) {
-      faults = cfg.faults->block_faults(b);
-      recorder.set_faults(&faults);
-    }
-    auto kernel = factory(b, recorder);
-    const std::size_t phases = kernel.num_phases();
-    const unsigned dim = kernel.block_dim();
-    faults.bind_num_phases(phases);
-    if (cfg.watchdog_phases != 0 &&
-        phases + faults.stall_phases() > cfg.watchdog_phases) {
-      if (cfg.faults != nullptr) {
-        // Simulated kill: record the trip and leave the block's outputs
-        // untouched (stale/zero), like a real watchdog reset would.
-        cfg.faults->record_watchdog_trip();
+  bulk::for_each_instance(
+      cfg.grid_dim, cfg.mode,
+      [&](std::size_t b) {
+        BlockRecorder recorder(cfg.record_metrics);
+        BlockFaults faults;
+        if (cfg.faults != nullptr) {
+          faults = cfg.faults->block_faults(b);
+          recorder.set_faults(&faults);
+        }
+        auto kernel = factory(b, recorder);
+        const std::size_t phases = kernel.num_phases();
+        const unsigned dim = kernel.block_dim();
+        faults.bind_num_phases(phases);
+        if (cfg.watchdog_phases != 0 &&
+            phases + faults.stall_phases() > cfg.watchdog_phases) {
+          if (cfg.faults != nullptr) {
+            // Simulated kill: record the trip and leave the block's
+            // outputs untouched (stale/zero), like a real watchdog reset
+            // would.
+            cfg.faults->record_watchdog_trip();
+            if (cfg.killed != nullptr) (*cfg.killed)[b] = 1;
+            per_block[b] = recorder.totals();
+            return;
+          }
+          throw util::StatusError(util::Status::kernel_timeout(
+              "block " + std::to_string(b) + " needs " +
+              std::to_string(phases) + " phases, watchdog allows " +
+              std::to_string(cfg.watchdog_phases)));
+        }
+        for (std::size_t phase = 0; phase < phases; ++phase) {
+          if (cfg.stop != nullptr && cfg.stop->triggered())
+            throw util::StatusError(cfg.stop->status(
+                "device launch, block " + std::to_string(b) + " phase " +
+                std::to_string(phase)));
+          for (unsigned tid = 0; tid < dim; ++tid) kernel.step(phase, tid);
+          recorder.end_phase();  // __syncthreads()
+        }
         per_block[b] = recorder.totals();
-        return;
-      }
-      throw util::StatusError(util::Status::kernel_timeout(
-          "block " + std::to_string(b) + " needs " + std::to_string(phases) +
-          " phases, watchdog allows " +
-          std::to_string(cfg.watchdog_phases)));
-    }
-    for (std::size_t phase = 0; phase < phases; ++phase) {
-      for (unsigned tid = 0; tid < dim; ++tid) kernel.step(phase, tid);
-      recorder.end_phase();  // __syncthreads()
-    }
-    per_block[b] = recorder.totals();
-  });
+      },
+      cfg.stop);
   MetricTotals total;
   for (const auto& m : per_block) total.add(m);
   return total;

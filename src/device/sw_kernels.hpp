@@ -38,6 +38,27 @@ struct GpuTimings {
   }
 };
 
+/// In-band stage integrity checks for the 5-step pipeline. All checks run
+/// on the host between launches (no kernel change) and attribute what they
+/// find to a (stage, block) in GpuRunResult::integrity_faults:
+///   - FNV checksums across the H2G and G2H copies;
+///   - a sampled transpose round-trip invariant after W2B (device bit
+///     planes vs a host re-transpose of the device wordwise input) and
+///     after B2W (device wordwise scores vs a host re-untranspose of the
+///     device score slices);
+///   - duplicated canary lanes: instances of the last group are replicated
+///     into its spare lanes and their bit-sliced scores compared after SWA
+///     — a disagreement means the SWA kernel corrupted the group;
+///   - watchdog-killed SWA blocks reported as kSWA faults.
+struct IntegrityConfig {
+  bool enabled = false;
+  // Sample every k-th string position in the W2B round-trip check (1 =
+  // every position). The B2W check is per group and always full.
+  std::size_t sample_every = 16;
+  bool canary_lanes = true;
+  bool checksum_copies = true;
+};
+
 struct GpuRunOptions {
   bool record_metrics = false;  // trace coalescing / bank conflicts
   bulk::Mode mode = bulk::Mode::kParallel;  // blocks across the host pool
@@ -49,6 +70,12 @@ struct GpuRunOptions {
   // disables it. With an injector, stalled blocks are killed and logged;
   // without one, exceeding the deadline throws kKernelTimeout.
   std::size_t watchdog_phases = 0;
+  // In-band stage integrity (off by default: the fault-free hot path pays
+  // nothing for it).
+  IntegrityConfig integrity;
+  // Cooperative stop, polled at phase boundaries of every launch. A
+  // triggered stop aborts the run with a typed StatusError.
+  const util::StopCondition* stop = nullptr;
 };
 
 struct GpuRunResult {
@@ -60,6 +87,11 @@ struct GpuRunResult {
   // Ok unless the watchdog killed blocks this run (kKernelTimeout); the
   // scores of killed blocks are whatever the launch-time buffers held.
   util::Status status;
+  // Stage-integrity findings (populated when options.integrity.enabled).
+  // StageFault::chunk is 0 here — the chunked screen layer fills it in.
+  std::vector<sw::StageFault> integrity_faults;
+  std::uint64_t integrity_checks = 0;  // comparisons evaluated
+  double integrity_ms = 0.0;           // host time spent checking
 
   [[nodiscard]] MetricTotals metrics() const {
     MetricTotals t;
@@ -92,5 +124,13 @@ GpuRunResult gpu_wordwise_max_scores(std::span<const encoding::Sequence> xs,
 sw::ScoreBackend make_screen_backend(const sw::ScoreParams& params,
                                      sw::LaneWidth width,
                                      GpuRunOptions options = {});
+
+/// Integrity-aware adapter for sw::ScreenConfig::chunk_backend: runs the
+/// device pipeline per chunk, forwards the screen layer's StopCondition
+/// into every launch, and surfaces the stage-integrity findings so the
+/// chunked screen can quarantine and retry just that chunk.
+sw::ChunkBackend make_chunk_backend(const sw::ScoreParams& params,
+                                    sw::LaneWidth width,
+                                    GpuRunOptions options = {});
 
 }  // namespace swbpbc::device

@@ -1,11 +1,16 @@
 #include "sw/pipeline.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <cstring>
+#include <optional>
 #include <string>
 #include <thread>
 #include <utility>
 
 #include "sw/wordwise.hpp"
+#include "util/checkpoint.hpp"
+#include "util/checksum.hpp"
 #include "util/timer.hpp"
 
 namespace swbpbc::sw {
@@ -41,15 +46,42 @@ util::Status validate_batch(std::span<const Sequence> xs,
   return {};
 }
 
+// Identifies (batch, config) for checkpoint streams: a resume against a
+// different batch, chunking, lane width, or scoring parameters is rejected
+// as kCheckpointMismatch before any chunk is skipped. Hash covers the
+// sequence *content*, not just the shape — resuming against edited inputs
+// would otherwise silently splice stale scores in.
+std::uint64_t batch_fingerprint(std::span<const Sequence> xs,
+                                std::span<const Sequence> ys,
+                                const ScreenConfig& config,
+                                std::size_t chunk_pairs) {
+  std::uint64_t h = util::kFnvOffset;
+  h = util::fnv1a_value<std::uint64_t>(xs.size(), h);
+  h = util::fnv1a_value<std::uint64_t>(xs.front().size(), h);
+  h = util::fnv1a_value<std::uint64_t>(ys.front().size(), h);
+  h = util::fnv1a_value(config.params.match, h);
+  h = util::fnv1a_value(config.params.mismatch, h);
+  h = util::fnv1a_value(config.params.gap, h);
+  h = util::fnv1a_value<std::uint64_t>(chunk_pairs, h);
+  h = util::fnv1a_value<std::uint32_t>(
+      static_cast<std::uint32_t>(config.width), h);
+  for (const Sequence& x : xs) h = util::fnv1a_bytes(x.data(), x.size(), h);
+  for (const Sequence& y : ys) h = util::fnv1a_bytes(y.data(), y.size(), h);
+  return h;
+}
+
 // Runs the verify-quarantine-retry-fallback recovery of reliability.hpp
-// over `scores` in place. Returns non-ok only if even the wordwise CPU
+// over one chunk's `scores` in place (indices are chunk-local; `xs`/`ys`
+// are the chunk's spans). Returns non-ok only if even the wordwise CPU
 // fallback disagrees with the scalar reference (a library invariant
-// violation, not a transient fault).
+// violation, not a transient fault). A triggered `stop` unwinds out of the
+// verify loop as the stop's StatusError.
 util::Status self_check(std::span<const Sequence> xs,
                         std::span<const Sequence> ys,
                         const ScreenConfig& config,
                         const ScoreBackend& rescore,
-                        std::vector<std::uint32_t>& scores,
+                        std::span<std::uint32_t> scores,
+                        const util::StopCondition* stop,
                         ReliabilityReport& rel) {
   const std::size_t count = xs.size();
   util::WallTimer verify_timer;
@@ -70,10 +102,13 @@ util::Status self_check(std::span<const Sequence> xs,
   }
 
   std::vector<std::uint32_t> refs(count, 0);
-  bulk::for_each_instance(verify.size(), config.mode, [&](std::size_t v) {
-    const std::size_t k = verify[v];
-    refs[k] = max_score(xs[k], ys[k], config.params);
-  });
+  bulk::for_each_instance(
+      verify.size(), config.mode,
+      [&](std::size_t v) {
+        const std::size_t k = verify[v];
+        refs[k] = max_score(xs[k], ys[k], config.params);
+      },
+      stop);
 
   std::vector<std::size_t> quarantined;
   for (std::size_t k : verify) {
@@ -145,51 +180,209 @@ util::Expected<ScreenReport> try_screen(std::span<const Sequence> xs,
                                         const ScreenConfig& config) {
   if (util::Status s = validate_batch(xs, ys); !s.ok()) return s;
 
+  const std::size_t count = xs.size();
+  const std::size_t chunk_pairs =
+      config.chunk_pairs == 0 ? count
+                              : std::min<std::size_t>(config.chunk_pairs, count);
+  const std::size_t n_chunks = (count + chunk_pairs - 1) / chunk_pairs;
+
+  const util::StopCondition stop(config.cancel, config.deadline);
+  const util::StopCondition* stop_ptr = stop.armed() ? &stop : nullptr;
+
+  ScreenReport report;
+  report.scores.assign(count, 0);
+  report.chunks.resize(n_chunks);
+  for (std::size_t c = 0; c < n_chunks; ++c) {
+    report.chunks[c].begin = c * chunk_pairs;
+    report.chunks[c].end = std::min(count, (c + 1) * chunk_pairs);
+  }
+
+  // Chunk execution: the integrity-aware chunk backend when given, else
+  // the legacy score backend, else the host BPBC path.
+  const ChunkBackend run_chunk =
+      config.chunk_backend
+          ? config.chunk_backend
+          : ChunkBackend([&config, &report](
+                             std::span<const Sequence> cx,
+                             std::span<const Sequence> cy,
+                             const util::StopCondition*) {
+              ChunkResult r;
+              if (config.backend) {
+                util::WallTimer t;
+                r.scores = config.backend(cx, cy);
+                report.bpbc.swa_ms += t.elapsed_ms();
+              } else {
+                PhaseTimings t;
+                r.scores = bpbc_max_scores(cx, cy, config.params,
+                                           config.width, config.mode,
+                                           config.method, &t);
+                report.bpbc.w2b_ms += t.w2b_ms;
+                report.bpbc.b2w_ms += t.b2w_ms;
+                report.bpbc.swa_ms += t.swa_ms;
+              }
+              return r;
+            });
+
+  // Quarantine rescoring backend for the per-chunk self-check.
   const ScoreBackend rescore =
       config.backend
           ? config.backend
-          : ScoreBackend([&config](std::span<const Sequence> qx,
-                                   std::span<const Sequence> qy) {
-              return bpbc_max_scores(qx, qy, config.params, config.width,
-                                     config.mode, config.method, nullptr);
-            });
+          : config.chunk_backend
+              ? ScoreBackend([&config, stop_ptr](
+                                 std::span<const Sequence> qx,
+                                 std::span<const Sequence> qy) {
+                  return config.chunk_backend(qx, qy, stop_ptr).scores;
+                })
+              : ScoreBackend([&config](std::span<const Sequence> qx,
+                                       std::span<const Sequence> qy) {
+                  return bpbc_max_scores(qx, qy, config.params, config.width,
+                                         config.mode, config.method, nullptr);
+                });
 
-  ScreenReport report;
-  if (config.backend) {
-    util::WallTimer timer;
-    report.scores = config.backend(xs, ys);
-    report.bpbc.swa_ms = timer.elapsed_ms();
-  } else {
-    report.scores = bpbc_max_scores(xs, ys, config.params, config.width,
-                                    config.mode, config.method, &report.bpbc);
+  // Resume source: load and validate before the writer may truncate it
+  // (resume_path and checkpoint_path can name the same file).
+  util::CheckpointData resume;
+  bool have_resume = false;
+  const std::uint64_t fingerprint =
+      (!config.resume_path.empty() || !config.checkpoint_path.empty())
+          ? batch_fingerprint(xs, ys, config, chunk_pairs)
+          : 0;
+  if (!config.resume_path.empty()) {
+    auto loaded = util::read_checkpoint(config.resume_path, fingerprint);
+    if (!loaded.has_value()) return loaded.status();
+    resume = std::move(loaded).value();
+    have_resume = true;
   }
-  if (report.scores.size() != xs.size())
-    return util::Status::internal(
-        "backend returned " + std::to_string(report.scores.size()) +
-        " scores for " + std::to_string(xs.size()) + " pairs");
-
-  if (config.check.enabled) {
-    if (util::Status s = self_check(xs, ys, config, rescore, report.scores,
-                                    report.reliability);
-        !s.ok())
-      return s;
+  std::optional<util::CheckpointWriter> writer;
+  if (!config.checkpoint_path.empty()) {
+    auto created =
+        util::CheckpointWriter::try_create(config.checkpoint_path, fingerprint);
+    if (!created.has_value()) return created.status();
+    writer.emplace(std::move(created).value());
   }
 
-  for (std::size_t k = 0; k < report.scores.size(); ++k) {
-    if (report.scores[k] >= config.threshold) {
-      report.hits.push_back(ScreenHit{k, report.scores[k], {}});
+  for (std::size_t c = 0; c < n_chunks; ++c) {
+    ChunkOutcome& outcome = report.chunks[c];
+    const std::size_t begin = outcome.begin;
+    const std::size_t len = outcome.end - begin;
+    if (stop.triggered()) {
+      report.status = stop.status("screening, before chunk " +
+                                  std::to_string(c));
+      break;
+    }
+
+    const std::span<const Sequence> cx = xs.subspan(begin, len);
+    const std::span<const Sequence> cy = ys.subspan(begin, len);
+    const std::span<std::uint32_t> cscores(report.scores.data() + begin, len);
+    std::uint64_t chunk_faults = 0;
+
+    const util::CheckpointRecord* record =
+        have_resume ? resume.find(c) : nullptr;
+    if (record != nullptr) {
+      if (record->payload.size() != len * sizeof(std::uint32_t))
+        return util::Status::checkpoint_mismatch(
+            "chunk " + std::to_string(c) + " record holds " +
+            std::to_string(record->payload.size()) + " bytes, batch needs " +
+            std::to_string(len * sizeof(std::uint32_t)));
+      std::memcpy(cscores.data(), record->payload.data(),
+                  record->payload.size());
+      outcome.completed = true;
+      outcome.resumed = true;
+    } else {
+      try {
+        for (;;) {
+          util::WallTimer backend_timer;
+          ChunkResult r = run_chunk(cx, cy, stop_ptr);
+          if (config.chunk_backend)
+            report.bpbc.swa_ms += backend_timer.elapsed_ms();
+          if (r.scores.size() != len)
+            return util::Status::internal(
+                "backend returned " + std::to_string(r.scores.size()) +
+                " scores for a chunk of " + std::to_string(len) + " pairs");
+          report.reliability.integrity_checks += r.integrity_checks;
+          report.reliability.integrity_ms += r.integrity_ms;
+          for (StageFault f : r.faults) {
+            f.chunk = c;
+            report.reliability.stage_faults.push_back(f);
+            ++report.reliability.integrity_faults;
+            ++chunk_faults;
+          }
+          std::copy(r.scores.begin(), r.scores.end(), cscores.begin());
+          if (r.faults.empty() || outcome.retries >= config.chunk_retry_limit)
+            break;
+          // In-band detection: re-run just this chunk. The backend's next
+          // campaign draws a fresh fault pattern, so a transient fault
+          // clears; a persistent one exhausts the budget and falls through
+          // to the self-check backstop below.
+          ++outcome.retries;
+          ++report.reliability.chunk_retries;
+          report.reliability.lanes_resubmitted += len;
+        }
+        if (config.check.enabled) {
+          if (util::Status s = self_check(cx, cy, config, rescore, cscores,
+                                          stop_ptr, report.reliability);
+              !s.ok())
+            return s;
+        }
+        outcome.completed = true;
+      } catch (const util::StatusError& e) {
+        if (util::is_stop_code(e.status().code())) {
+          report.status = e.status();
+          break;
+        }
+        throw;
+      }
+    }
+
+    if (writer.has_value()) {
+      std::vector<std::uint8_t> payload(len * sizeof(std::uint32_t));
+      std::memcpy(payload.data(), cscores.data(), payload.size());
+      if (util::Status s = writer->append(c, payload); !s.ok()) return s;
+    }
+    if (config.progress) {
+      ChunkProgress p;
+      p.chunk = c;
+      p.chunks_total = n_chunks;
+      p.begin = begin;
+      p.end = outcome.end;
+      p.resumed = outcome.resumed;
+      p.retries = outcome.retries;
+      p.faults = chunk_faults;
+      config.progress(p);
     }
   }
 
-  if (config.traceback) {
+  // Hits come from completed chunks only — a stopped run never reports a
+  // hit computed from an untouched (zero) score region.
+  for (const ChunkOutcome& outcome : report.chunks) {
+    if (!outcome.completed) continue;
+    for (std::size_t k = outcome.begin; k < outcome.end; ++k) {
+      if (report.scores[k] >= config.threshold) {
+        ScreenHit hit;
+        hit.index = k;
+        hit.bpbc_score = report.scores[k];
+        report.hits.push_back(hit);
+      }
+    }
+  }
+
+  if (config.traceback && report.status.ok()) {
     util::WallTimer timer;
-    bulk::for_each_instance(report.hits.size(), config.mode,
-                            [&](std::size_t h) {
-                              ScreenHit& hit = report.hits[h];
-                              hit.detail = align(xs[hit.index],
-                                                 ys[hit.index],
-                                                 config.params);
-                            });
+    try {
+      bulk::for_each_instance(
+          report.hits.size(), config.mode,
+          [&](std::size_t h) {
+            ScreenHit& hit = report.hits[h];
+            hit.detail = align(xs[hit.index], ys[hit.index], config.params);
+            hit.detailed = true;
+          },
+          stop_ptr);
+    } catch (const util::StatusError& e) {
+      if (!util::is_stop_code(e.status().code())) throw;
+      // Deadline/cancel during traceback: keep the coarse hits; the ones
+      // that finished stay detailed.
+      report.status = e.status();
+    }
     report.traceback_ms = timer.elapsed_ms();
   }
   return report;

@@ -19,6 +19,7 @@
 #include "sw/bpbc.hpp"
 #include "sw/reliability.hpp"
 #include "sw/scalar.hpp"
+#include "util/cancel.hpp"
 #include "util/status.hpp"
 
 namespace swbpbc::sw {
@@ -31,6 +32,35 @@ namespace swbpbc::sw {
 using ScoreBackend = std::function<std::vector<std::uint32_t>(
     std::span<const encoding::Sequence>, std::span<const encoding::Sequence>)>;
 
+/// One chunk's worth of backend output, with in-band integrity findings.
+/// `faults` carries (stage, block); screen() fills in the chunk index.
+struct ChunkResult {
+  std::vector<std::uint32_t> scores;
+  std::vector<StageFault> faults;
+  std::uint64_t integrity_checks = 0;
+  double integrity_ms = 0.0;
+};
+
+/// Integrity-aware chunk backend (device::make_chunk_backend adapts the
+/// simulator). The StopCondition, when non-null, must be polled so a
+/// cancellation or deadline interrupts the chunk mid-kernel (the backend
+/// signals that by throwing the stop's StatusError).
+using ChunkBackend = std::function<ChunkResult(
+    std::span<const encoding::Sequence>, std::span<const encoding::Sequence>,
+    const util::StopCondition*)>;
+
+/// Per-chunk progress notification (invoked after a chunk completes, is
+/// satisfied from a checkpoint, or exhausts its retries).
+struct ChunkProgress {
+  std::size_t chunk = 0;         // chunk index
+  std::size_t chunks_total = 0;
+  std::size_t begin = 0;         // pair range [begin, end)
+  std::size_t end = 0;
+  bool resumed = false;          // satisfied from the resume checkpoint
+  unsigned retries = 0;          // whole-chunk backend re-runs
+  std::uint64_t faults = 0;      // in-band integrity detections (all runs)
+};
+
 struct ScreenConfig {
   ScoreParams params;
   std::uint32_t threshold = 0;  // tau: select pairs with max score >= tau
@@ -40,12 +70,50 @@ struct ScreenConfig {
   bool traceback = true;  // run the detailed CPU alignment on hits
   ScoreBackend backend;   // empty: host BPBC path (bpbc_max_scores)
   SelfCheckConfig check;  // verify-quarantine-retry; disabled by default
+
+  // --- survivability (chunked streaming) -------------------------------
+  // Pairs per chunk; 0 processes the whole batch as one chunk. Chunking
+  // bounds backend memory, scopes quarantine/retry to ~1/K of the batch,
+  // and is the granularity of checkpointing and cancellation.
+  std::size_t chunk_pairs = 0;
+  // Whole-chunk backend re-runs when in-band integrity checks detect
+  // corruption (each re-run observes a fresh fault campaign).
+  unsigned chunk_retry_limit = 2;
+  // Integrity-aware backend; preferred over `backend` when set.
+  ChunkBackend chunk_backend;
+  // Invoked after every chunk settles; may call cancel->cancel().
+  std::function<void(const ChunkProgress&)> progress;
+  // Cooperative stop: observed between chunks, between device phases, and
+  // inside verify/traceback loops. A stopped run returns a well-formed
+  // partial ScreenReport with status kCancelled / kDeadlineExceeded.
+  const util::CancellationToken* cancel = nullptr;
+  util::Deadline deadline;  // never expires by default
+  // Checkpoint stream to write completed chunks to (empty: none). May
+  // equal resume_path; the file is rewritten with resumed + new chunks.
+  std::string checkpoint_path;
+  // Checkpoint stream to resume from (empty: none). A corrupt, truncated,
+  // wrong-version, or wrong-batch stream is rejected with a typed error
+  // (kCheckpointCorrupt / kCheckpointMismatch) — rerun without it to
+  // recompute from scratch.
+  std::string resume_path;
 };
 
 struct ScreenHit {
   std::size_t index = 0;          // pair index into the input spans
   std::uint32_t bpbc_score = 0;   // max score from the screening pass
   Alignment detail;               // filled when config.traceback is set
+  bool detailed = false;          // detail actually computed (a stopped
+                                  // run may leave trailing hits coarse)
+};
+
+/// Per-chunk outcome in the report. A partial (stopped) run marks the
+/// untouched chunks completed = false; their score entries read zero.
+struct ChunkOutcome {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  bool completed = false;
+  bool resumed = false;   // satisfied from the resume checkpoint
+  unsigned retries = 0;   // integrity-triggered backend re-runs
 };
 
 struct ScreenReport {
@@ -54,6 +122,16 @@ struct ScreenReport {
   PhaseTimings bpbc;                  // W2B / SWA / B2W wall times
   double traceback_ms = 0.0;
   ReliabilityReport reliability;      // populated when check.enabled
+  // kOk for a full run; kCancelled / kDeadlineExceeded when the run was
+  // stopped cooperatively — scores/hits then cover completed chunks only.
+  util::Status status;
+  std::vector<ChunkOutcome> chunks;
+
+  [[nodiscard]] bool complete() const {
+    for (const ChunkOutcome& c : chunks)
+      if (!c.completed) return false;
+    return true;
+  }
 };
 
 /// Screens pairs (xs[k], ys[k]) and re-aligns the hits. All xs must share

@@ -13,8 +13,34 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace swbpbc::sw {
+
+/// The five stages of the paper's §V device pipeline. In-band integrity
+/// checks attribute detected corruption to the stage that produced it.
+enum class PipelineStage : std::uint8_t { kH2G, kW2B, kSWA, kB2W, kG2H };
+
+inline const char* stage_name(PipelineStage stage) {
+  switch (stage) {
+    case PipelineStage::kH2G: return "H2G";
+    case PipelineStage::kW2B: return "W2B";
+    case PipelineStage::kSWA: return "SWA";
+    case PipelineStage::kB2W: return "B2W";
+    case PipelineStage::kG2H: return "G2H";
+  }
+  return "?";
+}
+
+/// One in-band integrity detection, attributed to (chunk, stage, block).
+/// The backend fills stage and block; sw::screen adds the chunk index.
+struct StageFault {
+  static constexpr std::size_t kNoBlock = ~std::size_t{0};
+
+  std::size_t chunk = 0;
+  PipelineStage stage = PipelineStage::kSWA;
+  std::size_t block = kNoBlock;  // device block (group); kNoBlock if n/a
+};
 
 struct SelfCheckConfig {
   bool enabled = false;  // everything below is inert when false
@@ -40,6 +66,18 @@ struct ReliabilityReport {
   double retry_ms = 0.0;
   double backoff_ms = 0.0;  // total time slept in exponential backoff
 
+  // In-band stage integrity (chunked screening): checks evaluated by the
+  // backend, detections attributed to (chunk, stage, block), and the
+  // whole-chunk backend re-runs those detections triggered. A chunk retry
+  // touches only its own lanes — lanes_resubmitted stays well below the
+  // batch size, which is the point of chunking.
+  std::uint64_t integrity_checks = 0;   // stage checks evaluated
+  std::uint64_t integrity_faults = 0;   // == stage_faults.size()
+  std::uint64_t chunk_retries = 0;      // whole-chunk backend re-runs
+  std::uint64_t lanes_resubmitted = 0;  // lanes re-scored by those re-runs
+  std::vector<StageFault> stage_faults;
+  double integrity_ms = 0.0;            // time spent in stage checks
+
   /// Every detected mismatch must end up recovered or fallen back — the
   /// accounting invariant the fault drill asserts.
   [[nodiscard]] bool balanced() const {
@@ -48,11 +86,16 @@ struct ReliabilityReport {
 
   /// One-line human-readable summary.
   [[nodiscard]] std::string summary() const {
-    return "verified=" + std::to_string(lanes_verified) +
-           " mismatched=" + std::to_string(mismatches_detected) +
-           " retries=" + std::to_string(retry_attempts) +
-           " recovered=" + std::to_string(lanes_recovered) +
-           " fell_back=" + std::to_string(lanes_fell_back);
+    std::string s = "verified=" + std::to_string(lanes_verified) +
+                    " mismatched=" + std::to_string(mismatches_detected) +
+                    " retries=" + std::to_string(retry_attempts) +
+                    " recovered=" + std::to_string(lanes_recovered) +
+                    " fell_back=" + std::to_string(lanes_fell_back);
+    if (integrity_checks != 0 || integrity_faults != 0) {
+      s += " stage_faults=" + std::to_string(integrity_faults) +
+           " chunk_retries=" + std::to_string(chunk_retries);
+    }
+    return s;
   }
 };
 

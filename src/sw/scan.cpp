@@ -35,31 +35,59 @@ ScanReport scan_text(const encoding::Sequence& query,
   }
   report.windows = spans.size();
 
-  // Pack windows into lanes (all spans share one length by construction).
-  std::vector<encoding::Sequence> windows;
-  windows.reserve(spans.size());
-  for (const auto& [begin, end] : spans) {
-    windows.emplace_back(
-        text.begin() + static_cast<std::ptrdiff_t>(begin),
-        text.begin() + static_cast<std::ptrdiff_t>(end));
-  }
-  const std::vector<encoding::Sequence> queries(spans.size(), query);
-  const auto scores = bpbc_max_scores(queries, windows, config.params,
-                                      config.width, config.mode);
+  const util::StopCondition stop(config.cancel, config.deadline);
+  bool detail_skipped = false;
+  const std::size_t batch = config.chunk_windows == 0
+                                ? spans.size()
+                                : std::min(config.chunk_windows, spans.size());
 
-  for (std::size_t w = 0; w < spans.size(); ++w) {
-    if (scores[w] < config.threshold) continue;
-    ScanHit hit;
-    hit.text_begin = spans[w].first;
-    hit.text_end = spans[w].second;
-    hit.score = scores[w];
-    if (config.traceback) {
-      hit.detail = align(query, windows[w], config.params);
-      hit.detail.y_begin += spans[w].first;  // map to text coordinates
-      hit.detail.y_end += spans[w].first;
+  // Stream the scan in window batches: only `batch` window sequences are
+  // materialized at a time, and the stop condition is observed at batch
+  // boundaries so a cancelled scan returns the prefix scored so far.
+  for (std::size_t first = 0; first < spans.size(); first += batch) {
+    if (stop.triggered()) {
+      report.status = stop.status("text scan, window " + std::to_string(first));
+      return report;
     }
-    report.hits.push_back(std::move(hit));
+    const std::size_t n_batch = std::min(batch, spans.size() - first);
+    std::vector<encoding::Sequence> windows;
+    windows.reserve(n_batch);
+    for (std::size_t w = first; w < first + n_batch; ++w) {
+      windows.emplace_back(
+          text.begin() + static_cast<std::ptrdiff_t>(spans[w].first),
+          text.begin() + static_cast<std::ptrdiff_t>(spans[w].second));
+    }
+    const std::vector<encoding::Sequence> queries(n_batch, query);
+    const auto scores = bpbc_max_scores(queries, windows, config.params,
+                                        config.width, config.mode);
+    report.windows_scored += n_batch;
+
+    for (std::size_t i = 0; i < n_batch; ++i) {
+      const std::size_t w = first + i;
+      if (scores[i] < config.threshold) continue;
+      ScanHit hit;
+      hit.text_begin = spans[w].first;
+      hit.text_end = spans[w].second;
+      hit.score = scores[i];
+      if (config.traceback) {
+        if (stop.triggered()) {
+          // Report the hit coarse and move on: the caller still learns
+          // every window of this batch that crossed the threshold.
+          detail_skipped = true;
+          report.hits.push_back(std::move(hit));
+          continue;
+        }
+        hit.detail = align(query, windows[i], config.params);
+        hit.detail.y_begin += spans[w].first;  // map to text coordinates
+        hit.detail.y_end += spans[w].first;
+      }
+      report.hits.push_back(std::move(hit));
+    }
   }
+  // A stop during the final batch's traceback still counts as a stopped
+  // (partial-detail) scan even though every window was scored.
+  if (report.status.ok() && detail_skipped)
+    report.status = stop.status("text scan traceback");
   return report;
 }
 

@@ -17,6 +17,8 @@
 #include "encoding/dna.hpp"
 #include "sw/bpbc.hpp"
 #include "sw/scalar.hpp"
+#include "util/cancel.hpp"
+#include "util/status.hpp"
 
 namespace swbpbc::sw {
 
@@ -28,6 +30,17 @@ struct ScanConfig {
   LaneWidth width = LaneWidth::k64;
   bulk::Mode mode = bulk::Mode::kSerial;
   bool traceback = false;  // align hits in detail (coordinates mapped back)
+
+  // --- survivability -------------------------------------------------
+  // Windows materialized and scored per batch; 0 = all at once. A
+  // chromosome-scale text otherwise instantiates every window sequence
+  // up front; chunking keeps memory bounded by chunk_windows * window.
+  std::size_t chunk_windows = 0;
+  // Cooperative stop, observed between window batches (and during
+  // traceback). A stopped scan returns the windows scored so far with
+  // ScanReport::status set to kCancelled / kDeadlineExceeded.
+  const util::CancellationToken* cancel = nullptr;
+  util::Deadline deadline;
 };
 
 struct ScanHit {
@@ -39,9 +52,13 @@ struct ScanHit {
 };
 
 struct ScanReport {
-  std::size_t windows = 0;
+  std::size_t windows = 0;         // windows the full scan would cover
+  std::size_t windows_scored = 0;  // == windows unless the scan stopped
   std::vector<ScanHit> hits;  // ordered by text_begin; overlapping windows
                               // may both report the same alignment
+  // kOk for a full scan; a cooperative stop leaves the hits of the
+  // windows scored so far and the stop's typed status here.
+  util::Status status;
 };
 
 /// Scans `text` for local alignments of `query` scoring >= threshold.

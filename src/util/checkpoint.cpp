@@ -1,0 +1,177 @@
+#include "util/checkpoint.hpp"
+
+#include <cstring>
+#include <utility>
+
+#include "util/checksum.hpp"
+
+namespace swbpbc::util {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x53574243'4b505431ull;  // "SWBCKPT1"
+constexpr std::uint32_t kRecordMarker = 0x43484e4bu;      // "CHNK"
+// Caps a single record so a corrupted length field cannot drive a
+// multi-gigabyte allocation before the checksum gets a chance to reject.
+constexpr std::uint64_t kMaxPayloadBytes = 1ull << 32;
+
+struct Header {
+  std::uint64_t magic;
+  std::uint32_t version;
+  std::uint32_t reserved;
+  std::uint64_t fingerprint;
+};
+static_assert(sizeof(Header) == 24);
+
+struct RecordHead {
+  std::uint32_t marker;
+  std::uint32_t reserved;
+  std::uint64_t chunk_index;
+  std::uint64_t payload_bytes;
+};
+static_assert(sizeof(RecordHead) == 24);
+
+std::uint64_t record_checksum(std::uint64_t chunk_index,
+                              std::span<const std::uint8_t> payload) {
+  std::uint64_t h = fnv1a_value(chunk_index);
+  h = fnv1a_value(static_cast<std::uint64_t>(payload.size()), h);
+  return fnv1a_span(payload, h);
+}
+
+}  // namespace
+
+Expected<CheckpointWriter> CheckpointWriter::try_create(
+    const std::string& path, std::uint64_t fingerprint) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr)
+    return Status::checkpoint_corrupt("cannot create checkpoint file '" +
+                                      path + "'");
+  const Header header{kMagic, kCheckpointVersion, 0, fingerprint};
+  if (std::fwrite(&header, sizeof(header), 1, file) != 1 ||
+      std::fflush(file) != 0) {
+    std::fclose(file);
+    return Status::checkpoint_corrupt("cannot write checkpoint header to '" +
+                                      path + "'");
+  }
+  return CheckpointWriter(file, path);
+}
+
+CheckpointWriter::CheckpointWriter(CheckpointWriter&& other) noexcept
+    : file_(std::exchange(other.file_, nullptr)),
+      path_(std::move(other.path_)) {}
+
+CheckpointWriter& CheckpointWriter::operator=(
+    CheckpointWriter&& other) noexcept {
+  if (this != &other) {
+    if (file_ != nullptr) std::fclose(file_);
+    file_ = std::exchange(other.file_, nullptr);
+    path_ = std::move(other.path_);
+  }
+  return *this;
+}
+
+CheckpointWriter::~CheckpointWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status CheckpointWriter::append(std::uint64_t chunk_index,
+                                std::span<const std::uint8_t> payload) {
+  if (file_ == nullptr)
+    return Status::internal("append on a moved-from CheckpointWriter");
+  const RecordHead head{kRecordMarker, 0, chunk_index,
+                        static_cast<std::uint64_t>(payload.size())};
+  const std::uint64_t crc = record_checksum(chunk_index, payload);
+  if (std::fwrite(&head, sizeof(head), 1, file_) != 1 ||
+      (!payload.empty() &&
+       std::fwrite(payload.data(), 1, payload.size(), file_) !=
+           payload.size()) ||
+      std::fwrite(&crc, sizeof(crc), 1, file_) != 1 ||
+      std::fflush(file_) != 0) {
+    return Status::checkpoint_corrupt("write to checkpoint '" + path_ +
+                                      "' failed (chunk " +
+                                      std::to_string(chunk_index) + ")");
+  }
+  return {};
+}
+
+const CheckpointRecord* CheckpointData::find(
+    std::uint64_t chunk_index) const {
+  const CheckpointRecord* found = nullptr;
+  for (const CheckpointRecord& r : records) {
+    if (r.chunk_index == chunk_index) found = &r;
+  }
+  return found;
+}
+
+Expected<CheckpointData> read_checkpoint(
+    const std::string& path, std::uint64_t expected_fingerprint) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr)
+    return Status::checkpoint_corrupt("cannot open checkpoint file '" + path +
+                                      "'");
+  struct Closer {
+    std::FILE* f;
+    ~Closer() { std::fclose(f); }
+  } closer{file};
+
+  Header header{};
+  if (std::fread(&header, sizeof(header), 1, file) != 1)
+    return Status::checkpoint_corrupt("checkpoint '" + path +
+                                      "' truncated inside the header");
+  if (header.magic != kMagic)
+    return Status::checkpoint_corrupt("'" + path +
+                                      "' is not a checkpoint stream "
+                                      "(bad magic)");
+  if (header.version != kCheckpointVersion)
+    return Status::checkpoint_mismatch(
+        "checkpoint '" + path + "' has version " +
+        std::to_string(header.version) + ", this build reads version " +
+        std::to_string(kCheckpointVersion));
+  if (header.fingerprint != expected_fingerprint)
+    return Status::checkpoint_mismatch(
+        "checkpoint '" + path +
+        "' was written for a different batch/config (fingerprint mismatch)");
+
+  CheckpointData data;
+  data.fingerprint = header.fingerprint;
+  for (std::size_t index = 0;; ++index) {
+    RecordHead head{};
+    const std::size_t got = std::fread(&head, 1, sizeof(head), file);
+    if (got == 0) break;  // clean end of stream
+    if (got != sizeof(head))
+      return Status::checkpoint_corrupt(
+          "checkpoint '" + path + "' truncated inside record " +
+          std::to_string(index) + "'s header");
+    if (head.marker != kRecordMarker)
+      return Status::checkpoint_corrupt("checkpoint '" + path +
+                                        "' record " + std::to_string(index) +
+                                        " has a corrupt marker");
+    if (head.payload_bytes > kMaxPayloadBytes)
+      return Status::checkpoint_corrupt(
+          "checkpoint '" + path + "' record " + std::to_string(index) +
+          " declares an implausible payload size");
+    CheckpointRecord record;
+    record.chunk_index = head.chunk_index;
+    record.payload.resize(static_cast<std::size_t>(head.payload_bytes));
+    if (!record.payload.empty() &&
+        std::fread(record.payload.data(), 1, record.payload.size(), file) !=
+            record.payload.size())
+      return Status::checkpoint_corrupt(
+          "checkpoint '" + path + "' truncated inside record " +
+          std::to_string(index) + "'s payload");
+    std::uint64_t crc = 0;
+    if (std::fread(&crc, sizeof(crc), 1, file) != 1)
+      return Status::checkpoint_corrupt(
+          "checkpoint '" + path + "' truncated before record " +
+          std::to_string(index) + "'s checksum");
+    if (crc != record_checksum(record.chunk_index, record.payload))
+      return Status::checkpoint_corrupt(
+          "checkpoint '" + path + "' record " + std::to_string(index) +
+          " (chunk " + std::to_string(record.chunk_index) +
+          ") fails its checksum");
+    data.records.push_back(std::move(record));
+  }
+  return data;
+}
+
+}  // namespace swbpbc::util

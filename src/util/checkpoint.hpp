@@ -1,0 +1,81 @@
+// Versioned, checksummed chunk-record stream for checkpoint/resume.
+//
+// A long screening campaign writes one record per completed chunk; a
+// restarted run loads the stream and skips every chunk it already has. The
+// format is deliberately paranoid: a magic + version + caller-supplied
+// fingerprint header rejects streams from a different library version or a
+// different batch, and every record carries an FNV-1a checksum so a
+// truncated or bit-flipped file is rejected with a precise typed error
+// (kCheckpointCorrupt / kCheckpointMismatch) instead of resuming from
+// garbage. Records are appended atomically-per-record and flushed, so a
+// run killed between chunks leaves a loadable stream.
+//
+// Layout (host byte order; checkpoints are host-local scratch files):
+//   header:  u64 magic  u32 version  u32 reserved  u64 fingerprint
+//   record:  u32 marker  u32 reserved  u64 chunk_index  u64 payload_bytes
+//            payload...  u64 fnv1a(chunk_index, payload_bytes, payload)
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace swbpbc::util {
+
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+/// Appends checksummed chunk records to a checkpoint file. Move-only;
+/// the destructor closes the file. Each append is flushed so the stream
+/// survives the process dying right after a chunk completes.
+class CheckpointWriter {
+ public:
+  /// Creates/truncates `path` and writes the header.
+  static Expected<CheckpointWriter> try_create(const std::string& path,
+                                               std::uint64_t fingerprint);
+
+  CheckpointWriter(CheckpointWriter&& other) noexcept;
+  CheckpointWriter& operator=(CheckpointWriter&& other) noexcept;
+  CheckpointWriter(const CheckpointWriter&) = delete;
+  CheckpointWriter& operator=(const CheckpointWriter&) = delete;
+  ~CheckpointWriter();
+
+  /// Appends one complete record and flushes it.
+  Status append(std::uint64_t chunk_index,
+                std::span<const std::uint8_t> payload);
+
+ private:
+  CheckpointWriter(std::FILE* file, std::string path)
+      : file_(file), path_(std::move(path)) {}
+
+  std::FILE* file_ = nullptr;
+  std::string path_;
+};
+
+/// One validated record of a loaded checkpoint.
+struct CheckpointRecord {
+  std::uint64_t chunk_index = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+/// A fully validated checkpoint stream.
+struct CheckpointData {
+  std::uint64_t fingerprint = 0;
+  std::vector<CheckpointRecord> records;
+
+  /// Latest record for a chunk (re-written chunks: last one wins), or
+  /// nullptr when the chunk was never checkpointed.
+  [[nodiscard]] const CheckpointRecord* find(std::uint64_t chunk_index) const;
+};
+
+/// Loads and validates a checkpoint stream. Every failure mode is typed:
+/// unreadable/truncated/bad-magic/bad-checksum -> kCheckpointCorrupt;
+/// wrong version or fingerprint != expected_fingerprint ->
+/// kCheckpointMismatch.
+Expected<CheckpointData> read_checkpoint(const std::string& path,
+                                         std::uint64_t expected_fingerprint);
+
+}  // namespace swbpbc::util

@@ -18,6 +18,14 @@ const char* error_code_name(ErrorCode code) {
       return "RESOURCE_EXHAUSTED";
     case ErrorCode::kRetryExhausted:
       return "RETRY_EXHAUSTED";
+    case ErrorCode::kCancelled:
+      return "CANCELLED";
+    case ErrorCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
+    case ErrorCode::kCheckpointCorrupt:
+      return "CHECKPOINT_CORRUPT";
+    case ErrorCode::kCheckpointMismatch:
+      return "CHECKPOINT_MISMATCH";
     case ErrorCode::kInternal:
       return "INTERNAL";
   }

@@ -26,6 +26,10 @@ enum class ErrorCode {
   kKernelTimeout,      // a simulated block ran past the watchdog deadline
   kResourceExhausted,  // an allocation or capacity limit was hit
   kRetryExhausted,     // recovery retries used up without success
+  kCancelled,          // a cooperative cancellation request was observed
+  kDeadlineExceeded,   // a wall-clock deadline expired mid-run
+  kCheckpointCorrupt,  // checkpoint stream unreadable/truncated/bad checksum
+  kCheckpointMismatch, // checkpoint version or batch fingerprint disagrees
   kInternal,           // invariant violation inside the library
 };
 
@@ -55,6 +59,18 @@ class [[nodiscard]] Status {
   }
   static Status retry_exhausted(std::string m) {
     return {ErrorCode::kRetryExhausted, std::move(m)};
+  }
+  static Status cancelled(std::string m) {
+    return {ErrorCode::kCancelled, std::move(m)};
+  }
+  static Status deadline_exceeded(std::string m) {
+    return {ErrorCode::kDeadlineExceeded, std::move(m)};
+  }
+  static Status checkpoint_corrupt(std::string m) {
+    return {ErrorCode::kCheckpointCorrupt, std::move(m)};
+  }
+  static Status checkpoint_mismatch(std::string m) {
+    return {ErrorCode::kCheckpointMismatch, std::move(m)};
   }
   static Status internal(std::string m) {
     return {ErrorCode::kInternal, std::move(m)};

@@ -23,6 +23,20 @@ std::string describe(const std::exception_ptr& ep) {
   }
 }
 
+// True for exceptions produced by a cooperative stop (kCancelled /
+// kDeadlineExceeded). These are consequences of one stop request, not
+// independent failures, so parallel_for collapses them instead of
+// wrapping them into an AggregateError.
+bool is_stop_exception(const std::exception_ptr& ep) {
+  try {
+    std::rethrow_exception(ep);
+  } catch (const StatusError& e) {
+    return is_stop_code(e.status().code());
+  } catch (...) {
+    return false;
+  }
+}
+
 }  // namespace
 
 AggregateError::AggregateError(std::vector<std::exception_ptr> errors,
@@ -68,6 +82,17 @@ void ThreadPool::drive(ForJob& job) {
     }
   };
   for (;;) {
+    if (job.stop != nullptr && job.stop->triggered()) {
+      // Stop claiming and retire every unclaimed iteration so the
+      // submitter's wait can complete; iterations already running in
+      // other workers finish normally (no torn state).
+      const std::size_t old = job.next.exchange(job.end);
+      if (old < job.end) {
+        job.stopped_early.store(true, std::memory_order_relaxed);
+        retire(job.end - old);
+      }
+      break;
+    }
     const std::size_t lo = job.next.fetch_add(job.grain);
     if (lo >= job.end) break;
     const std::size_t hi = std::min(lo + job.grain, job.end);
@@ -118,12 +143,17 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
                               const std::function<void(std::size_t)>& fn,
-                              std::size_t grain) {
+                              std::size_t grain,
+                              const StopCondition* stop) {
   if (begin >= end) return;
   const std::size_t n = end - begin;
   if (grain == 0) grain = std::max<std::size_t>(1, n / (4 * (size() + 1)));
   if (workers_.empty() || n <= grain) {
-    for (std::size_t i = begin; i < end; ++i) fn(i);
+    for (std::size_t i = begin; i < end; ++i) {
+      if (stop != nullptr && stop->triggered())
+        throw StatusError(stop->status("parallel_for"));
+      fn(i);
+    }
     return;
   }
 
@@ -131,6 +161,7 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   job.end = end;
   job.grain = grain;
   job.fn = &fn;
+  job.stop = stop;
   job.next.store(begin);
   job.pending_workers.store(n);  // iterations still to finish
 
@@ -159,11 +190,26 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
       return job.pending_workers.load() == 0 && job.users == 0;
     });
   }
-  if (!job.errors.empty()) {
-    if (job.errors.size() == 1 && job.errors_dropped == 0)
-      std::rethrow_exception(job.errors.front());
-    throw AggregateError(std::move(job.errors), job.errors_dropped);
+  // Partition captured exceptions into real failures and stop unwinds
+  // (several workers may all observe one cancellation; those are one
+  // event, not independent errors to aggregate).
+  std::vector<std::exception_ptr> real;
+  std::exception_ptr stop_error;
+  for (auto& ep : job.errors) {
+    if (is_stop_exception(ep)) {
+      if (stop_error == nullptr) stop_error = ep;
+    } else {
+      real.push_back(ep);
+    }
   }
+  if (!real.empty()) {
+    if (real.size() == 1 && job.errors_dropped == 0)
+      std::rethrow_exception(real.front());
+    throw AggregateError(std::move(real), job.errors_dropped);
+  }
+  if (stop_error != nullptr) std::rethrow_exception(stop_error);
+  if (job.stopped_early.load(std::memory_order_relaxed) && stop != nullptr)
+    throw StatusError(stop->status("parallel_for"));
 }
 
 std::size_t ThreadPool::default_thread_count() {

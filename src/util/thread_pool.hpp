@@ -16,6 +16,8 @@
 #include <thread>
 #include <vector>
 
+#include "util/cancel.hpp"
+
 namespace swbpbc::util {
 
 /// Thrown by parallel_for when more than one iteration threw: every
@@ -55,10 +57,18 @@ class ThreadPool {
   /// contiguous chunks of `grain` to limit scheduling overhead. A single
   /// throwing iteration re-throws its exception on the caller; when several
   /// iterations throw concurrently they are aggregated into one
-  /// AggregateError so no failure is lost.
+  /// AggregateError so no failure is lost. Cancellation/deadline statuses
+  /// (kCancelled, kDeadlineExceeded) never aggregate: a real failure wins
+  /// over concurrent stop unwinds, and pure stops collapse to one clean
+  /// StatusError.
+  ///
+  /// `stop`, when non-null, is polled before every chunk claim; once it
+  /// triggers, unclaimed iterations are skipped and the call throws the
+  /// stop's StatusError (unless every iteration had already finished).
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& fn,
-                    std::size_t grain = 1);
+                    std::size_t grain = 1,
+                    const StopCondition* stop = nullptr);
 
   /// Process-wide pool sized from SWBPBC_THREADS (default:
   /// hardware_concurrency).
@@ -72,6 +82,8 @@ class ThreadPool {
     std::size_t end = 0;
     std::size_t grain = 1;
     const std::function<void(std::size_t)>* fn = nullptr;
+    const StopCondition* stop = nullptr;
+    std::atomic<bool> stopped_early{false};  // stop skipped iterations
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> pending_workers{0};
     int users = 0;  // workers currently holding a pointer to this job

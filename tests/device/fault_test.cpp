@@ -4,10 +4,13 @@
 #include <vector>
 
 #include "device/fault.hpp"
+#include "device/launch.hpp"
+#include "device/metrics.hpp"
 #include "device/sw_kernels.hpp"
 #include "encoding/random.hpp"
 #include "sw/wordwise.hpp"
 #include "util/status.hpp"
+#include "util/thread_pool.hpp"
 
 namespace swbpbc::device {
 namespace {
@@ -163,6 +166,39 @@ TEST(FaultInjector, WatchdogWithoutInjectorThrowsTyped) {
     FAIL() << "expected StatusError";
   } catch (const util::StatusError& e) {
     EXPECT_EQ(e.status().code(), util::ErrorCode::kKernelTimeout);
+  }
+}
+
+// Regression for the watchdog-timeout ergonomics: when exactly ONE block
+// trips the watchdog (no injector attached), the parallel launch must
+// surface a single clean StatusError(kKernelTimeout) naming that block —
+// never an AggregateError bundling the surviving blocks' unwinds.
+TEST(FaultInjector, SingleWatchdogTripIsOneCleanParallelError) {
+  struct PhaseKernel {
+    std::size_t phases;
+    [[nodiscard]] unsigned block_dim() const { return 1; }
+    [[nodiscard]] std::size_t num_phases() const { return phases; }
+    void step(std::size_t, unsigned) {}
+  };
+  for (int round = 0; round < 20; ++round) {
+    LaunchConfig cfg;
+    cfg.grid_dim = 16;
+    cfg.mode = bulk::Mode::kParallel;
+    cfg.watchdog_phases = 8;
+    bool caught = false;
+    try {
+      launch(cfg, [](std::size_t b, BlockRecorder&) {
+        return PhaseKernel{b == 5 ? std::size_t{64} : std::size_t{4}};
+      });
+    } catch (const util::AggregateError& e) {
+      FAIL() << "single watchdog trip wrapped in AggregateError: "
+             << e.what();
+    } catch (const util::StatusError& e) {
+      caught = true;
+      EXPECT_EQ(e.status().code(), util::ErrorCode::kKernelTimeout);
+      EXPECT_NE(e.status().message().find("block 5"), std::string::npos);
+    }
+    EXPECT_TRUE(caught) << "round " << round;
   }
 }
 

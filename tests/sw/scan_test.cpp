@@ -138,5 +138,62 @@ TEST(Scan, EmptyTextReportsNothing) {
   EXPECT_TRUE(report.hits.empty());
 }
 
+TEST(Scan, ChunkedScanMatchesUnchunked) {
+  util::Xoshiro256 rng(8);
+  const auto query = encoding::random_sequence(rng, 6);
+  const auto text = encoding::random_sequence(rng, 999);
+  ScanConfig config;
+  config.params = {2, 1, 1};
+  config.window = 100;
+  config.threshold = 0;  // every window reports
+  const ScanReport full = scan_text(query, text, config);
+
+  for (std::size_t chunk : {std::size_t{1}, std::size_t{3}, std::size_t{64}}) {
+    ScanConfig chunked = config;
+    chunked.chunk_windows = chunk;
+    const ScanReport report = scan_text(query, text, chunked);
+    EXPECT_TRUE(report.status.ok());
+    EXPECT_EQ(report.windows_scored, full.windows);
+    ASSERT_EQ(report.hits.size(), full.hits.size()) << "chunk=" << chunk;
+    for (std::size_t h = 0; h < full.hits.size(); ++h) {
+      EXPECT_EQ(report.hits[h].text_begin, full.hits[h].text_begin);
+      EXPECT_EQ(report.hits[h].text_end, full.hits[h].text_end);
+      EXPECT_EQ(report.hits[h].score, full.hits[h].score);
+    }
+  }
+}
+
+TEST(Scan, ExpiredDeadlineReturnsWellFormedPartialScan) {
+  util::Xoshiro256 rng(9);
+  const auto query = encoding::random_sequence(rng, 6);
+  const auto text = encoding::random_sequence(rng, 999);
+  ScanConfig config;
+  config.params = {2, 1, 1};
+  config.window = 100;
+  config.chunk_windows = 2;
+  config.deadline = util::Deadline::after_ms(0.0);
+  const ScanReport report = scan_text(query, text, config);
+  EXPECT_EQ(report.status.code(), util::ErrorCode::kDeadlineExceeded);
+  EXPECT_GT(report.windows, 0u);
+  EXPECT_EQ(report.windows_scored, 0u);
+  EXPECT_TRUE(report.hits.empty());
+}
+
+TEST(Scan, PreCancelledTokenStopsBeforeScoring) {
+  util::Xoshiro256 rng(10);
+  const auto query = encoding::random_sequence(rng, 6);
+  const auto text = encoding::random_sequence(rng, 500);
+  util::CancellationToken token;
+  token.cancel();
+  ScanConfig config;
+  config.params = {2, 1, 1};
+  config.window = 100;
+  config.chunk_windows = 1;
+  config.cancel = &token;
+  const ScanReport report = scan_text(query, text, config);
+  EXPECT_EQ(report.status.code(), util::ErrorCode::kCancelled);
+  EXPECT_EQ(report.windows_scored, 0u);
+}
+
 }  // namespace
 }  // namespace swbpbc::sw

@@ -1,0 +1,164 @@
+// Checkpoint stream robustness: round-trips, and the ISSUE's negative
+// cases — truncated file, flipped byte, wrong version, wrong fingerprint —
+// each rejected with a precise typed error instead of resuming garbage.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/checkpoint.hpp"
+#include "util/status.hpp"
+
+namespace swbpbc::util {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + "swbpbc_ckpt_" + name;
+}
+
+std::vector<std::uint8_t> bytes(std::initializer_list<int> v) {
+  std::vector<std::uint8_t> out;
+  for (int x : v) out.push_back(static_cast<std::uint8_t>(x));
+  return out;
+}
+
+std::vector<char> slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+void dump(const std::string& path, const std::vector<char>& data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+}
+
+void write_stream(const std::string& path, std::uint64_t fingerprint) {
+  auto writer = CheckpointWriter::try_create(path, fingerprint);
+  ASSERT_TRUE(writer.has_value()) << writer.status().to_string();
+  ASSERT_TRUE(writer->append(0, bytes({1, 2, 3, 4})).ok());
+  ASSERT_TRUE(writer->append(2, bytes({9, 8, 7, 6, 5})).ok());
+}
+
+TEST(Checkpoint, RoundTripsRecords) {
+  const std::string path = temp_path("roundtrip.bin");
+  write_stream(path, 0xABCDu);
+
+  const auto loaded = read_checkpoint(path, 0xABCDu);
+  ASSERT_TRUE(loaded.has_value()) << loaded.status().to_string();
+  EXPECT_EQ(loaded->fingerprint, 0xABCDu);
+  ASSERT_EQ(loaded->records.size(), 2u);
+  ASSERT_NE(loaded->find(0), nullptr);
+  EXPECT_EQ(loaded->find(0)->payload, bytes({1, 2, 3, 4}));
+  ASSERT_NE(loaded->find(2), nullptr);
+  EXPECT_EQ(loaded->find(2)->payload, bytes({9, 8, 7, 6, 5}));
+  EXPECT_EQ(loaded->find(1), nullptr);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RewrittenChunkLastRecordWins) {
+  const std::string path = temp_path("rewrite.bin");
+  auto writer = CheckpointWriter::try_create(path, 7);
+  ASSERT_TRUE(writer.has_value());
+  ASSERT_TRUE(writer->append(4, bytes({1})).ok());
+  ASSERT_TRUE(writer->append(4, bytes({2})).ok());
+  const auto loaded = read_checkpoint(path, 7);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_NE(loaded->find(4), nullptr);
+  EXPECT_EQ(loaded->find(4)->payload, bytes({2}));
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, MissingFileIsCorrupt) {
+  const auto loaded = read_checkpoint(temp_path("nonexistent.bin"), 1);
+  ASSERT_FALSE(loaded.has_value());
+  EXPECT_EQ(loaded.status().code(), ErrorCode::kCheckpointCorrupt);
+}
+
+TEST(Checkpoint, TruncatedFileIsCorrupt) {
+  const std::string path = temp_path("truncated.bin");
+  write_stream(path, 42);
+  std::vector<char> data = slurp(path);
+  ASSERT_GT(data.size(), 5u);
+  data.resize(data.size() - 5);  // cut into the final record
+  dump(path, data);
+
+  const auto loaded = read_checkpoint(path, 42);
+  ASSERT_FALSE(loaded.has_value());
+  EXPECT_EQ(loaded.status().code(), ErrorCode::kCheckpointCorrupt);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, FlippedPayloadByteIsCorrupt) {
+  const std::string path = temp_path("flipped.bin");
+  write_stream(path, 42);
+  std::vector<char> data = slurp(path);
+  // Flip one byte in the middle of the first record's payload (header is
+  // 24 bytes, record head 24 bytes).
+  data[24 + 24 + 1] = static_cast<char>(data[24 + 24 + 1] ^ 0x40);
+  dump(path, data);
+
+  const auto loaded = read_checkpoint(path, 42);
+  ASSERT_FALSE(loaded.has_value());
+  EXPECT_EQ(loaded.status().code(), ErrorCode::kCheckpointCorrupt);
+  EXPECT_NE(loaded.status().message().find("checksum"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, WrongVersionIsMismatch) {
+  const std::string path = temp_path("version.bin");
+  write_stream(path, 42);
+  std::vector<char> data = slurp(path);
+  data[8] = static_cast<char>(kCheckpointVersion + 1);  // version u32 @ 8
+  dump(path, data);
+
+  const auto loaded = read_checkpoint(path, 42);
+  ASSERT_FALSE(loaded.has_value());
+  EXPECT_EQ(loaded.status().code(), ErrorCode::kCheckpointMismatch);
+  EXPECT_NE(loaded.status().message().find("version"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, WrongFingerprintIsMismatch) {
+  const std::string path = temp_path("fingerprint.bin");
+  write_stream(path, 42);
+  const auto loaded = read_checkpoint(path, 43);
+  ASSERT_FALSE(loaded.has_value());
+  EXPECT_EQ(loaded.status().code(), ErrorCode::kCheckpointMismatch);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, GarbageMagicIsCorrupt) {
+  const std::string path = temp_path("magic.bin");
+  write_stream(path, 42);
+  std::vector<char> data = slurp(path);
+  data[0] = static_cast<char>(data[0] ^ 0xFF);
+  dump(path, data);
+
+  const auto loaded = read_checkpoint(path, 42);
+  ASSERT_FALSE(loaded.has_value());
+  EXPECT_EQ(loaded.status().code(), ErrorCode::kCheckpointCorrupt);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, UnwritablePathIsTypedError) {
+  const auto writer =
+      CheckpointWriter::try_create("/nonexistent-dir/x/ckpt.bin", 1);
+  ASSERT_FALSE(writer.has_value());
+  EXPECT_FALSE(writer.status().ok());
+}
+
+TEST(Checkpoint, EmptyStreamLoadsWithNoRecords) {
+  const std::string path = temp_path("empty.bin");
+  { auto writer = CheckpointWriter::try_create(path, 9); ASSERT_TRUE(writer.has_value()); }
+  const auto loaded = read_checkpoint(path, 9);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_TRUE(loaded->records.empty());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace swbpbc::util
