@@ -1,6 +1,8 @@
 #include "harness.hpp"
 
+#include <map>
 #include <stdexcept>
+#include <utility>
 
 #include "device/sw_kernels.hpp"
 #include "encoding/random.hpp"
@@ -92,6 +94,8 @@ RowTimes run_impl(Impl impl, const Workload& w, const sw::ScoreParams& params,
       options.mode = bulk::Mode::kParallel;
       options.integrity.enabled = run.integrity;
       options.integrity.sample_every = run.integrity_sample_every;
+      options.record_metrics = run.record_metrics;
+      options.telemetry = run.telemetry;
       const auto result =
           device::gpu_bpbc_max_scores(w.xs, w.ys, params, width, options);
       verify_prefix(w, params, result.scores);
@@ -105,11 +109,17 @@ RowTimes run_impl(Impl impl, const Workload& w, const sw::ScoreParams& params,
         row.integrity = result.integrity_ms;
         row.total += result.integrity_ms;
       }
+      if (run.record_metrics) {
+        row.has_metrics = true;
+        row.metrics = result.stage_metrics;
+      }
       return row;
     }
     case Impl::kGpuWordwise: {
       device::GpuRunOptions options;
       options.mode = bulk::Mode::kParallel;
+      options.record_metrics = run.record_metrics;
+      options.telemetry = run.telemetry;
       const auto result =
           device::gpu_wordwise_max_scores(w.xs, w.ys, params, options);
       verify_prefix(w, params, result.scores);
@@ -117,6 +127,10 @@ RowTimes run_impl(Impl impl, const Workload& w, const sw::ScoreParams& params,
       row.swa = result.timings.swa_ms;
       row.g2h = result.timings.g2h_ms;
       row.total = result.timings.total_ms();
+      if (run.record_metrics) {
+        row.has_metrics = true;
+        row.metrics = result.stage_metrics;
+      }
       return row;
     }
   }
@@ -127,6 +141,42 @@ double gcups(const Workload& w, const RowTimes& row) {
   const double cells = static_cast<double>(w.pairs) *
                        static_cast<double>(w.m) * static_cast<double>(w.n);
   return cells / (row.total * 1e-3) / 1e9;
+}
+
+telemetry::RunReportRow report_row(Impl impl, const Workload& w,
+                                   const RowTimes& row) {
+  telemetry::RunReportRow out;
+  out.impl = impl_name(impl);
+  out.pairs = w.pairs;
+  out.m = w.m;
+  out.n = w.n;
+  const std::pair<const char*, double> stages[] = {
+      {"H2G", row.h2g}, {"W2B", row.w2b},  {"SWA", row.swa},
+      {"B2W", row.b2w}, {"G2H", row.g2h},  {"INTG", row.integrity}};
+  for (const auto& [name, ms] : stages) {
+    if (ms >= 0.0) out.stages_ms[name] = ms;
+  }
+  out.total_ms = row.total;
+  out.gcups = gcups(w, row);
+  if (row.has_metrics) {
+    for (std::size_t i = 0; i < sw::kNumPipelineStages; ++i) {
+      const auto stage = static_cast<sw::PipelineStage>(i);
+      const device::MetricTotals& t = row.metrics[stage];
+      std::map<std::string, std::uint64_t> counters;
+      const auto put = [&counters](const char* name, std::uint64_t v) {
+        if (v != 0) counters[name] = v;
+      };
+      put("global_reads", t.global_reads);
+      put("global_writes", t.global_writes);
+      put("global_read_transactions", t.global_read_transactions);
+      put("global_write_transactions", t.global_write_transactions);
+      put("shared_accesses", t.shared_accesses);
+      put("shared_bank_conflicts", t.shared_bank_conflicts);
+      if (!counters.empty())
+        out.stage_metrics[sw::stage_name(stage)] = std::move(counters);
+    }
+  }
+  return out;
 }
 
 }  // namespace swbpbc::bench

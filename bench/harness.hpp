@@ -8,8 +8,11 @@
 #include <string>
 #include <vector>
 
+#include "device/sw_kernels.hpp"
 #include "encoding/dna.hpp"
 #include "sw/params.hpp"
+#include "telemetry/run_report.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace swbpbc::bench {
 
@@ -35,6 +38,10 @@ struct RowTimes {
   double g2h = -1.0;
   double integrity = -1.0;  // in-band stage checks (device impls, opt-in)
   double total = 0.0;
+  // Stage-keyed memory traffic, filled when RunOptions::record_metrics is
+  // set and the implementation runs on the device simulator.
+  bool has_metrics = false;
+  device::StageMetrics metrics;
 };
 
 enum class Impl {
@@ -55,6 +62,13 @@ std::string impl_name(Impl impl);
 struct RunOptions {
   bool integrity = false;
   std::size_t integrity_sample_every = 16;
+  // Record device memory-traffic counters into RowTimes::metrics (the
+  // per-stage transaction counts the --json report exports).
+  bool record_metrics = false;
+  // Telemetry sink (telemetry::Telemetry::sink(); nullptr = disabled)
+  // threaded into the device pipeline: stage spans on the device track
+  // plus per-stage timing histograms in the session registry.
+  telemetry::Telemetry* telemetry = nullptr;
 };
 
 /// Runs one implementation over the workload and checks the scores against
@@ -65,5 +79,11 @@ RowTimes run_impl(Impl impl, const Workload& w, const sw::ScoreParams& params,
 /// Billion cell updates per second for a measured row (pairs * m * n DP
 /// cells over the row's total time).
 double gcups(const Workload& w, const RowTimes& row);
+
+/// Converts one measured row into a RunReport row: stage wall times (only
+/// stages the implementation has), total, GCUPS, and — when the run
+/// recorded metrics — the stage-keyed memory-traffic counters.
+telemetry::RunReportRow report_row(Impl impl, const Workload& w,
+                                   const RowTimes& row);
 
 }  // namespace swbpbc::bench

@@ -7,12 +7,32 @@
 // n = 1024..65536 on a GTX TITAN X); pass --full for the paper's sizes or
 // override --pairs / --m / --n=comma,list. See EXPERIMENTS.md.
 #include <cstdio>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "harness.hpp"
+#include "telemetry/run_report.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/checksum.hpp"
 #include "util/options.hpp"
 #include "util/table.hpp"
+
+namespace {
+
+// Stable fingerprint of the stringly config echo (order-independent: the
+// map iterates sorted by key).
+std::uint64_t config_fingerprint(
+    const std::map<std::string, std::string>& config) {
+  std::uint64_t h = swbpbc::util::kFnvOffset;
+  for (const auto& [k, v] : config) {
+    h = swbpbc::util::fnv1a_bytes(k.data(), k.size(), h);
+    h = swbpbc::util::fnv1a_bytes(v.data(), v.size(), h);
+  }
+  return h;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace swbpbc;
@@ -36,6 +56,34 @@ int main(int argc, char** argv) {
   run.integrity = opt.get_bool("integrity", false);
   run.integrity_sample_every =
       static_cast<std::size_t>(opt.get_int("integrity-sample", 16));
+
+  // --json=path: export a machine-readable RunReport (rows + metrics
+  // registry). The device runs record stage metrics and feed a telemetry
+  // session so the report carries transaction counts and timing
+  // histograms.
+  const std::string json_path = opt.get("json", "");
+  telemetry::TelemetryConfig tcfg;
+  tcfg.enabled = !json_path.empty();
+  telemetry::Telemetry session(tcfg);
+  run.telemetry = session.sink();
+  if (!json_path.empty()) run.record_metrics = true;
+
+  telemetry::RunReport rep;
+  rep.tool = "table4_runtime";
+  rep.config["pairs"] = std::to_string(pairs);
+  rep.config["m"] = std::to_string(m);
+  {
+    std::string ns;
+    for (const std::int64_t n : n_list) {
+      if (!ns.empty()) ns += ',';
+      ns += std::to_string(n);
+    }
+    rep.config["n"] = ns;
+  }
+  rep.config["match"] = std::to_string(params.match);
+  rep.config["mismatch"] = std::to_string(params.mismatch);
+  rep.config["gap"] = std::to_string(params.gap);
+  rep.config["integrity"] = run.integrity ? "1" : "0";
 
   std::printf("Table IV reproduction: running time in ms for the SWA, "
               "%zu pairs, m = %zu\n", pairs, m);
@@ -68,6 +116,8 @@ int main(int argc, char** argv) {
       const bench::Workload w = bench::make_workload(
           pairs, m, static_cast<std::size_t>(n), 20260705);
       const bench::RowTimes row = bench::run_impl(impl, w, params, run);
+      if (!json_path.empty())
+        rep.rows.push_back(bench::report_row(impl, w, row));
       std::vector<std::string> cells = {
           bench::impl_name(impl), std::to_string(n), cell(row.h2g),
           cell(row.w2b),          cell(row.swa),     cell(row.b2w),
@@ -83,5 +133,16 @@ int main(int argc, char** argv) {
               "platforms; SWA time scales linearly in n; W2B is a small "
               "fraction of total on the device. Absolute GPU numbers are "
               "simulator-scale (see DESIGN.md substitutions).\n");
+  if (!json_path.empty()) {
+    rep.config_fingerprint = config_fingerprint(rep.config);
+    rep.metrics = session.registry().snapshot();
+    if (util::Status s = telemetry::write_run_report(rep, json_path);
+        !s.ok()) {
+      std::fprintf(stderr, "failed to write run report: %s\n",
+                   s.to_string().c_str());
+      return 1;
+    }
+    std::printf("Run report written to %s\n", json_path.c_str());
+  }
   return 0;
 }

@@ -4,11 +4,30 @@
 // the CPU and 32-bit best on its GPU; we measure both and report the
 // winners, which may differ on the simulated device — see EXPERIMENTS.md).
 #include <cstdio>
+#include <map>
+#include <string>
 #include <vector>
 
 #include "harness.hpp"
+#include "telemetry/run_report.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/checksum.hpp"
 #include "util/options.hpp"
 #include "util/table.hpp"
+
+namespace {
+
+std::uint64_t config_fingerprint(
+    const std::map<std::string, std::string>& config) {
+  std::uint64_t h = swbpbc::util::kFnvOffset;
+  for (const auto& [k, v] : config) {
+    h = swbpbc::util::fnv1a_bytes(k.data(), k.size(), h);
+    h = swbpbc::util::fnv1a_bytes(v.data(), v.size(), h);
+  }
+  return h;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace swbpbc;
@@ -26,6 +45,27 @@ int main(int argc, char** argv) {
                 : std::vector<std::int64_t>{256, 512, 1024});
   const sw::ScoreParams params{2, 1, 1};
 
+  const std::string json_path = opt.get("json", "");
+  telemetry::TelemetryConfig tcfg;
+  tcfg.enabled = !json_path.empty();
+  telemetry::Telemetry session(tcfg);
+  bench::RunOptions run;
+  run.telemetry = session.sink();
+  run.record_metrics = !json_path.empty();
+
+  telemetry::RunReport rep;
+  rep.tool = "table5_gcups";
+  rep.config["pairs"] = std::to_string(pairs);
+  rep.config["m"] = std::to_string(m);
+  {
+    std::string ns;
+    for (const std::int64_t n : n_list) {
+      if (!ns.empty()) ns += ',';
+      ns += std::to_string(n);
+    }
+    rep.config["n"] = ns;
+  }
+
   std::printf("Table V reproduction: GCUPS and speed-up for the SWA using "
               "BPBC, %zu pairs, m = %zu\n", pairs, m);
   std::printf("(best word size per platform, chosen by measurement)\n\n");
@@ -36,10 +76,16 @@ int main(int argc, char** argv) {
     const bench::Workload w =
         bench::make_workload(pairs, m, static_cast<std::size_t>(n),
                              20260705);
-    const auto cpu32 = bench::run_impl(Impl::kCpuBitwise32, w, params);
-    const auto cpu64 = bench::run_impl(Impl::kCpuBitwise64, w, params);
-    const auto gpu32 = bench::run_impl(Impl::kGpuBitwise32, w, params);
-    const auto gpu64 = bench::run_impl(Impl::kGpuBitwise64, w, params);
+    const auto cpu32 = bench::run_impl(Impl::kCpuBitwise32, w, params, run);
+    const auto cpu64 = bench::run_impl(Impl::kCpuBitwise64, w, params, run);
+    const auto gpu32 = bench::run_impl(Impl::kGpuBitwise32, w, params, run);
+    const auto gpu64 = bench::run_impl(Impl::kGpuBitwise64, w, params, run);
+    if (!json_path.empty()) {
+      rep.rows.push_back(bench::report_row(Impl::kCpuBitwise32, w, cpu32));
+      rep.rows.push_back(bench::report_row(Impl::kCpuBitwise64, w, cpu64));
+      rep.rows.push_back(bench::report_row(Impl::kGpuBitwise32, w, gpu32));
+      rep.rows.push_back(bench::report_row(Impl::kGpuBitwise64, w, gpu64));
+    }
 
     const bool cpu_use64 = cpu64.total < cpu32.total;
     const bool gpu_use64 = gpu64.total < gpu32.total;
@@ -58,5 +104,16 @@ int main(int argc, char** argv) {
               "CPU ~0.76 GCUPS, GPU 1877-2200 GCUPS, speed-up 447-524x. "
               "Our device is simulated on host cores, so the speed-up is "
               "bounded by the host's core count.\n");
+  if (!json_path.empty()) {
+    rep.config_fingerprint = config_fingerprint(rep.config);
+    rep.metrics = session.registry().snapshot();
+    if (util::Status s = telemetry::write_run_report(rep, json_path);
+        !s.ok()) {
+      std::fprintf(stderr, "failed to write run report: %s\n",
+                   s.to_string().c_str());
+      return 1;
+    }
+    std::printf("Run report written to %s\n", json_path.c_str());
+  }
   return 0;
 }

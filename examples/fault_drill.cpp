@@ -11,6 +11,7 @@
 //   ./fault_drill --campaigns=100 --count=64 --m=8 --n=24 --chunk=16
 //   ./fault_drill --flip=1e-3 --drop-sync=0.05 --stall=0.05 --copy-flip=2e-3
 //   ./fault_drill --integrity=0     # lane self-check only, no stage checks
+//   ./fault_drill --trace=drill.trace.json   # Chrome/Perfetto span trace
 //
 // Checkpoint/resume rides the same chunk boundaries — see
 // examples/screen_resume.cpp for the kill-and-resume walkthrough.
@@ -23,6 +24,7 @@
 #include "encoding/random.hpp"
 #include "sw/pipeline.hpp"
 #include "sw/scalar.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/options.hpp"
 
 using namespace swbpbc;
@@ -37,6 +39,13 @@ int main(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(opt.get_int("seed", 42));
   const bool integrity = opt.get_int("integrity", 1) != 0;
   const sw::ScoreParams params{2, 1, 1};
+
+  // --trace=path: record every campaign's screen/chunk/device-stage/
+  // quarantine spans into one Chrome-trace file (open in Perfetto).
+  const std::string trace_path = opt.get("trace", "");
+  telemetry::TelemetryConfig tcfg;
+  tcfg.enabled = !trace_path.empty();
+  telemetry::Telemetry session(tcfg);
 
   device::FaultConfig fault;
   fault.flip_probability = opt.get_double("flip", 1e-3);
@@ -67,6 +76,7 @@ int main(int argc, char** argv) {
     run.watchdog_phases = m + n + 16;
     run.integrity.enabled = integrity;
     run.integrity.sample_every = 1;
+    run.telemetry = session.sink();
 
     sw::ScreenConfig cfg;
     cfg.params = params;
@@ -80,6 +90,7 @@ int main(int argc, char** argv) {
     cfg.check.enabled = true;
     cfg.check.sample_every = 1;  // verify every lane against the scalar ref
     cfg.check.max_retries = 4;
+    cfg.telemetry = session.sink();
 
     const auto result = sw::try_screen(xs, ys, cfg);
     if (!result.has_value()) {
@@ -150,6 +161,17 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(totals.chunk_retries),
                 static_cast<unsigned long long>(totals.lanes_resubmitted),
                 chunk);
+  }
+  if (session.enabled()) {
+    if (util::Status s = session.tracer()->write_chrome_trace(trace_path);
+        !s.ok()) {
+      std::printf("trace write failed: %s\n", s.to_string().c_str());
+    } else {
+      std::printf("trace written to %s (%zu spans, %llu dropped)\n",
+                  trace_path.c_str(), session.tracer()->size(),
+                  static_cast<unsigned long long>(
+                      session.tracer()->dropped()));
+    }
   }
   std::printf("recovered: %s\n", totals.summary().c_str());
   std::printf("%s\n", failed == 0

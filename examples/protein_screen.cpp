@@ -2,10 +2,13 @@
 // amino-acid alphabet (epsilon = 5 planes instead of DNA's 2).
 //
 //   ./protein_screen [--count=N]
+//   ./protein_screen --trace=protein.trace.json   # span timeline; open
+//                                                 # the file in Perfetto
 #include <cstdio>
 
 #include "encoding/alphabet.hpp"
 #include "sw/generic.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/options.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
@@ -17,6 +20,16 @@ int main(int argc, char** argv) {
   const auto count = static_cast<std::size_t>(opt.get_int("count", 64));
   const std::size_t m = 24, n = 200;
 
+  // --trace=path: record the example's phases as spans (plus thread-pool
+  // chunks, when the aligner runs parallel) and export a Chrome trace.
+  const std::string trace_path = opt.get("trace", "");
+  telemetry::TelemetryConfig tcfg;
+  tcfg.enabled = !trace_path.empty();
+  tcfg.pool_spans = true;
+  telemetry::Telemetry session(tcfg);
+  telemetry::Tracer* const tr =
+      session.enabled() ? session.tracer() : nullptr;
+
   const encoding::Alphabet& aa = encoding::protein_alphabet();
   util::Xoshiro256 rng(314);
   const auto random_protein = [&](std::size_t len) {
@@ -27,6 +40,8 @@ int main(int argc, char** argv) {
 
   // One query motif against `count` random protein targets; a third of
   // the targets carry a degraded copy of the motif.
+  telemetry::Span gen_span(tr, "generate", "example");
+  gen_span.arg("targets", static_cast<std::int64_t>(count));
   const encoding::GenericSequence query = random_protein(m);
   std::vector<encoding::GenericSequence> queries(count, query);
   std::vector<encoding::GenericSequence> targets;
@@ -46,10 +61,16 @@ int main(int argc, char** argv) {
     targets.push_back(std::move(t));
   }
 
+  gen_span.finish();
+
   const sw::ScoreParams params{2, 1, 1};
   util::WallTimer timer;
+  telemetry::Span screen_span(tr, "screen.generic", "example");
+  screen_span.arg("pairs", static_cast<std::int64_t>(count));
+  screen_span.arg("planes", static_cast<std::int64_t>(aa.bits()));
   const auto scores = sw::generic_bpbc_max_scores<std::uint64_t>(
       queries, targets, aa.bits(), params);
+  screen_span.finish();
   const double ms = timer.elapsed_ms();
 
   const std::uint32_t tau = static_cast<std::uint32_t>(2 * m * 6 / 10);
@@ -62,5 +83,15 @@ int main(int argc, char** argv) {
               "%.2f ms\n", count, aa.bits(), ms);
   std::printf("%zu targets reach tau = %u (%zu were planted)\n", hits, tau,
               planted);
+  if (session.enabled()) {
+    if (util::Status s = session.tracer()->write_chrome_trace(trace_path);
+        !s.ok()) {
+      std::printf("trace write failed: %s\n", s.to_string().c_str());
+      return 1;
+    }
+    std::printf("trace written to %s (%zu spans) — open in "
+                "https://ui.perfetto.dev\n",
+                trace_path.c_str(), session.tracer()->size());
+  }
   return 0;
 }

@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Validate the telemetry layer's machine-readable artifacts.
+
+Accepts either document the layer emits and auto-detects which it got:
+
+* a versioned RunReport (``"schema": "swbpbc.run_report"``) from
+  ``table4_runtime --json`` / ``table5_gcups --json`` — checked for
+  schema/version, a well-formed config fingerprint, and rows whose stage
+  wall times, totals, and GCUPS are present and sane;
+* a Chrome trace_event file (``"traceEvents": [...]``) from
+  ``fault_drill --trace`` / ``protein_screen --trace`` — checked for
+  complete ("X") events only, non-negative monotone timestamps, and
+  durations that fit inside the capture window.
+
+Exits 0 when every named file validates, 1 with a message otherwise.
+
+    scripts/check_run_report.py out/table4.json out/drill.trace.json
+"""
+import json
+import re
+import sys
+
+
+def fail(path, message):
+    print(f"check_run_report: {path}: {message}", file=sys.stderr)
+    return 1
+
+
+def check_run_report(path, doc):
+    if doc.get("schema") != "swbpbc.run_report":
+        return fail(path, f"unexpected schema {doc.get('schema')!r}")
+    if doc.get("schema_version") != 1:
+        return fail(path,
+                    f"unsupported schema_version {doc.get('schema_version')!r}")
+    if not isinstance(doc.get("tool"), str) or not doc["tool"]:
+        return fail(path, "missing tool name")
+    fingerprint = doc.get("config_fingerprint", "")
+    if not re.fullmatch(r"0x[0-9a-fA-F]{16}", fingerprint):
+        return fail(path, f"bad config_fingerprint {fingerprint!r}")
+    if not isinstance(doc.get("config"), dict):
+        return fail(path, "missing config echo")
+
+    rows = doc.get("rows")
+    if not isinstance(rows, list) or not rows:
+        return fail(path, "report has no rows")
+    known_stages = {"H2G", "W2B", "SWA", "B2W", "G2H", "INTG"}
+    for i, row in enumerate(rows):
+        where = f"row {i} ({row.get('impl', '?')})"
+        for key in ("impl", "pairs", "m", "n", "stages_ms", "total_ms",
+                    "gcups"):
+            if key not in row:
+                return fail(path, f"{where}: missing {key}")
+        if not row["stages_ms"]:
+            return fail(path, f"{where}: empty stages_ms")
+        for stage, ms in row["stages_ms"].items():
+            if stage not in known_stages:
+                return fail(path, f"{where}: unknown stage {stage!r}")
+            if not isinstance(ms, (int, float)) or ms < 0:
+                return fail(path, f"{where}: bad {stage} time {ms!r}")
+        if row["total_ms"] <= 0:
+            return fail(path, f"{where}: non-positive total_ms")
+        if row["gcups"] <= 0:
+            return fail(path, f"{where}: non-positive gcups")
+        for stage, counters in row.get("stage_metrics", {}).items():
+            if stage not in known_stages:
+                return fail(path,
+                            f"{where}: unknown metrics stage {stage!r}")
+            for name, value in counters.items():
+                if not isinstance(value, int) or value < 0:
+                    return fail(path,
+                                f"{where}: bad counter {stage}.{name}={value!r}")
+
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict):
+        return fail(path, "missing metrics snapshot")
+    for section in ("counters", "gauges", "histograms"):
+        if not isinstance(metrics.get(section), dict):
+            return fail(path, f"metrics snapshot missing {section}")
+    for name, hist in metrics["histograms"].items():
+        for key in ("count", "sum", "min", "max", "p50", "p95", "p99"):
+            if key not in hist:
+                return fail(path, f"histogram {name}: missing {key}")
+        if hist["count"] > 0 and not (
+                hist["min"] <= hist["p50"] <= hist["p95"]
+                <= hist["p99"] <= hist["max"]):
+            return fail(path, f"histogram {name}: percentiles out of order")
+
+    print(f"check_run_report: {path}: OK "
+          f"({doc['tool']}, {len(rows)} rows, "
+          f"{len(metrics['counters'])} counters)")
+    return 0
+
+
+def check_trace(path, doc):
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return fail(path, "traceEvents is not a list")
+    spans = 0
+    last_ts = -1
+    for i, event in enumerate(events):
+        ph = event.get("ph")
+        if ph == "M":
+            continue
+        if ph != "X":
+            return fail(path, f"event {i}: unexpected phase {ph!r}")
+        spans += 1
+        ts, dur = event.get("ts"), event.get("dur")
+        name = event.get("name")
+        if not name:
+            return fail(path, f"event {i}: missing name")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            return fail(path, f"event {i} ({name}): bad ts {ts!r}")
+        if not isinstance(dur, (int, float)) or dur < 0:
+            return fail(path, f"event {i} ({name}): bad dur {dur!r}")
+        if ts < last_ts:
+            return fail(path,
+                        f"event {i} ({name}): ts {ts} < previous {last_ts}")
+        last_ts = ts
+    if spans == 0:
+        return fail(path, "trace holds no spans")
+    print(f"check_run_report: {path}: OK (trace, {spans} spans)")
+    return 0
+
+
+def check_file(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(path, str(e))
+    if not isinstance(doc, dict):
+        return fail(path, "top-level value is not an object")
+    if "traceEvents" in doc:
+        return check_trace(path, doc)
+    return check_run_report(path, doc)
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    status = 0
+    for path in argv[1:]:
+        status |= check_file(path)
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# CI gate: the tier-1 build + full test suite under the release preset,
-# then the tier2-sanitize robustness suites (fault injection, cancellation,
-# checkpoint streams, negative inputs) under ASan + UBSan.
+# CI gate: the tier-1 build + full test suite under the release preset
+# (plus a telemetry smoke: RunReport and span-trace artifacts validated by
+# scripts/check_run_report.py), then the tier2-sanitize robustness suites
+# (fault injection, cancellation, checkpoint streams, negative inputs)
+# under ASan + UBSan.
 #
 #   scripts/ci.sh             # both tiers
 #   scripts/ci.sh --tier1     # release build + full ctest only
@@ -24,6 +26,16 @@ if [[ $run_tier1 -eq 1 ]]; then
   cmake --preset default
   cmake --build --preset default -j"$(nproc)"
   ctest --preset default
+
+  echo "== tier 1: telemetry smoke (run report + span trace) =="
+  smoke_dir=$(mktemp -d)
+  trap 'rm -rf "$smoke_dir"' EXIT
+  ./build/bench/table4_runtime --pairs=64 --m=16 --n=64 \
+      --json="$smoke_dir/table4.json" > /dev/null
+  ./build/examples/fault_drill --campaigns=4 --count=32 \
+      --trace="$smoke_dir/drill.trace.json" > /dev/null
+  python3 scripts/check_run_report.py \
+      "$smoke_dir/table4.json" "$smoke_dir/drill.trace.json"
 fi
 
 if [[ $run_tier2 -eq 1 ]]; then

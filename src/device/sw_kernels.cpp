@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <stdexcept>
+#include <string>
 
 #include "bitops/arith.hpp"
 #include "bitsim/plan.hpp"
@@ -433,6 +434,8 @@ GpuRunResult run_bpbc(std::span<const Sequence> xs,
   GpuRunResult result;
   util::WallTimer timer;
   util::WallTimer integ_timer;
+  telemetry::Tracer* const tr =
+      options.telemetry != nullptr ? options.telemetry->tracer() : nullptr;
   const auto note_fault = [&result](sw::PipelineStage stage,
                                     std::size_t block) {
     for (const sw::StageFault& f : result.integrity_faults)
@@ -485,13 +488,24 @@ GpuRunResult run_bpbc(std::span<const Sequence> xs,
   // Step 1 (H2G): transfer to device buffers (the copy-fault stream can
   // flip bits in flight; the checksum below catches that).
   timer.reset();
+  telemetry::Span h2g_span(tr, "H2G", "device", telemetry::kTrackDevice);
   std::vector<std::uint32_t> d_x_words(host_x);
   std::vector<std::uint32_t> d_y_words(host_y);
   if (options.faults != nullptr) {
     for (std::uint32_t& w : d_x_words) w = h2g_faults.mutate_copy(w);
     for (std::uint32_t& w : d_y_words) w = h2g_faults.mutate_copy(w);
   }
+  const std::uint64_t h2g_words = d_x_words.size() + d_y_words.size();
+  h2g_span.arg("words", static_cast<std::int64_t>(h2g_words));
+  h2g_span.finish();
   result.timings.h2g_ms = timer.elapsed_ms();
+  if (options.record_metrics) {
+    MetricTotals& t = result.stage_metrics[sw::PipelineStage::kH2G];
+    t.global_writes += h2g_words;
+    t.global_write_transactions +=
+        (h2g_words * sizeof(std::uint32_t) + kSegmentBytes - 1) /
+        kSegmentBytes;
+  }
 
   if (integ.enabled && integ.checksum_copies) {
     integ_timer.reset();
@@ -531,13 +545,16 @@ GpuRunResult run_bpbc(std::span<const Sequence> xs,
   w2b_cfg.faults = options.faults;
   w2b_cfg.stop = options.stop;
   timer.reset();
-  result.w2b_metrics = launch(
+  telemetry::Span w2b_span(tr, "W2B", "device", telemetry::kTrackDevice);
+  w2b_span.arg("blocks", static_cast<std::int64_t>(n_groups));
+  result.stage_metrics[sw::PipelineStage::kW2B] = launch(
       w2b_cfg,
       [&](std::size_t g, BlockRecorder& rec) {
         return W2bKernel<W>(g, rec, options.w2b_block_dim, char_plan,
                             padded_count, m, n, b_x_words, b_y_words, b_x_hi,
                             b_x_lo, b_y_hi, b_y_lo);
       });
+  w2b_span.finish();
   result.timings.w2b_ms = timer.elapsed_ms();
 
   // Transpose round-trip after W2B: re-transpose sampled positions of the
@@ -589,12 +606,15 @@ GpuRunResult run_bpbc(std::span<const Sequence> xs,
   swa_cfg.stop = options.stop;
   swa_cfg.killed = integ.enabled ? &killed : nullptr;
   timer.reset();
-  result.swa_metrics = launch(
+  telemetry::Span swa_span(tr, "SWA", "device", telemetry::kTrackDevice);
+  swa_span.arg("blocks", static_cast<std::int64_t>(n_groups));
+  result.stage_metrics[sw::PipelineStage::kSWA] = launch(
       swa_cfg,
       [&](std::size_t g, BlockRecorder& rec) {
         return SwWavefrontKernel<W>(g, rec, consts, m, n, b_x_hi, b_x_lo,
                                     b_y_hi, b_y_lo, b_slices);
       });
+  swa_span.finish();
   result.timings.swa_ms = timer.elapsed_ms();
 
   // Canary comparison after SWA, on the bit-sliced scores: lane bits of a
@@ -634,12 +654,15 @@ GpuRunResult run_bpbc(std::span<const Sequence> xs,
   b2w_cfg.faults = options.faults;
   b2w_cfg.stop = options.stop;
   timer.reset();
-  result.b2w_metrics = launch(
+  telemetry::Span b2w_span(tr, "B2W", "device", telemetry::kTrackDevice);
+  b2w_span.arg("blocks", static_cast<std::int64_t>(n_groups));
+  result.stage_metrics[sw::PipelineStage::kB2W] = launch(
       b2w_cfg,
       [&](std::size_t g, BlockRecorder& rec) {
         return B2wKernel<W>(g, rec, score_plan, s, padded_count, b_slices,
                             b_scores);
       });
+  b2w_span.finish();
   result.timings.b2w_ms = timer.elapsed_ms();
 
   // Untranspose round-trip after B2W: redo each group's untranspose on the
@@ -673,12 +696,21 @@ GpuRunResult run_bpbc(std::span<const Sequence> xs,
   // Step 5 (G2H): canary lanes are dropped here — only the caller's
   // `count` scores come back to the host.
   timer.reset();
+  telemetry::Span g2h_span(tr, "G2H", "device", telemetry::kTrackDevice);
   result.scores.assign(d_scores.begin(),
                        d_scores.begin() + static_cast<std::ptrdiff_t>(count));
   if (options.faults != nullptr) {
     for (std::uint32_t& w : result.scores) w = g2h_faults.mutate_copy(w);
   }
+  g2h_span.arg("words", static_cast<std::int64_t>(count));
+  g2h_span.finish();
   result.timings.g2h_ms = timer.elapsed_ms();
+  if (options.record_metrics) {
+    MetricTotals& t = result.stage_metrics[sw::PipelineStage::kG2H];
+    t.global_reads += count;
+    t.global_read_transactions +=
+        (count * sizeof(std::uint32_t) + kSegmentBytes - 1) / kSegmentBytes;
+  }
 
   if (integ.enabled && integ.checksum_copies) {
     integ_timer.reset();
@@ -699,10 +731,70 @@ GpuRunResult run_bpbc(std::span<const Sequence> xs,
       result.status = util::Status::kernel_timeout(
           std::to_string(trips) + " block(s) killed by the watchdog");
   }
+  absorb_device_run(options.telemetry, result);
   return result;
 }
 
 }  // namespace
+
+void absorb_device_run(telemetry::Telemetry* telemetry,
+                       const GpuRunResult& run) {
+  if (telemetry == nullptr) return;
+  telemetry::MetricsRegistry& reg = telemetry->registry();
+
+  // A chunked screen under retry calls this once per device run, so the
+  // string-keyed registry lookups for the unconditional metrics are
+  // resolved once per (thread, registry) and reused; the registry id
+  // guards against a stale cache when a new session starts (references
+  // stay valid for the registry's lifetime).
+  struct AbsorbCache {
+    std::uint64_t registry_id = 0;
+    telemetry::Histogram* stage_ms[sw::kNumPipelineStages] = {};
+    telemetry::Counter* runs = nullptr;
+  };
+  static thread_local AbsorbCache cache;
+  if (cache.registry_id != reg.id()) {
+    for (std::size_t i = 0; i < sw::kNumPipelineStages; ++i) {
+      const auto stage = static_cast<sw::PipelineStage>(i);
+      cache.stage_ms[i] = &reg.histogram(
+          std::string("device.") + sw::stage_name(stage) + ".ms");
+    }
+    cache.runs = &reg.counter("device.runs");
+    cache.registry_id = reg.id();
+  }
+
+  const double stage_ms[sw::kNumPipelineStages] = {
+      run.timings.h2g_ms, run.timings.w2b_ms, run.timings.swa_ms,
+      run.timings.b2w_ms, run.timings.g2h_ms};
+  for (std::size_t i = 0; i < sw::kNumPipelineStages; ++i) {
+    const auto stage = static_cast<sw::PipelineStage>(i);
+    cache.stage_ms[i]->observe(stage_ms[i]);
+    const MetricTotals& t = run.stage_metrics[stage];
+    if ((t.global_reads | t.global_writes | t.global_read_transactions |
+         t.global_write_transactions | t.shared_accesses |
+         t.shared_bank_conflicts) == 0) {
+      continue;  // metrics recording off: skip the by-name lookups
+    }
+    const std::string prefix = std::string("device.") + sw::stage_name(stage);
+    const auto count = [&reg, &prefix](const char* name, std::uint64_t v) {
+      if (v != 0) reg.counter(prefix + name).add(v);
+    };
+    count(".global_reads", t.global_reads);
+    count(".global_writes", t.global_writes);
+    count(".global_read_transactions", t.global_read_transactions);
+    count(".global_write_transactions", t.global_write_transactions);
+    count(".shared_accesses", t.shared_accesses);
+    count(".shared_bank_conflicts", t.shared_bank_conflicts);
+  }
+  cache.runs->add(1);
+  if (run.integrity_checks != 0) {
+    reg.counter("device.integrity.checks").add(run.integrity_checks);
+    reg.histogram("device.integrity.ms").observe(run.integrity_ms);
+  }
+  if (!run.integrity_faults.empty())
+    reg.counter("device.integrity.faults").add(run.integrity_faults.size());
+  if (!run.status.ok()) reg.counter("device.watchdog_runs").add(1);
+}
 
 GpuRunResult gpu_bpbc_max_scores(std::span<const Sequence> xs,
                                  std::span<const Sequence> ys,
@@ -734,12 +826,16 @@ GpuRunResult gpu_wordwise_max_scores(std::span<const Sequence> xs,
   if (options.faults != nullptr) options.faults->begin_run();
 
   util::WallTimer timer;
+  telemetry::Tracer* const tr =
+      options.telemetry != nullptr ? options.telemetry->tracer() : nullptr;
   const std::vector<std::uint32_t> host_x = pack_wordwise(xs, m);
   const std::vector<std::uint32_t> host_y = pack_wordwise(ys, n);
 
   timer.reset();
+  telemetry::Span h2g_span(tr, "H2G", "device", telemetry::kTrackDevice);
   std::vector<std::uint32_t> d_x(host_x);
   std::vector<std::uint32_t> d_y(host_y);
+  h2g_span.finish();
   result.timings.h2g_ms = timer.elapsed_ms();
 
   std::vector<std::uint32_t> d_scores(count, 0);
@@ -756,15 +852,20 @@ GpuRunResult gpu_wordwise_max_scores(std::span<const Sequence> xs,
   swa_cfg.watchdog_phases = options.watchdog_phases;
   swa_cfg.stop = options.stop;
   timer.reset();
-  result.swa_metrics = launch(
+  telemetry::Span swa_span(tr, "SWA", "device", telemetry::kTrackDevice);
+  swa_span.arg("blocks", static_cast<std::int64_t>(count));
+  result.stage_metrics[sw::PipelineStage::kSWA] = launch(
       swa_cfg,
       [&](std::size_t pair, BlockRecorder& rec) {
         return WordwiseKernel(pair, rec, params, m, n, b_x, b_y, b_scores);
       });
+  swa_span.finish();
   result.timings.swa_ms = timer.elapsed_ms();
 
   timer.reset();
+  telemetry::Span g2h_span(tr, "G2H", "device", telemetry::kTrackDevice);
   result.scores = d_scores;
+  g2h_span.finish();
   result.timings.g2h_ms = timer.elapsed_ms();
 
   if (options.faults != nullptr) {
@@ -774,6 +875,7 @@ GpuRunResult gpu_wordwise_max_scores(std::span<const Sequence> xs,
       result.status = util::Status::kernel_timeout(
           std::to_string(trips) + " block(s) killed by the watchdog");
   }
+  absorb_device_run(options.telemetry, result);
   return result;
 }
 

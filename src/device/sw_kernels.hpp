@@ -12,6 +12,7 @@
 // provided as the GPU baseline of Table IV's "Wordwise 32-bits" rows.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -23,6 +24,8 @@
 #include "sw/bpbc.hpp"
 #include "sw/params.hpp"
 #include "sw/pipeline.hpp"
+#include "sw/reliability.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/status.hpp"
 
 namespace swbpbc::device {
@@ -59,6 +62,28 @@ struct IntegrityConfig {
   bool checksum_copies = true;
 };
 
+/// Memory-traffic totals keyed by pipeline stage. The kernel stages
+/// (W2B/SWA/B2W) carry launch() block traces; the copy stages (H2G/G2H)
+/// carry synthetic transfer traffic — one word access per copied word,
+/// transactions at coalescing-segment (kSegmentBytes) granularity — so
+/// Table V's "global memory transactions" can be reported per stage.
+struct StageMetrics {
+  std::array<MetricTotals, sw::kNumPipelineStages> by_stage{};
+
+  MetricTotals& operator[](sw::PipelineStage stage) {
+    return by_stage[static_cast<std::size_t>(stage)];
+  }
+  const MetricTotals& operator[](sw::PipelineStage stage) const {
+    return by_stage[static_cast<std::size_t>(stage)];
+  }
+
+  [[nodiscard]] MetricTotals total() const {
+    MetricTotals t;
+    for (const MetricTotals& m : by_stage) t.add(m);
+    return t;
+  }
+};
+
 struct GpuRunOptions {
   bool record_metrics = false;  // trace coalescing / bank conflicts
   bulk::Mode mode = bulk::Mode::kParallel;  // blocks across the host pool
@@ -76,14 +101,17 @@ struct GpuRunOptions {
   // Cooperative stop, polled at phase boundaries of every launch. A
   // triggered stop aborts the run with a typed StatusError.
   const util::StopCondition* stop = nullptr;
+  // Telemetry sink (Telemetry::sink(); nullptr = disabled). Each pipeline
+  // stage is recorded as a span on the device track, and the run's stage
+  // timings/traffic are folded into the session's metrics registry.
+  telemetry::Telemetry* telemetry = nullptr;
 };
 
 struct GpuRunResult {
   std::vector<std::uint32_t> scores;
   GpuTimings timings;
-  MetricTotals w2b_metrics;
-  MetricTotals swa_metrics;
-  MetricTotals b2w_metrics;
+  // Per-stage traffic (populated when options.record_metrics).
+  StageMetrics stage_metrics;
   // Ok unless the watchdog killed blocks this run (kKernelTimeout); the
   // scores of killed blocks are whatever the launch-time buffers held.
   util::Status status;
@@ -93,14 +121,16 @@ struct GpuRunResult {
   std::uint64_t integrity_checks = 0;  // comparisons evaluated
   double integrity_ms = 0.0;           // host time spent checking
 
-  [[nodiscard]] MetricTotals metrics() const {
-    MetricTotals t;
-    t.add(w2b_metrics);
-    t.add(swa_metrics);
-    t.add(b2w_metrics);
-    return t;
-  }
+  [[nodiscard]] MetricTotals metrics() const { return stage_metrics.total(); }
 };
+
+/// Folds one device run into a telemetry registry: per-stage duration
+/// histograms ("device.<stage>.ms"), per-stage traffic counters
+/// ("device.<stage>.global_read_transactions", ...), and the integrity
+/// check/fault totals. No-op when `telemetry` is null. Called by the run
+/// drivers themselves when GpuRunOptions::telemetry is set.
+void absorb_device_run(telemetry::Telemetry* telemetry,
+                       const GpuRunResult& run);
 
 /// Full BPBC pipeline on the simulated device. All xs share one length m,
 /// all ys one length n (the bit-transpose batch requirement).

@@ -84,6 +84,10 @@ util::Status self_check(std::span<const Sequence> xs,
                         const util::StopCondition* stop,
                         ReliabilityReport& rel) {
   const std::size_t count = xs.size();
+  telemetry::Tracer* const tr =
+      config.telemetry != nullptr ? config.telemetry->tracer() : nullptr;
+  telemetry::Span check_span(tr, "self_check", "screen");
+  check_span.arg("lanes", static_cast<std::int64_t>(count));
   util::WallTimer verify_timer;
 
   // Verification set: every sampled lane plus every apparent hit (a
@@ -130,6 +134,9 @@ util::Status self_check(std::span<const Sequence> xs,
       rel.backoff_ms += wait_ms;
     }
     ++rel.retry_attempts;
+    telemetry::Span retry_span(tr, "quarantine.retry", "screen");
+    retry_span.arg("attempt", static_cast<std::int64_t>(attempt));
+    retry_span.arg("lanes", static_cast<std::int64_t>(quarantined.size()));
 
     std::vector<Sequence> qx, qy;
     qx.reserve(quarantined.size());
@@ -159,6 +166,9 @@ util::Status self_check(std::span<const Sequence> xs,
   }
 
   // Retry budget exhausted: the wordwise CPU path settles the lane.
+  telemetry::Span fallback_span(quarantined.empty() ? nullptr : tr,
+                                "quarantine.fallback", "screen");
+  fallback_span.arg("lanes", static_cast<std::int64_t>(quarantined.size()));
   for (std::size_t k : quarantined) {
     const std::uint32_t w = wordwise_max_score(xs[k], ys[k], config.params);
     if (w != refs[k])
@@ -188,6 +198,13 @@ util::Expected<ScreenReport> try_screen(std::span<const Sequence> xs,
 
   const util::StopCondition stop(config.cancel, config.deadline);
   const util::StopCondition* stop_ptr = stop.armed() ? &stop : nullptr;
+
+  telemetry::Tracer* const tr =
+      config.telemetry != nullptr ? config.telemetry->tracer() : nullptr;
+  telemetry::Span screen_span(tr, "screen", "screen");
+  screen_span.arg("pairs", static_cast<std::int64_t>(count));
+  screen_span.arg("chunks", static_cast<std::int64_t>(n_chunks));
+  util::WallTimer screen_timer;
 
   ScreenReport report;
   report.scores.assign(count, 0);
@@ -276,6 +293,11 @@ util::Expected<ScreenReport> try_screen(std::span<const Sequence> xs,
     const std::span<std::uint32_t> cscores(report.scores.data() + begin, len);
     std::uint64_t chunk_faults = 0;
 
+    telemetry::Span chunk_span(tr, "chunk", "screen");
+    chunk_span.arg("chunk", static_cast<std::int64_t>(c));
+    chunk_span.arg("pairs", static_cast<std::int64_t>(len));
+    util::WallTimer chunk_timer;
+
     const util::CheckpointRecord* record =
         have_resume ? resume.find(c) : nullptr;
     if (record != nullptr) {
@@ -292,7 +314,12 @@ util::Expected<ScreenReport> try_screen(std::span<const Sequence> xs,
       try {
         for (;;) {
           util::WallTimer backend_timer;
+          telemetry::Span backend_span(tr, "chunk.backend", "screen");
+          backend_span.arg("chunk", static_cast<std::int64_t>(c));
+          backend_span.arg("attempt",
+                           static_cast<std::int64_t>(outcome.retries));
           ChunkResult r = run_chunk(cx, cy, stop_ptr);
+          backend_span.finish();
           if (config.chunk_backend)
             report.bpbc.swa_ms += backend_timer.elapsed_ms();
           if (r.scores.size() != len)
@@ -335,9 +362,16 @@ util::Expected<ScreenReport> try_screen(std::span<const Sequence> xs,
     }
 
     if (writer.has_value()) {
+      telemetry::Span ckpt_span(tr, "checkpoint.append", "screen");
+      ckpt_span.arg("chunk", static_cast<std::int64_t>(c));
       std::vector<std::uint8_t> payload(len * sizeof(std::uint32_t));
       std::memcpy(payload.data(), cscores.data(), payload.size());
       if (util::Status s = writer->append(c, payload); !s.ok()) return s;
+    }
+    if (config.telemetry != nullptr) {
+      config.telemetry->registry()
+          .histogram("screen.chunk.ms")
+          .observe(chunk_timer.elapsed_ms());
     }
     if (config.progress) {
       ChunkProgress p;
@@ -348,7 +382,22 @@ util::Expected<ScreenReport> try_screen(std::span<const Sequence> xs,
       p.resumed = outcome.resumed;
       p.retries = outcome.retries;
       p.faults = chunk_faults;
-      config.progress(p);
+      telemetry::Span cb_span(tr, "progress.callback", "screen");
+      cb_span.arg("chunk", static_cast<std::int64_t>(c));
+      try {
+        config.progress(p);
+      } catch (const std::exception& e) {
+        // A broken observer must not unwind through the pipeline: the run
+        // stops with a typed status and keeps everything settled so far.
+        report.status = util::Status::callback_error(
+            "progress observer threw on chunk " + std::to_string(c) + ": " +
+            e.what());
+        break;
+      } catch (...) {
+        report.status = util::Status::callback_error(
+            "progress observer threw on chunk " + std::to_string(c));
+        break;
+      }
     }
   }
 
@@ -384,6 +433,55 @@ util::Expected<ScreenReport> try_screen(std::span<const Sequence> xs,
       report.status = e.status();
     }
     report.traceback_ms = timer.elapsed_ms();
+  }
+
+  if (config.telemetry != nullptr) {
+    telemetry::MetricsRegistry& reg = config.telemetry->registry();
+    std::uint64_t done_pairs = 0, resumed = 0;
+    for (const ChunkOutcome& outcome : report.chunks) {
+      if (!outcome.completed) continue;
+      done_pairs += outcome.end - outcome.begin;
+      if (outcome.resumed) ++resumed;
+    }
+    reg.counter("screen.runs").add(1);
+    reg.counter("screen.pairs").add(done_pairs);
+    reg.counter("screen.hits").add(report.hits.size());
+    const ReliabilityReport& rel = report.reliability;
+    const auto count_if = [&reg](const char* name, std::uint64_t v) {
+      if (v != 0) reg.counter(name).add(v);
+    };
+    count_if("screen.chunks.resumed", resumed);
+    count_if("screen.lanes_verified", rel.lanes_verified);
+    count_if("screen.mismatches_detected", rel.mismatches_detected);
+    count_if("screen.retry_attempts", rel.retry_attempts);
+    count_if("screen.lanes_recovered", rel.lanes_recovered);
+    count_if("screen.lanes_fell_back", rel.lanes_fell_back);
+    count_if("screen.integrity_checks", rel.integrity_checks);
+    count_if("screen.integrity_faults", rel.integrity_faults);
+    count_if("screen.chunk_retries", rel.chunk_retries);
+    switch (report.status.code()) {
+      case util::ErrorCode::kCancelled:
+        reg.counter("screen.cancelled").add(1);
+        break;
+      case util::ErrorCode::kDeadlineExceeded:
+        reg.counter("screen.deadline_exceeded").add(1);
+        break;
+      case util::ErrorCode::kCallbackError:
+        reg.counter("screen.callback_errors").add(1);
+        break;
+      default:
+        break;
+    }
+    const double total_ms = screen_timer.elapsed_ms();
+    if (total_ms > 0.0 && done_pairs != 0) {
+      const double secs = total_ms / 1000.0;
+      reg.gauge("screen.pairs_per_s")
+          .set(static_cast<double>(done_pairs) / secs);
+      const double cells = static_cast<double>(done_pairs) *
+                           static_cast<double>(xs.front().size()) *
+                           static_cast<double>(ys.front().size());
+      reg.gauge("screen.gcups").set(cells / (secs * 1e9));
+    }
   }
   return report;
 }

@@ -19,6 +19,7 @@
 #include "sw/bpbc.hpp"
 #include "sw/reliability.hpp"
 #include "sw/scalar.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/cancel.hpp"
 #include "util/status.hpp"
 
@@ -81,7 +82,10 @@ struct ScreenConfig {
   unsigned chunk_retry_limit = 2;
   // Integrity-aware backend; preferred over `backend` when set.
   ChunkBackend chunk_backend;
-  // Invoked after every chunk settles; may call cancel->cancel().
+  // Invoked after every chunk settles; may call cancel->cancel(). A
+  // throwing observer does not unwind out of screen(): the run stops and
+  // the partial report carries a typed kCallbackError status (completed
+  // chunks, checkpoints, and scores up to that point are preserved).
   std::function<void(const ChunkProgress&)> progress;
   // Cooperative stop: observed between chunks, between device phases, and
   // inside verify/traceback loops. A stopped run returns a well-formed
@@ -96,6 +100,12 @@ struct ScreenConfig {
   // (kCheckpointCorrupt / kCheckpointMismatch) — rerun without it to
   // recompute from scratch.
   std::string resume_path;
+  // Telemetry sink (telemetry::Telemetry::sink(); nullptr = disabled).
+  // Records screen / chunk / backend / self-check / quarantine /
+  // checkpoint / progress-callback spans and folds chunk throughput and
+  // reliability totals into the session's metrics registry. The disabled
+  // path tests this one pointer and allocates nothing.
+  telemetry::Telemetry* telemetry = nullptr;
 };
 
 struct ScreenHit {

@@ -21,6 +21,9 @@ namespace swbpbc::sw {
 /// checks attribute detected corruption to the stage that produced it.
 enum class PipelineStage : std::uint8_t { kH2G, kW2B, kSWA, kB2W, kG2H };
 
+/// Number of PipelineStage values; sized arrays indexed by stage.
+inline constexpr std::size_t kNumPipelineStages = 5;
+
 inline const char* stage_name(PipelineStage stage) {
   switch (stage) {
     case PipelineStage::kH2G: return "H2G";

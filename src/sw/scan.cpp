@@ -36,6 +36,10 @@ ScanReport scan_text(const encoding::Sequence& query,
   report.windows = spans.size();
 
   const util::StopCondition stop(config.cancel, config.deadline);
+  telemetry::Tracer* const tr =
+      config.telemetry != nullptr ? config.telemetry->tracer() : nullptr;
+  telemetry::Span scan_span(tr, "scan", "screen");
+  scan_span.arg("windows", static_cast<std::int64_t>(spans.size()));
   bool detail_skipped = false;
   const std::size_t batch = config.chunk_windows == 0
                                 ? spans.size()
@@ -50,6 +54,9 @@ ScanReport scan_text(const encoding::Sequence& query,
       return report;
     }
     const std::size_t n_batch = std::min(batch, spans.size() - first);
+    telemetry::Span batch_span(tr, "scan.batch", "screen");
+    batch_span.arg("first", static_cast<std::int64_t>(first));
+    batch_span.arg("windows", static_cast<std::int64_t>(n_batch));
     std::vector<encoding::Sequence> windows;
     windows.reserve(n_batch);
     for (std::size_t w = first; w < first + n_batch; ++w) {
@@ -88,6 +95,12 @@ ScanReport scan_text(const encoding::Sequence& query,
   // (partial-detail) scan even though every window was scored.
   if (report.status.ok() && detail_skipped)
     report.status = stop.status("text scan traceback");
+  if (config.telemetry != nullptr) {
+    telemetry::MetricsRegistry& reg = config.telemetry->registry();
+    reg.counter("scan.runs").add(1);
+    reg.counter("scan.windows_scored").add(report.windows_scored);
+    reg.counter("scan.hits").add(report.hits.size());
+  }
   return report;
 }
 

@@ -17,6 +17,7 @@
 #include "encoding/dna.hpp"
 #include "sw/bpbc.hpp"
 #include "sw/scalar.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/cancel.hpp"
 #include "util/status.hpp"
 
@@ -41,6 +42,9 @@ struct ScanConfig {
   // ScanReport::status set to kCancelled / kDeadlineExceeded.
   const util::CancellationToken* cancel = nullptr;
   util::Deadline deadline;
+  // Telemetry sink (telemetry::Telemetry::sink(); nullptr = disabled):
+  // records a span per window batch plus scan totals in the registry.
+  telemetry::Telemetry* telemetry = nullptr;
 };
 
 struct ScanHit {

@@ -1,0 +1,306 @@
+#include "telemetry/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace swbpbc::telemetry::json {
+
+namespace {
+
+const Value kNullValue;
+
+// Parser depth cap: telemetry documents nest a handful of levels; a hostile
+// input must not be able to overflow the parse stack.
+constexpr int kMaxDepth = 64;
+
+}  // namespace
+
+const Value& Value::operator[](const std::string& key) const {
+  if (kind_ != Kind::kObject) return kNullValue;
+  const auto it = obj_.find(key);
+  return it == obj_.end() ? kNullValue : it->second;
+}
+
+void escape(std::string_view s, std::string& out) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void Value::dump_to(std::string& out) const {
+  switch (kind_) {
+    case Kind::kNull:
+      out += "null";
+      return;
+    case Kind::kBool:
+      out += bool_ ? "true" : "false";
+      return;
+    case Kind::kNumber: {
+      char buf[32];
+      if (std::isfinite(num_) && num_ == std::floor(num_) &&
+          std::fabs(num_) < 9.0e15) {
+        std::snprintf(buf, sizeof buf, "%.0f", num_);
+      } else if (std::isfinite(num_)) {
+        std::snprintf(buf, sizeof buf, "%.17g", num_);
+      } else {
+        // JSON has no inf/nan; the telemetry layer never emits them, but a
+        // defensive null beats an invalid document.
+        std::snprintf(buf, sizeof buf, "null");
+      }
+      out += buf;
+      return;
+    }
+    case Kind::kString:
+      out += '"';
+      escape(str_, out);
+      out += '"';
+      return;
+    case Kind::kArray: {
+      out += '[';
+      bool first = true;
+      for (const Value& v : arr_) {
+        if (!first) out += ',';
+        first = false;
+        v.dump_to(out);
+      }
+      out += ']';
+      return;
+    }
+    case Kind::kObject: {
+      out += '{';
+      bool first = true;
+      for (const auto& [key, v] : obj_) {
+        if (!first) out += ',';
+        first = false;
+        out += '"';
+        escape(key, out);
+        out += "\":";
+        v.dump_to(out);
+      }
+      out += '}';
+      return;
+    }
+  }
+}
+
+std::string Value::dump() const {
+  std::string out;
+  dump_to(out);
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  util::Expected<Value> run() {
+    Value v;
+    if (util::Status s = parse_value(v, 0); !s.ok()) return s;
+    skip_ws();
+    if (pos_ != text_.size())
+      return fail("trailing content after the JSON document");
+    return v;
+  }
+
+ private:
+  util::Status fail(const std::string& what) const {
+    return util::Status::parse_error("JSON offset " + std::to_string(pos_) +
+                                     ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool consume_word(std::string_view w) {
+    if (text_.substr(pos_, w.size()) != w) return false;
+    pos_ += w.size();
+    return true;
+  }
+
+  util::Status parse_string(std::string& out) {
+    if (!consume('"')) return fail("expected '\"'");
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return {};
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) return fail("truncated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+            else return fail("bad hex digit in \\u escape");
+          }
+          // Encode as UTF-8 (surrogate pairs are not recombined; the
+          // telemetry writer never emits them).
+          if (cp < 0x80) {
+            out += static_cast<char>(cp);
+          } else if (cp < 0x800) {
+            out += static_cast<char>(0xC0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+          }
+          break;
+        }
+        default:
+          return fail("unknown escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  util::Status parse_value(Value& out, int depth) {
+    if (depth > kMaxDepth) return fail("document nests too deep");
+    skip_ws();
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == 'n') {
+      if (!consume_word("null")) return fail("bad literal");
+      out = Value();
+      return {};
+    }
+    if (c == 't') {
+      if (!consume_word("true")) return fail("bad literal");
+      out = Value(true);
+      return {};
+    }
+    if (c == 'f') {
+      if (!consume_word("false")) return fail("bad literal");
+      out = Value(false);
+      return {};
+    }
+    if (c == '"') {
+      std::string s;
+      if (util::Status st = parse_string(s); !st.ok()) return st;
+      out = Value(std::move(s));
+      return {};
+    }
+    if (c == '[') {
+      ++pos_;
+      Array arr;
+      skip_ws();
+      if (consume(']')) {
+        out = Value(std::move(arr));
+        return {};
+      }
+      for (;;) {
+        Value v;
+        if (util::Status st = parse_value(v, depth + 1); !st.ok()) return st;
+        arr.push_back(std::move(v));
+        skip_ws();
+        if (consume(']')) break;
+        if (!consume(',')) return fail("expected ',' or ']'");
+      }
+      out = Value(std::move(arr));
+      return {};
+    }
+    if (c == '{') {
+      ++pos_;
+      Object obj;
+      skip_ws();
+      if (consume('}')) {
+        out = Value(std::move(obj));
+        return {};
+      }
+      for (;;) {
+        skip_ws();
+        std::string key;
+        if (util::Status st = parse_string(key); !st.ok()) return st;
+        skip_ws();
+        if (!consume(':')) return fail("expected ':'");
+        Value v;
+        if (util::Status st = parse_value(v, depth + 1); !st.ok()) return st;
+        obj[std::move(key)] = std::move(v);
+        skip_ws();
+        if (consume('}')) break;
+        if (!consume(',')) return fail("expected ',' or '}'");
+      }
+      out = Value(std::move(obj));
+      return {};
+    }
+    // Number: delegate to strtod over the longest plausible span.
+    const std::size_t start = pos_;
+    if (c == '-' || (c >= '0' && c <= '9')) {
+      while (pos_ < text_.size()) {
+        const char d = text_[pos_];
+        if ((d >= '0' && d <= '9') || d == '-' || d == '+' || d == '.' ||
+            d == 'e' || d == 'E') {
+          ++pos_;
+        } else {
+          break;
+        }
+      }
+      const std::string num(text_.substr(start, pos_ - start));
+      char* end = nullptr;
+      const double v = std::strtod(num.c_str(), &end);
+      if (end == nullptr || *end != '\0')
+        return fail("malformed number '" + num + "'");
+      out = Value(v);
+      return {};
+    }
+    return fail(std::string("unexpected character '") + c + "'");
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+util::Expected<Value> parse(std::string_view text) {
+  return Parser(text).run();
+}
+
+}  // namespace swbpbc::telemetry::json

@@ -1,0 +1,91 @@
+// Minimal JSON document model for the telemetry exporters.
+//
+// The telemetry layer emits two machine-readable artifacts — Chrome
+// trace_event files and versioned RunReports — and the test suite must be
+// able to read both back (round-trip checks, schema validation). This is a
+// deliberately small value type + recursive-descent parser covering the
+// JSON the layer itself produces; it is not a general-purpose library and
+// adds no third-party dependency.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace swbpbc::telemetry::json {
+
+class Value;
+using Array = std::vector<Value>;
+using Object = std::map<std::string, Value>;
+
+class Value {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Value() = default;  // null
+  Value(bool b) : kind_(Kind::kBool), bool_(b) {}  // NOLINT(runtime/explicit)
+  Value(double n) : kind_(Kind::kNumber), num_(n) {}  // NOLINT
+  Value(std::int64_t n)  // NOLINT(runtime/explicit)
+      : kind_(Kind::kNumber), num_(static_cast<double>(n)) {}
+  Value(std::uint64_t n)  // NOLINT(runtime/explicit)
+      : kind_(Kind::kNumber), num_(static_cast<double>(n)) {}
+  Value(std::string s)  // NOLINT(runtime/explicit)
+      : kind_(Kind::kString), str_(std::move(s)) {}
+  Value(const char* s) : kind_(Kind::kString), str_(s) {}  // NOLINT
+  Value(Array a) : kind_(Kind::kArray), arr_(std::move(a)) {}  // NOLINT
+  Value(Object o) : kind_(Kind::kObject), obj_(std::move(o)) {}  // NOLINT
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const { return kind_ == Kind::kBool; }
+  [[nodiscard]] bool is_number() const { return kind_ == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const { return kind_ == Kind::kString; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::kObject; }
+
+  [[nodiscard]] bool boolean() const { return bool_; }
+  [[nodiscard]] double number() const { return num_; }
+  [[nodiscard]] std::uint64_t number_u64() const {
+    return num_ <= 0.0 ? 0 : static_cast<std::uint64_t>(num_);
+  }
+  [[nodiscard]] const std::string& str() const { return str_; }
+  [[nodiscard]] const Array& array() const { return arr_; }
+  [[nodiscard]] const Object& object() const { return obj_; }
+  [[nodiscard]] Array& array() { return arr_; }
+  [[nodiscard]] Object& object() { return obj_; }
+
+  /// Object member lookup; a missing key (or non-object) yields a shared
+  /// null Value so lookups chain without exceptions.
+  [[nodiscard]] const Value& operator[](const std::string& key) const;
+  [[nodiscard]] bool has(const std::string& key) const {
+    return kind_ == Kind::kObject && obj_.count(key) != 0;
+  }
+
+  /// Compact serialization. Integral numbers print without a decimal
+  /// point (exact for |n| < 2^53, which covers every telemetry counter).
+  [[nodiscard]] std::string dump() const;
+
+ private:
+  void dump_to(std::string& out) const;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  Array arr_;
+  Object obj_;
+};
+
+/// Appends `s` JSON-escaped (no surrounding quotes) to `out`.
+void escape(std::string_view s, std::string& out);
+
+/// Parses one JSON document (trailing whitespace allowed, trailing content
+/// rejected). Returns kParseError with an offset-bearing message on
+/// malformed input.
+util::Expected<Value> parse(std::string_view text);
+
+}  // namespace swbpbc::telemetry::json

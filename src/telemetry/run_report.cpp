@@ -1,0 +1,169 @@
+#include "telemetry/run_report.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+#include "telemetry/json.hpp"
+
+namespace swbpbc::telemetry {
+
+namespace {
+
+// The fingerprint is a 64-bit hash; doubles only hold 53 bits exactly, so
+// it crosses JSON as a hex string.
+std::string hex64(std::uint64_t v) {
+  char buf[19];
+  std::snprintf(buf, sizeof buf, "0x%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+util::Expected<std::uint64_t> parse_hex64(const std::string& s) {
+  if (s.size() < 3 || s[0] != '0' || (s[1] != 'x' && s[1] != 'X'))
+    return util::Status::parse_error("bad fingerprint '" + s + "'");
+  std::uint64_t v = 0;
+  for (std::size_t i = 2; i < s.size(); ++i) {
+    const char c = s[i];
+    v <<= 4;
+    if (c >= '0' && c <= '9') v |= static_cast<std::uint64_t>(c - '0');
+    else if (c >= 'a' && c <= 'f') v |= static_cast<std::uint64_t>(c - 'a' + 10);
+    else if (c >= 'A' && c <= 'F') v |= static_cast<std::uint64_t>(c - 'A' + 10);
+    else return util::Status::parse_error("bad fingerprint '" + s + "'");
+  }
+  return v;
+}
+
+json::Value histogram_json(const Histogram::Snapshot& h) {
+  json::Object o;
+  o["count"] = h.count;
+  o["sum"] = h.sum;
+  o["min"] = h.min;
+  o["max"] = h.max;
+  o["p50"] = h.percentile(50.0);
+  o["p95"] = h.percentile(95.0);
+  o["p99"] = h.percentile(99.0);
+  return json::Value(std::move(o));
+}
+
+}  // namespace
+
+std::string RunReport::to_json() const {
+  json::Object doc;
+  doc["schema"] = kRunReportSchema;
+  doc["schema_version"] = std::int64_t{kRunReportSchemaVersion};
+  doc["tool"] = tool;
+  doc["config_fingerprint"] = hex64(config_fingerprint);
+
+  json::Object cfg;
+  for (const auto& [k, v] : config) cfg[k] = v;
+  doc["config"] = std::move(cfg);
+
+  json::Array rows_json;
+  for (const RunReportRow& row : rows) {
+    json::Object r;
+    r["impl"] = row.impl;
+    r["pairs"] = row.pairs;
+    r["m"] = row.m;
+    r["n"] = row.n;
+    json::Object stages;
+    for (const auto& [stage, ms] : row.stages_ms) stages[stage] = ms;
+    r["stages_ms"] = std::move(stages);
+    r["total_ms"] = row.total_ms;
+    r["gcups"] = row.gcups;
+    if (!row.stage_metrics.empty()) {
+      json::Object sm;
+      for (const auto& [stage, counters] : row.stage_metrics) {
+        json::Object c;
+        for (const auto& [name, value] : counters) c[name] = value;
+        sm[stage] = std::move(c);
+      }
+      r["stage_metrics"] = std::move(sm);
+    }
+    rows_json.emplace_back(std::move(r));
+  }
+  doc["rows"] = std::move(rows_json);
+
+  json::Object m;
+  json::Object counters;
+  for (const auto& [name, v] : metrics.counters) counters[name] = v;
+  m["counters"] = std::move(counters);
+  json::Object gauges;
+  for (const auto& [name, v] : metrics.gauges) gauges[name] = v;
+  m["gauges"] = std::move(gauges);
+  json::Object hists;
+  for (const auto& [name, h] : metrics.histograms)
+    hists[name] = histogram_json(h);
+  m["histograms"] = std::move(hists);
+  doc["metrics"] = std::move(m);
+
+  return json::Value(std::move(doc)).dump();
+}
+
+util::Expected<RunReport> parse_run_report(std::string_view text) {
+  auto parsed = json::parse(text);
+  if (!parsed.has_value()) return parsed.status();
+  const json::Value& doc = *parsed;
+  if (!doc.is_object())
+    return util::Status::parse_error("run report is not a JSON object");
+  if (doc["schema"].str() != kRunReportSchema)
+    return util::Status::parse_error("not a " + std::string(kRunReportSchema) +
+                                     " document");
+  const double version = doc["schema_version"].number();
+  if (version != kRunReportSchemaVersion)
+    return util::Status::parse_error(
+        "unsupported run report schema_version " + std::to_string(version));
+
+  RunReport report;
+  report.tool = doc["tool"].str();
+  auto fp = parse_hex64(doc["config_fingerprint"].str());
+  if (!fp.has_value()) return fp.status();
+  report.config_fingerprint = *fp;
+  for (const auto& [k, v] : doc["config"].object())
+    report.config[k] = v.str();
+
+  if (!doc["rows"].is_array())
+    return util::Status::parse_error("run report has no rows array");
+  for (const json::Value& r : doc["rows"].array()) {
+    RunReportRow row;
+    row.impl = r["impl"].str();
+    row.pairs = r["pairs"].number_u64();
+    row.m = r["m"].number_u64();
+    row.n = r["n"].number_u64();
+    for (const auto& [stage, ms] : r["stages_ms"].object())
+      row.stages_ms[stage] = ms.number();
+    row.total_ms = r["total_ms"].number();
+    row.gcups = r["gcups"].number();
+    for (const auto& [stage, counters] : r["stage_metrics"].object()) {
+      for (const auto& [name, v] : counters.object())
+        row.stage_metrics[stage][name] = v.number_u64();
+    }
+    report.rows.push_back(std::move(row));
+  }
+
+  for (const auto& [name, v] : doc["metrics"]["counters"].object())
+    report.metrics.counters[name] = v.number_u64();
+  for (const auto& [name, v] : doc["metrics"]["gauges"].object())
+    report.metrics.gauges[name] = v.number();
+  for (const auto& [name, h] : doc["metrics"]["histograms"].object()) {
+    Histogram::Snapshot snap;
+    snap.count = h["count"].number_u64();
+    snap.sum = h["sum"].number();
+    snap.min = h["min"].number();
+    snap.max = h["max"].number();
+    report.metrics.histograms[name] = std::move(snap);
+  }
+  return report;
+}
+
+util::Status write_run_report(const RunReport& report,
+                              const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return util::Status::internal("cannot open report file " + path);
+  out << report.to_json();
+  out.flush();
+  if (!out)
+    return util::Status::internal("short write to report file " + path);
+  return {};
+}
+
+}  // namespace swbpbc::telemetry

@@ -1,0 +1,61 @@
+// Versioned machine-readable run reports.
+//
+// A RunReport serializes one bench or screening run — config fingerprint,
+// per-implementation rows with stage wall times / GCUPS / stage-keyed
+// memory-traffic counters, plus a full metrics-registry snapshot — as
+// stable JSON, so the bench trajectory can be tracked across PRs and
+// validated in CI (scripts/check_run_report.py). parse_run_report reads a
+// report back for round-trip tests and downstream tooling.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "telemetry/metrics.hpp"
+#include "util/status.hpp"
+
+namespace swbpbc::telemetry {
+
+inline constexpr const char* kRunReportSchema = "swbpbc.run_report";
+inline constexpr int kRunReportSchemaVersion = 1;
+
+/// One measured row (one implementation at one workload point).
+struct RunReportRow {
+  std::string impl;  // e.g. "GPUsim bitwise-32"
+  std::uint64_t pairs = 0;
+  std::uint64_t m = 0;
+  std::uint64_t n = 0;
+  // Wall time per stage, e.g. {"H2G": .., "W2B": .., "INTG": ..}; only
+  // stages the implementation actually has appear.
+  std::map<std::string, double> stages_ms;
+  double total_ms = 0.0;
+  double gcups = 0.0;
+  // Memory-traffic counters keyed stage -> counter name -> value, e.g.
+  // stage_metrics["SWA"]["global_read_transactions"]. Present only when
+  // the run recorded device metrics.
+  std::map<std::string, std::map<std::string, std::uint64_t>> stage_metrics;
+};
+
+struct RunReport {
+  std::string tool;  // "table4_runtime", "table5_gcups", "screen", ...
+  std::uint64_t config_fingerprint = 0;
+  std::map<std::string, std::string> config;  // config echo, stringly
+  std::vector<RunReportRow> rows;
+  MetricsRegistry::Snapshot metrics;  // registry dump at export time
+
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Parses a document produced by RunReport::to_json. Rejects wrong
+/// schema/version with kParseError (reports are versioned precisely so a
+/// reader never misinterprets an older layout silently).
+util::Expected<RunReport> parse_run_report(std::string_view text);
+
+/// Writes the report to `path` (kInternal on I/O failure).
+util::Status write_run_report(const RunReport& report,
+                              const std::string& path);
+
+}  // namespace swbpbc::telemetry

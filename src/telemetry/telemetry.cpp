@@ -1,0 +1,57 @@
+#include "telemetry/telemetry.hpp"
+
+#include <string>
+
+namespace swbpbc::telemetry {
+
+// Turns ThreadPool chunk callbacks into spans on per-worker tracks. The
+// timestamps come from the pool (same monotonic clock), so the span is
+// recorded with explicit start/duration rather than RAII timing.
+class Telemetry::PoolSpanAdapter final : public util::PoolObserver {
+ public:
+  explicit PoolSpanAdapter(Tracer* tracer) : tracer_(tracer) {}
+
+  void on_chunk(std::size_t begin, std::size_t end, std::uint64_t t0_us,
+                std::uint64_t t1_us, unsigned worker) override {
+    TraceEvent e;
+    e.name = "pool.chunk";
+    e.cat = "pool";
+    e.ts_us = t0_us;
+    e.dur_us = t1_us - t0_us;
+    e.track = worker == kCallerThread ? kTrackPoolBase - 1
+                                      : kTrackPoolBase + worker;
+    e.arg_names[0] = "begin";
+    e.arg_values[0] = static_cast<std::int64_t>(begin);
+    e.arg_names[1] = "count";
+    e.arg_values[1] = static_cast<std::int64_t>(end - begin);
+    tracer_->record(e);
+  }
+
+ private:
+  Tracer* tracer_;
+};
+
+Telemetry::Telemetry() = default;
+
+Telemetry::Telemetry(const TelemetryConfig& config) {
+  if (!config.enabled) return;
+  tracer_ = std::make_unique<Tracer>(config.trace_capacity);
+  registry_ = std::make_unique<MetricsRegistry>();
+  tracer_->set_track_name(kTrackScreen, "screen");
+  tracer_->set_track_name(kTrackDevice, "device");
+  tracer_->set_track_name(kTrackPoolBase - 1, "pool caller");
+  if (config.pool_spans) {
+    pool_adapter_ = std::make_unique<PoolSpanAdapter>(tracer_.get());
+    util::ThreadPool::set_observer(pool_adapter_.get());
+  }
+}
+
+Telemetry::~Telemetry() {
+  // Uninstall only our own adapter; a later session may have replaced it.
+  if (pool_adapter_ != nullptr &&
+      util::ThreadPool::observer() == pool_adapter_.get()) {
+    util::ThreadPool::set_observer(nullptr);
+  }
+}
+
+}  // namespace swbpbc::telemetry

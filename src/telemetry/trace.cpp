@@ -1,0 +1,130 @@
+#include "telemetry/trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+#include "telemetry/json.hpp"
+
+namespace swbpbc::telemetry {
+
+Tracer::Tracer(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(std::min<std::size_t>(capacity_, 4096));
+}
+
+void Tracer::record(const TraceEvent& e) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(e);
+  } else {
+    ring_[recorded_ % capacity_] = e;
+  }
+  ++recorded_;
+}
+
+std::size_t Tracer::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ring_.size();
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return recorded_ <= capacity_ ? 0 : recorded_ - capacity_;
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::vector<TraceEvent> out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out = ring_;
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts_us < b.ts_us;
+                   });
+  return out;
+}
+
+void Tracer::set_track_name(std::uint32_t track, std::string name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [t, n] : track_names_) {
+    if (t == track) {
+      n = std::move(name);
+      return;
+    }
+  }
+  track_names_.emplace_back(track, std::move(name));
+}
+
+std::string Tracer::chrome_trace_json() const {
+  std::vector<std::pair<std::uint32_t, std::string>> tracks;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tracks = track_names_;
+  }
+  const std::vector<TraceEvent> sorted = events();
+
+  // Serialized by hand rather than through a json::Value tree: a full ring
+  // is 64Ki events, and one map-of-values per event made export the single
+  // most expensive thing the tracer did.
+  std::string out;
+  out.reserve(64 + 96 * (tracks.size() + sorted.size()));
+  out += "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& [track, name] : tracks) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":";
+    out += std::to_string(track);
+    out += ",\"args\":{\"name\":\"";
+    json::escape(name, out);
+    out += "\"}}";
+  }
+  for (const TraceEvent& e : sorted) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"";
+    json::escape(e.name, out);
+    out += "\",\"cat\":\"";
+    json::escape(e.cat, out);
+    out += "\",\"ph\":\"X\",\"pid\":1,\"tid\":";
+    out += std::to_string(e.track);
+    out += ",\"ts\":";
+    out += std::to_string(e.ts_us);
+    out += ",\"dur\":";
+    out += std::to_string(e.dur_us);
+    if (e.arg_names[0] != nullptr || e.arg_names[1] != nullptr) {
+      out += ",\"args\":{";
+      bool first_arg = true;
+      for (std::size_t i = 0; i < 2; ++i) {
+        if (e.arg_names[i] == nullptr) continue;
+        if (!first_arg) out += ',';
+        first_arg = false;
+        out += '"';
+        json::escape(e.arg_names[i], out);
+        out += "\":";
+        out += std::to_string(e.arg_values[i]);
+      }
+      out += '}';
+    }
+    out += '}';
+  }
+  out += "],\"displayTimeUnit\":\"ms\"";
+  if (const std::uint64_t d = dropped(); d != 0) {
+    out += ",\"swbpbc_dropped_events\":";
+    out += std::to_string(d);
+  }
+  out += '}';
+  return out;
+}
+
+util::Status Tracer::write_chrome_trace(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return util::Status::internal("cannot open trace file " + path);
+  out << chrome_trace_json();
+  out.flush();
+  if (!out) return util::Status::internal("short write to trace file " + path);
+  return {};
+}
+
+}  // namespace swbpbc::telemetry

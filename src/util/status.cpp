@@ -26,6 +26,8 @@ const char* error_code_name(ErrorCode code) {
       return "CHECKPOINT_CORRUPT";
     case ErrorCode::kCheckpointMismatch:
       return "CHECKPOINT_MISMATCH";
+    case ErrorCode::kCallbackError:
+      return "CALLBACK_ERROR";
     case ErrorCode::kInternal:
       return "INTERNAL";
   }

@@ -30,6 +30,7 @@ enum class ErrorCode {
   kDeadlineExceeded,   // a wall-clock deadline expired mid-run
   kCheckpointCorrupt,  // checkpoint stream unreadable/truncated/bad checksum
   kCheckpointMismatch, // checkpoint version or batch fingerprint disagrees
+  kCallbackError,      // a user-supplied observer/callback threw
   kInternal,           // invariant violation inside the library
 };
 
@@ -71,6 +72,9 @@ class [[nodiscard]] Status {
   }
   static Status checkpoint_mismatch(std::string m) {
     return {ErrorCode::kCheckpointMismatch, std::move(m)};
+  }
+  static Status callback_error(std::string m) {
+    return {ErrorCode::kCallbackError, std::move(m)};
   }
   static Status internal(std::string m) {
     return {ErrorCode::kInternal, std::move(m)};

@@ -4,9 +4,19 @@
 #include <cstdlib>
 #include <string>
 
+#include "util/timer.hpp"
+
 namespace swbpbc::util {
 
 namespace {
+
+// Process-wide execution observer (telemetry adapter); null by default so
+// the un-instrumented execution path pays one relaxed load per chunk.
+std::atomic<PoolObserver*> g_observer{nullptr};
+
+// Worker index of the current thread; kCallerThread on non-pool threads
+// (including the submitter driving its own job).
+thread_local unsigned t_worker_index = PoolObserver::kCallerThread;
 
 // Upper bound on retained exception_ptrs per parallel_for; beyond it only
 // the drop count grows (unbounded retention could itself exhaust memory
@@ -60,7 +70,10 @@ AggregateError::AggregateError(std::vector<std::exception_ptr> errors,
 ThreadPool::ThreadPool(std::size_t n_threads) {
   workers_.reserve(n_threads);
   for (std::size_t t = 0; t < n_threads; ++t) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, t] {
+      t_worker_index = static_cast<unsigned>(t);
+      worker_loop();
+    });
   }
 }
 
@@ -96,9 +109,15 @@ void ThreadPool::drive(ForJob& job) {
     const std::size_t lo = job.next.fetch_add(job.grain);
     if (lo >= job.end) break;
     const std::size_t hi = std::min(lo + job.grain, job.end);
+    PoolObserver* const obs = g_observer.load(std::memory_order_acquire);
+    const std::uint64_t t0 = obs != nullptr ? monotonic_us() : 0;
     try {
       for (std::size_t i = lo; i < hi; ++i) (*job.fn)(i);
+      if (obs != nullptr)
+        obs->on_chunk(lo, hi, t0, monotonic_us(), t_worker_index);
     } catch (...) {
+      if (obs != nullptr)
+        obs->on_chunk(lo, hi, t0, monotonic_us(), t_worker_index);
       {
         std::lock_guard<std::mutex> lk(job.err_mutex);
         if (job.errors.size() < kMaxCapturedErrors)
@@ -149,11 +168,15 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   const std::size_t n = end - begin;
   if (grain == 0) grain = std::max<std::size_t>(1, n / (4 * (size() + 1)));
   if (workers_.empty() || n <= grain) {
+    PoolObserver* const obs = g_observer.load(std::memory_order_acquire);
+    const std::uint64_t t0 = obs != nullptr ? monotonic_us() : 0;
     for (std::size_t i = begin; i < end; ++i) {
       if (stop != nullptr && stop->triggered())
         throw StatusError(stop->status("parallel_for"));
       fn(i);
     }
+    if (obs != nullptr)
+      obs->on_chunk(begin, end, t0, monotonic_us(), t_worker_index);
     return;
   }
 
@@ -224,6 +247,14 @@ std::size_t ThreadPool::default_thread_count() {
 ThreadPool& ThreadPool::global() {
   static ThreadPool pool(default_thread_count());
   return pool;
+}
+
+void ThreadPool::set_observer(PoolObserver* observer) {
+  g_observer.store(observer, std::memory_order_release);
+}
+
+PoolObserver* ThreadPool::observer() {
+  return g_observer.load(std::memory_order_acquire);
 }
 
 }  // namespace swbpbc::util

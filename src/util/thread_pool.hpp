@@ -7,6 +7,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
@@ -37,6 +38,26 @@ class AggregateError : public std::runtime_error {
  private:
   std::vector<std::exception_ptr> errors_;
   std::size_t dropped_;
+};
+
+/// Observer for pool task execution, installed process-wide via
+/// ThreadPool::set_observer. The pool itself stays ignorant of the
+/// telemetry layer; the telemetry session installs an adapter that turns
+/// these callbacks into trace spans. With no observer installed the only
+/// cost on the execution path is one relaxed atomic load per chunk.
+class PoolObserver {
+ public:
+  /// `worker` value for chunks driven by the submitting thread itself.
+  static constexpr unsigned kCallerThread = ~0u;
+
+  virtual ~PoolObserver() = default;
+
+  /// One claimed chunk [begin, end) ran between t0_us and t1_us (process
+  /// monotonic clock, util::monotonic_us) on worker `worker`. Invoked
+  /// after the chunk finishes, including when an iteration threw.
+  virtual void on_chunk(std::size_t begin, std::size_t end,
+                        std::uint64_t t0_us, std::uint64_t t1_us,
+                        unsigned worker) = 0;
 };
 
 /// Fixed-size thread pool. `n_threads == 0` degrades every operation to
@@ -76,6 +97,12 @@ class ThreadPool {
 
   /// Thread count the global pool would use (reads SWBPBC_THREADS).
   static std::size_t default_thread_count();
+
+  /// Installs (or, with nullptr, removes) the process-wide execution
+  /// observer. The observer must outlive every parallel_for that runs
+  /// while it is installed. Applies to every pool in the process.
+  static void set_observer(PoolObserver* observer);
+  [[nodiscard]] static PoolObserver* observer();
 
  private:
   struct ForJob {

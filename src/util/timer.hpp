@@ -2,8 +2,22 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 
 namespace swbpbc::util {
+
+/// Microseconds on the process-wide monotonic telemetry clock. All span
+/// timestamps (telemetry tracer, thread-pool observer, device stages)
+/// share this single clock domain, so events recorded by different
+/// threads and layers line up on one trace timeline. The epoch is the
+/// first call; values are monotone non-decreasing and start near zero.
+inline std::uint64_t monotonic_us() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch)
+          .count());
+}
 
 /// Monotonic stopwatch. Construction starts the clock.
 class WallTimer {

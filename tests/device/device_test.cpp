@@ -187,23 +187,29 @@ TEST(GpuPipelineMisc, MetricsShowStridedW2bReads) {
   const GpuRunResult result =
       gpu_bpbc_max_scores(xs, ys, params, sw::LaneWidth::k32, options);
 
+  const MetricTotals& w2b = result.stage_metrics[sw::PipelineStage::kW2B];
+  const MetricTotals& swa = result.stage_metrics[sw::PipelineStage::kSWA];
+  const MetricTotals& b2w = result.stage_metrics[sw::PipelineStage::kB2W];
   // W2B reads every input character once: count * (m + n) word reads.
-  EXPECT_EQ(result.w2b_metrics.global_reads,
-            static_cast<std::uint64_t>(count) * (m + n));
+  EXPECT_EQ(w2b.global_reads, static_cast<std::uint64_t>(count) * (m + n));
   // Transactions can never beat the segment lower bound (4-byte words,
   // 128-byte segments). Per-instruction strided penalties are exercised
   // at the recorder level (Metrics.StridedWarpAccessIsManyTransactions);
   // the per-phase model merges a thread's accesses within one phase.
-  EXPECT_GE(result.w2b_metrics.global_read_transactions,
-            result.w2b_metrics.global_reads * 4 / kSegmentBytes);
-  EXPECT_GT(result.w2b_metrics.global_writes, 0u);
+  EXPECT_GE(w2b.global_read_transactions,
+            w2b.global_reads * 4 / kSegmentBytes);
+  EXPECT_GT(w2b.global_writes, 0u);
   // The SWA kernel reads each y character slice pair once per row:
   // 2 slices * m * n loads (plus 2m x-reads).
-  EXPECT_EQ(result.swa_metrics.global_reads,
-            2ull * m * n + 2ull * m);
-  EXPECT_GT(result.swa_metrics.shared_accesses, 0u);
+  EXPECT_EQ(swa.global_reads, 2ull * m * n + 2ull * m);
+  EXPECT_GT(swa.shared_accesses, 0u);
   // B2W writes one score per instance.
-  EXPECT_EQ(result.b2w_metrics.global_writes, count);
+  EXPECT_EQ(b2w.global_writes, count);
+  // The copy stages carry synthetic transfer traffic.
+  EXPECT_EQ(result.stage_metrics[sw::PipelineStage::kH2G].global_writes,
+            static_cast<std::uint64_t>(count) * (m + n));
+  EXPECT_EQ(result.stage_metrics[sw::PipelineStage::kG2H].global_reads,
+            count);
 }
 
 TEST(GpuPipelineMisc, TimingsArePopulated) {
