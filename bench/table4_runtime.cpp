@@ -11,12 +11,16 @@
 #include <string>
 #include <vector>
 
+#include "device/engine.hpp"
 #include "harness.hpp"
+#include "sw/backend.hpp"
+#include "sw/pipeline.hpp"
 #include "telemetry/run_report.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/checksum.hpp"
 #include "util/options.hpp"
 #include "util/table.hpp"
+#include "util/timer.hpp"
 
 namespace {
 
@@ -133,6 +137,97 @@ int main(int argc, char** argv) {
               "platforms; SWA time scales linearly in n; W2B is a small "
               "fraction of total on the device. Absolute GPU numbers are "
               "simulator-scale (see DESIGN.md substitutions).\n");
+
+  // --- overlapped chunk execution (--overlap) ----------------------------
+  // Compares the chunked device screen three ways over one workload:
+  // the v1 per-chunk backend (fresh device buffers every chunk), the
+  // PipelineEngine run serially (persistent arenas, cached transpose
+  // plans), and the PipelineEngine overlapped across --overlap-depth
+  // stream slots. Scores must be bit-identical across all three.
+  // --overlap-trace=path exports the overlapped run's Chrome trace with
+  // the per-stream lanes (adjacent chunks' H2G/G2H under another's SWA).
+  const std::string overlap_trace = opt.get("overlap-trace", "");
+  if (opt.get_bool("overlap", false) || !overlap_trace.empty()) {
+    const auto chunk_pairs = static_cast<std::size_t>(
+        opt.get_int("chunk-pairs", static_cast<std::int64_t>(pairs) / 16));
+    const auto depth = static_cast<std::size_t>(opt.get_int(
+        "overlap-depth", 3));
+    const auto n0 = static_cast<std::size_t>(n_list.front());
+    const bench::Workload w = bench::make_workload(pairs, m, n0, 20260705);
+    std::printf("\nOverlapped chunk engine: %zu pairs, m = %zu, n = %zu, "
+                "chunk_pairs = %zu, depth = %zu\n",
+                pairs, m, n0, chunk_pairs, depth);
+
+    sw::ScreenConfig base;
+    base.params = params;
+    base.threshold = ~std::uint32_t{0};  // screen only; no traceback work
+    base.width = sw::LaneWidth::k32;
+    base.mode = bulk::Mode::kParallel;
+    base.traceback = false;
+    base.chunk_pairs = chunk_pairs;
+
+    const auto timed = [&](const sw::ScreenConfig& cfg) {
+      util::WallTimer timer;
+      sw::ScreenReport rpt = sw::screen(w.xs, w.ys, cfg);
+      return std::pair<double, sw::ScreenReport>(timer.elapsed_ms(),
+                                                 std::move(rpt));
+    };
+
+    sw::ScreenConfig v1 = base;
+    v1.chunk_backend = device::make_chunk_backend(params, base.width);
+    const auto [v1_ms, v1_rpt] = timed(v1);
+
+    device::EngineOptions eng;
+    eng.params = params;
+    eng.width = base.width;
+    eng.overlap_depth = depth;
+
+    device::PipelineEngine serial_engine(eng);
+    sw::ScreenConfig serial = base;
+    serial.backend_v2 = &serial_engine;
+    serial.overlap_depth = 1;
+    const auto [serial_ms, serial_rpt] = timed(serial);
+
+    telemetry::TelemetryConfig otcfg;
+    otcfg.enabled = !overlap_trace.empty();
+    telemetry::Telemetry osession(otcfg);
+    eng.telemetry = osession.sink();
+    device::PipelineEngine overlap_engine(eng);
+    sw::ScreenConfig overlapped = base;
+    overlapped.backend_v2 = &overlap_engine;
+    overlapped.overlap_depth = depth;
+    overlapped.telemetry = osession.sink();
+    const auto [overlap_ms, overlap_rpt] = timed(overlapped);
+
+    if (v1_rpt.scores != serial_rpt.scores ||
+        serial_rpt.scores != overlap_rpt.scores) {
+      std::fprintf(stderr, "FAIL: chunk execution modes disagree on "
+                           "scores — bit-identity is broken\n");
+      return 1;
+    }
+    util::TextTable otable({"chunk loop", "wall ms", "speedup vs v1"});
+    const auto orow = [&](const char* name, double ms) {
+      otable.add_row({name, util::TextTable::num(ms, 2),
+                      util::TextTable::num(v1_ms / ms, 2)});
+    };
+    orow("v1 chunk backend (per-chunk alloc)", v1_ms);
+    orow("engine, serial (depth 1)", serial_ms);
+    orow("engine, overlapped", overlap_ms);
+    std::fputs(otable.render().c_str(), stdout);
+    std::printf("scores bit-identical across all three runs (%zu pairs)\n",
+                v1_rpt.scores.size());
+    if (!overlap_trace.empty()) {
+      if (util::Status s = osession.tracer()->write_chrome_trace(
+              overlap_trace);
+          !s.ok()) {
+        std::fprintf(stderr, "failed to write overlap trace: %s\n",
+                     s.to_string().c_str());
+        return 1;
+      }
+      std::printf("Overlap trace written to %s (stream.copy-in/compute/"
+                  "copy-out tracks)\n", overlap_trace.c_str());
+    }
+  }
   if (!json_path.empty()) {
     rep.config_fingerprint = config_fingerprint(rep.config);
     rep.metrics = session.registry().snapshot();

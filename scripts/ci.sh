@@ -3,7 +3,8 @@
 # (plus a telemetry smoke: RunReport and span-trace artifacts validated by
 # scripts/check_run_report.py), then the tier2-sanitize robustness suites
 # (fault injection, cancellation, checkpoint streams, negative inputs)
-# under ASan + UBSan.
+# under ASan + UBSan. Both tiers first verify that every public header in
+# src/ is self-contained (compiles standalone with only -I src).
 #
 #   scripts/ci.sh             # both tiers
 #   scripts/ci.sh --tier1     # release build + full ctest only
@@ -21,7 +22,23 @@ case "${1:-}" in
   *) echo "usage: scripts/ci.sh [--tier1|--tier2]" >&2; exit 2 ;;
 esac
 
+# Every public header must compile on its own: a consumer should be able
+# to include any src/**/*.hpp first without hunting for its transitive
+# includes. Cheap (-fsyntax-only), so it runs in both tiers.
+header_check() {
+  echo "== header self-containment: every src/**/*.hpp compiles alone =="
+  local cxx="${CXX:-c++}" failed=0 hpp
+  while IFS= read -r hpp; do
+    if ! "$cxx" -std=c++20 -fsyntax-only -I src -x c++ "$hpp"; then
+      echo "not self-contained: $hpp" >&2
+      failed=1
+    fi
+  done < <(find src -name '*.hpp' | sort)
+  [[ $failed -eq 0 ]] || exit 1
+}
+
 if [[ $run_tier1 -eq 1 ]]; then
+  header_check
   echo "== tier 1: release build + full test suite =="
   cmake --preset default
   cmake --build --preset default -j"$(nproc)"
@@ -36,9 +53,14 @@ if [[ $run_tier1 -eq 1 ]]; then
       --trace="$smoke_dir/drill.trace.json" > /dev/null
   python3 scripts/check_run_report.py \
       "$smoke_dir/table4.json" "$smoke_dir/drill.trace.json"
+
+  echo "== tier 1: overlapped chunk engine smoke (bit-identity gate) =="
+  ./build/bench/table4_runtime --pairs=128 --m=16 --n=64 \
+      --overlap --chunk-pairs=16 --overlap-depth=3 > /dev/null
 fi
 
 if [[ $run_tier2 -eq 1 ]]; then
+  if [[ $run_tier1 -eq 0 ]]; then header_check; fi
   echo "== tier 2: ASan+UBSan build + tier2-sanitize suites =="
   cmake --preset sanitize
   cmake --build --preset sanitize -j"$(nproc)"

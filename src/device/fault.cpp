@@ -49,13 +49,16 @@ void BlockFaults::record_sync_drop() {
 }
 
 BlockFaults FaultInjector::block_faults(std::size_t block) {
+  return block_faults_at(campaign_.load(std::memory_order_relaxed), block);
+}
+
+BlockFaults FaultInjector::block_faults_at(std::uint64_t campaign,
+                                           std::size_t block) {
   // Expand (seed, campaign, block) into an independent, well-mixed stream
   // so fault decisions do not depend on block scheduling order.
   util::SplitMix64 mix(config_.seed);
   std::uint64_t s = mix.next();
-  s ^= util::SplitMix64(campaign_.load(std::memory_order_relaxed) *
-                        0x9e3779b97f4a7c15ULL)
-           .next();
+  s ^= util::SplitMix64(campaign * 0x9e3779b97f4a7c15ULL).next();
   s ^= util::SplitMix64(static_cast<std::uint64_t>(block) + 1).next();
   return BlockFaults(this, s);
 }

@@ -136,10 +136,22 @@ class FaultInjector {
 
   /// Advances the campaign counter: subsequent block_faults() draws come
   /// from a fresh deterministic stream. Called once per device run.
-  void begin_run() { campaign_.fetch_add(1, std::memory_order_relaxed); }
+  /// Returns the new campaign number.
+  std::uint64_t begin_run() {
+    return campaign_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
 
   /// Fault state for one block of the current campaign.
   [[nodiscard]] BlockFaults block_faults(std::size_t block);
+
+  /// Fault state for one block of an explicitly named campaign. The
+  /// overlapped execution engine derives its campaign from (chunk,
+  /// attempt) instead of the shared counter, so the draw a block observes
+  /// does not depend on how many other chunks were in flight first —
+  /// the property that keeps overlapped and serial execution bit-identical
+  /// under fault injection.
+  [[nodiscard]] BlockFaults block_faults_at(std::uint64_t campaign,
+                                            std::size_t block);
 
   /// Snapshot of the cumulative fault counters.
   [[nodiscard]] FaultLog log() const;

@@ -1,0 +1,96 @@
+#include "device/stream.hpp"
+
+#include <utility>
+
+namespace swbpbc::device {
+
+bool Event::complete() const {
+  if (state_ == nullptr) return true;
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  return state_->done;
+}
+
+void Event::wait() const {
+  if (state_ == nullptr) return;
+  std::unique_lock<std::mutex> lock(state_->mutex);
+  state_->cv.wait(lock, [this] { return state_->done; });
+}
+
+Stream::Stream(std::string name) : name_(std::move(name)) {
+  worker_ = std::thread([this] { run(); });
+}
+
+Stream::~Stream() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  worker_.join();
+}
+
+void Stream::enqueue(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
+Event Stream::record() {
+  auto state = std::make_shared<Event::State>();
+  enqueue([state] {
+    {
+      std::lock_guard<std::mutex> lock(state->mutex);
+      state->done = true;
+    }
+    state->cv.notify_all();
+  });
+  return Event(std::move(state));
+}
+
+void Stream::wait(const Event& event) {
+  // The wait runs as ordinary queued work, so it stalls this stream's
+  // worker (not the host) until the recording stream signals.
+  enqueue([event] { event.wait(); });
+}
+
+void Stream::synchronize() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && !busy_; });
+  if (error_ != nullptr) {
+    std::exception_ptr e = std::exchange(error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(e);
+  }
+}
+
+void Stream::run() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stopping_) return;
+      continue;
+    }
+    std::function<void()> fn = std::move(queue_.front());
+    queue_.pop_front();
+    busy_ = true;
+    lock.unlock();
+    // Every closure runs even after a captured error, so recorded events
+    // always complete and cross-stream waiters cannot deadlock; only the
+    // first exception is kept.
+    std::exception_ptr error;
+    try {
+      fn();
+    } catch (...) {
+      error = std::current_exception();
+    }
+    lock.lock();
+    if (error != nullptr && error_ == nullptr) error_ = error;
+    busy_ = false;
+    if (queue_.empty()) idle_cv_.notify_all();
+  }
+}
+
+}  // namespace swbpbc::device

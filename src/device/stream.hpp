@@ -1,0 +1,109 @@
+// CUDA-style streams and events for the device simulator.
+//
+// A Stream is an in-order asynchronous work queue — the simulator's
+// analogue of a cudaStream_t. Work enqueued on one stream runs strictly in
+// enqueue order on the stream's worker thread; work on different streams
+// runs concurrently, and kernel launches issued from stream workers still
+// fan their blocks out over the shared host thread pool (the simulated
+// SMs), which is what lets one chunk's copy stages overlap another's
+// compute.
+//
+// An Event is the cross-stream ordering primitive (cudaEvent_t): a stream
+// records an event after some work, another stream enqueues a wait on it,
+// and the waiting stream's queue stalls — without blocking the host —
+// until the recording stream gets there. Events are one-shot and
+// shared-state: copies observe the same completion.
+//
+// Error model: an exception escaping an enqueued closure is captured by
+// the stream and rethrown from the next synchronize() — the stream-level
+// analogue of a sticky CUDA error. The queue keeps draining regardless,
+// so recorded events always complete and cross-stream waiters cannot
+// deadlock. Engine-level users that need per-job errors catch inside
+// their closures instead.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace swbpbc::device {
+
+/// One-shot completion marker shared between streams. Default-constructed
+/// events are already complete (waiting on them is a no-op), matching the
+/// CUDA convention that an unrecorded event does not block.
+class Event {
+ public:
+  Event() = default;
+
+  [[nodiscard]] bool complete() const;
+
+  /// Blocks the calling thread until the event completes.
+  void wait() const;
+
+ private:
+  friend class Stream;
+
+  struct State {
+    mutable std::mutex mutex;
+    mutable std::condition_variable cv;
+    bool done = false;
+  };
+
+  explicit Event(std::shared_ptr<State> state) : state_(std::move(state)) {}
+
+  std::shared_ptr<State> state_;  // null = complete
+};
+
+/// In-order asynchronous work queue backed by one worker thread.
+class Stream {
+ public:
+  /// `name` labels the stream (telemetry track names, diagnostics).
+  explicit Stream(std::string name = {});
+
+  /// Drains the queue, then joins the worker. A captured error is
+  /// swallowed here (destructors must not throw); call synchronize()
+  /// first when the error matters.
+  ~Stream();
+
+  Stream(const Stream&) = delete;
+  Stream& operator=(const Stream&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Enqueues `fn` behind all previously enqueued work. Returns
+  /// immediately; `fn` runs on the stream's worker thread.
+  void enqueue(std::function<void()> fn);
+
+  /// Enqueues a completion marker: the returned event completes once all
+  /// work enqueued on this stream so far has run.
+  Event record();
+
+  /// Enqueues a cross-stream dependency: work enqueued on this stream
+  /// after this call does not start until `event` completes.
+  void wait(const Event& event);
+
+  /// Blocks until every closure enqueued so far has run, then rethrows
+  /// the first captured error (once; the stream is usable afterwards).
+  void synchronize();
+
+ private:
+  void run();
+
+  std::string name_;
+  std::mutex mutex_;
+  std::condition_variable cv_;        // wakes the worker on new work
+  std::condition_variable idle_cv_;   // wakes synchronize() on drain
+  std::deque<std::function<void()>> queue_;
+  std::exception_ptr error_;
+  bool busy_ = false;    // worker is inside a closure
+  bool stopping_ = false;
+  std::thread worker_;
+};
+
+}  // namespace swbpbc::device

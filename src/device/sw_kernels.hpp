@@ -151,6 +151,10 @@ GpuRunResult gpu_wordwise_max_scores(std::span<const encoding::Sequence> xs,
 /// `options.faults`) to sw::ScreenConfig::backend, turning sw::screen into
 /// a correctness-under-fault harness: faults corrupt scores here, and the
 /// pipeline's self-check must detect and recover every one.
+///
+/// Deprecated (v1): prefer device::PipelineEngine (device/engine.hpp), an
+/// sw::Backend with persistent arenas and overlapped streams; this
+/// adapter remains supported and allocates per run.
 sw::ScoreBackend make_screen_backend(const sw::ScoreParams& params,
                                      sw::LaneWidth width,
                                      GpuRunOptions options = {});
@@ -159,6 +163,11 @@ sw::ScoreBackend make_screen_backend(const sw::ScoreParams& params,
 /// device pipeline per chunk, forwards the screen layer's StopCondition
 /// into every launch, and surfaces the stage-integrity findings so the
 /// chunked screen can quarantine and retry just that chunk.
+///
+/// Deprecated (v1): prefer device::PipelineEngine (device/engine.hpp),
+/// which adds persistent arenas and overlapped submit()/collect()
+/// execution on top of the same integrity checks; this adapter remains
+/// supported and allocates per chunk.
 sw::ChunkBackend make_chunk_backend(const sw::ScoreParams& params,
                                     sw::LaneWidth width,
                                     GpuRunOptions options = {});

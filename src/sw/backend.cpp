@@ -1,0 +1,100 @@
+#include "sw/backend.hpp"
+
+#include <utility>
+
+namespace swbpbc::sw {
+
+Backend::~Backend() = default;
+
+void Backend::submit(const ChunkJob& job) { deferred_.push_back(job); }
+
+ChunkResult Backend::collect() {
+  if (deferred_.empty())
+    throw util::StatusError(
+        util::Status::internal("Backend::collect with no submitted job"));
+  ChunkJob job = deferred_.front();
+  deferred_.pop_front();
+  return run(job);
+}
+
+namespace {
+
+class ScoreBackendAdapter final : public Backend {
+ public:
+  explicit ScoreBackendAdapter(ScoreBackend backend)
+      : backend_(std::move(backend)) {}
+
+  [[nodiscard]] BackendCaps caps() const override { return {}; }
+
+  ChunkResult run(const ChunkJob& job) override {
+    ChunkResult r;
+    r.scores = backend_(job.xs, job.ys);
+    return r;
+  }
+
+ private:
+  ScoreBackend backend_;
+};
+
+class ChunkBackendAdapter final : public Backend {
+ public:
+  explicit ChunkBackendAdapter(ChunkBackend backend)
+      : backend_(std::move(backend)) {}
+
+  [[nodiscard]] BackendCaps caps() const override {
+    BackendCaps caps;
+    caps.integrity = true;
+    caps.stop_polling = true;
+    return caps;
+  }
+
+  ChunkResult run(const ChunkJob& job) override {
+    return backend_(job.xs, job.ys, job.stop);
+  }
+
+ private:
+  ChunkBackend backend_;
+};
+
+class HostBackend final : public Backend {
+ public:
+  HostBackend(const ScoreParams& params, LaneWidth width, bulk::Mode mode,
+              encoding::TransposeMethod method)
+      : params_(params), width_(width), mode_(mode), method_(method) {}
+
+  [[nodiscard]] BackendCaps caps() const override { return {}; }
+
+  ChunkResult run(const ChunkJob& job) override {
+    ChunkResult r;
+    PhaseTimings t;
+    r.scores =
+        bpbc_max_scores(job.xs, job.ys, params_, width_, mode_, method_, &t);
+    r.timings = t;
+    r.has_phase_timings = true;
+    return r;
+  }
+
+ private:
+  ScoreParams params_;
+  LaneWidth width_;
+  bulk::Mode mode_;
+  encoding::TransposeMethod method_;
+};
+
+}  // namespace
+
+std::unique_ptr<Backend> adapt_score_backend(ScoreBackend backend) {
+  return std::make_unique<ScoreBackendAdapter>(std::move(backend));
+}
+
+std::unique_ptr<Backend> adapt_chunk_backend(ChunkBackend backend) {
+  return std::make_unique<ChunkBackendAdapter>(std::move(backend));
+}
+
+std::unique_ptr<Backend> make_host_backend(
+    const ScoreParams& params, LaneWidth width, bulk::Mode mode,
+    encoding::TransposeMethod method) {
+  return std::make_unique<HostBackend>(params, width, mode, method);
+}
+
+}  // namespace swbpbc::sw

@@ -1,0 +1,93 @@
+// The v2 unified screening backend interface.
+//
+// v1 accreted two std::function backend shapes on ScreenConfig — a bare
+// ScoreBackend and an integrity-aware ChunkBackend — plus implicit
+// conventions about which one the loop prefers and how its wall time is
+// attributed. Backend collapses them into one interface: a backend scores
+// one ChunkJob (a pair range tagged with its chunk index and retry
+// attempt) into a ChunkResult, declares its capabilities, and may
+// optionally accept overlapped submit()/collect() execution (the device
+// engine does; see device/engine.hpp).
+//
+// The (chunk, attempt) tag exists for determinism: a backend that injects
+// faults derives its fault campaign from the tag, never from call order,
+// so serial and overlapped execution of the same screen are bit-identical.
+//
+// Legacy call sites keep compiling: adapt_score_backend() and
+// adapt_chunk_backend() wrap the v1 function types, and the loop in
+// sw::try_screen still accepts the v1 ScreenConfig fields (it adapts them
+// internally through these same wrappers).
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <span>
+
+#include "sw/pipeline.hpp"
+
+namespace swbpbc::sw {
+
+/// What a backend can do; the screen loop adapts its behaviour to these.
+struct BackendCaps {
+  // Reports in-band integrity findings (ChunkResult::faults); the loop
+  // runs its quarantine/retry policy on them.
+  bool integrity = false;
+  // Polls ChunkJob::stop mid-chunk (throws the stop's StatusError), so a
+  // cancellation interrupts a chunk instead of waiting it out.
+  bool stop_polling = false;
+  // Supports overlapped submit()/collect() execution on device streams;
+  // unlocks ScreenConfig::overlap_depth >= 2.
+  bool streams = false;
+};
+
+/// One unit of backend work: score pairs (xs[k], ys[k]) for every k.
+/// `chunk` and `attempt` identify the work deterministically (fault
+/// campaigns, diagnostics); `attempt` counts whole-chunk retries and,
+/// above the retry limit, quarantine rescores. The spans must stay valid
+/// until the job's result has been returned (run) or collected (submit).
+struct ChunkJob {
+  std::size_t chunk = 0;
+  unsigned attempt = 0;
+  std::span<const encoding::Sequence> xs;
+  std::span<const encoding::Sequence> ys;
+  const util::StopCondition* stop = nullptr;
+};
+
+/// Unified scoring backend (v2). Implementations must accept any
+/// uniform-length subset of the batch: the quarantine-retry path
+/// re-submits subsets as fresh jobs.
+class Backend {
+ public:
+  virtual ~Backend();
+
+  [[nodiscard]] virtual BackendCaps caps() const = 0;
+
+  /// Scores one job synchronously.
+  virtual ChunkResult run(const ChunkJob& job) = 0;
+
+  /// Overlapped execution: enqueue a job now, collect results strictly in
+  /// submission order later. The base implementation degrades to a
+  /// deferred run() (no overlap), so every backend supports the calling
+  /// convention; stream-capable backends override both and do real
+  /// asynchronous work between submit and collect.
+  virtual void submit(const ChunkJob& job);
+  virtual ChunkResult collect();
+
+ private:
+  std::deque<ChunkJob> deferred_;  // base-class submit/collect queue
+};
+
+/// Wraps a v1 ScoreBackend. caps() are all false: no integrity findings,
+/// no stop polling, no streams — exactly the v1 contract.
+std::unique_ptr<Backend> adapt_score_backend(ScoreBackend backend);
+
+/// Wraps a v1 ChunkBackend (integrity + stop polling, no streams).
+std::unique_ptr<Backend> adapt_chunk_backend(ChunkBackend backend);
+
+/// The host BPBC path (bpbc_max_scores) as a Backend — what screen() runs
+/// when no backend is configured. Reports per-phase timings.
+std::unique_ptr<Backend> make_host_backend(
+    const ScoreParams& params, LaneWidth width, bulk::Mode mode,
+    encoding::TransposeMethod method);
+
+}  // namespace swbpbc::sw

@@ -1,0 +1,119 @@
+#include "sw/config.hpp"
+
+#include <string>
+#include <utility>
+
+namespace swbpbc::sw {
+
+ScreenConfig ScreenSpec::flatten() const {
+  ScreenConfig cfg;
+  cfg.params = scoring.params;
+  cfg.threshold = scoring.threshold;
+  cfg.width = scoring.width;
+  cfg.mode = scoring.mode;
+  cfg.method = scoring.method;
+  cfg.traceback = scoring.traceback;
+  cfg.backend = scoring.backend;
+  cfg.chunk_backend = scoring.chunk_backend;
+  cfg.backend_v2 = scoring.backend_v2;
+  cfg.check = survival.check;
+  cfg.chunk_pairs = survival.chunk_pairs;
+  cfg.chunk_retry_limit = survival.chunk_retry_limit;
+  cfg.overlap_depth = survival.overlap_depth;
+  cfg.cancel = survival.cancel;
+  cfg.deadline = survival.deadline;
+  cfg.checkpoint_path = survival.checkpoint_path;
+  cfg.resume_path = survival.resume_path;
+  cfg.progress = observability.progress;
+  cfg.telemetry = observability.telemetry;
+  return cfg;
+}
+
+namespace {
+
+util::Status invalid(std::string what) {
+  return util::Status::invalid_input(std::move(what));
+}
+
+util::Status validate_scoring(const ScoringConfig& s) {
+  if (s.params.match == 0)
+    return invalid("scoring.params.match must be positive (a zero match "
+                   "reward scores every alignment 0)");
+  if (s.params.gap == 0)
+    return invalid("scoring.params.gap must be positive (the BPBC "
+                   "recurrence requires a gap penalty)");
+  return {};
+}
+
+}  // namespace
+
+util::Status validate(const ScreenSpec& spec) {
+  const SurvivalConfig& sv = spec.survival;
+  if (util::Status s = validate_scoring(spec.scoring); !s.ok()) return s;
+  if (sv.chunk_pairs == 0) {
+    if (!sv.checkpoint_path.empty())
+      return invalid("survival.checkpoint_path requires chunk_pairs > 0 "
+                     "(checkpoints are written per completed chunk)");
+    if (!sv.resume_path.empty())
+      return invalid("survival.resume_path requires chunk_pairs > 0 "
+                     "(a resume stream is keyed by chunk geometry)");
+  }
+  if (sv.overlap_depth == 0)
+    return invalid("survival.overlap_depth must be >= 1 (1 = serial)");
+  if (sv.overlap_depth > 8)
+    return invalid("survival.overlap_depth > 8 exceeds the engine's arena "
+                   "ring (device::EngineOptions clamps at 8)");
+  if (sv.overlap_depth >= 2) {
+    if (sv.chunk_pairs == 0)
+      return invalid("survival.overlap_depth >= 2 requires chunk_pairs > 0 "
+                     "(overlap needs at least two chunks in flight)");
+    if (spec.scoring.backend_v2 == nullptr)
+      return invalid("survival.overlap_depth >= 2 requires a stream-capable "
+                     "scoring.backend_v2 (function backends run serially)");
+  }
+  if (sv.check.enabled && sv.check.backoff_base_ms < 0.0)
+    return invalid("survival.check.backoff_base_ms must be >= 0");
+  return {};
+}
+
+util::Expected<ScreenConfig> ScreenSpecBuilder::build() const {
+  if (util::Status s = validate(spec_); !s.ok()) return s;
+  return spec_.flatten();
+}
+
+ScanConfig ScanSpec::flatten() const {
+  ScanConfig cfg;
+  cfg.params = scoring.params;
+  cfg.threshold = scoring.threshold;
+  cfg.width = scoring.width;
+  cfg.mode = scoring.mode;
+  cfg.traceback = scoring.traceback;
+  cfg.window = windows.window;
+  cfg.overlap = windows.overlap;
+  cfg.chunk_windows = windows.chunk_windows;
+  cfg.cancel = cancel;
+  cfg.deadline = deadline;
+  cfg.telemetry = telemetry;
+  return cfg;
+}
+
+util::Status validate(const ScanSpec& spec) {
+  if (util::Status s = validate_scoring(spec.scoring); !s.ok()) return s;
+  if (spec.scoring.backend_v2 != nullptr || spec.scoring.backend != nullptr ||
+      spec.scoring.chunk_backend != nullptr)
+    return invalid("scan ignores scoring backends (it always runs the host "
+                   "BPBC path); clear them rather than relying on that");
+  if (spec.windows.window == 0)
+    return invalid("windows.window must be positive");
+  if (spec.windows.overlap != 0 && spec.windows.window <= spec.windows.overlap)
+    return invalid("windows.window must exceed windows.overlap (every "
+                   "window advances by window - overlap characters)");
+  return {};
+}
+
+util::Expected<ScanConfig> ScanSpecBuilder::build() const {
+  if (util::Status s = validate(spec_); !s.ok()) return s;
+  return spec_.flatten();
+}
+
+}  // namespace swbpbc::sw

@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <chrono>
 #include <cstring>
+#include <memory>
 #include <optional>
 #include <string>
 #include <thread>
 #include <utility>
 
+#include "sw/backend.hpp"
 #include "sw/wordwise.hpp"
 #include "util/checkpoint.hpp"
 #include "util/checksum.hpp"
@@ -214,47 +216,43 @@ util::Expected<ScreenReport> try_screen(std::span<const Sequence> xs,
     report.chunks[c].end = std::min(count, (c + 1) * chunk_pairs);
   }
 
-  // Chunk execution: the integrity-aware chunk backend when given, else
-  // the legacy score backend, else the host BPBC path.
-  const ChunkBackend run_chunk =
-      config.chunk_backend
-          ? config.chunk_backend
-          : ChunkBackend([&config, &report](
-                             std::span<const Sequence> cx,
-                             std::span<const Sequence> cy,
-                             const util::StopCondition*) {
-              ChunkResult r;
-              if (config.backend) {
-                util::WallTimer t;
-                r.scores = config.backend(cx, cy);
-                report.bpbc.swa_ms += t.elapsed_ms();
-              } else {
-                PhaseTimings t;
-                r.scores = bpbc_max_scores(cx, cy, config.params,
-                                           config.width, config.mode,
-                                           config.method, &t);
-                report.bpbc.w2b_ms += t.w2b_ms;
-                report.bpbc.b2w_ms += t.b2w_ms;
-                report.bpbc.swa_ms += t.swa_ms;
-              }
-              return r;
-            });
+  // Backend resolution (v2): an explicit Backend wins; the v1 function
+  // backends are wrapped through the compat adapters; the host BPBC path
+  // is the default. One interface runs every chunk from here on.
+  std::unique_ptr<Backend> owned_backend;
+  Backend* const backend = [&]() -> Backend* {
+    if (config.backend_v2 != nullptr) return config.backend_v2;
+    if (config.chunk_backend)
+      owned_backend = adapt_chunk_backend(config.chunk_backend);
+    else if (config.backend)
+      owned_backend = adapt_score_backend(config.backend);
+    else
+      owned_backend = make_host_backend(config.params, config.width,
+                                        config.mode, config.method);
+    return owned_backend.get();
+  }();
 
-  // Quarantine rescoring backend for the per-chunk self-check.
+  // Quarantine rescoring backend for the per-chunk self-check. Rescore
+  // jobs are tagged (chunk, attempt) past the whole-chunk retry budget so
+  // a deterministic backend draws reproducible campaigns regardless of
+  // overlap; when a legacy ScoreBackend was configured it stays the
+  // rescore path verbatim (the v1 precedence).
+  std::size_t rescore_chunk = 0;
+  unsigned rescore_calls = 0;
   const ScoreBackend rescore =
-      config.backend
+      config.backend_v2 == nullptr && config.backend
           ? config.backend
-          : config.chunk_backend
-              ? ScoreBackend([&config, stop_ptr](
-                                 std::span<const Sequence> qx,
-                                 std::span<const Sequence> qy) {
-                  return config.chunk_backend(qx, qy, stop_ptr).scores;
-                })
-              : ScoreBackend([&config](std::span<const Sequence> qx,
-                                       std::span<const Sequence> qy) {
-                  return bpbc_max_scores(qx, qy, config.params, config.width,
-                                         config.mode, config.method, nullptr);
-                });
+          : ScoreBackend([&config, &rescore_chunk, &rescore_calls, backend,
+                          stop_ptr](std::span<const Sequence> qx,
+                                    std::span<const Sequence> qy) {
+              ChunkJob job;
+              job.chunk = rescore_chunk;
+              job.attempt = config.chunk_retry_limit + 1 + rescore_calls++;
+              job.xs = qx;
+              job.ys = qy;
+              job.stop = stop_ptr;
+              return backend->run(job).scores;
+            });
 
   // Resume source: load and validate before the writer may truncate it
   // (resume_path and checkpoint_path can name the same file).
@@ -278,6 +276,54 @@ util::Expected<ScreenReport> try_screen(std::span<const Sequence> xs,
     writer.emplace(std::move(created).value());
   }
 
+  // Software pipeline over a stream-capable backend: keep up to `window`
+  // chunks submitted ahead of the one being settled, so chunk k+1's
+  // copy-in overlaps chunk k's compute and chunk k-1's copy-out. First
+  // attempts flow through submit()/collect() strictly in chunk order;
+  // retries and quarantine rescores stay synchronous (run()) — recovery is
+  // rare and order-sensitive, overlap buys it nothing.
+  const bool pipelined = backend->caps().streams && config.overlap_depth >= 2 &&
+                         config.chunk_pairs != 0 && n_chunks > 1;
+  const std::size_t window =
+      pipelined ? std::min<std::size_t>(config.overlap_depth, n_chunks) : 1;
+  std::size_t next_submit = 0;  // next chunk to consider submitting
+  std::size_t in_flight = 0;    // submitted, not yet collected
+  const auto pump = [&] {
+    if (!pipelined) return;
+    while (next_submit < n_chunks && in_flight < window) {
+      const std::size_t c = next_submit++;
+      // A resumed chunk is satisfied from the checkpoint; never scored.
+      if (have_resume && resume.find(c) != nullptr) continue;
+      ChunkJob job;
+      job.chunk = c;
+      job.attempt = 0;
+      job.xs = xs.subspan(report.chunks[c].begin,
+                          report.chunks[c].end - report.chunks[c].begin);
+      job.ys = ys.subspan(report.chunks[c].begin,
+                          report.chunks[c].end - report.chunks[c].begin);
+      job.stop = stop_ptr;
+      backend->submit(job);
+      ++in_flight;
+    }
+  };
+  // Every exit path — stop, typed error return, a throwing backend —
+  // must first drain the in-flight tail: the jobs hold spans into this
+  // frame's batch. Their results (and errors) are discarded; the report
+  // already marks those chunks incomplete and their scores read zero.
+  struct Drainer {
+    Backend* backend;
+    std::size_t* in_flight;
+    ~Drainer() {
+      while (*in_flight > 0) {
+        --*in_flight;
+        try {
+          backend->collect();
+        } catch (...) {  // NOLINT(bugprone-empty-catch)
+        }
+      }
+    }
+  } drainer{backend, &in_flight};
+
   for (std::size_t c = 0; c < n_chunks; ++c) {
     ChunkOutcome& outcome = report.chunks[c];
     const std::size_t begin = outcome.begin;
@@ -287,6 +333,7 @@ util::Expected<ScreenReport> try_screen(std::span<const Sequence> xs,
                                   std::to_string(c));
       break;
     }
+    pump();  // keep the overlap window full
 
     const std::span<const Sequence> cx = xs.subspan(begin, len);
     const std::span<const Sequence> cy = ys.subspan(begin, len);
@@ -318,14 +365,37 @@ util::Expected<ScreenReport> try_screen(std::span<const Sequence> xs,
           backend_span.arg("chunk", static_cast<std::int64_t>(c));
           backend_span.arg("attempt",
                            static_cast<std::int64_t>(outcome.retries));
-          ChunkResult r = run_chunk(cx, cy, stop_ptr);
+          ChunkResult r;
+          if (pipelined && outcome.retries == 0) {
+            // This chunk is the oldest uncollected submission (pump keeps
+            // non-resumed chunks flowing in order), so collect() is its
+            // result; the wait is what's left after the overlap.
+            --in_flight;
+            r = backend->collect();
+          } else {
+            ChunkJob job;
+            job.chunk = c;
+            job.attempt = outcome.retries;
+            job.xs = cx;
+            job.ys = cy;
+            job.stop = stop_ptr;
+            r = backend->run(job);
+          }
           backend_span.finish();
-          if (config.chunk_backend)
-            report.bpbc.swa_ms += backend_timer.elapsed_ms();
           if (r.scores.size() != len)
             return util::Status::internal(
                 "backend returned " + std::to_string(r.scores.size()) +
                 " scores for a chunk of " + std::to_string(len) + " pairs");
+          // Phase attribution: backends that know their split report it;
+          // for opaque (function-adapter) backends the measured call wall
+          // time lands on the SWA phase, as in v1.
+          if (r.has_phase_timings) {
+            report.bpbc.w2b_ms += r.timings.w2b_ms;
+            report.bpbc.swa_ms += r.timings.swa_ms;
+            report.bpbc.b2w_ms += r.timings.b2w_ms;
+          } else {
+            report.bpbc.swa_ms += backend_timer.elapsed_ms();
+          }
           report.reliability.integrity_checks += r.integrity_checks;
           report.reliability.integrity_ms += r.integrity_ms;
           for (StageFault f : r.faults) {
@@ -346,6 +416,8 @@ util::Expected<ScreenReport> try_screen(std::span<const Sequence> xs,
           report.reliability.lanes_resubmitted += len;
         }
         if (config.check.enabled) {
+          rescore_chunk = c;
+          rescore_calls = 0;
           if (util::Status s = self_check(cx, cy, config, rescore, cscores,
                                           stop_ptr, report.reliability);
               !s.ok())

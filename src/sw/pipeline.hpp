@@ -25,11 +25,17 @@
 
 namespace swbpbc::sw {
 
+class Backend;  // sw/backend.hpp — the v2 unified backend interface
+
 /// Pluggable scoring backend: maps pairs (xs[k], ys[k]) to their max DP
 /// scores. Lets screen() run on an alternative engine — notably the
 /// device simulator with fault injection (device::make_screen_backend) —
 /// without sw depending on device. Must accept any uniform-length subset
 /// of the batch (the quarantine-retry path re-submits subsets).
+///
+/// Deprecated (v1): new code should implement sw::Backend (sw/backend.hpp)
+/// and set ScreenConfig::backend_v2; adapt_score_backend() wraps an
+/// existing ScoreBackend losslessly. This typedef remains supported.
 using ScoreBackend = std::function<std::vector<std::uint32_t>(
     std::span<const encoding::Sequence>, std::span<const encoding::Sequence>)>;
 
@@ -40,12 +46,23 @@ struct ChunkResult {
   std::vector<StageFault> faults;
   std::uint64_t integrity_checks = 0;
   double integrity_ms = 0.0;
+  // Per-phase attribution of the chunk's compute time. Backends that know
+  // their phase split (the host BPBC path, the device engine) set
+  // has_phase_timings and fill `timings`; function-adapter backends leave
+  // it false and screen() attributes the measured call wall time to the
+  // SWA phase, matching the pre-v2 behaviour exactly.
+  PhaseTimings timings;
+  bool has_phase_timings = false;
 };
 
 /// Integrity-aware chunk backend (device::make_chunk_backend adapts the
 /// simulator). The StopCondition, when non-null, must be polled so a
 /// cancellation or deadline interrupts the chunk mid-kernel (the backend
 /// signals that by throwing the stop's StatusError).
+///
+/// Deprecated (v1): new code should implement sw::Backend (sw/backend.hpp)
+/// and set ScreenConfig::backend_v2; adapt_chunk_backend() wraps an
+/// existing ChunkBackend losslessly. This typedef remains supported.
 using ChunkBackend = std::function<ChunkResult(
     std::span<const encoding::Sequence>, std::span<const encoding::Sequence>,
     const util::StopCondition*)>;
@@ -82,6 +99,17 @@ struct ScreenConfig {
   unsigned chunk_retry_limit = 2;
   // Integrity-aware backend; preferred over `backend` when set.
   ChunkBackend chunk_backend;
+  // v2 unified backend (sw/backend.hpp); preferred over both function
+  // backends when set. Not owned — must outlive the screen call. A
+  // backend whose caps().streams is true unlocks the overlapped chunk
+  // pipeline (see overlap_depth).
+  Backend* backend_v2 = nullptr;
+  // In-flight chunk window for stream-capable v2 backends: while chunk k
+  // is computing, chunks k+1 .. k+overlap_depth-1 are already submitted,
+  // so their H2G/W2B overlaps k's SWA and k-1's B2W/G2H. 1 = serial (the
+  // pre-v2 loop); values >= 2 enable the software pipeline. Ignored
+  // unless backend_v2 is set, declares caps().streams, and chunking is on.
+  std::size_t overlap_depth = 1;
   // Invoked after every chunk settles; may call cancel->cancel(). A
   // throwing observer does not unwind out of screen(): the run stops and
   // the partial report carries a typed kCallbackError status (completed

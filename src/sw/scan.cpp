@@ -1,19 +1,23 @@
 #include "sw/scan.hpp"
 
 #include <algorithm>
-#include <stdexcept>
+#include <string>
 
 namespace swbpbc::sw {
 
-ScanReport scan_text(const encoding::Sequence& query,
-                     const encoding::Sequence& text,
-                     const ScanConfig& config) {
+util::Expected<ScanReport> try_scan_text(const encoding::Sequence& query,
+                                         const encoding::Sequence& text,
+                                         const ScanConfig& config) {
   const std::size_t m = query.size();
-  if (m == 0) throw std::invalid_argument("query must not be empty");
+  if (m == 0)
+    return util::Status::invalid_input("query must not be empty");
   const std::size_t overlap =
       config.overlap == 0 ? 2 * m : config.overlap;
   if (config.window <= overlap)
-    throw std::invalid_argument("window must exceed overlap");
+    return util::Status::invalid_input(
+        "window (" + std::to_string(config.window) +
+        ") must exceed overlap (" + std::to_string(overlap) +
+        "): every window advances by window - overlap characters");
 
   ScanReport report;
   if (text.empty()) return report;
@@ -102,6 +106,12 @@ ScanReport scan_text(const encoding::Sequence& query,
     reg.counter("scan.hits").add(report.hits.size());
   }
   return report;
+}
+
+ScanReport scan_text(const encoding::Sequence& query,
+                     const encoding::Sequence& text,
+                     const ScanConfig& config) {
+  return try_scan_text(query, text, config).value();
 }
 
 }  // namespace swbpbc::sw

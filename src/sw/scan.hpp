@@ -66,7 +66,14 @@ struct ScanReport {
 };
 
 /// Scans `text` for local alignments of `query` scoring >= threshold.
-/// Throws std::invalid_argument if query is empty or window <= overlap.
+/// Returns kInvalidInput if query is empty or window <= overlap.
+util::Expected<ScanReport> try_scan_text(const encoding::Sequence& query,
+                                         const encoding::Sequence& text,
+                                         const ScanConfig& config);
+
+/// Throwing convenience wrapper around try_scan_text (throws StatusError,
+/// which derives from std::invalid_argument — pre-v2 callers that caught
+/// that type keep working).
 ScanReport scan_text(const encoding::Sequence& query,
                      const encoding::Sequence& text,
                      const ScanConfig& config);

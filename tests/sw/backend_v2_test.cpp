@@ -1,0 +1,321 @@
+// sw::Backend (v2) — adapter equivalence with the v1 function backends,
+// base-class submit/collect semantics, and the overlapped screen loop:
+// an engine-backed try_screen at overlap_depth >= 2 must be bit-identical
+// to its serial execution, including under fault injection with the full
+// self-check/quarantine machinery enabled.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "device/engine.hpp"
+#include "device/fault.hpp"
+#include "device/sw_kernels.hpp"
+#include "encoding/random.hpp"
+#include "sw/backend.hpp"
+#include "sw/bpbc.hpp"
+#include "sw/pipeline.hpp"
+#include "util/cancel.hpp"
+#include "util/status.hpp"
+
+namespace swbpbc::sw {
+namespace {
+
+using encoding::Sequence;
+
+constexpr ScoreParams kParams{2, 1, 1};
+
+struct Batch {
+  std::vector<Sequence> xs;
+  std::vector<Sequence> ys;
+};
+
+Batch make_batch(std::uint64_t seed, std::size_t count, std::size_t m,
+                 std::size_t n) {
+  util::Xoshiro256 rng(seed);
+  return {encoding::random_sequences(rng, count, m),
+          encoding::random_sequences(rng, count, n)};
+}
+
+void expect_same_report(const ScreenReport& a, const ScreenReport& b,
+                        const std::string& what) {
+  EXPECT_EQ(a.scores, b.scores) << what;
+  EXPECT_EQ(a.status.code(), b.status.code()) << what;
+  ASSERT_EQ(a.hits.size(), b.hits.size()) << what;
+  for (std::size_t i = 0; i < a.hits.size(); ++i) {
+    EXPECT_EQ(a.hits[i].index, b.hits[i].index) << what;
+    EXPECT_EQ(a.hits[i].bpbc_score, b.hits[i].bpbc_score) << what;
+  }
+  ASSERT_EQ(a.chunks.size(), b.chunks.size()) << what;
+  for (std::size_t c = 0; c < a.chunks.size(); ++c) {
+    EXPECT_EQ(a.chunks[c].completed, b.chunks[c].completed) << what;
+    EXPECT_EQ(a.chunks[c].resumed, b.chunks[c].resumed) << what;
+    EXPECT_EQ(a.chunks[c].retries, b.chunks[c].retries) << what;
+  }
+}
+
+void expect_same_reliability(const ReliabilityReport& a,
+                             const ReliabilityReport& b,
+                             const std::string& what) {
+  EXPECT_EQ(a.lanes_verified, b.lanes_verified) << what;
+  EXPECT_EQ(a.mismatches_detected, b.mismatches_detected) << what;
+  EXPECT_EQ(a.lanes_recovered, b.lanes_recovered) << what;
+  EXPECT_EQ(a.lanes_fell_back, b.lanes_fell_back) << what;
+  EXPECT_EQ(a.integrity_checks, b.integrity_checks) << what;
+  EXPECT_EQ(a.integrity_faults, b.integrity_faults) << what;
+  EXPECT_EQ(a.chunk_retries, b.chunk_retries) << what;
+  ASSERT_EQ(a.stage_faults.size(), b.stage_faults.size()) << what;
+  for (std::size_t i = 0; i < a.stage_faults.size(); ++i) {
+    EXPECT_EQ(a.stage_faults[i].chunk, b.stage_faults[i].chunk) << what;
+    EXPECT_EQ(a.stage_faults[i].stage, b.stage_faults[i].stage) << what;
+    EXPECT_EQ(a.stage_faults[i].block, b.stage_faults[i].block) << what;
+  }
+}
+
+device::FaultConfig noisy_faults() {
+  device::FaultConfig fc;
+  fc.seed = 99;
+  fc.flip_probability = 0.008;
+  fc.drop_sync_probability = 0.04;
+  fc.copy_flip_probability = 0.004;
+  return fc;
+}
+
+device::IntegrityConfig full_integrity() {
+  device::IntegrityConfig ic;
+  ic.enabled = true;
+  ic.sample_every = 4;
+  ic.canary_lanes = true;
+  ic.checksum_copies = true;
+  return ic;
+}
+
+// --- compat adapters reproduce the v1 paths exactly ----------------------
+
+TEST(BackendV2, ScoreBackendAdapterMatchesLegacyField) {
+  const Batch b = make_batch(21, 48, 8, 16);
+  const ScoreBackend f = [](std::span<const Sequence> xs,
+                            std::span<const Sequence> ys) {
+    return bpbc_max_scores(xs, ys, kParams, LaneWidth::k32);
+  };
+  ScreenConfig legacy;
+  legacy.params = kParams;
+  legacy.threshold = 14;
+  legacy.backend = f;
+  legacy.chunk_pairs = 16;
+  const ScreenReport want = screen(b.xs, b.ys, legacy);
+
+  ScreenConfig v2 = legacy;
+  v2.backend = nullptr;
+  const std::unique_ptr<Backend> adapted = adapt_score_backend(f);
+  v2.backend_v2 = adapted.get();
+  const ScreenReport got = screen(b.xs, b.ys, v2);
+  expect_same_report(got, want, "score adapter");
+}
+
+TEST(BackendV2, HostBackendMatchesDefaultPath) {
+  const Batch b = make_batch(22, 40, 8, 16);
+  ScreenConfig legacy;
+  legacy.params = kParams;
+  legacy.threshold = 12;
+  legacy.chunk_pairs = 10;
+  const ScreenReport want = screen(b.xs, b.ys, legacy);
+
+  ScreenConfig v2 = legacy;
+  const std::unique_ptr<Backend> host = make_host_backend(
+      kParams, v2.width, v2.mode, v2.method);
+  v2.backend_v2 = host.get();
+  const ScreenReport got = screen(b.xs, b.ys, v2);
+  expect_same_report(got, want, "host backend");
+  // Both paths attribute per-phase timings (not everything on SWA).
+  EXPECT_GT(got.bpbc.w2b_ms + got.bpbc.b2w_ms, 0.0);
+}
+
+TEST(BackendV2, ChunkBackendAdapterMatchesLegacyUnderFaultInjection) {
+  // The same device chunk backend, reached through the v1 field and
+  // through adapt_chunk_backend, with twin same-seed injectors: the two
+  // screens must agree on every score, fault finding, and recovery count.
+  const Batch b = make_batch(23, 96, 8, 12);
+  device::FaultInjector faults_legacy(noisy_faults());
+  device::FaultInjector faults_v2(noisy_faults());
+
+  const auto configure = [&](device::FaultInjector* inj) {
+    device::GpuRunOptions gpu;
+    gpu.faults = inj;
+    gpu.integrity = full_integrity();
+    ScreenConfig cfg;
+    cfg.params = kParams;
+    cfg.threshold = 12;
+    cfg.width = LaneWidth::k32;
+    cfg.chunk_pairs = 16;
+    cfg.chunk_retry_limit = 2;
+    cfg.check.enabled = true;
+    cfg.check.sample_every = 3;
+    cfg.chunk_backend = device::make_chunk_backend(kParams, cfg.width, gpu);
+    return cfg;
+  };
+
+  ScreenConfig legacy = configure(&faults_legacy);
+  const ScreenReport want = screen(b.xs, b.ys, legacy);
+
+  ScreenConfig v2 = configure(&faults_v2);
+  const std::unique_ptr<Backend> adapted =
+      adapt_chunk_backend(v2.chunk_backend);
+  v2.chunk_backend = nullptr;
+  v2.backend_v2 = adapted.get();
+  const ScreenReport got = screen(b.xs, b.ys, v2);
+
+  expect_same_report(got, want, "chunk adapter");
+  expect_same_reliability(got.reliability, want.reliability, "chunk adapter");
+  EXPECT_GT(want.reliability.integrity_faults, 0u)
+      << "fault rates too low to exercise the recovery machinery";
+}
+
+TEST(BackendV2, CancellationEquivalentThroughAdapter) {
+  const Batch b = make_batch(24, 64, 8, 12);
+  const auto run_with = [&](bool use_v2) {
+    device::GpuRunOptions gpu;
+    ScreenConfig cfg;
+    cfg.params = kParams;
+    cfg.threshold = 10;
+    cfg.chunk_pairs = 16;
+    const ChunkBackend chunk =
+        device::make_chunk_backend(kParams, cfg.width, gpu);
+    std::unique_ptr<Backend> adapted;
+    if (use_v2) {
+      adapted = adapt_chunk_backend(chunk);
+      cfg.backend_v2 = adapted.get();
+    } else {
+      cfg.chunk_backend = chunk;
+    }
+    util::CancellationToken cancel;
+    cfg.cancel = &cancel;
+    cfg.progress = [&cancel](const ChunkProgress& p) {
+      if (p.chunk == 1) cancel.cancel();
+    };
+    return screen(b.xs, b.ys, cfg);
+  };
+  const ScreenReport want = run_with(false);
+  const ScreenReport got = run_with(true);
+  EXPECT_EQ(want.status.code(), util::ErrorCode::kCancelled);
+  expect_same_report(got, want, "cancelled run");
+  EXPECT_FALSE(want.complete());
+}
+
+// --- base-class submit/collect -------------------------------------------
+
+TEST(BackendV2, BaseSubmitCollectDegradesToDeferredRuns) {
+  const Batch b = make_batch(25, 32, 8, 12);
+  const std::unique_ptr<Backend> host = make_host_backend(
+      kParams, LaneWidth::k32, bulk::Mode::kSerial,
+      encoding::TransposeMethod::kPlanned);
+  EXPECT_FALSE(host->caps().streams);
+  ChunkJob first;
+  first.xs = std::span<const Sequence>(b.xs).subspan(0, 16);
+  first.ys = std::span<const Sequence>(b.ys).subspan(0, 16);
+  ChunkJob second;
+  second.xs = std::span<const Sequence>(b.xs).subspan(16, 16);
+  second.ys = std::span<const Sequence>(b.ys).subspan(16, 16);
+  host->submit(first);
+  host->submit(second);
+  const ChunkResult r1 = host->collect();
+  const ChunkResult r2 = host->collect();
+  EXPECT_EQ(r1.scores, host->run(first).scores);
+  EXPECT_EQ(r2.scores, host->run(second).scores);
+  EXPECT_THROW(host->collect(), util::StatusError);
+}
+
+// --- the overlapped screen loop ------------------------------------------
+
+ScreenReport engine_screen(const Batch& b, std::size_t overlap_depth,
+                           device::FaultInjector* faults, bool check) {
+  device::EngineOptions eopts;
+  eopts.params = kParams;
+  eopts.width = LaneWidth::k32;
+  eopts.faults = faults;
+  if (faults != nullptr) eopts.integrity = full_integrity();
+  eopts.overlap_depth = overlap_depth;
+  device::PipelineEngine engine(eopts);
+
+  ScreenConfig cfg;
+  cfg.params = kParams;
+  cfg.threshold = 12;
+  cfg.width = LaneWidth::k32;
+  cfg.chunk_pairs = 16;
+  cfg.chunk_retry_limit = 2;
+  cfg.backend_v2 = &engine;
+  cfg.overlap_depth = overlap_depth;
+  if (check) {
+    cfg.check.enabled = true;
+    cfg.check.sample_every = 3;
+  }
+  return screen(b.xs, b.ys, cfg);
+}
+
+TEST(OverlappedScreen, BitIdenticalToSerialExecution) {
+  const Batch b = make_batch(26, 112, 8, 12);
+  const ScreenReport serial = engine_screen(b, 1, nullptr, false);
+  const ScreenReport overlapped = engine_screen(b, 3, nullptr, false);
+  expect_same_report(overlapped, serial, "fault-free overlap");
+  EXPECT_TRUE(serial.complete());
+}
+
+TEST(OverlappedScreen, BitIdenticalToSerialUnderFaultsWithSelfCheck) {
+  // The full stack: fault injection, in-band integrity, chunk retries,
+  // self-check quarantine/rescore — overlapped vs serial must agree on
+  // everything the report states.
+  const Batch b = make_batch(27, 112, 8, 12);
+  device::FaultInjector faults_serial(noisy_faults());
+  device::FaultInjector faults_overlap(noisy_faults());
+  const ScreenReport serial = engine_screen(b, 1, &faults_serial, true);
+  const ScreenReport overlapped = engine_screen(b, 4, &faults_overlap, true);
+  expect_same_report(overlapped, serial, "faulty overlap");
+  expect_same_reliability(overlapped.reliability, serial.reliability,
+                          "faulty overlap");
+  EXPECT_GT(serial.reliability.integrity_checks, 0u);
+}
+
+TEST(OverlappedScreen, CancellationLeavesWellFormedPartialReport) {
+  const Batch b = make_batch(28, 96, 8, 12);
+  device::EngineOptions eopts;
+  eopts.params = kParams;
+  eopts.overlap_depth = 3;
+  device::PipelineEngine engine(eopts);
+  util::CancellationToken cancel;
+  ScreenConfig cfg;
+  cfg.params = kParams;
+  cfg.threshold = 10;
+  cfg.chunk_pairs = 16;
+  cfg.backend_v2 = &engine;
+  cfg.overlap_depth = 3;
+  cfg.cancel = &cancel;
+  cfg.progress = [&cancel](const ChunkProgress& p) {
+    if (p.chunk == 1) cancel.cancel();
+  };
+  const ScreenReport report = screen(b.xs, b.ys, cfg);
+  EXPECT_EQ(report.status.code(), util::ErrorCode::kCancelled);
+  EXPECT_FALSE(report.complete());
+  // Chunks 0 and 1 settled; every later chunk is untouched and zero —
+  // even though the overlap window had already submitted some of them.
+  for (std::size_t c = 0; c < report.chunks.size(); ++c) {
+    const ChunkOutcome& outcome = report.chunks[c];
+    EXPECT_EQ(outcome.completed, c <= 1) << "chunk " << c;
+    if (!outcome.completed) {
+      for (std::size_t k = outcome.begin; k < outcome.end; ++k)
+        EXPECT_EQ(report.scores[k], 0u) << "pair " << k;
+    }
+  }
+  // The same engine survives the drained tail and runs a fresh complete
+  // screen afterwards.
+  cfg.cancel = nullptr;
+  cfg.progress = nullptr;
+  const ScreenReport again = screen(b.xs, b.ys, cfg);
+  EXPECT_TRUE(again.complete());
+  EXPECT_TRUE(again.status.ok());
+}
+
+}  // namespace
+}  // namespace swbpbc::sw
