@@ -31,12 +31,22 @@ std::string impl_name(Impl impl) {
       return "CPU bitwise-32";
     case Impl::kCpuBitwise64:
       return "CPU bitwise-64";
+    case Impl::kCpuBitwise128:
+      return "CPU bitwise-128";
+    case Impl::kCpuBitwise256:
+      return "CPU bitwise-256";
+    case Impl::kCpuBitwise512:
+      return "CPU bitwise-512";
+    case Impl::kCpuBitwiseScalarWide:
+      return "CPU bitwise-scalar-wide";
     case Impl::kCpuWordwise:
       return "CPU wordwise-32";
     case Impl::kGpuBitwise32:
       return "GPUsim bitwise-32";
     case Impl::kGpuBitwise64:
       return "GPUsim bitwise-64";
+    case Impl::kGpuBitwise256:
+      return "GPUsim bitwise-256";
     case Impl::kGpuWordwise:
       return "GPUsim wordwise-32";
   }
@@ -44,6 +54,25 @@ std::string impl_name(Impl impl) {
 }
 
 namespace {
+
+sw::LaneWidth bitwise_width(Impl impl) {
+  switch (impl) {
+    case Impl::kCpuBitwise32:
+    case Impl::kGpuBitwise32:
+      return sw::LaneWidth::k32;
+    case Impl::kCpuBitwise128:
+      return sw::LaneWidth::k128;
+    case Impl::kCpuBitwise256:
+    case Impl::kGpuBitwise256:
+      return sw::LaneWidth::k256;
+    case Impl::kCpuBitwise512:
+      return sw::LaneWidth::k512;
+    case Impl::kCpuBitwiseScalarWide:
+      return sw::LaneWidth::kScalarWide;
+    default:
+      return sw::LaneWidth::k64;
+  }
+}
 
 void verify_prefix(const Workload& w, const sw::ScoreParams& params,
                    const std::vector<std::uint32_t>& scores) {
@@ -63,9 +92,12 @@ RowTimes run_impl(Impl impl, const Workload& w, const sw::ScoreParams& params,
   RowTimes row;
   switch (impl) {
     case Impl::kCpuBitwise32:
-    case Impl::kCpuBitwise64: {
-      const auto width = impl == Impl::kCpuBitwise32 ? sw::LaneWidth::k32
-                                                     : sw::LaneWidth::k64;
+    case Impl::kCpuBitwise64:
+    case Impl::kCpuBitwise128:
+    case Impl::kCpuBitwise256:
+    case Impl::kCpuBitwise512:
+    case Impl::kCpuBitwiseScalarWide: {
+      const sw::LaneWidth width = bitwise_width(impl);
       sw::PhaseTimings t;
       const auto scores = sw::bpbc_max_scores(
           w.xs, w.ys, params, width, bulk::Mode::kSerial,
@@ -87,9 +119,9 @@ RowTimes run_impl(Impl impl, const Workload& w, const sw::ScoreParams& params,
       return row;
     }
     case Impl::kGpuBitwise32:
-    case Impl::kGpuBitwise64: {
-      const auto width = impl == Impl::kGpuBitwise32 ? sw::LaneWidth::k32
-                                                     : sw::LaneWidth::k64;
+    case Impl::kGpuBitwise64:
+    case Impl::kGpuBitwise256: {
+      const sw::LaneWidth width = bitwise_width(impl);
       device::GpuRunOptions options;
       options.mode = bulk::Mode::kParallel;
       options.integrity.enabled = run.integrity;

@@ -5,17 +5,26 @@
 // (paper §III).
 //
 //   ./database_filter [--entries=N] [--tau=T] [--gpu] [--fasta=path]
+//                     [--width=32|64|128|256|512|scalar-wide|auto]
+//                     [--json=path]
 //
 // With --fasta, database entries are read from a FASTA file (all records
 // must share one length); otherwise a synthetic database with planted
-// homologs is generated.
+// homologs is generated. --width picks the BPBC lane width (default auto:
+// widest profitable for this CPU; SWBPBC_FORCE_LANE_WIDTH overrides).
+// --json writes a RunReport whose config carries an FNV fingerprint of
+// the score vector — scores are bit-identical across widths, so CI diffs
+// the fingerprint across the dispatch matrix.
 #include <cstdio>
 #include <fstream>
 
 #include "device/sw_kernels.hpp"
 #include "encoding/fasta.hpp"
 #include "encoding/random.hpp"
+#include "sw/config.hpp"
 #include "sw/pipeline.hpp"
+#include "telemetry/run_report.hpp"
+#include "util/checksum.hpp"
 #include "util/options.hpp"
 
 int main(int argc, char** argv) {
@@ -59,10 +68,20 @@ int main(int argc, char** argv) {
   const auto tau = static_cast<std::uint32_t>(
       opt.get_int("tau", static_cast<std::int64_t>(2 * m) * 3 / 4));
 
+  const std::string width_name = opt.get("width", "auto");
+  const auto width = sw::parse_lane_width(width_name);
+  if (!width) {
+    std::fprintf(stderr, "unknown --width=%s\n", width_name.c_str());
+    return 1;
+  }
+  const sw::LaneWidth resolved = sw::resolve_lane_width(*width);
+  std::printf("lane width: %s (requested %s)\n", sw::lane_width_name(resolved),
+              width_name.c_str());
+
   if (opt.get_bool("gpu", false)) {
     // Same screening pass through the simulated-GPU pipeline (§V).
     const auto result = device::gpu_bpbc_max_scores(
-        queries, database, {2, 1, 1}, sw::LaneWidth::k32);
+        queries, database, {2, 1, 1}, *width);
     std::size_t hits = 0;
     for (auto sc : result.scores) hits += sc >= tau ? 1 : 0;
     std::printf("[device] H2G %.2fms W2B %.2fms SWA %.2fms B2W %.2fms "
@@ -73,11 +92,18 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  sw::ScreenConfig config;
-  config.params = {2, 1, 1};
-  config.threshold = tau;
-  config.mode = bulk::Mode::kParallel;
-  const sw::ScreenReport report = sw::screen(queries, database, config);
+  sw::ScoringConfig scoring;
+  scoring.params = {2, 1, 1};
+  scoring.threshold = tau;
+  scoring.width = *width;
+  scoring.mode = bulk::Mode::kParallel;
+  const auto config = sw::ScreenSpecBuilder().scoring(scoring).build();
+  if (!config) {
+    std::fprintf(stderr, "bad screen config: %s\n",
+                 config.status().to_string().c_str());
+    return 1;
+  }
+  const sw::ScreenReport report = sw::screen(queries, database, *config);
 
   std::printf("BPBC filter: W2B %.2fms, SWA %.2fms, B2W %.2fms; "
               "traceback of %zu hits: %.2fms\n",
@@ -85,6 +111,37 @@ int main(int argc, char** argv) {
               report.hits.size(), report.traceback_ms);
   std::printf("%zu / %zu entries pass tau = %u\n", report.hits.size(),
               report.scores.size(), tau);
+
+  // Machine-readable report for CI: the scores fingerprint must be
+  // identical whichever lane width dispatched.
+  const std::string json_path = opt.get("json", "");
+  if (!json_path.empty()) {
+    telemetry::RunReport rep;
+    rep.tool = "database_filter";
+    rep.config["entries"] = std::to_string(report.scores.size());
+    rep.config["tau"] = std::to_string(tau);
+    rep.config["width_requested"] = width_name;
+    rep.config["width_resolved"] = sw::lane_width_name(resolved);
+    rep.config["hits"] = std::to_string(report.hits.size());
+    rep.config["scores_fnv"] = std::to_string(
+        util::fnv1a_span<std::uint32_t>(report.scores));
+    telemetry::RunReportRow row;
+    row.impl = std::string("CPU bitwise-") + sw::lane_width_name(resolved);
+    row.pairs = report.scores.size();
+    row.m = m;
+    row.n = n;
+    row.stages_ms = {{"W2B", report.bpbc.w2b_ms},
+                     {"SWA", report.bpbc.swa_ms},
+                     {"B2W", report.bpbc.b2w_ms}};
+    row.total_ms = report.bpbc.total_ms() + report.traceback_ms;
+    rep.rows.push_back(row);
+    if (util::Status s = telemetry::write_run_report(rep, json_path);
+        !s.ok()) {
+      std::fprintf(stderr, "run report: %s\n", s.to_string().c_str());
+      return 1;
+    }
+    std::printf("Run report written to %s\n", json_path.c_str());
+  }
   for (std::size_t h = 0; h < report.hits.size() && h < 5; ++h) {
     const auto& hit = report.hits[h];
     std::printf("\nentry #%zu  score %u  region y[%zu..%zu)\n", hit.index,

@@ -57,6 +57,30 @@ if [[ $run_tier1 -eq 1 ]]; then
   echo "== tier 1: overlapped chunk engine smoke (bit-identity gate) =="
   ./build/bench/table4_runtime --pairs=128 --m=16 --n=64 \
       --overlap --chunk-pairs=16 --overlap-depth=3 > /dev/null
+
+  echo "== tier 1: lane-width dispatch matrix (score fingerprint gate) =="
+  # SWBPBC_FORCE_LANE_WIDTH drives the whole dispatch through one binary:
+  # 64 (the baseline), scalar-wide (the no-SIMD wide fallback, dispatchable
+  # on any host), and auto (whatever this CPU probes widest). Scores are
+  # bit-identical across widths, so the RunReport fingerprints must match.
+  ref_fnv=""
+  for lane_width in 64 scalar-wide auto; do
+    SWBPBC_FORCE_LANE_WIDTH=$lane_width ./build/examples/database_filter \
+        --entries=96 --json="$smoke_dir/filter_$lane_width.json" > /dev/null
+    fnv=$(python3 - "$smoke_dir/filter_$lane_width.json" <<'EOF'
+import json, sys
+cfg = json.load(open(sys.argv[1]))["config"]
+print(cfg["scores_fnv"], cfg["hits"])
+EOF
+)
+    echo "  width=$lane_width -> $fnv"
+    if [[ -z $ref_fnv ]]; then
+      ref_fnv=$fnv
+    elif [[ $fnv != "$ref_fnv" ]]; then
+      echo "lane-width dispatch is not bit-identical: $fnv != $ref_fnv" >&2
+      exit 1
+    fi
+  done
 fi
 
 if [[ $run_tier2 -eq 1 ]]; then

@@ -7,10 +7,29 @@
 // tests/bitops/opcount_test.cpp.
 #pragma once
 
+#include <bit>
 #include <concepts>
 #include <cstdint>
 
+#include "bitsim/wide_word.hpp"
+
 namespace swbpbc::bitops {
+
+/// Lane-population count, generic over builtin and wide lane words. One
+/// set bit = one surviving instance, so screening code that counts
+/// threshold_mask survivors must come through here instead of assuming a
+/// builtin-sized word (std::popcount does not accept wide_word).
+template <std::unsigned_integral W>
+[[nodiscard]] constexpr unsigned popcount(W w) {
+  return static_cast<unsigned>(std::popcount(w));
+}
+template <unsigned Bits, bool Simd>
+[[nodiscard]] inline unsigned popcount(const bitsim::wide_word<Bits, Simd>& w) {
+  unsigned n = 0;
+  for (unsigned t = 0; t < bitsim::wide_word<Bits, Simd>::kLimbs; ++t)
+    n += static_cast<unsigned>(std::popcount(w.limb(t)));
+  return n;
+}
 
 /// Wraps an unsigned integer and counts every &, |, ^, ~ applied to it.
 /// Shifts are intentionally not provided: the Section IV.A arithmetic is

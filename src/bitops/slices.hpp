@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "bitops/counting.hpp"
+#include "bitsim/wide_word.hpp"
 
 namespace swbpbc::bitops {
 
@@ -22,6 +23,13 @@ template <std::unsigned_integral W>
 struct word_traits<W> {
   static constexpr W zero() { return W{0}; }
   static constexpr W ones() { return static_cast<W>(~W{0}); }
+};
+
+template <unsigned Bits, bool Simd>
+struct word_traits<bitsim::wide_word<Bits, Simd>> {
+  using W = bitsim::wide_word<Bits, Simd>;
+  static constexpr W zero() { return W{}; }
+  static constexpr W ones() { return ~W{}; }
 };
 
 template <std::unsigned_integral B>

@@ -9,13 +9,15 @@
 #include <concepts>
 #include <cstdint>
 
+#include "bitsim/wide_word.hpp"
+
 namespace swbpbc::bitsim {
 
 template <typename W>
 concept LaneWord = std::same_as<W, std::uint8_t> ||
                    std::same_as<W, std::uint16_t> ||
                    std::same_as<W, std::uint32_t> ||
-                   std::same_as<W, std::uint64_t>;
+                   std::same_as<W, std::uint64_t> || is_wide_word_v<W>;
 
 /// Number of bits in a lane word.
 template <LaneWord W>

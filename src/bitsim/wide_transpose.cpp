@@ -1,0 +1,30 @@
+#include "bitsim/wide_transpose.hpp"
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <tuple>
+
+namespace swbpbc::bitsim {
+
+// Plans are built once per (width, s, direction) and live for the process:
+// screening runs request the same handful of shapes from many threads
+// (engine cores, batch encoders), and a plan is a few KB.
+const TransposePlan& cached_plan(unsigned word_bits, unsigned s,
+                                 bool inverse) {
+  using Key = std::tuple<unsigned, unsigned, bool>;
+  static std::mutex mu;
+  static std::map<Key, std::unique_ptr<TransposePlan>> cache;
+  const Key key{word_bits, s, inverse};
+  std::scoped_lock lock(mu);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    auto plan = std::make_unique<TransposePlan>(
+        inverse ? TransposePlan::untranspose_low_bits(word_bits, s)
+                : TransposePlan::transpose_low_bits(word_bits, s));
+    it = cache.emplace(key, std::move(plan)).first;
+  }
+  return *it->second;
+}
+
+}  // namespace swbpbc::bitsim

@@ -1,0 +1,107 @@
+// Payload transpose over any lane width, built from cached TransposePlans.
+//
+// The W2B/B2W bit-transpose (paper Section II) is planned per machine-word
+// width. Builtin widths apply their liveness-specialized plan directly; a
+// wide_word<Bits> block factors into Bits/64 independent uint64 lane
+// groups — bit k of a wide word is bit k%64 of limb k/64 — so the wide
+// kernels run the cached 64-bit plan once per limb block instead of
+// planning (or masking) at the full width. The plans themselves live in a
+// process-wide cache keyed by (word_bits, s, direction), shared by the
+// encoding batch layer, the device kernels, and the engine cores.
+#pragma once
+
+#include <array>
+#include <cassert>
+#include <span>
+
+#include "bitsim/plan.hpp"
+#include "bitsim/swapcopy.hpp"
+#include "bitsim/wide_word.hpp"
+
+namespace swbpbc::bitsim {
+
+/// Process-wide cached liveness-specialized plan (thread-safe, never
+/// invalidated; plans are immutable once built). `word_bits` must be a
+/// builtin width (<= 64): wide widths decompose to 64-bit plans instead.
+const TransposePlan& cached_plan(unsigned word_bits, unsigned s,
+                                 bool inverse);
+
+/// Applies the W2B (forward) or B2W (inverse) payload transpose for lane
+/// word W to blocks of word_bits_v<W> words in place.
+///
+/// Forward: block[k] holds instance k's value in its low s bits; on exit
+/// block[l] (l < s) is bit-slice l. Inverse: block[l] (l < s) holds slice
+/// l (rows >= s zero); on exit block[k] is instance k's value. Rows >= s
+/// of the forward output (resp. bits >= s of the inverse output) are
+/// unspecified, exactly like the underlying liveness-specialized plans.
+template <LaneWord W>
+class PayloadTranspose {
+ public:
+  PayloadTranspose() = default;  // unusable until assigned from forward/inverse
+
+  static PayloadTranspose forward(unsigned s) {
+    return PayloadTranspose(s, false);
+  }
+  static PayloadTranspose inverse(unsigned s) {
+    return PayloadTranspose(s, true);
+  }
+
+  [[nodiscard]] unsigned live_rows() const { return s_; }
+
+  void apply(std::span<W> block) const {
+    assert(plan_ != nullptr && block.size() == word_bits_v<W>);
+    if constexpr (!is_wide_word_v<W>) {
+      plan_->apply(block);
+    } else if (inverse_) {
+      apply_wide_inverse(block);
+    } else {
+      apply_wide_forward(block);
+    }
+  }
+
+ private:
+  PayloadTranspose(unsigned s, bool inverse)
+      : plan_(&cached_plan(is_wide_word_v<W> ? 64u : word_bits_v<W>, s,
+                           inverse)),
+        s_(s),
+        inverse_(inverse) {
+    assert(s <= 64);  // wide blocks decompose into 64-lane sub-transposes
+  }
+
+  // Each limb block t covers lanes [64t, 64t+64): gather limb 0 of the 64
+  // input values (values are <= 64 bits, so they live in limb 0), run the
+  // 64-bit plan, and scatter the s live slice rows into limb t. Writes
+  // only touch rows < s <= 64; the reads of block t touch words
+  // [64t, 64t+64), so gather-before-scatter keeps t = 0 safe and later
+  // blocks never read a written row's limb 0.
+  void apply_wide_forward(std::span<W> block) const {
+    std::array<std::uint64_t, 64> buf;
+    for (unsigned t = 0; t < lane_limbs_v<W>; ++t) {
+      for (unsigned j = 0; j < 64; ++j) buf[j] = get_limb(block[64 * t + j], 0);
+      plan_->apply(std::span<std::uint64_t>(buf));
+      for (unsigned l = 0; l < s_; ++l) set_limb(block[l], t, buf[l]);
+    }
+  }
+
+  // Inverse direction: limb t of the s input rows holds the slices of lane
+  // group t. Writing group t = 0's outputs (block[0..63], zero-extended)
+  // would destroy the input rows' remaining limbs, so snapshot the s rows
+  // first.
+  void apply_wide_inverse(std::span<W> block) const {
+    std::array<W, 64> rows;
+    for (unsigned l = 0; l < s_; ++l) rows[l] = block[l];
+    std::array<std::uint64_t, 64> buf;
+    for (unsigned t = 0; t < lane_limbs_v<W>; ++t) {
+      buf.fill(0);
+      for (unsigned l = 0; l < s_; ++l) buf[l] = get_limb(rows[l], t);
+      plan_->apply(std::span<std::uint64_t>(buf));
+      for (unsigned j = 0; j < 64; ++j) block[64 * t + j] = W{buf[j]};
+    }
+  }
+
+  const TransposePlan* plan_ = nullptr;
+  unsigned s_ = 0;
+  bool inverse_ = false;
+};
+
+}  // namespace swbpbc::bitsim

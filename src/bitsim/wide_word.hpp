@@ -1,0 +1,232 @@
+// Wide lane words: 128/256/512 BPBC instances per word.
+//
+// The paper's bulk factor is the lane-word width — one machine word carries
+// one bit of W independent alignments, so throughput scales linearly with
+// W (§IV). The builtin integers cap W at 64; `wide_word<Bits>` grows it to
+// 128/256/512 on top of GCC/Clang `__attribute__((vector_size))` vectors,
+// with a portable array-of-uint64 representation as the scalar fallback
+// (Simd = false, or any compiler without the vector extension).
+//
+// A wide_word behaves like an unsigned integer as far as the BPBC stack
+// needs: value-init is zero, construction from uint64_t zero-extends,
+// AND/OR/XOR/NOT are lane-wise, and << / >> are full cross-limb funnel
+// shifts. Bit k lives in limb k/64 at position k%64, so a wide word is
+// bit-compatible with the concatenation of kLimbs uint64_t lane groups —
+// the property the wide transpose kernels and the lane-group equivalence
+// tests rely on.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace swbpbc::bitsim {
+
+#if defined(__GNUC__) || defined(__clang__)
+#define SWBPBC_WIDE_SIMD 1
+#else
+#define SWBPBC_WIDE_SIMD 0
+#endif
+
+/// True when the SIMD representation (GNU vector extensions) is compiled
+/// in; `simd_word` falls back to the scalar representation otherwise.
+inline constexpr bool kWideSimdCompiled = SWBPBC_WIDE_SIMD != 0;
+
+namespace detail {
+
+#if SWBPBC_WIDE_SIMD
+template <unsigned Bytes>
+struct vec_repr;  // explicit sizes only: vector_size wants a constant
+template <>
+struct vec_repr<16> {
+  typedef std::uint64_t type __attribute__((vector_size(16)));
+};
+template <>
+struct vec_repr<32> {
+  typedef std::uint64_t type __attribute__((vector_size(32)));
+};
+template <>
+struct vec_repr<64> {
+  typedef std::uint64_t type __attribute__((vector_size(64)));
+};
+#endif
+
+// Representation selector: the scalar array unless Simd was requested and
+// the vector extension is available.
+template <unsigned Bits, bool Simd>
+struct wide_repr {
+  using type = std::array<std::uint64_t, Bits / 64>;
+  static constexpr bool kVector = false;
+};
+#if SWBPBC_WIDE_SIMD
+template <unsigned Bits>
+struct wide_repr<Bits, true> {
+  using type = typename vec_repr<Bits / 8>::type;
+  static constexpr bool kVector = true;
+};
+#endif
+
+}  // namespace detail
+
+/// An unsigned-integer-like word of Bits lanes (Bits in {128, 256, 512}).
+/// Simd selects the representation; both have identical bit semantics, so
+/// results are bit-identical between them (asserted by tests).
+template <unsigned Bits, bool Simd = true>
+class wide_word {
+  static_assert(Bits >= 128 && (Bits & (Bits - 1)) == 0,
+                "wide_word: Bits must be a power of two >= 128");
+
+ public:
+  static constexpr unsigned kBits = Bits;
+  static constexpr unsigned kLimbs = Bits / 64;
+  static constexpr bool kVectorRepr = detail::wide_repr<Bits, Simd>::kVector;
+  using repr_type = typename detail::wide_repr<Bits, Simd>::type;
+
+  // Not user-provided, so value-init (`W{}`, `W w{};`) zero-initializes —
+  // which is what lets `constexpr W kZero = word_traits<W>::zero()` work.
+  wide_word() = default;
+
+  /// Zero-extending construction from a 64-bit value (limb 0). Implicit on
+  /// purpose: generic code writes `W{1}`, `std::vector<W>(n, 0)`,
+  /// `scratch.fill(0)` — all of which must keep compiling at wide widths.
+  constexpr wide_word(std::uint64_t x) : v_{x} {}  // NOLINT(runtime/explicit)
+
+  /// Truncating view of limb 0 (the low 64 bits). Explicit: narrowing a
+  /// wide word silently would hide lane loss.
+  explicit constexpr operator std::uint64_t() const { return v_[0]; }
+
+  [[nodiscard]] std::uint64_t limb(unsigned t) const { return v_[t]; }
+  void set_limb(unsigned t, std::uint64_t x) { v_[t] = x; }
+
+  friend constexpr wide_word operator&(const wide_word& a,
+                                       const wide_word& b) {
+    wide_word r{};
+    if constexpr (kVectorRepr) {
+      r.v_ = a.v_ & b.v_;
+    } else {
+      for (unsigned i = 0; i < kLimbs; ++i) r.v_[i] = a.v_[i] & b.v_[i];
+    }
+    return r;
+  }
+  friend constexpr wide_word operator|(const wide_word& a,
+                                       const wide_word& b) {
+    wide_word r{};
+    if constexpr (kVectorRepr) {
+      r.v_ = a.v_ | b.v_;
+    } else {
+      for (unsigned i = 0; i < kLimbs; ++i) r.v_[i] = a.v_[i] | b.v_[i];
+    }
+    return r;
+  }
+  friend constexpr wide_word operator^(const wide_word& a,
+                                       const wide_word& b) {
+    wide_word r{};
+    if constexpr (kVectorRepr) {
+      r.v_ = a.v_ ^ b.v_;
+    } else {
+      for (unsigned i = 0; i < kLimbs; ++i) r.v_[i] = a.v_[i] ^ b.v_[i];
+    }
+    return r;
+  }
+  friend constexpr wide_word operator~(const wide_word& a) {
+    wide_word r{};
+    if constexpr (kVectorRepr) {
+      r.v_ = ~a.v_;
+    } else {
+      for (unsigned i = 0; i < kLimbs; ++i) r.v_[i] = ~a.v_[i];
+    }
+    return r;
+  }
+
+  /// Cross-limb funnel shifts. Shift counts >= kBits yield zero (unlike
+  /// builtin words, where that is UB — generic code never relies on it,
+  /// but defined beats undefined).
+  friend wide_word operator<<(const wide_word& w, std::size_t k) {
+    wide_word r{};
+    if (k >= kBits) return r;
+    const std::size_t ls = k / 64, bs = k % 64;
+    for (std::size_t i = ls; i < kLimbs; ++i) {
+      std::uint64_t x = w.v_[i - ls] << bs;
+      if (bs != 0 && i - ls > 0) x |= w.v_[i - ls - 1] >> (64 - bs);
+      r.v_[i] = x;
+    }
+    return r;
+  }
+  friend wide_word operator>>(const wide_word& w, std::size_t k) {
+    wide_word r{};
+    if (k >= kBits) return r;
+    const std::size_t ls = k / 64, bs = k % 64;
+    for (std::size_t i = 0; i + ls < kLimbs; ++i) {
+      std::uint64_t x = w.v_[i + ls] >> bs;
+      if (bs != 0 && i + ls + 1 < kLimbs) x |= w.v_[i + ls + 1] << (64 - bs);
+      r.v_[i] = x;
+    }
+    return r;
+  }
+
+  constexpr wide_word& operator&=(const wide_word& o) {
+    return *this = *this & o;
+  }
+  constexpr wide_word& operator|=(const wide_word& o) {
+    return *this = *this | o;
+  }
+  constexpr wide_word& operator^=(const wide_word& o) {
+    return *this = *this ^ o;
+  }
+  wide_word& operator<<=(std::size_t k) { return *this = *this << k; }
+  wide_word& operator>>=(std::size_t k) { return *this = *this >> k; }
+
+  friend constexpr bool operator==(const wide_word& a, const wide_word& b) {
+    for (unsigned i = 0; i < kLimbs; ++i) {
+      if (a.v_[i] != b.v_[i]) return false;
+    }
+    return true;
+  }
+
+ private:
+  repr_type v_;
+};
+
+/// The SIMD-backed wide word (scalar representation when the compiler has
+/// no vector extension; the type stays distinct from wide_word<Bits, false>
+/// either way, so explicit instantiations never collide).
+template <unsigned Bits>
+using simd_word = wide_word<Bits, true>;
+
+template <class W>
+inline constexpr bool is_wide_word_v = false;
+template <unsigned Bits, bool Simd>
+inline constexpr bool is_wide_word_v<wide_word<Bits, Simd>> = true;
+
+/// Limb count: wide words decompose into uint64 lane groups; builtin lane
+/// words count as a single (possibly partial) limb.
+template <class W>
+inline constexpr unsigned lane_limbs_v = 1;
+template <unsigned Bits, bool Simd>
+inline constexpr unsigned lane_limbs_v<wide_word<Bits, Simd>> =
+    wide_word<Bits, Simd>::kLimbs;
+
+/// Uniform limb access over builtin and wide lane words (limb t = bits
+/// [64t, 64t+64) — for a builtin word only limb 0 exists).
+template <unsigned Bits, bool Simd>
+[[nodiscard]] inline std::uint64_t get_limb(const wide_word<Bits, Simd>& w,
+                                            unsigned t) {
+  return w.limb(t);
+}
+template <unsigned Bits, bool Simd>
+inline void set_limb(wide_word<Bits, Simd>& w, unsigned t, std::uint64_t x) {
+  w.set_limb(t, x);
+}
+[[nodiscard]] constexpr std::uint64_t get_limb(std::uint64_t w, unsigned) {
+  return w;
+}
+[[nodiscard]] constexpr std::uint64_t get_limb(std::uint32_t w, unsigned) {
+  return w;
+}
+constexpr void set_limb(std::uint64_t& w, unsigned, std::uint64_t x) {
+  w = x;
+}
+constexpr void set_limb(std::uint32_t& w, unsigned, std::uint64_t x) {
+  w = static_cast<std::uint32_t>(x);
+}
+
+}  // namespace swbpbc::bitsim

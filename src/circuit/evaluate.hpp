@@ -12,13 +12,16 @@
 namespace swbpbc::circuit {
 
 /// Evaluates `c` with input words assigned to input nodes in creation
-/// order; returns one word per marked output. Every bit lane is an
-/// independent instance.
+/// order, reusing caller-owned scratch: `value` is resized to one word per
+/// gate, `out` to one word per marked output. Hot callers (a cell circuit
+/// evaluated once per DP cell) keep both vectors across calls so steady-
+/// state evaluation allocates nothing.
 template <bitsim::LaneWord W>
-std::vector<W> evaluate(const Circuit& c, std::span<const W> inputs) {
+void evaluate_into(const Circuit& c, std::span<const W> inputs,
+                   std::vector<W>& value, std::vector<W>& out) {
   if (inputs.size() != c.input_count())
     throw std::invalid_argument("evaluate: wrong number of inputs");
-  std::vector<W> value(c.gates().size(), 0);
+  value.assign(c.gates().size(), 0);
   std::size_t next_input = 0;
   for (std::size_t i = 0; i < c.gates().size(); ++i) {
     const Gate& g = c.gates()[i];
@@ -46,9 +49,17 @@ std::vector<W> evaluate(const Circuit& c, std::span<const W> inputs) {
         break;
     }
   }
-  std::vector<W> out;
+  out.clear();
   out.reserve(c.outputs().size());
   for (auto id : c.outputs()) out.push_back(value[id]);
+}
+
+/// Allocating convenience form of evaluate_into.
+template <bitsim::LaneWord W>
+std::vector<W> evaluate(const Circuit& c, std::span<const W> inputs) {
+  std::vector<W> value;
+  std::vector<W> out;
+  evaluate_into(c, inputs, value, out);
   return out;
 }
 

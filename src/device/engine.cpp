@@ -8,7 +8,7 @@
 #include <utility>
 #include <vector>
 
-#include "bitsim/plan.hpp"
+#include "bitsim/wide_transpose.hpp"
 #include "device/launch.hpp"
 #include "device/stream.hpp"
 #include "device/sw_stage_kernels.hpp"
@@ -106,8 +106,19 @@ sw::ChunkResult to_chunk_result(GpuRunResult&& run) {
   return out;
 }
 
+// Width-erased interface over Core<W>: PipelineEngine holds one CoreBase
+// built for the resolved lane width, so adding a width is one factory case
+// instead of another member/forwarder pair.
+class CoreBase {
+ public:
+  virtual ~CoreBase() = default;
+  virtual sw::ChunkResult run(const sw::ChunkJob& job) = 0;
+  virtual void submit(const sw::ChunkJob& job) = 0;
+  virtual sw::ChunkResult collect() = 0;
+};
+
 template <bitsim::LaneWord W>
-class Core {
+class Core final : public CoreBase {
  public:
   static constexpr unsigned kLanes = bitsim::word_bits_v<W>;
 
@@ -125,7 +136,7 @@ class Core {
     }
   }
 
-  sw::ChunkResult run(const sw::ChunkJob& job) {
+  sw::ChunkResult run(const sw::ChunkJob& job) override {
     validate(job);
     if (job.xs.empty()) return {};
     ensure_shape(job);
@@ -138,7 +149,7 @@ class Core {
     return to_chunk_result(std::move(st.run));
   }
 
-  void submit(const sw::ChunkJob& job) {
+  void submit(const sw::ChunkJob& job) override {
     validate(job);
     if (job.xs.empty())
       throw std::invalid_argument("empty chunk submitted to engine");
@@ -167,7 +178,7 @@ class Core {
     pending_.push_back(std::move(st));
   }
 
-  sw::ChunkResult collect() {
+  sw::ChunkResult collect() override {
     if (pending_.empty())
       throw util::StatusError(util::Status::internal(
           "PipelineEngine::collect with no submitted job"));
@@ -209,9 +220,8 @@ class Core {
     m_ = m;
     n_ = n;
     s_ = sw::required_slices(opts_.params, m, n);
-    char_plan_ = bitsim::TransposePlan::transpose_low_bits(
-        kLanes, encoding::kBitsPerBase);
-    score_plan_ = bitsim::TransposePlan::untranspose_low_bits(kLanes, s_);
+    char_plan_ = bitsim::PayloadTranspose<W>::forward(encoding::kBitsPerBase);
+    score_plan_ = bitsim::PayloadTranspose<W>::inverse(s_);
     consts_.s = s_;
     consts_.gap = bitops::broadcast_constant<W>(opts_.params.gap, s_);
     consts_.c1 = bitops::broadcast_constant<W>(opts_.params.match, s_);
@@ -496,7 +506,8 @@ class Core {
         ++st->run.integrity_checks;
         for (std::size_t lane = 0; lane < lanes_used; ++lane) {
           const std::uint32_t want =
-              static_cast<std::uint32_t>(scratch[lane]) & mask;
+              static_cast<std::uint32_t>(bitsim::get_limb(scratch[lane], 0)) &
+              mask;
           if (a.d_scores[first + lane] != want) {
             st->note_fault(sw::PipelineStage::kB2W, g);
             break;
@@ -549,7 +560,7 @@ class Core {
   std::size_t m_ = 0, n_ = 0;
   unsigned s_ = 0;
   bool shaped_ = false;
-  bitsim::TransposePlan char_plan_, score_plan_;
+  bitsim::PayloadTranspose<W> char_plan_, score_plan_;
   detail::SwConstants<W> consts_;
   std::vector<Arena<W>> slots_;
   Arena<W> sync_arena_;  // run()'s arena, never shared with the pipeline
@@ -563,18 +574,39 @@ class Core {
   Stream copy_out_{"copy-out"};
 };
 
+std::unique_ptr<CoreBase> make_core(sw::LaneWidth width,
+                                    const EngineOptions& opts) {
+  switch (width) {
+    case sw::LaneWidth::k32:
+      return std::make_unique<Core<std::uint32_t>>(opts);
+    case sw::LaneWidth::k64:
+      return std::make_unique<Core<std::uint64_t>>(opts);
+    case sw::LaneWidth::k128:
+      return std::make_unique<Core<bitsim::simd_word<128>>>(opts);
+    case sw::LaneWidth::k256:
+      return std::make_unique<Core<bitsim::simd_word<256>>>(opts);
+    case sw::LaneWidth::k512:
+      return std::make_unique<Core<bitsim::simd_word<512>>>(opts);
+    case sw::LaneWidth::kScalarWide:
+      return std::make_unique<Core<bitsim::wide_word<256, false>>>(opts);
+    case sw::LaneWidth::kAuto:
+      break;  // resolve_lane_width never returns kAuto
+  }
+  throw std::invalid_argument("unresolvable lane width");
+}
+
 }  // namespace
 
 struct PipelineEngine::Impl {
   EngineOptions opts;
-  std::unique_ptr<Core<std::uint32_t>> core32;
-  std::unique_ptr<Core<std::uint64_t>> core64;
+  std::unique_ptr<CoreBase> core;
 
+  // The width resolves once here (kAuto probe + env override), so every
+  // chunk of the engine's lifetime runs at the same width and caps()
+  // reports what will actually execute.
   explicit Impl(const EngineOptions& options) : opts(options) {
-    if (opts.width == sw::LaneWidth::k32)
-      core32 = std::make_unique<Core<std::uint32_t>>(opts);
-    else
-      core64 = std::make_unique<Core<std::uint64_t>>(opts);
+    opts.width = sw::resolve_lane_width(options.width);
+    core = make_core(opts.width, opts);
   }
 };
 
@@ -588,25 +620,19 @@ sw::BackendCaps PipelineEngine::caps() const {
   caps.integrity = impl_->opts.integrity.enabled;
   caps.stop_polling = true;
   caps.streams = true;
+  caps.lane_width = impl_->opts.width;
   return caps;
 }
 
 sw::ChunkResult PipelineEngine::run(const sw::ChunkJob& job) {
-  return impl_->core32 != nullptr ? impl_->core32->run(job)
-                                  : impl_->core64->run(job);
+  return impl_->core->run(job);
 }
 
 void PipelineEngine::submit(const sw::ChunkJob& job) {
-  if (impl_->core32 != nullptr)
-    impl_->core32->submit(job);
-  else
-    impl_->core64->submit(job);
+  impl_->core->submit(job);
 }
 
-sw::ChunkResult PipelineEngine::collect() {
-  return impl_->core32 != nullptr ? impl_->core32->collect()
-                                  : impl_->core64->collect();
-}
+sw::ChunkResult PipelineEngine::collect() { return impl_->core->collect(); }
 
 const EngineOptions& PipelineEngine::options() const { return impl_->opts; }
 

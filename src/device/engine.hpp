@@ -41,6 +41,9 @@ namespace swbpbc::device {
 
 struct EngineOptions {
   sw::ScoreParams params;
+  // Lane width of the BPBC core: any concrete width or kAuto. Resolved
+  // once at engine construction (kAuto probe + SWBPBC_FORCE_LANE_WIDTH
+  // override, sw/lane.hpp); caps().lane_width reports the result.
   sw::LaneWidth width = sw::LaneWidth::k32;
   bool record_metrics = false;  // trace coalescing / bank conflicts
   bulk::Mode mode = bulk::Mode::kParallel;  // blocks across the host pool

@@ -87,9 +87,12 @@ class BlockFaults {
   T mutate_copy(T v) {
     if (!chance(copy_threshold_)) return v;
     record_flip();
+    // Shift in T, not uint64_t: wide lane words have bit positions >= 64
+    // (a 64-bit shift there would be UB). For builtin T the RNG draw
+    // sequence and flipped bit are unchanged.
     constexpr unsigned kBits = sizeof(T) * 8;
-    const std::uint64_t bit = std::uint64_t{1} << rng_.below(kBits);
-    return static_cast<T>(v ^ static_cast<T>(bit));
+    const T bit = static_cast<T>(T{1} << rng_.below(kBits));
+    return static_cast<T>(v ^ bit);
   }
 
  private:
@@ -106,9 +109,10 @@ class BlockFaults {
   T maybe_flip(T v) {
     if (!chance(flip_threshold_)) return v;
     record_flip();
+    // See mutate_copy: the flipped bit index can exceed 63 for wide words.
     constexpr unsigned kBits = sizeof(T) * 8;
-    const std::uint64_t bit = std::uint64_t{1} << rng_.below(kBits);
-    return static_cast<T>(v ^ static_cast<T>(bit));
+    const T bit = static_cast<T>(T{1} << rng_.below(kBits));
+    return static_cast<T>(v ^ bit);
   }
 
   void record_flip();

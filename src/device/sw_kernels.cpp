@@ -6,7 +6,7 @@
 #include <string>
 
 #include "bitops/arith.hpp"
-#include "bitsim/plan.hpp"
+#include "bitsim/wide_transpose.hpp"
 #include "device/launch.hpp"
 #include "device/memory.hpp"
 #include "device/sw_stage_kernels.hpp"
@@ -150,10 +150,10 @@ GpuRunResult run_bpbc(std::span<const Sequence> xs,
   const Bound<W> b_slices = alloc.alloc(d_score_slices);
   const Bound<std::uint32_t> b_scores = alloc.alloc(d_scores);
 
-  // Step 2 (W2B).
-  const bitsim::TransposePlan char_plan =
-      bitsim::TransposePlan::transpose_low_bits(kLanes,
-                                                encoding::kBitsPerBase);
+  // Step 2 (W2B). PayloadTranspose wraps the process-wide plan cache and
+  // decomposes wide lane words into 64-bit limb blocks.
+  const bitsim::PayloadTranspose<W> char_plan =
+      bitsim::PayloadTranspose<W>::forward(encoding::kBitsPerBase);
   LaunchConfig w2b_cfg;
   w2b_cfg.grid_dim = n_groups;
   w2b_cfg.record_metrics = options.record_metrics;
@@ -261,8 +261,8 @@ GpuRunResult run_bpbc(std::span<const Sequence> xs,
   }
 
   // Step 4 (B2W).
-  const bitsim::TransposePlan score_plan =
-      bitsim::TransposePlan::untranspose_low_bits(kLanes, s);
+  const bitsim::PayloadTranspose<W> score_plan =
+      bitsim::PayloadTranspose<W>::inverse(s);
   LaunchConfig b2w_cfg;
   b2w_cfg.grid_dim = n_groups;
   b2w_cfg.record_metrics = options.record_metrics;
@@ -299,7 +299,8 @@ GpuRunResult run_bpbc(std::span<const Sequence> xs,
       ++result.integrity_checks;
       for (std::size_t lane = 0; lane < lanes_used; ++lane) {
         const std::uint32_t want =
-            static_cast<std::uint32_t>(scratch[lane]) & mask;
+            static_cast<std::uint32_t>(bitsim::get_limb(scratch[lane], 0)) &
+            mask;
         if (d_scores[first + lane] != want) {
           note_fault(sw::PipelineStage::kB2W, g);
           break;
@@ -420,9 +421,23 @@ GpuRunResult gpu_bpbc_max_scores(std::span<const Sequence> xs,
   if (xs.size() != ys.size())
     throw std::invalid_argument("pattern/text count mismatch");
   if (xs.empty()) return {};
-  return width == sw::LaneWidth::k32
-             ? run_bpbc<std::uint32_t>(xs, ys, params, options)
-             : run_bpbc<std::uint64_t>(xs, ys, params, options);
+  switch (sw::resolve_lane_width(width)) {
+    case sw::LaneWidth::k32:
+      return run_bpbc<std::uint32_t>(xs, ys, params, options);
+    case sw::LaneWidth::k64:
+      return run_bpbc<std::uint64_t>(xs, ys, params, options);
+    case sw::LaneWidth::k128:
+      return run_bpbc<bitsim::simd_word<128>>(xs, ys, params, options);
+    case sw::LaneWidth::k256:
+      return run_bpbc<bitsim::simd_word<256>>(xs, ys, params, options);
+    case sw::LaneWidth::k512:
+      return run_bpbc<bitsim::simd_word<512>>(xs, ys, params, options);
+    case sw::LaneWidth::kScalarWide:
+      return run_bpbc<bitsim::wide_word<256, false>>(xs, ys, params, options);
+    case sw::LaneWidth::kAuto:
+      break;  // resolve_lane_width never returns kAuto
+  }
+  throw std::invalid_argument("unresolvable lane width");
 }
 
 GpuRunResult gpu_wordwise_max_scores(std::span<const Sequence> xs,

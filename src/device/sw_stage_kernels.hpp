@@ -15,7 +15,7 @@
 #include <vector>
 
 #include "bitops/arith.hpp"
-#include "bitsim/plan.hpp"
+#include "bitsim/wide_transpose.hpp"
 #include "device/memory.hpp"
 #include "encoding/dna.hpp"
 #include "sw/params.hpp"
@@ -89,7 +89,7 @@ class W2bKernel {
   static constexpr unsigned kLanes = bitsim::word_bits_v<W>;
 
   W2bKernel(std::size_t group, BlockRecorder& rec, unsigned block_dim,
-            const bitsim::TransposePlan& plan, std::size_t count,
+            bitsim::PayloadTranspose<W> plan, std::size_t count,
             std::size_t m, std::size_t n, Bound<std::uint32_t> x_words,
             Bound<std::uint32_t> y_words, Bound<W> x_hi, Bound<W> x_lo,
             Bound<W> y_hi, Bound<W> y_lo)
@@ -140,7 +140,7 @@ class W2bKernel {
  private:
   std::size_t group_;
   unsigned block_dim_;
-  const bitsim::TransposePlan& plan_;
+  bitsim::PayloadTranspose<W> plan_;
   std::size_t count_;
   std::size_t m_;
   std::size_t n_;
@@ -305,7 +305,7 @@ class B2wKernel {
   static constexpr unsigned kLanes = bitsim::word_bits_v<W>;
 
   B2wKernel(std::size_t group, BlockRecorder& rec,
-            const bitsim::TransposePlan& plan, unsigned s,
+            bitsim::PayloadTranspose<W> plan, unsigned s,
             std::size_t count, Bound<W> slices,
             Bound<std::uint32_t> scores)
       : group_(group),
@@ -328,14 +328,17 @@ class B2wKernel {
     const std::size_t lanes_used =
         first < count_ ? std::min<std::size_t>(kLanes, count_ - first) : 0;
     for (std::size_t lane = 0; lane < lanes_used; ++lane) {
-      scores_.store(lane, static_cast<std::uint32_t>(scratch[lane]) & mask,
-                    tid);
+      scores_.store(
+          lane,
+          static_cast<std::uint32_t>(bitsim::get_limb(scratch[lane], 0)) &
+              mask,
+          tid);
     }
   }
 
  private:
   std::size_t group_;
-  const bitsim::TransposePlan& plan_;
+  bitsim::PayloadTranspose<W> plan_;
   unsigned s_;
   std::size_t count_;
   GlobalSpan<W> slices_;

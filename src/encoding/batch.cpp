@@ -2,35 +2,21 @@
 
 #include <algorithm>
 #include <array>
-#include <map>
-#include <mutex>
 #include <stdexcept>
+
+#include "bitsim/wide_transpose.hpp"
 
 namespace swbpbc::encoding {
 namespace {
 
+// Payload transposes wrap the process-wide plan cache
+// (bitsim::cached_plan) and decompose wide lane words into 64-bit limb
+// blocks; callers may run on pool threads.
 template <bitsim::LaneWord W>
-const bitsim::TransposePlan& char_plan() {
-  static const bitsim::TransposePlan plan =
-      bitsim::TransposePlan::transpose_low_bits(bitsim::word_bits_v<W>,
-                                                kBitsPerBase);
-  return plan;
-}
-
-// B2W plans are cached per (W, s); callers may run on pool threads.
-template <bitsim::LaneWord W>
-const bitsim::TransposePlan& value_plan(unsigned s) {
-  static std::mutex mutex;
-  static std::map<unsigned, bitsim::TransposePlan> plans;
-  std::lock_guard<std::mutex> lk(mutex);
-  auto it = plans.find(s);
-  if (it == plans.end()) {
-    it = plans
-             .emplace(s, bitsim::TransposePlan::untranspose_low_bits(
-                             bitsim::word_bits_v<W>, s))
-             .first;
-  }
-  return it->second;
+const bitsim::PayloadTranspose<W>& char_transpose() {
+  static const bitsim::PayloadTranspose<W> pt =
+      bitsim::PayloadTranspose<W>::forward(kBitsPerBase);
+  return pt;
 }
 
 }  // namespace
@@ -78,14 +64,14 @@ util::Expected<TransposedBatch<W>> try_transpose_strings(
     // Planned path (paper's W2B): for each character position, gather one
     // 2-bit code per lane into a W-word scratch block and run the s=2
     // specialized transpose; row 0 is the L slice, row 1 the H slice.
-    const bitsim::TransposePlan& plan = char_plan<W>();
+    const bitsim::PayloadTranspose<W>& pt = char_transpose<W>();
     std::array<W, kLanes> scratch;
     for (std::size_t i = 0; i < batch.length; ++i) {
       scratch.fill(0);
       for (std::size_t lane = 0; lane < lanes_used; ++lane) {
         scratch[lane] = static_cast<W>(code(seqs[base_idx + lane][i]));
       }
-      plan.apply(std::span<W>(scratch));
+      pt.apply(std::span<W>(scratch));
       group.lo[i] = scratch[0];
       group.hi[i] = scratch[1];
     }
@@ -113,7 +99,8 @@ std::vector<std::uint32_t> untranspose_values(std::span<const W> slices,
   if (method == TransposeMethod::kNaive) {
     for (unsigned l = 0; l < s; ++l) {
       for (unsigned lane = 0; lane < kLanes; ++lane) {
-        out[lane] |= static_cast<std::uint32_t>((slices[l] >> lane) & 1)
+        out[lane] |= static_cast<std::uint32_t>(
+                         bitsim::get_limb(slices[l] >> lane, 0) & 1)
                      << l;
       }
     }
@@ -123,11 +110,12 @@ std::vector<std::uint32_t> untranspose_values(std::span<const W> slices,
   std::array<W, kLanes> scratch;
   scratch.fill(0);
   for (unsigned l = 0; l < s; ++l) scratch[l] = slices[l];
-  value_plan<W>(s).apply(std::span<W>(scratch));
+  bitsim::PayloadTranspose<W>::inverse(s).apply(std::span<W>(scratch));
   const std::uint32_t mask =
       s >= 32 ? ~std::uint32_t{0} : ((std::uint32_t{1} << s) - 1);
   for (unsigned lane = 0; lane < kLanes; ++lane) {
-    out[lane] = static_cast<std::uint32_t>(scratch[lane]) & mask;
+    out[lane] =
+        static_cast<std::uint32_t>(bitsim::get_limb(scratch[lane], 0)) & mask;
   }
   return out;
 }
@@ -148,23 +136,24 @@ std::vector<W> transpose_values(std::span<const std::uint32_t> values,
   return slices;
 }
 
-// Explicit instantiations for the two lane widths the library supports.
-template util::Expected<TransposedBatch<std::uint32_t>>
-try_transpose_strings<std::uint32_t>(std::span<const Sequence>,
-                                     TransposeMethod);
-template util::Expected<TransposedBatch<std::uint64_t>>
-try_transpose_strings<std::uint64_t>(std::span<const Sequence>,
-                                     TransposeMethod);
-template TransposedBatch<std::uint32_t> transpose_strings<std::uint32_t>(
-    std::span<const Sequence>, TransposeMethod);
-template TransposedBatch<std::uint64_t> transpose_strings<std::uint64_t>(
-    std::span<const Sequence>, TransposeMethod);
-template std::vector<std::uint32_t> untranspose_values<std::uint32_t>(
-    std::span<const std::uint32_t>, unsigned, TransposeMethod);
-template std::vector<std::uint32_t> untranspose_values<std::uint64_t>(
-    std::span<const std::uint64_t>, unsigned, TransposeMethod);
-template std::vector<std::uint32_t> transpose_values<std::uint32_t>(
-    std::span<const std::uint32_t>, unsigned);
-template std::vector<std::uint64_t> transpose_values<std::uint64_t>(
-    std::span<const std::uint32_t>, unsigned);
+// Explicit instantiations for every lane width the library dispatches:
+// builtin 32/64 plus the SIMD wide words and the forced-scalar fallback.
+#define SWBPBC_INSTANTIATE_BATCH(W)                                         \
+  template util::Expected<TransposedBatch<W>> try_transpose_strings<W>(     \
+      std::span<const Sequence>, TransposeMethod);                          \
+  template TransposedBatch<W> transpose_strings<W>(std::span<const Sequence>, \
+                                                   TransposeMethod);        \
+  template std::vector<std::uint32_t> untranspose_values<W>(                \
+      std::span<const W>, unsigned, TransposeMethod);                       \
+  template std::vector<W> transpose_values<W>(                              \
+      std::span<const std::uint32_t>, unsigned)
+
+using ScalarWide256 = bitsim::wide_word<256, false>;
+SWBPBC_INSTANTIATE_BATCH(std::uint32_t);
+SWBPBC_INSTANTIATE_BATCH(std::uint64_t);
+SWBPBC_INSTANTIATE_BATCH(bitsim::simd_word<128>);
+SWBPBC_INSTANTIATE_BATCH(bitsim::simd_word<256>);
+SWBPBC_INSTANTIATE_BATCH(bitsim::simd_word<512>);
+SWBPBC_INSTANTIATE_BATCH(ScalarWide256);
+#undef SWBPBC_INSTANTIATE_BATCH
 }  // namespace swbpbc::encoding

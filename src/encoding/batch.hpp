@@ -64,8 +64,10 @@ TransposedBatch<W> transpose_strings(
 template <bitsim::LaneWord W>
 Base read_base(const TransposedStrings<W>& group, std::size_t lane,
                std::size_t i) {
-  const auto h = static_cast<std::uint8_t>((group.hi[i] >> lane) & 1);
-  const auto l = static_cast<std::uint8_t>((group.lo[i] >> lane) & 1);
+  const auto h = static_cast<std::uint8_t>(
+      bitsim::get_limb(group.hi[i] >> lane, 0) & 1);
+  const auto l = static_cast<std::uint8_t>(
+      bitsim::get_limb(group.lo[i] >> lane, 0) & 1);
   return base_from_code(static_cast<std::uint8_t>((h << 1) | l));
 }
 

@@ -167,8 +167,11 @@ std::vector<std::uint32_t> affine_bpbc_max_scores(
   if (xs.size() != ys.size())
     throw std::invalid_argument("pattern/text count mismatch");
   if (xs.empty()) return {};
-  return width == LaneWidth::k32 ? run_affine<std::uint32_t>(xs, ys, params)
-                                 : run_affine<std::uint64_t>(xs, ys, params);
+  // Detailed affine alignment only instantiates builtin lane words; wide
+  // widths clamp to k64 (scores are width-independent).
+  return builtin_lane_width(width) == LaneWidth::k32
+             ? run_affine<std::uint32_t>(xs, ys, params)
+             : run_affine<std::uint64_t>(xs, ys, params);
 }
 
 template class AffineBpbcAligner<std::uint32_t>;

@@ -58,11 +58,21 @@ class ChunkBackendAdapter final : public Backend {
 
 class HostBackend final : public Backend {
  public:
+  // The width resolves once at construction (kAuto probe + env override),
+  // so every chunk of a screen runs at the same width and caps() reports
+  // what will actually execute.
   HostBackend(const ScoreParams& params, LaneWidth width, bulk::Mode mode,
               encoding::TransposeMethod method)
-      : params_(params), width_(width), mode_(mode), method_(method) {}
+      : params_(params),
+        width_(resolve_lane_width(width)),
+        mode_(mode),
+        method_(method) {}
 
-  [[nodiscard]] BackendCaps caps() const override { return {}; }
+  [[nodiscard]] BackendCaps caps() const override {
+    BackendCaps caps;
+    caps.lane_width = width_;
+    return caps;
+  }
 
   ChunkResult run(const ChunkJob& job) override {
     ChunkResult r;

@@ -38,6 +38,11 @@ struct BackendCaps {
   // Supports overlapped submit()/collect() execution on device streams;
   // unlocks ScreenConfig::overlap_depth >= 2.
   bool streams = false;
+  // Concrete lane width the backend scores with (kAuto and the
+  // SWBPBC_FORCE_LANE_WIDTH override already resolved). Informational:
+  // scores are bit-identical across widths, so callers may log it but must
+  // not branch on it for correctness.
+  LaneWidth lane_width = LaneWidth::k64;
 };
 
 /// One unit of backend work: score pairs (xs[k], ys[k]) for every k.

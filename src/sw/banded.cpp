@@ -169,7 +169,9 @@ std::vector<std::uint32_t> banded_bpbc_max_scores(
   if (xs.size() != ys.size())
     throw std::invalid_argument("pattern/text count mismatch");
   if (xs.empty()) return {};
-  return width == LaneWidth::k32
+  // Banded scoring only instantiates builtin lane words; wide widths clamp
+  // to k64 (scores are width-independent).
+  return builtin_lane_width(width) == LaneWidth::k32
              ? run_banded<std::uint32_t>(xs, ys, params, band)
              : run_banded<std::uint64_t>(xs, ys, params, band);
 }

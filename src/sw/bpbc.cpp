@@ -78,8 +78,18 @@ W BpbcAligner<W>::threshold_mask(std::span<const W> score_slices,
   return bitops::ge_mask<W>(score_slices, std::span<const W>(tau));
 }
 
+template <bitsim::LaneWord W>
+unsigned BpbcAligner<W>::threshold_count(std::span<const W> score_slices,
+                                         std::uint32_t threshold) const {
+  return bitops::popcount(threshold_mask(score_slices, threshold));
+}
+
 template class BpbcAligner<std::uint32_t>;
 template class BpbcAligner<std::uint64_t>;
+template class BpbcAligner<bitsim::simd_word<128>>;
+template class BpbcAligner<bitsim::simd_word<256>>;
+template class BpbcAligner<bitsim::simd_word<512>>;
+template class BpbcAligner<bitsim::wide_word<256, false>>;
 
 namespace {
 
@@ -154,10 +164,27 @@ util::Expected<std::vector<std::uint32_t>> try_bpbc_max_scores(
           std::to_string(ys[k].size()) + ", batch requires " +
           std::to_string(n));
   }
-  return width == LaneWidth::k32
-             ? run_bpbc<std::uint32_t>(xs, ys, params, mode, method, timings)
-             : run_bpbc<std::uint64_t>(xs, ys, params, mode, method,
-                                       timings);
+  switch (resolve_lane_width(width)) {
+    case LaneWidth::k32:
+      return run_bpbc<std::uint32_t>(xs, ys, params, mode, method, timings);
+    case LaneWidth::k64:
+      return run_bpbc<std::uint64_t>(xs, ys, params, mode, method, timings);
+    case LaneWidth::k128:
+      return run_bpbc<bitsim::simd_word<128>>(xs, ys, params, mode, method,
+                                              timings);
+    case LaneWidth::k256:
+      return run_bpbc<bitsim::simd_word<256>>(xs, ys, params, mode, method,
+                                              timings);
+    case LaneWidth::k512:
+      return run_bpbc<bitsim::simd_word<512>>(xs, ys, params, mode, method,
+                                              timings);
+    case LaneWidth::kScalarWide:
+      return run_bpbc<bitsim::wide_word<256, false>>(xs, ys, params, mode,
+                                                     method, timings);
+    case LaneWidth::kAuto:
+      break;  // resolve_lane_width never returns kAuto
+  }
+  return util::Status::invalid_input("unresolvable lane width");
 }
 
 std::vector<std::uint32_t> bpbc_max_scores(

@@ -20,6 +20,7 @@
 #include "bulk/executor.hpp"
 #include "encoding/batch.hpp"
 #include "encoding/dna.hpp"
+#include "sw/lane.hpp"
 #include "sw/params.hpp"
 #include "util/status.hpp"
 
@@ -55,6 +56,12 @@ class BpbcAligner {
   [[nodiscard]] W threshold_mask(std::span<const W> score_slices,
                                  std::uint32_t threshold) const;
 
+  /// Number of lanes scoring >= threshold: popcount of threshold_mask via
+  /// bitops::popcount, which is generic over builtin and wide lane words
+  /// (std::popcount on the mask would not compile past 64 lanes).
+  [[nodiscard]] unsigned threshold_count(std::span<const W> score_slices,
+                                         std::uint32_t threshold) const;
+
  private:
   ScoreParams params_;
   std::size_t m_;
@@ -63,12 +70,6 @@ class BpbcAligner {
   std::vector<W> gap_;
   std::vector<W> c1_;
   std::vector<W> c2_;
-};
-
-/// Lane-word width selector for the non-template front ends.
-enum class LaneWidth {
-  k32,  // 32 instances per word (paper's GPU-preferred width)
-  k64,  // 64 instances per word (paper's CPU-preferred width)
 };
 
 /// Phase timings in milliseconds (Table IV columns).
@@ -101,5 +102,9 @@ std::vector<std::uint32_t> bpbc_max_scores(
 
 extern template class BpbcAligner<std::uint32_t>;
 extern template class BpbcAligner<std::uint64_t>;
+extern template class BpbcAligner<bitsim::simd_word<128>>;
+extern template class BpbcAligner<bitsim::simd_word<256>>;
+extern template class BpbcAligner<bitsim::simd_word<512>>;
+extern template class BpbcAligner<bitsim::wide_word<256, false>>;
 
 }  // namespace swbpbc::sw

@@ -30,6 +30,11 @@ namespace swbpbc::sw {
 struct ScoringConfig {
   ScoreParams params;
   std::uint32_t threshold = 0;  // tau: select pairs with max score >= tau
+  // Lane width of the scoring engine: k32/k64, the wide SIMD widths
+  // k128/k256/k512, kScalarWide, or kAuto (widest profitable width for
+  // this CPU; see sw/lane.hpp). Scores are bit-identical across widths —
+  // this is purely a throughput knob, and SWBPBC_FORCE_LANE_WIDTH
+  // overrides it.
   LaneWidth width = LaneWidth::k64;
   bulk::Mode mode = bulk::Mode::kSerial;
   encoding::TransposeMethod method = encoding::TransposeMethod::kPlanned;

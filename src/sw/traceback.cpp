@@ -227,7 +227,10 @@ std::vector<Alignment> bpbc_align(std::span<const encoding::Sequence> xs,
   if (xs.size() != ys.size())
     throw std::invalid_argument("pattern/text count mismatch");
   if (xs.empty()) return {};
-  return width == LaneWidth::k32
+  // Traceback keeps full direction planes per cell; only builtin lane
+  // words are instantiated, so wide widths clamp to k64 (alignments are
+  // width-independent).
+  return builtin_lane_width(width) == LaneWidth::k32
              ? bpbc_align_impl<std::uint32_t>(xs, ys, params)
              : bpbc_align_impl<std::uint64_t>(xs, ys, params);
 }

@@ -65,10 +65,12 @@ TEST(Integration, CircuitSimulatedSwaMatchesBpbc) {
       circuit::optimize(circuit::build_sw_cell_const(s, params));
   ASSERT_EQ(cell.input_count(), 3 * s + 4);
 
-  // Row-major DP, every cell via circuit::evaluate.
+  // Row-major DP, every cell via circuit::evaluate_into (scratch reused
+  // across cells, the intended hot-loop usage).
   std::vector<std::uint32_t> row((n + 1) * s, 0);
   std::vector<std::uint32_t> best(s, 0);
   std::vector<std::uint32_t> inputs(3 * s + 4);
+  std::vector<std::uint32_t> value, out;
   for (std::size_t i = 0; i < m; ++i) {
     std::vector<std::uint32_t> diag(s, 0);
     for (std::size_t j = 1; j <= n; ++j) {
@@ -86,7 +88,7 @@ TEST(Integration, CircuitSimulatedSwaMatchesBpbc) {
       inputs[3 * s + 1] = bx.groups[0].hi[i];
       inputs[3 * s + 2] = by.groups[0].lo[j - 1];
       inputs[3 * s + 3] = by.groups[0].hi[j - 1];
-      const auto out = circuit::evaluate<std::uint32_t>(cell, inputs);
+      circuit::evaluate_into<std::uint32_t>(cell, inputs, value, out);
       std::copy(out.begin(), out.end(),
                 row.begin() + static_cast<long>(j * s));
       bitops::max_b<std::uint32_t>(
