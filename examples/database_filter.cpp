@@ -6,7 +6,8 @@
 //
 //   ./database_filter [--entries=N] [--tau=T] [--gpu] [--fasta=path]
 //                     [--width=32|64|128|256|512|scalar-wide|auto]
-//                     [--json=path]
+//                     [--json=path] [--db=path]
+//                     [--db-flip-shard=K] [--db-fault-seed=S]
 //
 // With --fasta, database entries are read from a FASTA file (all records
 // must share one length); otherwise a synthetic database with planted
@@ -15,9 +16,22 @@
 // --json writes a RunReport whose config carries an FNV fingerprint of
 // the score vector — scores are bit-identical across widths, so CI diffs
 // the fingerprint across the dispatch matrix.
+//
+// With --db, SWA reads the pre-transposed planes from the store that
+// examples/database_build wrote (mmap, zero-copy) instead of transposing
+// the database in memory — only the query side pays W2B. The reader
+// verifies the store matches this run's sequences (content fingerprint)
+// and checksums each shard on first touch; --db-flip-shard=K attaches an
+// IO-layer fault injector that flips bytes of shard K in the private
+// mapping (the file is untouched), so the run demonstrates quarantine +
+// re-ingest: scores stay bit-identical and the report counts exactly one
+// quarantined shard.
 #include <cstdio>
 #include <fstream>
+#include <optional>
 
+#include "db/fault.hpp"
+#include "db/reader.hpp"
 #include "device/sw_kernels.hpp"
 #include "encoding/fasta.hpp"
 #include "encoding/random.hpp"
@@ -92,18 +106,58 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  // Pre-transposed store, optionally with injected faults (drill mode).
+  const std::string db_path = opt.get("db", "");
+  std::optional<db::FaultInjector> injector;
+  std::optional<db::Reader> reader;
+  if (!db_path.empty()) {
+    db::ReaderOptions ropt;
+    const std::int64_t flip_shard = opt.get_int("db-flip-shard", -1);
+    if (flip_shard >= 0) {
+      db::FaultConfig fc;
+      fc.seed = static_cast<std::uint64_t>(opt.get_int("db-fault-seed", 42));
+      fc.shard_flip_probability = 1.0;
+      fc.target_shard = flip_shard;
+      injector.emplace(fc);
+      ropt.fault = &*injector;
+      std::printf("fault injector armed: flipping mapped bytes of shard "
+                  "%lld (seed %llu; file untouched)\n",
+                  static_cast<long long>(flip_shard),
+                  static_cast<unsigned long long>(fc.seed));
+    }
+    auto opened = db::Reader::open(db_path, ropt);
+    if (!opened.has_value()) {
+      std::fprintf(stderr, "cannot open database store %s: %s\n",
+                   db_path.c_str(), opened.status().to_string().c_str());
+      return 1;
+    }
+    reader.emplace(std::move(*opened));
+    std::printf("store %s: %zu entries x %zu, %zu shards (mmap zero-copy)\n",
+                db_path.c_str(), reader->entry_count(),
+                reader->entry_length(), reader->shard_count());
+  }
+
   sw::ScoringConfig scoring;
   scoring.params = {2, 1, 1};
   scoring.threshold = tau;
   scoring.width = *width;
   scoring.mode = bulk::Mode::kParallel;
+  if (reader) scoring.database = &*reader;
   const auto config = sw::ScreenSpecBuilder().scoring(scoring).build();
   if (!config) {
     std::fprintf(stderr, "bad screen config: %s\n",
                  config.status().to_string().c_str());
     return 1;
   }
-  const sw::ScreenReport report = sw::screen(queries, database, *config);
+  const auto screened = sw::try_screen(queries, database, *config);
+  if (!screened.has_value()) {
+    // Typed rejection: a corrupt or mismatched store is refused up front
+    // (kDbCorrupt / kDbMismatch), never screened against.
+    std::fprintf(stderr, "screen rejected: %s\n",
+                 screened.status().to_string().c_str());
+    return 1;
+  }
+  const sw::ScreenReport& report = *screened;
 
   std::printf("BPBC filter: W2B %.2fms, SWA %.2fms, B2W %.2fms; "
               "traceback of %zu hits: %.2fms\n",
@@ -111,6 +165,15 @@ int main(int argc, char** argv) {
               report.hits.size(), report.traceback_ms);
   std::printf("%zu / %zu entries pass tau = %u\n", report.hits.size(),
               report.scores.size(), tau);
+  if (reader) {
+    const auto& rel = report.reliability;
+    std::printf("store: %llu shards served zero-copy, %llu quarantined, "
+                "%llu pairs re-ingested, %llu pairs in-memory fallback\n",
+                static_cast<unsigned long long>(rel.db_shards_served),
+                static_cast<unsigned long long>(rel.db_shards_quarantined),
+                static_cast<unsigned long long>(rel.db_pairs_reingested),
+                static_cast<unsigned long long>(rel.db_pairs_fallback));
+  }
 
   // Machine-readable report for CI: the scores fingerprint must be
   // identical whichever lane width dispatched.
@@ -125,6 +188,17 @@ int main(int argc, char** argv) {
     rep.config["hits"] = std::to_string(report.hits.size());
     rep.config["scores_fnv"] = std::to_string(
         util::fnv1a_span<std::uint32_t>(report.scores));
+    if (reader) {
+      const auto& rel = report.reliability;
+      rep.config["db"] = db_path;
+      rep.config["db_shards_served"] = std::to_string(rel.db_shards_served);
+      rep.config["db_shards_quarantined"] =
+          std::to_string(rel.db_shards_quarantined);
+      rep.config["db_pairs_reingested"] =
+          std::to_string(rel.db_pairs_reingested);
+      rep.config["db_pairs_fallback"] =
+          std::to_string(rel.db_pairs_fallback);
+    }
     telemetry::RunReportRow row;
     row.impl = std::string("CPU bitwise-") + sw::lane_width_name(resolved);
     row.pairs = report.scores.size();

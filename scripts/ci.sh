@@ -81,6 +81,75 @@ EOF
       exit 1
     fi
   done
+
+  echo "== tier 1: forced-lane-width negative smoke (typed rejection) =="
+  # An unparsable override must be a loud typed error, never a silent
+  # default width.
+  if SWBPBC_FORCE_LANE_WIDTH=banana ./build/examples/database_filter \
+      --entries=64 > "$smoke_dir/badwidth.out" 2>&1; then
+    echo "SWBPBC_FORCE_LANE_WIDTH=banana was silently accepted" >&2
+    exit 1
+  fi
+  grep -q "SWBPBC_FORCE_LANE_WIDTH" "$smoke_dir/badwidth.out" || {
+    echo "rejection does not name SWBPBC_FORCE_LANE_WIDTH" >&2
+    cat "$smoke_dir/badwidth.out" >&2
+    exit 1
+  }
+
+  echo "== tier 1: database store round trip + corruption drill =="
+  # Build the store, screen from it clean, then with an injected fault on
+  # one shard, and with on-disk rot on another: every run must quarantine
+  # only the damaged shard and score bit-identically to the in-memory run
+  # (same fingerprint the dispatch matrix just pinned in ref_fnv).
+  ./build/examples/database_build --entries=96 \
+      --out="$smoke_dir/seqs.swdb" > /dev/null
+  for drill in db db-flip db-rot; do
+    case $drill in
+      db)      args=(--db="$smoke_dir/seqs.swdb") ;;
+      db-flip) args=(--db="$smoke_dir/seqs.swdb" --db-flip-shard=1) ;;
+      db-rot)  ./build/examples/database_build --entries=96 \
+                   --out="$smoke_dir/rot.swdb" --corrupt-shard=0 > /dev/null
+               args=(--db="$smoke_dir/rot.swdb") ;;
+    esac
+    ./build/examples/database_filter --entries=96 "${args[@]}" \
+        --json="$smoke_dir/filter_$drill.json" > /dev/null
+    read -r scores hits quarantined < <(python3 - \
+        "$smoke_dir/filter_$drill.json" <<'EOF'
+import json, sys
+cfg = json.load(open(sys.argv[1]))["config"]
+print(cfg["scores_fnv"], cfg["hits"], cfg["db_shards_quarantined"])
+EOF
+)
+    fnv="$scores $hits"
+    echo "  $drill -> $fnv (quarantined=$quarantined)"
+    if [[ $fnv != "$ref_fnv" ]]; then
+      echo "db-served scores are not bit-identical: $fnv != $ref_fnv" >&2
+      exit 1
+    fi
+    case $drill in
+      db)      want=0 ;;
+      *)       want=1 ;;
+    esac
+    if [[ $quarantined != "$want" ]]; then
+      echo "$drill: expected $want quarantined shard(s), got $quarantined" >&2
+      exit 1
+    fi
+  done
+
+  # A store built for a different batch must be refused with a typed
+  # DB_MISMATCH, not screened against the wrong planes.
+  ./build/examples/database_build --entries=32 \
+      --out="$smoke_dir/other.swdb" > /dev/null
+  if ./build/examples/database_filter --entries=96 \
+      --db="$smoke_dir/other.swdb" > "$smoke_dir/mismatch.out" 2>&1; then
+    echo "mismatched store was silently accepted" >&2
+    exit 1
+  fi
+  grep -q "DB_MISMATCH" "$smoke_dir/mismatch.out" || {
+    echo "mismatched store not rejected with DB_MISMATCH" >&2
+    cat "$smoke_dir/mismatch.out" >&2
+    exit 1
+  }
 fi
 
 if [[ $run_tier2 -eq 1 ]]; then

@@ -1,0 +1,85 @@
+#include "db/fault.hpp"
+
+#include "util/rng.hpp"
+
+namespace swbpbc::db {
+
+namespace {
+
+// Probability in [0, 1] -> uint64 threshold so `rng.next() < threshold`
+// fires with that probability (same convention as device/fault.cpp).
+std::uint64_t probability_threshold(double p) {
+  if (p <= 0.0) return 0;
+  if (p >= 1.0) return ~std::uint64_t{0};
+  return static_cast<std::uint64_t>(p * 18446744073709551616.0);  // 2^64
+}
+
+// Expand (seed, campaign, unit) into an independent, well-mixed stream so
+// fault decisions do not depend on the order shards get touched.
+util::Xoshiro256 stream_for(std::uint64_t seed, std::uint64_t campaign,
+                            std::uint64_t unit) {
+  util::SplitMix64 mix(seed);
+  std::uint64_t s = mix.next();
+  s ^= util::SplitMix64(campaign * 0x9e3779b97f4a7c15ULL).next();
+  s ^= util::SplitMix64(unit + 1).next();
+  return util::Xoshiro256(s);
+}
+
+// Header decisions draw from a unit the shard space cannot collide with.
+constexpr std::uint64_t kHeaderUnit = ~std::uint64_t{0} - 1;
+
+}  // namespace
+
+ShardFault FaultInjector::shard_fault(std::uint64_t campaign,
+                                      std::size_t shard,
+                                      std::size_t payload_bytes) {
+  ShardFault f;
+  if (payload_bytes == 0) return f;
+  if (config_.target_shard >= 0 &&
+      shard != static_cast<std::size_t>(config_.target_shard))
+    return f;
+  util::Xoshiro256 rng =
+      stream_for(config_.seed, campaign, static_cast<std::uint64_t>(shard));
+  const std::uint64_t flip_threshold =
+      probability_threshold(config_.shard_flip_probability);
+  const std::uint64_t trunc_threshold =
+      probability_threshold(config_.shard_truncate_probability);
+  if (flip_threshold != 0 && rng.next() < flip_threshold) {
+    f.flip = true;
+    f.flip_offset = static_cast<std::size_t>(rng.below(payload_bytes));
+    f.flip_bit = static_cast<unsigned>(rng.below(8));
+    shard_flips_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (trunc_threshold != 0 && rng.next() < trunc_threshold) {
+    f.truncate = true;
+    f.keep_bytes = static_cast<std::size_t>(rng.below(payload_bytes));
+    shard_truncations_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return f;
+}
+
+HeaderFault FaultInjector::header_fault(std::uint64_t campaign,
+                                        std::size_t header_bytes) {
+  HeaderFault f;
+  if (header_bytes == 0) return f;
+  util::Xoshiro256 rng = stream_for(config_.seed, campaign, kHeaderUnit);
+  const std::uint64_t threshold =
+      probability_threshold(config_.header_flip_probability);
+  if (threshold != 0 && rng.next() < threshold) {
+    f.flip = true;
+    f.offset = static_cast<std::size_t>(rng.below(header_bytes));
+    f.bit = static_cast<unsigned>(rng.below(8));
+    header_flips_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return f;
+}
+
+FaultLog FaultInjector::log() const {
+  FaultLog log;
+  log.shard_flips = shard_flips_.load(std::memory_order_relaxed);
+  log.shard_truncations = shard_truncations_.load(std::memory_order_relaxed);
+  log.header_flips = header_flips_.load(std::memory_order_relaxed);
+  return log;
+}
+
+}  // namespace swbpbc::db

@@ -1,0 +1,100 @@
+// Deterministic IO-layer fault model for the database store.
+//
+// The device simulator's FaultInjector covers compute-side soft errors;
+// this one covers what storage does to a memory-mapped database file: bit
+// rot flipping mapped payload bytes, a torn copy truncating a shard, a
+// damaged header. Faults are applied to the reader's PRIVATE mapping at
+// open time (copy-on-write — the file on disk is never modified), so a
+// drill exercises the exact verify/quarantine/re-ingest paths production
+// corruption would, reproducibly from one seed.
+//
+// Determinism mirrors device::FaultInjector: every decision is drawn from
+// a per-(campaign, shard) xoshiro stream seeded from (seed, campaign,
+// shard), so fault patterns are independent of open order; begin_run()
+// advances the campaign so a re-open observes a fresh pattern.
+// `target_shard` restricts faults to one shard for the CI drill's "exactly
+// one quarantined shard" assertion.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace swbpbc::db {
+
+struct FaultConfig {
+  std::uint64_t seed = 0;
+  // Per-shard probability that one payload byte gets a flipped bit.
+  double shard_flip_probability = 0.0;
+  // Per-shard probability that the shard's payload is truncated (the
+  // mapping behaves as if the file ended inside the shard).
+  double shard_truncate_probability = 0.0;
+  // Probability that a byte of the header/table region is flipped; the
+  // open is then expected to fail with a typed error.
+  double header_flip_probability = 0.0;
+  // When >= 0, shard faults apply only to this shard index.
+  std::int64_t target_shard = -1;
+};
+
+/// Cumulative counters of injected faults.
+struct FaultLog {
+  std::uint64_t shard_flips = 0;
+  std::uint64_t shard_truncations = 0;
+  std::uint64_t header_flips = 0;
+
+  [[nodiscard]] std::uint64_t total() const {
+    return shard_flips + shard_truncations + header_flips;
+  }
+};
+
+/// Fault decisions for one shard of one campaign.
+struct ShardFault {
+  bool flip = false;
+  std::size_t flip_offset = 0;  // payload byte to damage
+  unsigned flip_bit = 0;        // bit within that byte
+  bool truncate = false;
+  std::size_t keep_bytes = 0;   // payload bytes that remain readable
+};
+
+/// Fault decision for the header/table region.
+struct HeaderFault {
+  bool flip = false;
+  std::size_t offset = 0;
+  unsigned bit = 0;
+};
+
+/// Seedable, campaign-keyed fault source; safe to share across readers.
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultConfig& config) : config_(config) {}
+
+  [[nodiscard]] const FaultConfig& config() const { return config_; }
+
+  /// Advances the campaign counter; returns the new campaign. Called by
+  /// the reader once per open, so re-opening after a failure draws a
+  /// fresh fault pattern.
+  std::uint64_t begin_run() {
+    return campaign_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  /// Decisions for one shard with `payload_bytes` of payload. Counters
+  /// are bumped for each fault scheduled.
+  [[nodiscard]] ShardFault shard_fault(std::uint64_t campaign,
+                                       std::size_t shard,
+                                       std::size_t payload_bytes);
+
+  /// Decision for a `header_bytes`-long header/table region.
+  [[nodiscard]] HeaderFault header_fault(std::uint64_t campaign,
+                                         std::size_t header_bytes);
+
+  [[nodiscard]] FaultLog log() const;
+
+ private:
+  FaultConfig config_;
+  std::atomic<std::uint64_t> campaign_{0};
+  std::atomic<std::uint64_t> shard_flips_{0};
+  std::atomic<std::uint64_t> shard_truncations_{0};
+  std::atomic<std::uint64_t> header_flips_{0};
+};
+
+}  // namespace swbpbc::db

@@ -1,0 +1,87 @@
+// On-disk layout of the pre-transposed sequence database (the "swdb"
+// store) — DESIGN.md decision 14.
+//
+// The motivating measurement (BENCH_lane_width.json): at 256/512-bit
+// lanes the W2B transpose of the database side costs 20-40% of screening
+// wall time, and the database side is *static* across millions of
+// queries. The store therefore holds the database sequences already in
+// bit-plane (bit-sliced) layout so serving pays W2B only for the query.
+//
+// Layout (single file, little-endian host words):
+//
+//   FileHeader        64 bytes; magic/version/endian tag, the lane limb
+//                     width the planes were sliced for, plane count
+//                     (epsilon: 2 for DNA, 5 for protein), entry
+//                     count/length, shard count, an FNV fingerprint of
+//                     the raw sequence codes, and a header checksum.
+//   ShardEntry[]      one per shard, then a u64 FNV over the whole table.
+//   payload...        each shard's bit-plane rows, 64-byte aligned.
+//
+// One shard = one 64-lane limb block: the bit-plane rows of entries
+// [first_entry, first_entry + 64). Shard s row layout is planar —
+// plane 0's rows for positions 0..length-1, then plane 1's, ... — so a
+// plane is one contiguous span the reader can hand out zero-copy.
+//
+// Because the wide lane words decompose into independent 64-bit limb
+// blocks (bit k of a wide word is bit k%64 of limb k/64 — the
+// bitsim::PayloadTranspose contract), a W-bit serve gathers limb t of its
+// group from shard base/64 + t. The same shards therefore serve every
+// lane width bit-identically; limb_bits tags the granularity and is
+// rejected if a future format ever changes it.
+//
+// Integrity model: the header and shard table carry their own checksums
+// and are validated at open (typed kDbCorrupt / kDbMismatch — version,
+// endianness, limb width, shape, content fingerprint). Shard payloads are
+// checksummed individually and verified lazily on first touch, so one
+// rotted shard degrades exactly one shard's latency (quarantine +
+// re-ingest from the raw sequences) instead of failing the whole scan.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace swbpbc::db {
+
+inline constexpr std::uint64_t kDbMagic = 0x31424454'50425753ull;  // "SWBPTDB1"
+inline constexpr std::uint32_t kDbVersion = 1;
+// Written as the literal 0x01020304; reads as 0x04030201 on a
+// different-endian host, turning byte order into a typed mismatch.
+inline constexpr std::uint32_t kDbEndianTag = 0x01020304u;
+// Shards are sliced at the 64-bit limb granularity all lane widths
+// decompose into.
+inline constexpr std::uint32_t kDbLimbBits = 64;
+inline constexpr std::size_t kDbLanesPerShard = 64;
+// Payload offsets are cache-line aligned.
+inline constexpr std::uint64_t kDbPayloadAlign = 64;
+
+struct FileHeader {
+  std::uint64_t magic = kDbMagic;
+  std::uint32_t version = kDbVersion;
+  std::uint32_t endian = kDbEndianTag;
+  std::uint32_t limb_bits = kDbLimbBits;
+  std::uint32_t plane_bits = 0;    // epsilon: bit planes per character
+  std::uint64_t entry_count = 0;   // sequences stored
+  std::uint64_t entry_length = 0;  // uniform sequence length
+  std::uint64_t shard_count = 0;   // ceil(entry_count / 64)
+  std::uint64_t content_fnv = 0;   // FNV-1a over the raw sequence codes
+  std::uint64_t header_fnv = 0;    // FNV-1a over the preceding 56 bytes
+};
+static_assert(sizeof(FileHeader) == 64);
+
+struct ShardEntry {
+  std::uint64_t offset = 0;         // payload start, from file begin
+  std::uint64_t payload_bytes = 0;  // plane_bits * entry_length * 8
+  std::uint64_t payload_fnv = 0;    // FNV-1a over the payload bytes
+  std::uint64_t first_entry = 0;    // first sequence index in this shard
+  std::uint32_t lanes_used = 0;     // <= 64; tail lanes read as code 0
+  std::uint32_t reserved = 0;
+};
+static_assert(sizeof(ShardEntry) == 40);
+
+/// Number of 64-lane shards covering `entry_count` sequences.
+[[nodiscard]] constexpr std::uint64_t shard_count_for(
+    std::uint64_t entry_count) {
+  return (entry_count + kDbLanesPerShard - 1) / kDbLanesPerShard;
+}
+
+}  // namespace swbpbc::db

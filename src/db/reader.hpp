@@ -1,0 +1,124 @@
+// Zero-copy reader for the pre-transposed database store.
+//
+// open() maps the file (PRIVATE, copy-on-write) and validates the header
+// and shard table strictly: bad magic/checksum -> kDbCorrupt; wrong
+// version, endianness, or limb width -> kDbMismatch. Shard payloads are
+// NOT hashed at open — each shard's checksum is verified on first touch
+// (shard()), so a scan pays verification incrementally and one rotted
+// shard degrades exactly one shard: its first touch returns kDbCorrupt,
+// the caller quarantines it (sw's db backend re-ingests that 64-lane
+// slice from the raw sequences), and every other shard keeps serving
+// zero-copy. A payload that the file is physically too short to contain
+// (torn copy) is handled the same per-shard way as long as the header and
+// table are intact.
+//
+// Fault injection (db::FaultInjector) is applied to the private mapping
+// at open time — flipped payload bytes, logically truncated shards,
+// damaged header bytes — never to the file, so drills are repeatable and
+// safe on a real database.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "db/fault.hpp"
+#include "db/format.hpp"
+#include "util/status.hpp"
+
+namespace swbpbc::db {
+
+struct ReaderOptions {
+  // IO-layer fault injection, applied to the mapping at open. Not owned;
+  // may be shared across readers. begin_run() is called once per open.
+  FaultInjector* fault = nullptr;
+};
+
+/// One verified shard: the planar bit-plane rows of 64 consecutive
+/// database entries, pointing straight into the mapping.
+struct ShardView {
+  const std::uint64_t* data = nullptr;  // plane 0 rows, then plane 1, ...
+  std::size_t length = 0;               // rows (positions) per plane
+  unsigned plane_bits = 0;
+  std::size_t first_entry = 0;
+  unsigned lanes_used = 0;  // <= 64; tail lanes read as code 0
+
+  /// Rows of bit plane p: plane(p)[i] holds bit p of character i of the
+  /// shard's 64 lanes.
+  [[nodiscard]] std::span<const std::uint64_t> plane(unsigned p) const {
+    return {data + static_cast<std::size_t>(p) * length, length};
+  }
+};
+
+/// Per-reader verification counters.
+struct ReaderStats {
+  std::uint64_t shards_verified = 0;   // first-touch checksum passes
+  std::uint64_t shards_corrupt = 0;    // first-touch failures (quarantined)
+  double verify_ms = 0.0;              // time spent hashing payloads
+};
+
+/// Move-only mmap reader. Safe for concurrent shard() callers.
+class Reader {
+ public:
+  static util::Expected<Reader> open(const std::string& path,
+                                     const ReaderOptions& options = {});
+
+  Reader(Reader&& other) noexcept;
+  Reader& operator=(Reader&& other) noexcept;
+  Reader(const Reader&) = delete;
+  Reader& operator=(const Reader&) = delete;
+  ~Reader();
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] std::size_t entry_count() const {
+    return static_cast<std::size_t>(header_.entry_count);
+  }
+  [[nodiscard]] std::size_t entry_length() const {
+    return static_cast<std::size_t>(header_.entry_length);
+  }
+  [[nodiscard]] unsigned plane_bits() const { return header_.plane_bits; }
+  [[nodiscard]] std::size_t shard_count() const { return table_.size(); }
+  [[nodiscard]] std::uint64_t content_fingerprint() const {
+    return header_.content_fnv;
+  }
+
+  /// The shard covering entry indices [64*index, 64*index + lanes_used).
+  /// First touch verifies the payload checksum; a failure is kDbCorrupt
+  /// and sticks (later touches return the same error without re-hashing).
+  util::Expected<ShardView> shard(std::size_t index);
+
+  /// True once `shard(index)` has failed verification.
+  [[nodiscard]] bool shard_quarantined(std::size_t index) const;
+
+  [[nodiscard]] ReaderStats stats() const;
+
+ private:
+  Reader() = default;
+
+  [[nodiscard]] const std::uint8_t* base() const;
+
+  // 0 = unverified, 1 = verified ok, 2 = failed (quarantined).
+  struct State {
+    std::unique_ptr<std::atomic<std::uint8_t>[]> shard_state;
+    std::atomic<std::uint64_t> shards_verified{0};
+    std::atomic<std::uint64_t> shards_corrupt{0};
+    std::atomic<std::uint64_t> verify_ns{0};
+  };
+
+  std::string path_;
+  void* map_ = nullptr;          // mmap'd image (POSIX path)
+  std::size_t map_size_ = 0;
+  std::vector<std::uint8_t> heap_;  // fallback image (no-mmap platforms)
+  FileHeader header_{};
+  std::vector<ShardEntry> table_;
+  // Payload bytes actually backed per shard: payload_bytes, or less when
+  // the file is physically short or the injector truncated the shard.
+  std::vector<std::uint64_t> effective_bytes_;
+  std::unique_ptr<State> state_;
+};
+
+}  // namespace swbpbc::db

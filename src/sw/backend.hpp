@@ -51,10 +51,19 @@ struct BackendCaps {
 /// above the retry limit, quarantine rescores. The spans must stay valid
 /// until the job's result has been returned (run) or collected (submit).
 struct ChunkJob {
+  /// first_pair value meaning "this job is a synthesized subset" —
+  /// quarantine rescores re-batch arbitrary lanes, so their position in
+  /// the original batch is not representable.
+  static constexpr std::size_t kUnknownPair = ~std::size_t{0};
+
   std::size_t chunk = 0;
   unsigned attempt = 0;
   std::span<const encoding::Sequence> xs;
   std::span<const encoding::Sequence> ys;
+  // Global index of pair (xs[0], ys[0]) in the screened batch, or
+  // kUnknownPair. Position-aware backends (the database store) use it to
+  // map the job onto their own layout; position-free backends ignore it.
+  std::size_t first_pair = kUnknownPair;
   const util::StopCondition* stop = nullptr;
 };
 

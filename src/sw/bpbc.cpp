@@ -22,6 +22,14 @@ template <bitsim::LaneWord W>
 void BpbcAligner<W>::max_score_slices(const encoding::TransposedStrings<W>& x,
                                       const encoding::TransposedStrings<W>& y,
                                       std::span<W> out_slices) const {
+  max_score_slices(encoding::TransposedView<W>(x),
+                   encoding::TransposedView<W>(y), out_slices);
+}
+
+template <bitsim::LaneWord W>
+void BpbcAligner<W>::max_score_slices(const encoding::TransposedView<W>& x,
+                                      const encoding::TransposedView<W>& y,
+                                      std::span<W> out_slices) const {
   if (x.length != m_ || y.length != n_)
     throw std::invalid_argument("group lengths do not match aligner (m, n)");
   if (out_slices.size() != s_)

@@ -45,6 +45,12 @@ class BpbcAligner {
                         const encoding::TransposedStrings<W>& y,
                         std::span<W> out_slices) const;
 
+  /// View-based core of the above: the hi/lo slices may live anywhere
+  /// (e.g. mmap'd database payloads), not just in a TransposedStrings.
+  void max_score_slices(const encoding::TransposedView<W>& x,
+                        const encoding::TransposedView<W>& y,
+                        std::span<W> out_slices) const;
+
   /// Convenience: scores untransposed to one integer per lane.
   [[nodiscard]] std::vector<std::uint32_t> max_scores(
       const encoding::TransposedStrings<W>& x,

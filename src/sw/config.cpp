@@ -16,6 +16,8 @@ ScreenConfig ScreenSpec::flatten() const {
   cfg.backend = scoring.backend;
   cfg.chunk_backend = scoring.chunk_backend;
   cfg.backend_v2 = scoring.backend_v2;
+  cfg.database = scoring.database;
+  cfg.db_verify_content = scoring.db_verify_content;
   cfg.check = survival.check;
   cfg.chunk_pairs = survival.chunk_pairs;
   cfg.chunk_retry_limit = survival.chunk_retry_limit;
@@ -24,6 +26,7 @@ ScreenConfig ScreenSpec::flatten() const {
   cfg.deadline = survival.deadline;
   cfg.checkpoint_path = survival.checkpoint_path;
   cfg.resume_path = survival.resume_path;
+  cfg.resume_salvage_torn_tail = survival.resume_salvage_torn_tail;
   cfg.progress = observability.progress;
   cfg.telemetry = observability.telemetry;
   return cfg;
@@ -50,6 +53,19 @@ util::Status validate_scoring(const ScoringConfig& s) {
 util::Status validate(const ScreenSpec& spec) {
   const SurvivalConfig& sv = spec.survival;
   if (util::Status s = validate_scoring(spec.scoring); !s.ok()) return s;
+  if (spec.scoring.database != nullptr) {
+    if (spec.scoring.backend_v2 != nullptr || spec.scoring.backend ||
+        spec.scoring.chunk_backend)
+      return invalid("scoring.database is unused when an explicit backend "
+                     "is set (backends outrank the store); clear one");
+    if (sv.chunk_pairs % 64 != 0)
+      return invalid("scoring.database requires shard-aligned chunks: "
+                     "survival.chunk_pairs must be a multiple of 64 "
+                     "(misaligned chunks fall back to in-memory scoring)");
+  }
+  if (sv.resume_salvage_torn_tail && sv.resume_path.empty())
+    return invalid("survival.resume_salvage_torn_tail requires a "
+                   "survival.resume_path to salvage");
   if (sv.chunk_pairs == 0) {
     if (!sv.checkpoint_path.empty())
       return invalid("survival.checkpoint_path requires chunk_pairs > 0 "

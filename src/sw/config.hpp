@@ -41,10 +41,16 @@ struct ScoringConfig {
   bool traceback = true;  // run the detailed CPU alignment on hits
   // Engine selection, same precedence as ScreenConfig: backend_v2 (not
   // owned, must outlive the run) over chunk_backend over backend over the
-  // host BPBC path.
+  // database store over the host BPBC path.
   ScoreBackend backend;
   ChunkBackend chunk_backend;
   Backend* backend_v2 = nullptr;
+  // Pre-transposed database store serving the ys side (not owned; must
+  // outlive the run). The builder rejects combining it with an explicit
+  // backend, and requires chunk_pairs to be shard-aligned (a multiple of
+  // 64) so every chunk maps onto whole shards.
+  db::Reader* database = nullptr;
+  bool db_verify_content = true;
 };
 
 /// Long-run survivability: chunk geometry, retry budget, the overlap
@@ -58,6 +64,10 @@ struct SurvivalConfig {
   util::Deadline deadline;
   std::string checkpoint_path;
   std::string resume_path;
+  // Accept a resume stream with a torn (crash-truncated) final record:
+  // completed records resume, the tail is recomputed. Other defects still
+  // reject. Requires resume_path.
+  bool resume_salvage_torn_tail = false;
 };
 
 /// How the run reports on itself; never changes what it computes.

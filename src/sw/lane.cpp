@@ -45,22 +45,25 @@ std::optional<LaneWidth> parse_lane_width(std::string_view s) {
   return std::nullopt;
 }
 
+util::Expected<std::optional<LaneWidth>> parse_forced_lane_width(
+    const char* value) {
+  if (value == nullptr || *value == '\0') return std::optional<LaneWidth>{};
+  const std::optional<LaneWidth> parsed = parse_lane_width(value);
+  if (!parsed) {
+    return util::Status::invalid_input(
+        std::string("SWBPBC_FORCE_LANE_WIDTH: unknown lane width \"") +
+        value + "\" (expected 32|64|128|256|512|scalar-wide|auto)");
+  }
+  return std::optional<LaneWidth>(parsed);
+}
+
 namespace {
 
 // The env override is read and validated once: screening hot paths resolve
 // the width per chunk, and a mid-run env change must not flip the width.
 std::optional<LaneWidth> forced_lane_width() {
-  static const std::optional<LaneWidth> cached = [] {
-    const char* env = std::getenv("SWBPBC_FORCE_LANE_WIDTH");
-    if (env == nullptr || *env == '\0') return std::optional<LaneWidth>{};
-    const std::optional<LaneWidth> parsed = parse_lane_width(env);
-    if (!parsed) {
-      throw util::StatusError(util::Status::invalid_input(
-          std::string("SWBPBC_FORCE_LANE_WIDTH: unknown lane width \"") +
-          env + "\" (expected 32|64|128|256|512|scalar-wide|auto)"));
-    }
-    return parsed;
-  }();
+  static const std::optional<LaneWidth> cached =
+      parse_forced_lane_width(std::getenv("SWBPBC_FORCE_LANE_WIDTH")).value();
   return cached;
 }
 

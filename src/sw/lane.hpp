@@ -22,6 +22,8 @@
 #include <optional>
 #include <string_view>
 
+#include "util/status.hpp"
+
 namespace swbpbc::sw {
 
 /// Lane-word width selector for the non-template front ends.
@@ -46,6 +48,15 @@ enum class LaneWidth {
 
 /// Inverse of lane_width_name; nullopt for anything else.
 [[nodiscard]] std::optional<LaneWidth> parse_lane_width(std::string_view s);
+
+/// Validates a SWBPBC_FORCE_LANE_WIDTH-style override value without
+/// touching the process environment: nullptr/empty means "no override"
+/// (nullopt), a valid name is that width, anything else is a typed
+/// kInvalidInput naming the value and the accepted spellings. This is the
+/// exact policy resolve_lane_width applies to the real variable — exposed
+/// pure so tests and tools can exercise it directly.
+[[nodiscard]] util::Expected<std::optional<LaneWidth>>
+parse_forced_lane_width(const char* value);
 
 /// Concrete width for `requested` under the policy above. Never returns
 /// kAuto. Throws util::StatusError(kInvalidInput) if

@@ -9,7 +9,10 @@
 #include <thread>
 #include <utility>
 
+#include "db/builder.hpp"
+#include "db/reader.hpp"
 #include "sw/backend.hpp"
+#include "sw/db_backend.hpp"
 #include "sw/wordwise.hpp"
 #include "util/checkpoint.hpp"
 #include "util/checksum.hpp"
@@ -192,6 +195,30 @@ util::Expected<ScreenReport> try_screen(std::span<const Sequence> xs,
                                         const ScreenConfig& config) {
   if (util::Status s = validate_batch(xs, ys); !s.ok()) return s;
 
+  // A configured database must actually describe this batch: shape
+  // disagreement or (unless disabled) a content-fingerprint mismatch is a
+  // typed error before any chunk runs — a stale store would otherwise
+  // score the wrong sequences bit-perfectly.
+  if (config.database != nullptr) {
+    const db::Reader& rd = *config.database;
+    if (rd.entry_count() != ys.size() ||
+        rd.entry_length() != ys.front().size() ||
+        rd.plane_bits() != encoding::kBitsPerBase)
+      return util::Status::db_mismatch(
+          "database '" + rd.path() + "' holds " +
+          std::to_string(rd.entry_count()) + " entries of length " +
+          std::to_string(rd.entry_length()) + " at " +
+          std::to_string(rd.plane_bits()) + " planes; the batch screens " +
+          std::to_string(ys.size()) + " texts of length " +
+          std::to_string(ys.front().size()));
+    if (config.db_verify_content &&
+        db::content_fingerprint(ys) != rd.content_fingerprint())
+      return util::Status::db_mismatch(
+          "database '" + rd.path() +
+          "' content fingerprint disagrees with the ys batch (stale or "
+          "reordered database; rebuild it from these sequences)");
+  }
+
   const std::size_t count = xs.size();
   const std::size_t chunk_pairs =
       config.chunk_pairs == 0 ? count
@@ -217,18 +244,27 @@ util::Expected<ScreenReport> try_screen(std::span<const Sequence> xs,
   }
 
   // Backend resolution (v2): an explicit Backend wins; the v1 function
-  // backends are wrapped through the compat adapters; the host BPBC path
-  // is the default. One interface runs every chunk from here on.
+  // backends are wrapped through the compat adapters; a configured
+  // database store serves ys from disk; the host BPBC path is the
+  // default. One interface runs every chunk from here on.
   std::unique_ptr<Backend> owned_backend;
   Backend* const backend = [&]() -> Backend* {
     if (config.backend_v2 != nullptr) return config.backend_v2;
-    if (config.chunk_backend)
+    if (config.chunk_backend) {
       owned_backend = adapt_chunk_backend(config.chunk_backend);
-    else if (config.backend)
+    } else if (config.backend) {
       owned_backend = adapt_score_backend(config.backend);
-    else
+    } else if (config.database != nullptr) {
+      DbBackendOptions options;
+      options.params = config.params;
+      options.width = config.width;
+      options.mode = config.mode;
+      options.method = config.method;
+      owned_backend = make_db_backend(*config.database, options);
+    } else {
       owned_backend = make_host_backend(config.params, config.width,
                                         config.mode, config.method);
+    }
     return owned_backend.get();
   }();
 
@@ -263,7 +299,10 @@ util::Expected<ScreenReport> try_screen(std::span<const Sequence> xs,
           ? batch_fingerprint(xs, ys, config, chunk_pairs)
           : 0;
   if (!config.resume_path.empty()) {
-    auto loaded = util::read_checkpoint(config.resume_path, fingerprint);
+    auto loaded =
+        config.resume_salvage_torn_tail
+            ? util::read_checkpoint_salvage(config.resume_path, fingerprint)
+            : util::read_checkpoint(config.resume_path, fingerprint);
     if (!loaded.has_value()) return loaded.status();
     resume = std::move(loaded).value();
     have_resume = true;
@@ -301,6 +340,7 @@ util::Expected<ScreenReport> try_screen(std::span<const Sequence> xs,
                           report.chunks[c].end - report.chunks[c].begin);
       job.ys = ys.subspan(report.chunks[c].begin,
                           report.chunks[c].end - report.chunks[c].begin);
+      job.first_pair = report.chunks[c].begin;
       job.stop = stop_ptr;
       backend->submit(job);
       ++in_flight;
@@ -378,6 +418,7 @@ util::Expected<ScreenReport> try_screen(std::span<const Sequence> xs,
             job.attempt = outcome.retries;
             job.xs = cx;
             job.ys = cy;
+            job.first_pair = begin;
             job.stop = stop_ptr;
             r = backend->run(job);
           }
@@ -398,6 +439,10 @@ util::Expected<ScreenReport> try_screen(std::span<const Sequence> xs,
           }
           report.reliability.integrity_checks += r.integrity_checks;
           report.reliability.integrity_ms += r.integrity_ms;
+          report.reliability.db_shards_served += r.db_shards_served;
+          report.reliability.db_shards_quarantined += r.db_shards_quarantined;
+          report.reliability.db_pairs_reingested += r.db_pairs_reingested;
+          report.reliability.db_pairs_fallback += r.db_pairs_fallback;
           for (StageFault f : r.faults) {
             f.chunk = c;
             report.reliability.stage_faults.push_back(f);
@@ -531,6 +576,10 @@ util::Expected<ScreenReport> try_screen(std::span<const Sequence> xs,
     count_if("screen.integrity_checks", rel.integrity_checks);
     count_if("screen.integrity_faults", rel.integrity_faults);
     count_if("screen.chunk_retries", rel.chunk_retries);
+    count_if("screen.db_shards_served", rel.db_shards_served);
+    count_if("screen.db_shards_quarantined", rel.db_shards_quarantined);
+    count_if("screen.db_pairs_reingested", rel.db_pairs_reingested);
+    count_if("screen.db_pairs_fallback", rel.db_pairs_fallback);
     switch (report.status.code()) {
       case util::ErrorCode::kCancelled:
         reg.counter("screen.cancelled").add(1);

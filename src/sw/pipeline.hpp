@@ -23,6 +23,10 @@
 #include "util/cancel.hpp"
 #include "util/status.hpp"
 
+namespace swbpbc::db {
+class Reader;  // db/reader.hpp — the pre-transposed database store
+}  // namespace swbpbc::db
+
 namespace swbpbc::sw {
 
 class Backend;  // sw/backend.hpp — the v2 unified backend interface
@@ -53,6 +57,14 @@ struct ChunkResult {
   // SWA phase, matching the pre-v2 behaviour exactly.
   PhaseTimings timings;
   bool has_phase_timings = false;
+  // Database-store serving counters (sw/db_backend.hpp); zero for every
+  // other backend. Quarantine/re-ingest is a *persistent*-corruption
+  // recovery — deliberately not reported through `faults`, which would
+  // burn whole-chunk retries on damage a re-run cannot clear.
+  std::uint64_t db_shards_served = 0;       // shards served zero-copy
+  std::uint64_t db_shards_quarantined = 0;  // failed checksum, re-ingested
+  std::uint64_t db_pairs_reingested = 0;    // pairs scored from re-ingest
+  std::uint64_t db_pairs_fallback = 0;      // whole-job in-memory fallback
 };
 
 /// Integrity-aware chunk backend (device::make_chunk_backend adapts the
@@ -104,6 +116,17 @@ struct ScreenConfig {
   // backend whose caps().streams is true unlocks the overlapped chunk
   // pipeline (see overlap_depth).
   Backend* backend_v2 = nullptr;
+  // Pre-transposed database store holding the ys side (sw/db_backend.hpp
+  // serves it; only the query side pays W2B at serve time). Not owned —
+  // must outlive the screen call. Used when no explicit backend is set;
+  // the batch's ys must be exactly the database's entries in order
+  // (verified via content fingerprint unless db_verify_content is off).
+  db::Reader* database = nullptr;
+  // Cross-check the database's content fingerprint against the ys batch
+  // before the first chunk; a disagreement is a typed kDbMismatch. Costs
+  // one FNV pass over ys. On by default — stale databases otherwise score
+  // the wrong sequences bit-perfectly.
+  bool db_verify_content = true;
   // In-flight chunk window for stream-capable v2 backends: while chunk k
   // is computing, chunks k+1 .. k+overlap_depth-1 are already submitted,
   // so their H2G/W2B overlaps k's SWA and k-1's B2W/G2H. 1 = serial (the
@@ -128,6 +151,11 @@ struct ScreenConfig {
   // (kCheckpointCorrupt / kCheckpointMismatch) — rerun without it to
   // recompute from scratch.
   std::string resume_path;
+  // Accept a resume stream whose final record is torn (the writer crashed
+  // mid-append): completed leading records are resumed, the torn tail is
+  // recomputed. Every other defect — bad magic, flipped byte in a
+  // complete record, version/fingerprint mismatch — still rejects.
+  bool resume_salvage_torn_tail = false;
   // Telemetry sink (telemetry::Telemetry::sink(); nullptr = disabled).
   // Records screen / chunk / backend / self-check / quarantine /
   // checkpoint / progress-callback spans and folds chunk throughput and

@@ -81,6 +81,17 @@ struct ReliabilityReport {
   std::vector<StageFault> stage_faults;
   double integrity_ms = 0.0;            // time spent in stage checks
 
+  // Database-store serving (sw/db_backend.hpp): shards served zero-copy
+  // from the mmap, shards that failed their first-touch checksum and were
+  // quarantined, pairs recovered by re-ingesting the quarantined shards
+  // from the raw sequences, and pairs scored by the whole-job in-memory
+  // fallback (jobs the store cannot map: unknown origin, misaligned, or
+  // shape-mismatched). All zero when no database is configured.
+  std::uint64_t db_shards_served = 0;
+  std::uint64_t db_shards_quarantined = 0;
+  std::uint64_t db_pairs_reingested = 0;
+  std::uint64_t db_pairs_fallback = 0;
+
   /// Every detected mismatch must end up recovered or fallen back — the
   /// accounting invariant the fault drill asserts.
   [[nodiscard]] bool balanced() const {
@@ -97,6 +108,13 @@ struct ReliabilityReport {
     if (integrity_checks != 0 || integrity_faults != 0) {
       s += " stage_faults=" + std::to_string(integrity_faults) +
            " chunk_retries=" + std::to_string(chunk_retries);
+    }
+    if (db_shards_served != 0 || db_shards_quarantined != 0 ||
+        db_pairs_fallback != 0) {
+      s += " db_shards=" + std::to_string(db_shards_served) +
+           " db_quarantined=" + std::to_string(db_shards_quarantined) +
+           " db_reingested=" + std::to_string(db_pairs_reingested) +
+           " db_fallback=" + std::to_string(db_pairs_fallback);
     }
     return s;
   }

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "util/checksum.hpp"
+#include "util/io.hpp"
 
 namespace swbpbc::util {
 
@@ -38,84 +39,20 @@ std::uint64_t record_checksum(std::uint64_t chunk_index,
   return fnv1a_span(payload, h);
 }
 
-}  // namespace
-
-Expected<CheckpointWriter> CheckpointWriter::try_create(
-    const std::string& path, std::uint64_t fingerprint) {
-  std::FILE* file = std::fopen(path.c_str(), "wb");
-  if (file == nullptr)
-    return Status::checkpoint_corrupt("cannot create checkpoint file '" +
-                                      path + "'");
-  const Header header{kMagic, kCheckpointVersion, 0, fingerprint};
-  if (std::fwrite(&header, sizeof(header), 1, file) != 1 ||
-      std::fflush(file) != 0) {
-    std::fclose(file);
-    return Status::checkpoint_corrupt("cannot write checkpoint header to '" +
-                                      path + "'");
-  }
-  return CheckpointWriter(file, path);
-}
-
-CheckpointWriter::CheckpointWriter(CheckpointWriter&& other) noexcept
-    : file_(std::exchange(other.file_, nullptr)),
-      path_(std::move(other.path_)) {}
-
-CheckpointWriter& CheckpointWriter::operator=(
-    CheckpointWriter&& other) noexcept {
-  if (this != &other) {
-    if (file_ != nullptr) std::fclose(file_);
-    file_ = std::exchange(other.file_, nullptr);
-    path_ = std::move(other.path_);
-  }
-  return *this;
-}
-
-CheckpointWriter::~CheckpointWriter() {
-  if (file_ != nullptr) std::fclose(file_);
-}
-
-Status CheckpointWriter::append(std::uint64_t chunk_index,
-                                std::span<const std::uint8_t> payload) {
-  if (file_ == nullptr)
-    return Status::internal("append on a moved-from CheckpointWriter");
-  const RecordHead head{kRecordMarker, 0, chunk_index,
-                        static_cast<std::uint64_t>(payload.size())};
-  const std::uint64_t crc = record_checksum(chunk_index, payload);
-  if (std::fwrite(&head, sizeof(head), 1, file_) != 1 ||
-      (!payload.empty() &&
-       std::fwrite(payload.data(), 1, payload.size(), file_) !=
-           payload.size()) ||
-      std::fwrite(&crc, sizeof(crc), 1, file_) != 1 ||
-      std::fflush(file_) != 0) {
-    return Status::checkpoint_corrupt("write to checkpoint '" + path_ +
-                                      "' failed (chunk " +
-                                      std::to_string(chunk_index) + ")");
-  }
-  return {};
-}
-
-const CheckpointRecord* CheckpointData::find(
-    std::uint64_t chunk_index) const {
-  const CheckpointRecord* found = nullptr;
-  for (const CheckpointRecord& r : records) {
-    if (r.chunk_index == chunk_index) found = &r;
-  }
-  return found;
-}
-
-Expected<CheckpointData> read_checkpoint(
-    const std::string& path, std::uint64_t expected_fingerprint) {
-  std::FILE* file = std::fopen(path.c_str(), "rb");
-  if (file == nullptr)
+// Shared parser for the strict and salvage readers. In salvage mode a
+// stream that ends inside a record (the torn tail of a crashed append)
+// returns the validated prefix; every other defect stays a typed error.
+Expected<CheckpointData> read_checkpoint_impl(
+    const std::string& path, std::uint64_t expected_fingerprint,
+    bool salvage_torn_tail) {
+  auto fd = open_for_read(path);
+  if (!fd.has_value())
     return Status::checkpoint_corrupt("cannot open checkpoint file '" + path +
                                       "'");
-  struct Closer {
-    std::FILE* f;
-    ~Closer() { std::fclose(f); }
-  } closer{file};
 
   Header header{};
-  if (std::fread(&header, sizeof(header), 1, file) != 1)
+  const auto header_got = read_full(fd->get(), &header, sizeof(header));
+  if (!header_got.has_value() || *header_got != sizeof(header))
     return Status::checkpoint_corrupt("checkpoint '" + path +
                                       "' truncated inside the header");
   if (header.magic != kMagic)
@@ -136,12 +73,18 @@ Expected<CheckpointData> read_checkpoint(
   data.fingerprint = header.fingerprint;
   for (std::size_t index = 0;; ++index) {
     RecordHead head{};
-    const std::size_t got = std::fread(&head, 1, sizeof(head), file);
-    if (got == 0) break;  // clean end of stream
-    if (got != sizeof(head))
+    const auto got = read_full(fd->get(), &head, sizeof(head));
+    if (!got.has_value())
+      return Status::checkpoint_corrupt("checkpoint '" + path +
+                                        "' read failed: " +
+                                        got.status().message());
+    if (*got == 0) break;  // clean end of stream
+    if (*got != sizeof(head)) {
+      if (salvage_torn_tail) break;
       return Status::checkpoint_corrupt(
           "checkpoint '" + path + "' truncated inside record " +
           std::to_string(index) + "'s header");
+    }
     if (head.marker != kRecordMarker)
       return Status::checkpoint_corrupt("checkpoint '" + path +
                                         "' record " + std::to_string(index) +
@@ -153,17 +96,32 @@ Expected<CheckpointData> read_checkpoint(
     CheckpointRecord record;
     record.chunk_index = head.chunk_index;
     record.payload.resize(static_cast<std::size_t>(head.payload_bytes));
-    if (!record.payload.empty() &&
-        std::fread(record.payload.data(), 1, record.payload.size(), file) !=
-            record.payload.size())
-      return Status::checkpoint_corrupt(
-          "checkpoint '" + path + "' truncated inside record " +
-          std::to_string(index) + "'s payload");
+    if (!record.payload.empty()) {
+      const auto payload_got =
+          read_full(fd->get(), record.payload.data(), record.payload.size());
+      if (!payload_got.has_value())
+        return Status::checkpoint_corrupt("checkpoint '" + path +
+                                          "' read failed: " +
+                                          payload_got.status().message());
+      if (*payload_got != record.payload.size()) {
+        if (salvage_torn_tail) break;
+        return Status::checkpoint_corrupt(
+            "checkpoint '" + path + "' truncated inside record " +
+            std::to_string(index) + "'s payload");
+      }
+    }
     std::uint64_t crc = 0;
-    if (std::fread(&crc, sizeof(crc), 1, file) != 1)
+    const auto crc_got = read_full(fd->get(), &crc, sizeof(crc));
+    if (!crc_got.has_value())
+      return Status::checkpoint_corrupt("checkpoint '" + path +
+                                        "' read failed: " +
+                                        crc_got.status().message());
+    if (*crc_got != sizeof(crc)) {
+      if (salvage_torn_tail) break;
       return Status::checkpoint_corrupt(
           "checkpoint '" + path + "' truncated before record " +
           std::to_string(index) + "'s checksum");
+    }
     if (crc != record_checksum(record.chunk_index, record.payload))
       return Status::checkpoint_corrupt(
           "checkpoint '" + path + "' record " + std::to_string(index) +
@@ -172,6 +130,67 @@ Expected<CheckpointData> read_checkpoint(
     data.records.push_back(std::move(record));
   }
   return data;
+}
+
+}  // namespace
+
+Expected<CheckpointWriter> CheckpointWriter::try_create(
+    const std::string& path, std::uint64_t fingerprint) {
+  auto fd = open_for_write(path);
+  if (!fd.has_value())
+    return Status::checkpoint_corrupt("cannot create checkpoint file '" +
+                                      path + "': " + fd.status().message());
+  const Header header{kMagic, kCheckpointVersion, 0, fingerprint};
+  if (Status s = write_full(fd->get(), &header, sizeof(header)); !s.ok()) {
+    return Status::checkpoint_corrupt("cannot write checkpoint header to '" +
+                                      path + "': " + s.message());
+  }
+  return CheckpointWriter(std::move(fd).value(), path);
+}
+
+Status CheckpointWriter::append(std::uint64_t chunk_index,
+                                std::span<const std::uint8_t> payload) {
+  if (!fd_.valid())
+    return Status::internal("append on a moved-from CheckpointWriter");
+  const RecordHead head{kRecordMarker, 0, chunk_index,
+                        static_cast<std::uint64_t>(payload.size())};
+  const std::uint64_t crc = record_checksum(chunk_index, payload);
+  // One contiguous buffer per record: a single write_full means the only
+  // failure artifact a crash can leave is a short tail, never interleaved
+  // partial fields.
+  std::vector<std::uint8_t> buf(sizeof(head) + payload.size() + sizeof(crc));
+  std::memcpy(buf.data(), &head, sizeof(head));
+  if (!payload.empty())
+    std::memcpy(buf.data() + sizeof(head), payload.data(), payload.size());
+  std::memcpy(buf.data() + sizeof(head) + payload.size(), &crc, sizeof(crc));
+  if (Status s = write_full(fd_.get(), buf.data(), buf.size()); !s.ok()) {
+    return Status::checkpoint_corrupt("write to checkpoint '" + path_ +
+                                      "' failed (chunk " +
+                                      std::to_string(chunk_index) +
+                                      "): " + s.message());
+  }
+  return {};
+}
+
+const CheckpointRecord* CheckpointData::find(
+    std::uint64_t chunk_index) const {
+  const CheckpointRecord* found = nullptr;
+  for (const CheckpointRecord& r : records) {
+    if (r.chunk_index == chunk_index) found = &r;
+  }
+  return found;
+}
+
+Expected<CheckpointData> read_checkpoint(
+    const std::string& path, std::uint64_t expected_fingerprint) {
+  return read_checkpoint_impl(path, expected_fingerprint,
+                              /*salvage_torn_tail=*/false);
+}
+
+Expected<CheckpointData> read_checkpoint_salvage(
+    const std::string& path, std::uint64_t expected_fingerprint) {
+  return read_checkpoint_impl(path, expected_fingerprint,
+                              /*salvage_torn_tail=*/true);
 }
 
 }  // namespace swbpbc::util

@@ -17,11 +17,11 @@
 #pragma once
 
 #include <cstdint>
-#include <cstdio>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "util/io.hpp"
 #include "util/status.hpp"
 
 namespace swbpbc::util {
@@ -29,29 +29,31 @@ namespace swbpbc::util {
 inline constexpr std::uint32_t kCheckpointVersion = 1;
 
 /// Appends checksummed chunk records to a checkpoint file. Move-only;
-/// the destructor closes the file. Each append is flushed so the stream
-/// survives the process dying right after a chunk completes.
+/// the destructor closes the file. Each record is issued as one EINTR-safe
+/// unbuffered write (util::write_full), so the stream left by a process
+/// dying mid-append is a clean prefix plus at most one torn tail record —
+/// the case read_checkpoint_salvage recovers from.
 class CheckpointWriter {
  public:
   /// Creates/truncates `path` and writes the header.
   static Expected<CheckpointWriter> try_create(const std::string& path,
                                                std::uint64_t fingerprint);
 
-  CheckpointWriter(CheckpointWriter&& other) noexcept;
-  CheckpointWriter& operator=(CheckpointWriter&& other) noexcept;
+  CheckpointWriter(CheckpointWriter&&) noexcept = default;
+  CheckpointWriter& operator=(CheckpointWriter&&) noexcept = default;
   CheckpointWriter(const CheckpointWriter&) = delete;
   CheckpointWriter& operator=(const CheckpointWriter&) = delete;
-  ~CheckpointWriter();
+  ~CheckpointWriter() = default;
 
-  /// Appends one complete record and flushes it.
+  /// Appends one complete record in a single write.
   Status append(std::uint64_t chunk_index,
                 std::span<const std::uint8_t> payload);
 
  private:
-  CheckpointWriter(std::FILE* file, std::string path)
-      : file_(file), path_(std::move(path)) {}
+  CheckpointWriter(UniqueFd fd, std::string path)
+      : fd_(std::move(fd)), path_(std::move(path)) {}
 
-  std::FILE* file_ = nullptr;
+  UniqueFd fd_;
   std::string path_;
 };
 
@@ -77,5 +79,16 @@ struct CheckpointData {
 /// kCheckpointMismatch.
 Expected<CheckpointData> read_checkpoint(const std::string& path,
                                          std::uint64_t expected_fingerprint);
+
+/// Torn-write-tolerant variant for resuming after a crash: when the ONLY
+/// defect is that the stream ends mid-record (the torn tail a process
+/// death during append leaves), the clean prefix of complete, validated
+/// records is returned and the tail is dropped — the screen recomputes
+/// just that chunk. Every other defect (bad magic, flipped payload byte
+/// with the full record present, wrong version/fingerprint) is rejected
+/// exactly like read_checkpoint: truncation is an expected crash artifact;
+/// bit rot inside a complete record is not.
+Expected<CheckpointData> read_checkpoint_salvage(
+    const std::string& path, std::uint64_t expected_fingerprint);
 
 }  // namespace swbpbc::util

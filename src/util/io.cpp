@@ -1,0 +1,120 @@
+#include "util/io.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+namespace swbpbc::util {
+
+namespace {
+
+Status errno_status(const std::string& what) {
+  return Status::internal(what + ": " + std::strerror(errno));
+}
+
+// Last '/'-separated component stripped; "." when the path has none.
+std::string parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace
+
+void UniqueFd::reset() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status UniqueFd::close() {
+  if (fd_ < 0) return {};
+  const int fd = std::exchange(fd_, -1);
+  if (::close(fd) != 0) return errno_status("close");
+  return {};
+}
+
+Expected<UniqueFd> open_for_read(const std::string& path) {
+  int fd;
+  do {
+    fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) return errno_status("open '" + path + "' for reading");
+  return UniqueFd(fd);
+}
+
+Expected<UniqueFd> open_for_write(const std::string& path) {
+  int fd;
+  do {
+    fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) return errno_status("open '" + path + "' for writing");
+  return UniqueFd(fd);
+}
+
+Expected<std::size_t> read_full(int fd, void* data, std::size_t size) {
+  auto* p = static_cast<unsigned char*>(data);
+  std::size_t done = 0;
+  while (done < size) {
+    const ::ssize_t got = ::read(fd, p + done, size - done);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return errno_status("read");
+    }
+    if (got == 0) break;  // end of file
+    done += static_cast<std::size_t>(got);
+  }
+  return done;
+}
+
+Status write_full(int fd, const void* data, std::size_t size) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::size_t done = 0;
+  while (done < size) {
+    const ::ssize_t put = ::write(fd, p + done, size - done);
+    if (put < 0) {
+      if (errno == EINTR) continue;
+      return errno_status("write");
+    }
+    done += static_cast<std::size_t>(put);
+  }
+  return {};
+}
+
+Status fsync_file(int fd) {
+  int rc;
+  do {
+    rc = ::fsync(fd);
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) return errno_status("fsync");
+  return {};
+}
+
+Status fsync_and_rename(int fd, const std::string& tmp_path,
+                        const std::string& final_path) {
+  if (Status s = fsync_file(fd); !s.ok()) return s;
+  if (::rename(tmp_path.c_str(), final_path.c_str()) != 0)
+    return errno_status("rename '" + tmp_path + "' -> '" + final_path + "'");
+  // Durability of the rename itself: fsync the directory entry. A
+  // directory we cannot open (exotic filesystems) degrades to the classic
+  // non-durable rename rather than failing the publish.
+  auto dir = open_for_read(parent_dir(final_path));
+  if (dir.has_value()) {
+    if (Status s = fsync_file(dir->get()); !s.ok()) return s;
+  }
+  return {};
+}
+
+Expected<std::uint64_t> file_size(int fd) {
+  struct ::stat st{};
+  if (::fstat(fd, &st) != 0) return errno_status("fstat");
+  return static_cast<std::uint64_t>(st.st_size);
+}
+
+}  // namespace swbpbc::util

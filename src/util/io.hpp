@@ -1,0 +1,88 @@
+// EINTR-safe file-descriptor IO for the durable on-disk artifacts
+// (checkpoint streams, the pre-transposed database store).
+//
+// The stdio layer the checkpoint writer started on buffers writes and
+// hides partial-write/EINTR semantics; a screening service that promises
+// "a record is durable once append() returned" needs the raw fd
+// discipline instead: read_full/write_full retry short transfers and
+// EINTR, and fsync_and_rename implements the atomic-publish idiom (write
+// a temp file, fsync it, rename over the final path, fsync the parent
+// directory) so a crash leaves either the old file or the complete new
+// one — never a torn hybrid.
+//
+// Errors are reported as util::Status (kInternal carrying errno text);
+// callers at a typed boundary re-wrap into their own taxonomy
+// (kCheckpointCorrupt, kDbCorrupt, ...).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "util/status.hpp"
+
+namespace swbpbc::util {
+
+/// Move-only RAII file descriptor. Closes on destruction; close errors on
+/// the destructor path are swallowed (call close() explicitly where they
+/// matter, e.g. before publishing a written file).
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) : fd_(fd) {}
+  UniqueFd(UniqueFd&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+  UniqueFd& operator=(UniqueFd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = std::exchange(other.fd_, -1);
+    }
+    return *this;
+  }
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+  ~UniqueFd() { reset(); }
+
+  [[nodiscard]] int get() const { return fd_; }
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  explicit operator bool() const { return valid(); }
+
+  /// Closes now and reports the close() error (a buffered-write flush
+  /// failure can surface here).
+  Status close();
+
+ private:
+  void reset();
+
+  int fd_ = -1;
+};
+
+/// Opens `path` read-only. kInternal with errno text on failure.
+Expected<UniqueFd> open_for_read(const std::string& path);
+
+/// Creates/truncates `path` for writing (mode 0644).
+Expected<UniqueFd> open_for_write(const std::string& path);
+
+/// Reads exactly `size` bytes unless the stream ends first; retries EINTR
+/// and short reads. Returns the byte count actually read — equal to
+/// `size`, or smaller only at end-of-file (the caller distinguishes a
+/// clean EOF from a torn tail).
+Expected<std::size_t> read_full(int fd, void* data, std::size_t size);
+
+/// Writes all `size` bytes, retrying EINTR and short writes.
+Status write_full(int fd, const void* data, std::size_t size);
+
+/// fsync(fd), EINTR-safe.
+Status fsync_file(int fd);
+
+/// Atomic durable publish: fsync(fd) (the open temp file), rename
+/// tmp_path -> final_path, then fsync the parent directory of final_path
+/// so the rename itself is durable. The fd is NOT closed — callers close
+/// it (or let RAII) after this returns.
+Status fsync_and_rename(int fd, const std::string& tmp_path,
+                        const std::string& final_path);
+
+/// Size of an open file in bytes (fstat).
+Expected<std::uint64_t> file_size(int fd);
+
+}  // namespace swbpbc::util

@@ -26,6 +26,10 @@ const char* error_code_name(ErrorCode code) {
       return "CHECKPOINT_CORRUPT";
     case ErrorCode::kCheckpointMismatch:
       return "CHECKPOINT_MISMATCH";
+    case ErrorCode::kDbCorrupt:
+      return "DB_CORRUPT";
+    case ErrorCode::kDbMismatch:
+      return "DB_MISMATCH";
     case ErrorCode::kCallbackError:
       return "CALLBACK_ERROR";
     case ErrorCode::kInternal:

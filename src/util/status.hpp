@@ -30,6 +30,8 @@ enum class ErrorCode {
   kDeadlineExceeded,   // a wall-clock deadline expired mid-run
   kCheckpointCorrupt,  // checkpoint stream unreadable/truncated/bad checksum
   kCheckpointMismatch, // checkpoint version or batch fingerprint disagrees
+  kDbCorrupt,          // database store unreadable / failed a checksum
+  kDbMismatch,         // database version/lane/endianness/content disagrees
   kCallbackError,      // a user-supplied observer/callback threw
   kInternal,           // invariant violation inside the library
 };
@@ -72,6 +74,12 @@ class [[nodiscard]] Status {
   }
   static Status checkpoint_mismatch(std::string m) {
     return {ErrorCode::kCheckpointMismatch, std::move(m)};
+  }
+  static Status db_corrupt(std::string m) {
+    return {ErrorCode::kDbCorrupt, std::move(m)};
+  }
+  static Status db_mismatch(std::string m) {
+    return {ErrorCode::kDbMismatch, std::move(m)};
   }
   static Status callback_error(std::string m) {
     return {ErrorCode::kCallbackError, std::move(m)};

@@ -159,6 +159,53 @@ TEST(ScreenSpecBuilder, RejectsOverlapWithoutStreamBackend) {
                  "backend_v2");
 }
 
+TEST(ScreenSpecBuilder, RejectsDatabaseCombinedWithExplicitBackend) {
+  device::EngineOptions eopts;
+  eopts.params = kParams;
+  device::PipelineEngine engine(eopts);
+  // Any non-null Reader* triggers the rule; the pointer is never
+  // dereferenced during validation.
+  auto* fake_db = reinterpret_cast<db::Reader*>(&eopts);
+  ScoringConfig scoring;
+  scoring.params = kParams;
+  scoring.database = fake_db;
+  scoring.backend_v2 = &engine;
+  expect_invalid(ScreenSpecBuilder().scoring(scoring).build(),
+                 "scoring.database");
+}
+
+TEST(ScreenSpecBuilder, RejectsDatabaseWithMisalignedChunks) {
+  ScoringConfig scoring;
+  scoring.params = kParams;
+  scoring.database = reinterpret_cast<db::Reader*>(&scoring);
+  SurvivalConfig survival;
+  survival.chunk_pairs = 100;  // not a multiple of the 64-lane shard
+  expect_invalid(
+      ScreenSpecBuilder().scoring(scoring).survival(survival).build(),
+      "multiple of 64");
+}
+
+TEST(ScreenSpecBuilder, AcceptsDatabaseWithShardAlignedChunks) {
+  ScoringConfig scoring;
+  scoring.params = kParams;
+  scoring.database = reinterpret_cast<db::Reader*>(&scoring);
+  SurvivalConfig survival;
+  survival.chunk_pairs = 128;
+  const auto built =
+      ScreenSpecBuilder().scoring(scoring).survival(survival).build();
+  ASSERT_TRUE(built.has_value()) << built.status().to_string();
+  EXPECT_EQ(built->database, scoring.database);
+  EXPECT_TRUE(built->db_verify_content);
+}
+
+TEST(ScreenSpecBuilder, RejectsSalvageWithoutResumePath) {
+  SurvivalConfig survival;
+  survival.chunk_pairs = 64;
+  survival.resume_salvage_torn_tail = true;
+  expect_invalid(ScreenSpecBuilder().survival(survival).build(),
+                 "resume_path");
+}
+
 TEST(ScreenSpecBuilder, RejectsNegativeBackoff) {
   SurvivalConfig survival;
   survival.check.enabled = true;

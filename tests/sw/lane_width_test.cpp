@@ -1,0 +1,57 @@
+// SWBPBC_FORCE_LANE_WIDTH override parsing: every accepted spelling, the
+// no-override cases, and the ISSUE's negative case — an unknown value is
+// a typed kInvalidInput naming the variable, never a silent default.
+#include <gtest/gtest.h>
+
+#include "sw/lane.hpp"
+#include "util/status.hpp"
+
+namespace swbpbc::sw {
+namespace {
+
+TEST(ForcedLaneWidth, UnsetAndEmptyMeanNoOverride) {
+  const auto unset = parse_forced_lane_width(nullptr);
+  ASSERT_TRUE(unset.has_value());
+  EXPECT_FALSE(unset->has_value());
+  const auto empty = parse_forced_lane_width("");
+  ASSERT_TRUE(empty.has_value());
+  EXPECT_FALSE(empty->has_value());
+}
+
+TEST(ForcedLaneWidth, AcceptsEverySpelling) {
+  const struct {
+    const char* value;
+    LaneWidth width;
+  } cases[] = {
+      {"32", LaneWidth::k32},   {"64", LaneWidth::k64},
+      {"128", LaneWidth::k128}, {"256", LaneWidth::k256},
+      {"512", LaneWidth::k512}, {"scalar-wide", LaneWidth::kScalarWide},
+      {"auto", LaneWidth::kAuto},
+  };
+  for (const auto& c : cases) {
+    const auto parsed = parse_forced_lane_width(c.value);
+    ASSERT_TRUE(parsed.has_value()) << c.value;
+    ASSERT_TRUE(parsed->has_value()) << c.value;
+    EXPECT_EQ(**parsed, c.width) << c.value;
+  }
+}
+
+TEST(ForcedLaneWidth, UnknownValueIsTypedInvalidInput) {
+  for (const char* bad : {"96", "64 ", "wide", "AUTO", "0"}) {
+    const auto parsed = parse_forced_lane_width(bad);
+    ASSERT_FALSE(parsed.has_value()) << bad;
+    EXPECT_EQ(parsed.status().code(), util::ErrorCode::kInvalidInput) << bad;
+    // The message must name the variable and the value, so the error is
+    // actionable when it surfaces from deep inside a screening run.
+    EXPECT_NE(parsed.status().message().find("SWBPBC_FORCE_LANE_WIDTH"),
+              std::string::npos);
+    EXPECT_NE(parsed.status().message().find(bad), std::string::npos);
+  }
+}
+
+TEST(ForcedLaneWidth, ThrowingAccessorSurfacesTypedError) {
+  EXPECT_THROW(parse_forced_lane_width("banana").value(), util::StatusError);
+}
+
+}  // namespace
+}  // namespace swbpbc::sw

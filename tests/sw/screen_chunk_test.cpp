@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
+#include <fstream>
 #include <memory>
 #include <span>
 #include <string>
@@ -395,6 +396,71 @@ TEST(ScreenResume, CorruptStreamIsTypedErrorThenRecomputes) {
   fresh.resume_path.clear();
   const ScreenReport report = screen(b.xs, b.ys, fresh);
   EXPECT_EQ(report.scores, scalar_refs(b, kParams));
+  std::remove(ckpt.c_str());
+}
+
+TEST(ScreenResume, TornTailSalvageResumesCleanPrefix) {
+  const Batch b = make_batch(24, 30, 8, 14);
+  const std::string ckpt = temp_path("torntail.bin");
+  ScreenConfig base;
+  base.params = kParams;
+  base.threshold = 10;
+  base.chunk_pairs = 10;
+
+  ScreenConfig writer = base;
+  writer.checkpoint_path = ckpt;
+  const ScreenReport full = screen(b.xs, b.ys, writer);
+  ASSERT_TRUE(full.complete());
+
+  // Tear the final record, as a process dying mid-append would.
+  {
+    std::ifstream in(ckpt, std::ios::binary);
+    std::vector<char> data{std::istreambuf_iterator<char>(in),
+                           std::istreambuf_iterator<char>()};
+    in.close();
+    ASSERT_GT(data.size(), 6u);
+    data.resize(data.size() - 6);
+    std::ofstream out(ckpt, std::ios::binary | std::ios::trunc);
+    out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  }
+
+  // Strict resume refuses the stream outright.
+  ScreenConfig strict = base;
+  strict.resume_path = ckpt;
+  const auto refused = try_screen(b.xs, b.ys, strict);
+  ASSERT_FALSE(refused.has_value());
+  EXPECT_EQ(refused.status().code(), util::ErrorCode::kCheckpointCorrupt);
+
+  // Salvage resume recovers the two intact chunks and recomputes the torn
+  // third; the result is bit-identical to the uninterrupted run.
+  std::size_t resumed_chunks = 0;
+  ScreenConfig salvage = base;
+  salvage.resume_path = ckpt;
+  salvage.resume_salvage_torn_tail = true;
+  salvage.progress = [&resumed_chunks](const ChunkProgress& p) {
+    if (p.resumed) ++resumed_chunks;
+  };
+  const ScreenReport resumed = screen(b.xs, b.ys, salvage);
+  EXPECT_TRUE(resumed.status.ok());
+  EXPECT_TRUE(resumed.complete());
+  EXPECT_EQ(resumed_chunks, 2u);
+  EXPECT_FALSE(resumed.chunks[2].resumed);
+  EXPECT_EQ(resumed.scores, full.scores);
+
+  // Salvage is NOT a rot amnesty: a flipped byte inside a complete record
+  // still rejects even with the flag on.
+  {
+    std::FILE* f = std::fopen(ckpt.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 24 + 24 + 1, SEEK_SET);
+    const int c = std::fgetc(f);
+    std::fseek(f, -1, SEEK_CUR);
+    std::fputc(c ^ 0x20, f);
+    std::fclose(f);
+  }
+  const auto rotted = try_screen(b.xs, b.ys, salvage);
+  ASSERT_FALSE(rotted.has_value());
+  EXPECT_EQ(rotted.status().code(), util::ErrorCode::kCheckpointCorrupt);
   std::remove(ckpt.c_str());
 }
 

@@ -160,5 +160,97 @@ TEST(Checkpoint, EmptyStreamLoadsWithNoRecords) {
   std::remove(path.c_str());
 }
 
+// --- torn-tail salvage ---------------------------------------------------
+
+TEST(CheckpointSalvage, TornTailYieldsCleanPrefix) {
+  const std::string path = temp_path("salvage_tail.bin");
+  write_stream(path, 42);
+  std::vector<char> data = slurp(path);
+  data.resize(data.size() - 5);  // writer died mid-append of record 2
+  dump(path, data);
+
+  // Strict load rejects; salvage recovers the complete first record and
+  // drops the torn tail.
+  EXPECT_EQ(read_checkpoint(path, 42).status().code(),
+            ErrorCode::kCheckpointCorrupt);
+  const auto salvaged = read_checkpoint_salvage(path, 42);
+  ASSERT_TRUE(salvaged.has_value()) << salvaged.status().to_string();
+  ASSERT_EQ(salvaged->records.size(), 1u);
+  ASSERT_NE(salvaged->find(0), nullptr);
+  EXPECT_EQ(salvaged->find(0)->payload, bytes({1, 2, 3, 4}));
+  EXPECT_EQ(salvaged->find(2), nullptr);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointSalvage, TornRecordHeadAlsoSalvages) {
+  const std::string path = temp_path("salvage_head.bin");
+  write_stream(path, 42);
+  std::vector<char> data = slurp(path);
+  // Keep the header, record 0 (24B head + 4B payload + 8B crc), and only
+  // 7 bytes of record 1's head.
+  data.resize(24 + (24 + 4 + 8) + 7);
+  dump(path, data);
+
+  const auto salvaged = read_checkpoint_salvage(path, 42);
+  ASSERT_TRUE(salvaged.has_value()) << salvaged.status().to_string();
+  ASSERT_EQ(salvaged->records.size(), 1u);
+  EXPECT_EQ(salvaged->find(0)->payload, bytes({1, 2, 3, 4}));
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointSalvage, IntactStreamSalvagesIdentically) {
+  const std::string path = temp_path("salvage_intact.bin");
+  write_stream(path, 42);
+  const auto strict = read_checkpoint(path, 42);
+  const auto salvaged = read_checkpoint_salvage(path, 42);
+  ASSERT_TRUE(strict.has_value());
+  ASSERT_TRUE(salvaged.has_value());
+  ASSERT_EQ(salvaged->records.size(), strict->records.size());
+  for (std::size_t i = 0; i < strict->records.size(); ++i) {
+    EXPECT_EQ(salvaged->records[i].chunk_index,
+              strict->records[i].chunk_index);
+    EXPECT_EQ(salvaged->records[i].payload, strict->records[i].payload);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointSalvage, BitRotInCompleteRecordStillRejects) {
+  const std::string path = temp_path("salvage_rot.bin");
+  write_stream(path, 42);
+  std::vector<char> data = slurp(path);
+  // Flip a payload byte of record 0 — the record is fully present, so this
+  // is rot, not a torn write, and salvage must NOT paper over it.
+  data[24 + 24 + 1] = static_cast<char>(data[24 + 24 + 1] ^ 0x40);
+  dump(path, data);
+  const auto salvaged = read_checkpoint_salvage(path, 42);
+  ASSERT_FALSE(salvaged.has_value());
+  EXPECT_EQ(salvaged.status().code(), ErrorCode::kCheckpointCorrupt);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointSalvage, HeaderDefectsStillReject) {
+  const std::string path = temp_path("salvage_hdr.bin");
+  write_stream(path, 42);
+  EXPECT_EQ(read_checkpoint_salvage(path, 43).status().code(),
+            ErrorCode::kCheckpointMismatch);  // wrong batch
+  std::vector<char> data = slurp(path);
+  data[0] = static_cast<char>(data[0] ^ 0xFF);
+  dump(path, data);
+  EXPECT_EQ(read_checkpoint_salvage(path, 42).status().code(),
+            ErrorCode::kCheckpointCorrupt);  // bad magic
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointSalvage, TruncatedInsideFileHeaderRejects) {
+  const std::string path = temp_path("salvage_shorthdr.bin");
+  write_stream(path, 42);
+  std::vector<char> data = slurp(path);
+  data.resize(10);  // not even a full stream header: nothing to salvage
+  dump(path, data);
+  EXPECT_EQ(read_checkpoint_salvage(path, 42).status().code(),
+            ErrorCode::kCheckpointCorrupt);
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace swbpbc::util

@@ -1,0 +1,126 @@
+// Raw-fd IO discipline: full-transfer read/write semantics, clean-EOF
+// short reads, typed open failures, and the atomic-publish idiom
+// (temp + fsync + rename) that the checkpoint and database writers build
+// durability on.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "util/io.hpp"
+#include "util/status.hpp"
+
+namespace swbpbc::util {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + "swbpbc_io_" + name;
+}
+
+TEST(Io, WriteFullThenReadFullRoundTrips) {
+  const std::string path = temp_path("roundtrip.bin");
+  std::vector<std::uint8_t> payload(300000);
+  for (std::size_t i = 0; i < payload.size(); ++i)
+    payload[i] = static_cast<std::uint8_t>(i * 131);
+
+  auto w = open_for_write(path);
+  ASSERT_TRUE(w.has_value()) << w.status().to_string();
+  ASSERT_TRUE(write_full(w->get(), payload.data(), payload.size()).ok());
+  ASSERT_TRUE(fsync_file(w->get()).ok());
+  ASSERT_TRUE(w->close().ok());
+
+  auto r = open_for_read(path);
+  ASSERT_TRUE(r.has_value()) << r.status().to_string();
+  const auto size = file_size(r->get());
+  ASSERT_TRUE(size.has_value());
+  EXPECT_EQ(*size, payload.size());
+  std::vector<std::uint8_t> back(payload.size());
+  const auto got = read_full(r->get(), back.data(), back.size());
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, payload.size());
+  EXPECT_EQ(back, payload);
+  std::remove(path.c_str());
+}
+
+TEST(Io, ReadFullReportsCleanEofShort) {
+  const std::string path = temp_path("eof.bin");
+  auto w = open_for_write(path);
+  ASSERT_TRUE(w.has_value());
+  const char five[] = "12345";
+  ASSERT_TRUE(write_full(w->get(), five, 5).ok());
+  ASSERT_TRUE(w->close().ok());
+
+  auto r = open_for_read(path);
+  ASSERT_TRUE(r.has_value());
+  char buf[32] = {};
+  const auto got = read_full(r->get(), buf, sizeof(buf));
+  ASSERT_TRUE(got.has_value());
+  // Short only at end-of-file — the caller's torn-tail signal.
+  EXPECT_EQ(*got, 5u);
+  EXPECT_EQ(std::memcmp(buf, five, 5), 0);
+  std::remove(path.c_str());
+}
+
+TEST(Io, OpenMissingFileIsTypedError) {
+  const auto r = open_for_read(temp_path("nonexistent.bin"));
+  ASSERT_FALSE(r.has_value());
+  EXPECT_EQ(r.status().code(), ErrorCode::kInternal);
+  EXPECT_NE(r.status().message().find("nonexistent"), std::string::npos);
+}
+
+TEST(Io, InvalidFdIsTypedErrorNotUb) {
+  char c = 0;
+  EXPECT_FALSE(read_full(-1, &c, 1).has_value());
+  EXPECT_FALSE(write_full(-1, &c, 1).ok());
+  EXPECT_FALSE(fsync_file(-1).ok());
+  EXPECT_FALSE(file_size(-1).has_value());
+}
+
+TEST(Io, FsyncAndRenamePublishesAtomically) {
+  const std::string final_path = temp_path("publish.bin");
+  const std::string tmp_path = final_path + ".tmp";
+
+  // Pre-existing file at the destination: replaced wholesale, never mixed.
+  {
+    auto old = open_for_write(final_path);
+    ASSERT_TRUE(old.has_value());
+    ASSERT_TRUE(write_full(old->get(), "OLD-CONTENT", 11).ok());
+    ASSERT_TRUE(old->close().ok());
+  }
+
+  auto w = open_for_write(tmp_path);
+  ASSERT_TRUE(w.has_value());
+  ASSERT_TRUE(write_full(w->get(), "NEW", 3).ok());
+  ASSERT_TRUE(fsync_and_rename(w->get(), tmp_path, final_path).ok());
+  ASSERT_TRUE(w->close().ok());
+
+  auto r = open_for_read(final_path);
+  ASSERT_TRUE(r.has_value());
+  const auto size = file_size(r->get());
+  ASSERT_TRUE(size.has_value());
+  EXPECT_EQ(*size, 3u);
+  char buf[4] = {};
+  ASSERT_TRUE(read_full(r->get(), buf, 3).has_value());
+  EXPECT_EQ(std::memcmp(buf, "NEW", 3), 0);
+  // The temp file is gone — no stale half-written sibling left behind.
+  EXPECT_FALSE(open_for_read(tmp_path).has_value());
+  std::remove(final_path.c_str());
+}
+
+TEST(Io, UniqueFdMoveTransfersOwnership) {
+  const std::string path = temp_path("move.bin");
+  auto w = open_for_write(path);
+  ASSERT_TRUE(w.has_value());
+  UniqueFd moved = std::move(*w);
+  EXPECT_TRUE(moved.valid());
+  EXPECT_FALSE(w->valid());  // NOLINT(bugprone-use-after-move): asserting it
+  EXPECT_TRUE(moved.close().ok());
+  EXPECT_FALSE(moved.valid());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace swbpbc::util
