@@ -127,9 +127,20 @@ int main(int argc, char** argv) {
     }
     auto opened = db::Reader::open(db_path, ropt);
     if (!opened.has_value()) {
+      // Surface the typed failure (kInternal for a missing/unreadable
+      // path, kDbCorrupt / kDbMismatch for a damaged or foreign store)
+      // plus a hint — a bad --db is almost always a path typo or a store
+      // that was never built.
       std::fprintf(stderr, "cannot open database store %s: %s\n",
                    db_path.c_str(), opened.status().to_string().c_str());
-      return 1;
+      std::fprintf(stderr,
+                   "hint: --db expects a store written by "
+                   "examples/database_build (e.g. "
+                   "./database_build --out=%s --entries=%zu); check the "
+                   "path, or rebuild the store if this library version or "
+                   "the database contents changed\n",
+                   db_path.c_str(), entries);
+      return 2;
     }
     reader.emplace(std::move(*opened));
     std::printf("store %s: %zu entries x %zu, %zu shards (mmap zero-copy)\n",

@@ -26,6 +26,7 @@
 #include "sw/scalar.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/options.hpp"
+#include "util/signal.hpp"
 
 using namespace swbpbc;
 
@@ -60,11 +61,22 @@ int main(int argc, char** argv) {
               fault.flip_probability, fault.drop_sync_probability,
               fault.stall_probability, fault.copy_flip_probability);
 
+  // SIGINT/SIGTERM stop the drill cooperatively: the in-flight campaign
+  // unwinds at its next chunk boundary with a typed kCancelled, totals
+  // for finished campaigns are printed, and the exit is clean (130). A
+  // second signal exits immediately.
+  util::CancellationToken sig_token;
+  if (util::Status s = util::install_cancel_on_signals(sig_token); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.to_string().c_str());
+    return 1;
+  }
+
   sw::ReliabilityReport totals;
   device::FaultLog fault_totals;
   std::size_t stage_hist[5] = {0, 0, 0, 0, 0};
   std::size_t clean_campaigns = 0, failed = 0;
-  for (std::size_t c = 0; c < campaigns; ++c) {
+  bool interrupted = false;
+  for (std::size_t c = 0; c < campaigns && !interrupted; ++c) {
     util::Xoshiro256 rng(seed + c);
     const auto xs = encoding::random_sequences(rng, count, m);
     const auto ys = encoding::random_sequences(rng, count, n);
@@ -91,8 +103,16 @@ int main(int argc, char** argv) {
     cfg.check.sample_every = 1;  // verify every lane against the scalar ref
     cfg.check.max_retries = 4;
     cfg.telemetry = session.sink();
+    cfg.cancel = &sig_token;
 
     const auto result = sw::try_screen(xs, ys, cfg);
+    if (result.has_value() &&
+        result->status.code() == util::ErrorCode::kCancelled) {
+      std::printf("campaign %3zu: interrupted by signal — %s\n", c,
+                  result->status.to_string().c_str());
+      interrupted = true;
+      continue;
+    }
     if (!result.has_value()) {
       std::printf("campaign %3zu: UNRECOVERED — %s\n", c,
                   result.status().to_string().c_str());
@@ -174,6 +194,12 @@ int main(int argc, char** argv) {
     }
   }
   std::printf("recovered: %s\n", totals.summary().c_str());
+  if (interrupted) {
+    std::printf("DRILL INTERRUPTED: stopped cleanly on signal (%s); "
+                "finished campaigns reconciled\n",
+                failed == 0 ? "no failures" : "with failures");
+    return failed == 0 ? 130 : 1;
+  }
   std::printf("%s\n", failed == 0
                           ? "DRILL PASSED: every lane reconciled with the "
                             "scalar reference"

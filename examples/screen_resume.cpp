@@ -18,6 +18,7 @@
 #include "sw/pipeline.hpp"
 #include "util/cancel.hpp"
 #include "util/options.hpp"
+#include "util/signal.hpp"
 
 using namespace swbpbc;
 
@@ -48,6 +49,15 @@ int main(int argc, char** argv) {
   const auto xs = encoding::random_sequences(rng, count, m);
   const auto ys = encoding::random_sequences(rng, count, n);
 
+  // SIGINT/SIGTERM stop the run cooperatively at the next chunk boundary:
+  // completed chunks are already flushed to the checkpoint stream, so a
+  // later invocation resumes them. A second signal exits immediately.
+  util::CancellationToken sig_token;
+  if (util::Status s = util::install_cancel_on_signals(sig_token); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.to_string().c_str());
+    return 1;
+  }
+
   sw::ScreenConfig base;
   base.params = {2, 1, 1};
   base.threshold = 24;
@@ -67,12 +77,14 @@ int main(int argc, char** argv) {
   first.checkpoint_path = ckpt;
   if (kill_after > 0) {
     first.cancel = &token;
-    first.progress = [&token, kill_after](const sw::ChunkProgress& p) {
-      if (p.chunk + 1 >= kill_after) token.cancel();
+    first.progress = [&token, &sig_token, kill_after](
+                         const sw::ChunkProgress& p) {
+      if (sig_token.cancelled() || p.chunk + 1 >= kill_after) token.cancel();
     };
     std::printf("run 1: cancelling after %zu chunks, checkpointing to %s\n",
                 kill_after, ckpt);
   } else {
+    first.cancel = &sig_token;
     first.deadline = util::Deadline::after_ms(deadline_ms);
     std::printf("run 1: %.3g ms deadline, checkpointing to %s\n",
                 deadline_ms, ckpt);
@@ -81,10 +93,19 @@ int main(int argc, char** argv) {
   std::printf("run 1 stopped: %s\n", partial.status.to_string().c_str());
   std::printf("run 1 completed %zu of %zu chunks before the kill\n\n",
               completed_chunks(partial), n_chunks);
+  if (sig_token.cancelled()) {
+    std::printf("interrupted by signal: %zu completed chunks are flushed "
+                "to %s; rerun with --resume to pick them up (%s)\n",
+                completed_chunks(partial), ckpt,
+                partial.status.to_string().c_str());
+    return 130;
+  }
 
   // --- run 2: resume from the stream, finish the remainder --------------
   sw::ScreenConfig second = base;
   second.resume_path = ckpt;
+  second.checkpoint_path = ckpt;
+  second.cancel = &sig_token;
   std::size_t resumed = 0;
   second.progress = [&resumed](const sw::ChunkProgress& p) {
     if (p.resumed) ++resumed;
@@ -96,6 +117,13 @@ int main(int argc, char** argv) {
     return 1;
   }
   const sw::ScreenReport& resumed_report = *result;
+  if (sig_token.cancelled()) {
+    std::printf("interrupted by signal: %zu completed chunks are flushed "
+                "to %s (%s)\n",
+                completed_chunks(resumed_report), ckpt,
+                resumed_report.status.to_string().c_str());
+    return 130;
+  }
   std::printf("run 2 satisfied %zu chunks from the checkpoint, computed "
               "%zu fresh\n",
               resumed, n_chunks - resumed);

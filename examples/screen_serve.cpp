@@ -1,0 +1,109 @@
+// The screening daemon: serves multi-tenant score requests over a
+// UNIX-domain socket with admission control, lane-group batching, a
+// crash-safe request journal, and optional transport fault injection.
+//
+//   ./screen_serve --socket=/tmp/sw.sock --journal=/tmp/sw.journal
+//   ./screen_serve --socket=... --tear-prob=0.2 --flip-prob=0.2
+//   ./screen_serve --socket=... --crash-after-batches=2   # CI crash drill
+//
+// SIGTERM/SIGINT drains: in-flight batches finish, the queue flushes,
+// new work is rejected kOverloaded, the per-tenant RunReport is written,
+// and the process exits 0. A second signal exits immediately.
+
+#include <cstdio>
+#include <string>
+
+#include "service/server.hpp"
+#include "sw/lane.hpp"
+#include "util/options.hpp"
+#include "util/signal.hpp"
+
+using namespace swbpbc;
+
+int main(int argc, char** argv) {
+  util::Options opt(argc, argv);
+  service::ServerConfig config;
+  config.socket_path = opt.get("socket", "screen_serve.sock");
+  config.journal_path = opt.get("journal", "");
+  config.params = {2, 1, 1};
+  const std::string width_name = opt.get("width", "64");
+  const auto width = sw::parse_lane_width(width_name);
+  if (!width.has_value()) {
+    std::fprintf(stderr, "screen_serve: unknown --width=%s\n",
+                 width_name.c_str());
+    return 2;
+  }
+  config.width = *width;
+  config.lane_group =
+      static_cast<std::size_t>(opt.get_int("lane-group", 0));
+  config.linger_ms = opt.get_double("linger-ms", 2.0);
+  config.admission.max_queued_requests =
+      static_cast<std::size_t>(opt.get_int("max-queued-requests", 64));
+  config.admission.max_queued_pairs =
+      static_cast<std::size_t>(opt.get_int("max-queued-pairs", 1 << 14));
+  config.admission.tenant_quota_pairs =
+      static_cast<std::size_t>(opt.get_int("tenant-quota-pairs", 1 << 13));
+  config.admission.retry_hint_base_ms = opt.get_double("retry-hint-ms", 10.0);
+  config.faults.seed = static_cast<std::uint64_t>(opt.get_int("fault-seed", 1));
+  config.faults.tear_probability = opt.get_double("tear-prob", 0.0);
+  config.faults.flip_probability = opt.get_double("flip-prob", 0.0);
+  config.faults.disconnect_probability = opt.get_double("disconnect-prob", 0.0);
+  config.faults.stall_probability = opt.get_double("stall-prob", 0.0);
+  config.faults.stall_ms = opt.get_double("stall-ms", 5.0);
+  config.crash_after_batches =
+      static_cast<std::uint64_t>(opt.get_int("crash-after-batches", 0));
+  const std::string report_path = opt.get("report", "");
+
+  // SIGTERM/SIGINT -> cancel -> drain. The token must outlive run().
+  util::CancellationToken stop;
+  if (util::Status s = util::install_cancel_on_signals(stop); !s.ok()) {
+    std::fprintf(stderr, "screen_serve: %s\n", s.to_string().c_str());
+    return 1;
+  }
+  config.stop = &stop;
+
+  auto server = service::ScreenServer::create(std::move(config));
+  if (!server.has_value()) {
+    std::fprintf(stderr, "screen_serve: %s\n",
+                 server.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("screen_serve: listening (journal %s)\n",
+              opt.get("journal", "").empty() ? "off" : "on");
+  std::fflush(stdout);
+
+  const util::Status run_status = server->run();
+  const service::ServerStats& stats = server->stats();
+  std::printf(
+      "screen_serve: drained. requests=%llu admitted=%llu completed=%llu "
+      "cache_hits=%llu shed_deadline=%llu rejected_overload=%llu "
+      "rejected_quota=%llu recovered_pending=%llu recovered_completed=%llu "
+      "batches=%llu pairs_scored=%llu faults=%llu\n",
+      static_cast<unsigned long long>(stats.requests),
+      static_cast<unsigned long long>(stats.admitted),
+      static_cast<unsigned long long>(stats.completed),
+      static_cast<unsigned long long>(stats.cache_hits),
+      static_cast<unsigned long long>(stats.shed_deadline),
+      static_cast<unsigned long long>(stats.rejected_overload),
+      static_cast<unsigned long long>(stats.rejected_quota),
+      static_cast<unsigned long long>(stats.recovered_pending),
+      static_cast<unsigned long long>(stats.recovered_completed),
+      static_cast<unsigned long long>(stats.batches),
+      static_cast<unsigned long long>(stats.pairs_scored),
+      static_cast<unsigned long long>(stats.faults.total()));
+  if (!report_path.empty()) {
+    if (util::Status s =
+            telemetry::write_run_report(server->report(), report_path);
+        !s.ok()) {
+      std::fprintf(stderr, "screen_serve: report write failed: %s\n",
+                   s.to_string().c_str());
+      return 1;
+    }
+    std::printf("screen_serve: report written to %s\n", report_path.c_str());
+  }
+  if (!run_status.ok()) {
+    std::fprintf(stderr, "screen_serve: %s\n", run_status.to_string().c_str());
+    return 1;
+  }
+  return 0;
+}

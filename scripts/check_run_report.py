@@ -43,13 +43,21 @@ def check_run_report(path, doc):
     rows = doc.get("rows")
     if not isinstance(rows, list) or not rows:
         return fail(path, "report has no rows")
+    # screen_serve reports one row per tenant: impl is "tenant:<name>",
+    # the only stage is the serving stage "SRV", and a tenant that was
+    # only ever rejected legitimately shows zero pairs / time / gcups.
+    serving = doc["tool"] == "screen_serve"
     known_stages = {"H2G", "W2B", "SWA", "B2W", "G2H", "INTG"}
+    if serving:
+        known_stages = {"SRV"}
     for i, row in enumerate(rows):
         where = f"row {i} ({row.get('impl', '?')})"
         for key in ("impl", "pairs", "m", "n", "stages_ms", "total_ms",
                     "gcups"):
             if key not in row:
                 return fail(path, f"{where}: missing {key}")
+        if serving and not row["impl"].startswith("tenant:"):
+            return fail(path, f"{where}: impl is not a tenant row")
         if not row["stages_ms"]:
             return fail(path, f"{where}: empty stages_ms")
         for stage, ms in row["stages_ms"].items():
@@ -57,9 +65,9 @@ def check_run_report(path, doc):
                 return fail(path, f"{where}: unknown stage {stage!r}")
             if not isinstance(ms, (int, float)) or ms < 0:
                 return fail(path, f"{where}: bad {stage} time {ms!r}")
-        if row["total_ms"] <= 0:
+        if row["total_ms"] <= 0 and not (serving and row["pairs"] == 0):
             return fail(path, f"{where}: non-positive total_ms")
-        if row["gcups"] <= 0:
+        if row["gcups"] <= 0 and not (serving and row["pairs"] == 0):
             return fail(path, f"{where}: non-positive gcups")
         for stage, counters in row.get("stage_metrics", {}).items():
             if stage not in known_stages:
@@ -76,6 +84,26 @@ def check_run_report(path, doc):
     for section in ("counters", "gauges", "histograms"):
         if not isinstance(metrics.get(section), dict):
             return fail(path, f"metrics snapshot missing {section}")
+
+    if serving:
+        counters = metrics["counters"]
+        required = ("service.requests", "service.admitted",
+                    "service.completed", "service.rejected_overload",
+                    "service.rejected_quota", "service.shed_deadline",
+                    "service.cache_hits", "service.recovered_pending",
+                    "service.recovered_completed", "service.pairs_scored")
+        for name in required:
+            if name not in counters:
+                return fail(path, f"missing service counter {name!r}")
+        # Per-tenant rows must reconcile with the daemon-wide counters:
+        # a tenant the admission ledger saw is a tenant the report shows.
+        for metric in ("admitted", "rejected_overload", "rejected_quota"):
+            total = sum(row.get("stage_metrics", {})
+                        .get("SRV", {}).get(metric, 0) for row in rows)
+            if total != counters[f"service.{metric}"]:
+                return fail(path,
+                            f"tenant rows sum {metric}={total}, daemon "
+                            f"counted {counters[f'service.{metric}']}")
     for name, hist in metrics["histograms"].items():
         for key in ("count", "sum", "min", "max", "p50", "p95", "p99"):
             if key not in hist:

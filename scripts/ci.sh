@@ -46,7 +46,8 @@ if [[ $run_tier1 -eq 1 ]]; then
 
   echo "== tier 1: telemetry smoke (run report + span trace) =="
   smoke_dir=$(mktemp -d)
-  trap 'rm -rf "$smoke_dir"' EXIT
+  # Also reap any daemon a failed drill left behind.
+  trap 'jobs -p | xargs -r kill 2>/dev/null || true; rm -rf "$smoke_dir"' EXIT
   ./build/bench/table4_runtime --pairs=64 --m=16 --n=64 \
       --json="$smoke_dir/table4.json" > /dev/null
   ./build/examples/fault_drill --campaigns=4 --count=32 \
@@ -148,6 +149,167 @@ EOF
   grep -q "DB_MISMATCH" "$smoke_dir/mismatch.out" || {
     echo "mismatched store not rejected with DB_MISMATCH" >&2
     cat "$smoke_dir/mismatch.out" >&2
+    exit 1
+  }
+
+  # A missing store is a typed error plus a usage hint, not a bare errno.
+  if ./build/examples/database_filter --entries=96 \
+      --db="$smoke_dir/does_not_exist.swdb" \
+      > "$smoke_dir/missingdb.out" 2>&1; then
+    echo "missing store was silently accepted" >&2
+    exit 1
+  fi
+  grep -q "hint: --db expects a store" "$smoke_dir/missingdb.out" || {
+    echo "missing store rejection carries no usage hint" >&2
+    cat "$smoke_dir/missingdb.out" >&2
+    exit 1
+  }
+
+  echo "== tier 1: daemon smoke (fault-injected serve, drain, shed) =="
+  sock="$smoke_dir/daemon.sock"
+  journal="$smoke_dir/daemon.journal"
+  # Serve under transport fault injection: torn/flipped/dropped/stalled
+  # response frames. The client must retry through all of it and end with
+  # scores bit-identical to the direct in-process sw::screen reference.
+  ./build/examples/screen_serve --socket="$sock" --journal="$journal" \
+      --lane-group=8 --linger-ms=1 --fault-seed=42 --tear-prob=0.2 \
+      --flip-prob=0.2 --disconnect-prob=0.15 --stall-prob=0.1 --stall-ms=2 \
+      > "$smoke_dir/serve1.log" 2>&1 &
+  serve_pid=$!
+  ./build/examples/screen_client --socket="$sock" --requests=8 --pairs=2 \
+      --m=8 --n=24 --tenant=drill --verify --retry-initial-ms=2 \
+      --retry-max-attempts=20 > "$smoke_dir/client1.log"
+  grep -q "verify: OK" "$smoke_dir/client1.log" || {
+    echo "fault-injected serve is not bit-identical to direct screen" >&2
+    cat "$smoke_dir/client1.log" >&2
+    exit 1
+  }
+  # Graceful drain: SIGTERM finishes in-flight work and exits 0.
+  kill -TERM "$serve_pid"
+  wait "$serve_pid" || {
+    echo "screen_serve did not drain cleanly on SIGTERM" >&2
+    cat "$smoke_dir/serve1.log" >&2
+    exit 1
+  }
+  grep -q "drained" "$smoke_dir/serve1.log" || {
+    echo "screen_serve drain left no stats line" >&2
+    exit 1
+  }
+
+  echo "== tier 1: daemon crash drill (kill -9 mid-batch, bit-identity) =="
+  # A fresh journal, a daemon rigged to die (_Exit 137) as its 3rd batch
+  # dispatches, and a patient client. The restarted daemon must replay the
+  # journal — recomputing admitted-but-incomplete requests, serving
+  # completed ones from cache — and the client's verify gate proves every
+  # score equals the uninterrupted reference.
+  rm -f "$journal"
+  ./build/examples/screen_serve --socket="$sock" --journal="$journal" \
+      --lane-group=8 --linger-ms=1 --crash-after-batches=3 \
+      > "$smoke_dir/serve_crash.log" 2>&1 &
+  crash_pid=$!
+  ./build/examples/screen_client --socket="$sock" --requests=8 --pairs=2 \
+      --m=8 --n=24 --tenant=drill --verify --retry-initial-ms=5 \
+      --retry-max-ms=100 --retry-max-attempts=40 \
+      > "$smoke_dir/client_crash.log" 2>&1 &
+  client_pid=$!
+  if wait "$crash_pid"; then
+    echo "rigged daemon did not crash" >&2
+    exit 1
+  fi
+  ./build/examples/screen_serve --socket="$sock" --journal="$journal" \
+      --lane-group=8 --linger-ms=1 --report="$smoke_dir/serve.report.json" \
+      > "$smoke_dir/serve2.log" 2>&1 &
+  serve_pid=$!
+  wait "$client_pid" || {
+    echo "client did not recover across the daemon crash" >&2
+    cat "$smoke_dir/client_crash.log" >&2
+    exit 1
+  }
+  grep -q "verify: OK" "$smoke_dir/client_crash.log" || {
+    echo "crash-recovered scores are not bit-identical" >&2
+    cat "$smoke_dir/client_crash.log" >&2
+    exit 1
+  }
+  kill -TERM "$serve_pid"
+  wait "$serve_pid" || {
+    echo "restarted daemon did not drain cleanly" >&2
+    cat "$smoke_dir/serve2.log" >&2
+    exit 1
+  }
+  grep -Eq "recovered_pending=[1-9]|recovered_completed=[1-9]" \
+      "$smoke_dir/serve2.log" || {
+    echo "restarted daemon recovered nothing from the journal" >&2
+    cat "$smoke_dir/serve2.log" >&2
+    exit 1
+  }
+  python3 scripts/check_run_report.py "$smoke_dir/serve.report.json"
+
+  echo "== tier 1: daemon shed drill (overload, quota, deadline) =="
+  # Each flood holds the queue full (huge lane group, huge linger: nothing
+  # dispatches) so rejections are deterministic; the SIGTERM drain then
+  # flushes the admitted remainder so the flooding client can finish
+  # reading. Tiny queue + huge per-tenant quota: the GLOBAL cap binds and
+  # floods shed kOverloaded. Tiny quota: kQuotaExceeded. Microscopic
+  # deadline budget: kDeadlineExceeded, shed while queued, never scored.
+  wait_for_socket() {
+    for _ in $(seq 1 100); do
+      [[ -S "$1" ]] && return 0
+      sleep 0.05
+    done
+    echo "daemon socket $1 never appeared" >&2
+    return 1
+  }
+  ./build/examples/screen_serve --socket="$sock" \
+      --max-queued-requests=2 --tenant-quota-pairs=100000 \
+      --lane-group=4096 --linger-ms=100000 \
+      > "$smoke_dir/serve_shed.log" 2>&1 &
+  serve_pid=$!
+  wait_for_socket "$sock"
+  ./build/examples/screen_client --socket="$sock" --requests=8 --pairs=4 \
+      --m=8 --n=24 --tenant=flood --flood > "$smoke_dir/flood.log" 2>&1 &
+  client_pid=$!
+  sleep 0.5
+  kill -TERM "$serve_pid"
+  wait "$client_pid" || true
+  wait "$serve_pid" || true
+  grep -Eq "overloaded=[1-9]" "$smoke_dir/flood.log" || {
+    echo "flooded daemon shed nothing with kOverloaded" >&2
+    cat "$smoke_dir/flood.log" >&2
+    exit 1
+  }
+
+  ./build/examples/screen_serve --socket="$sock" --tenant-quota-pairs=8 \
+      --lane-group=4096 --linger-ms=100000 \
+      > "$smoke_dir/serve_quota.log" 2>&1 &
+  serve_pid=$!
+  wait_for_socket "$sock"
+  ./build/examples/screen_client --socket="$sock" --requests=6 --pairs=4 \
+      --m=8 --n=24 --tenant=greedy --flood > "$smoke_dir/quota.log" 2>&1 &
+  client_pid=$!
+  sleep 0.5
+  kill -TERM "$serve_pid"
+  wait "$client_pid" || true
+  wait "$serve_pid" || true
+  grep -Eq "quota=[1-9]" "$smoke_dir/quota.log" || {
+    echo "over-quota tenant was not shed with kQuotaExceeded" >&2
+    cat "$smoke_dir/quota.log" >&2
+    exit 1
+  }
+
+  ./build/examples/screen_serve --socket="$sock" --lane-group=4096 \
+      --linger-ms=100000 > "$smoke_dir/serve_deadline.log" 2>&1 &
+  serve_pid=$!
+  ./build/examples/screen_client --socket="$sock" --requests=2 --pairs=2 \
+      --m=8 --n=24 --tenant=impatient --deadline-budget-ms=0.01 \
+      > "$smoke_dir/deadline.log" || true
+  grep -Eq "deadline=[1-9]" "$smoke_dir/deadline.log" || {
+    echo "expired budgets were not shed with kDeadlineExceeded" >&2
+    cat "$smoke_dir/deadline.log" >&2
+    exit 1
+  }
+  kill -TERM "$serve_pid"
+  wait "$serve_pid" || {
+    echo "daemon did not drain cleanly after the shed drill" >&2
     exit 1
   }
 fi

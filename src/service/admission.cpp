@@ -1,0 +1,77 @@
+#include "service/admission.hpp"
+
+#include <algorithm>
+
+namespace swbpbc::service {
+
+namespace {
+
+AdmissionConfig sanitize(AdmissionConfig c) {
+  c.max_queued_requests = std::max<std::size_t>(1, c.max_queued_requests);
+  c.max_queued_pairs = std::max<std::size_t>(1, c.max_queued_pairs);
+  c.tenant_quota_pairs =
+      std::clamp<std::size_t>(c.tenant_quota_pairs, 1, c.max_queued_pairs);
+  c.retry_hint_base_ms = std::max(0.0, c.retry_hint_base_ms);
+  return c;
+}
+
+}  // namespace
+
+AdmissionController::AdmissionController(AdmissionConfig config)
+    : config_(sanitize(config)) {}
+
+double AdmissionController::occupancy_hint_ms() const {
+  const double occupancy =
+      static_cast<double>(std::min(queued_pairs_, config_.max_queued_pairs)) /
+      static_cast<double>(config_.max_queued_pairs);
+  return config_.retry_hint_base_ms * (1.0 + occupancy);
+}
+
+AdmissionDecision AdmissionController::admit(const std::string& tenant,
+                                             std::size_t pairs) {
+  TenantStats& stats = tenants_[tenant];
+  if (draining_) {
+    ++stats.rejected_overload;
+    return {util::Status::overloaded(
+                "daemon is draining and admits no new work"),
+            occupancy_hint_ms()};
+  }
+  if (queued_requests_ >= config_.max_queued_requests ||
+      queued_pairs_ + pairs > config_.max_queued_pairs) {
+    ++stats.rejected_overload;
+    return {util::Status::overloaded(
+                "admission queue is full (" +
+                std::to_string(queued_requests_) + " requests / " +
+                std::to_string(queued_pairs_) + " pairs queued)"),
+            occupancy_hint_ms()};
+  }
+  if (pairs > config_.tenant_quota_pairs ||
+      stats.queued_pairs + pairs > config_.tenant_quota_pairs) {
+    ++stats.rejected_quota;
+    return {util::Status::quota_exceeded(
+                "tenant '" + tenant + "' would occupy " +
+                std::to_string(stats.queued_pairs + pairs) +
+                " pairs, quota is " +
+                std::to_string(config_.tenant_quota_pairs)),
+            // Quota rejections are about the tenant's own backlog, not
+            // daemon load: ask for a full drain of their share.
+            2.0 * occupancy_hint_ms()};
+  }
+  ++queued_requests_;
+  queued_pairs_ += pairs;
+  ++stats.admitted;
+  stats.pairs_admitted += pairs;
+  stats.queued_pairs += pairs;
+  return {util::Status{}, 0.0};
+}
+
+void AdmissionController::release(const std::string& tenant,
+                                  std::size_t pairs) {
+  queued_requests_ -= std::min<std::size_t>(1, queued_requests_);
+  queued_pairs_ -= std::min(pairs, queued_pairs_);
+  auto it = tenants_.find(tenant);
+  if (it != tenants_.end())
+    it->second.queued_pairs -= std::min(pairs, it->second.queued_pairs);
+}
+
+}  // namespace swbpbc::service

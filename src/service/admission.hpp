@@ -1,0 +1,95 @@
+// Admission control for the screening daemon.
+//
+// Every request is checked at arrival, before any compute is spent on it:
+//   * global occupancy — the daemon holds at most max_queued_requests
+//     requests / max_queued_pairs pairs; beyond that new work is shed
+//     with a typed kOverloaded, never buffered without bound;
+//   * per-tenant quota — one tenant may occupy at most tenant_quota_pairs
+//     of the queue, so a single greedy client cannot starve the others
+//     (typed kQuotaExceeded);
+//   * drain state — once the daemon received SIGTERM it stops admitting
+//     (kOverloaded with a "draining" message) while in-flight work
+//     finishes.
+//
+// Rejections carry a deterministic retry-after hint scaled by occupancy;
+// the client folds the hint into its util::Backoff. Occupancy is
+// released when a request leaves the queue for any reason (completed,
+// shed, connection died).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "util/status.hpp"
+
+namespace swbpbc::service {
+
+struct AdmissionConfig {
+  std::size_t max_queued_requests = 64;   // global request cap
+  std::size_t max_queued_pairs = 1 << 14; // global pair cap
+  std::size_t tenant_quota_pairs = 1 << 13;  // per-tenant pair cap
+  double retry_hint_base_ms = 10.0;       // scaled by occupancy on reject
+};
+
+/// Verdict of one admission check. `status` is ok, kOverloaded, or
+/// kQuotaExceeded; on rejection `retry_after_ms` is the server's hint.
+struct AdmissionDecision {
+  util::Status status;
+  double retry_after_ms = 0.0;
+};
+
+/// What one tenant has done to the daemon so far (feeds the per-tenant
+/// RunReport rows).
+struct TenantStats {
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected_overload = 0;
+  std::uint64_t rejected_quota = 0;
+  std::uint64_t pairs_admitted = 0;
+  std::size_t queued_pairs = 0;  // currently occupying the queue
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionConfig config);
+
+  /// Checks one arriving request of `pairs` pairs against drain state,
+  /// global occupancy, and the tenant's quota — in that order. On ok the
+  /// occupancy is charged; the caller must balance with release().
+  AdmissionDecision admit(const std::string& tenant, std::size_t pairs);
+
+  /// Returns a request's occupancy when it leaves the queue (completed,
+  /// shed, or its connection died).
+  void release(const std::string& tenant, std::size_t pairs);
+
+  /// Flips the daemon into drain: every subsequent admit() is rejected
+  /// kOverloaded ("draining") while already-admitted work finishes.
+  void set_draining() { draining_ = true; }
+  [[nodiscard]] bool draining() const { return draining_; }
+
+  [[nodiscard]] std::size_t queued_requests() const {
+    return queued_requests_;
+  }
+  [[nodiscard]] std::size_t queued_pairs() const { return queued_pairs_; }
+  [[nodiscard]] const AdmissionConfig& config() const { return config_; }
+
+  /// Per-tenant accounting, keyed by tenant id (ordered for stable
+  /// report output).
+  [[nodiscard]] const std::map<std::string, TenantStats>& tenants() const {
+    return tenants_;
+  }
+
+ private:
+  /// Hint grows with occupancy so a flooded daemon asks for more
+  /// patience: base * (1 + occupancy), occupancy in [0, 1].
+  [[nodiscard]] double occupancy_hint_ms() const;
+
+  AdmissionConfig config_;
+  bool draining_ = false;
+  std::size_t queued_requests_ = 0;
+  std::size_t queued_pairs_ = 0;
+  std::map<std::string, TenantStats> tenants_;
+};
+
+}  // namespace swbpbc::service

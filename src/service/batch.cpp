@@ -1,0 +1,51 @@
+#include "service/batch.hpp"
+
+namespace swbpbc::service {
+
+BatchPlan plan_batch(const std::deque<PendingRequest>& queue, double now_ms,
+                     std::size_t lane_group, bool flush) {
+  BatchPlan plan;
+  if (lane_group == 0) lane_group = 1;
+
+  // Pass 1: shed everything whose budget ran out while queued.
+  std::vector<bool> dead(queue.size(), false);
+  for (std::size_t i = 0; i < queue.size(); ++i) {
+    const PendingRequest& p = queue[i];
+    const double budget = p.request.deadline_budget_ms;
+    if (budget > 0.0 && now_ms - p.enqueued_ms >= budget) {
+      dead[i] = true;
+      plan.shed.push_back(i);
+    }
+  }
+
+  // Pass 2: the oldest surviving request anchors the batch shape; pack
+  // every same-shape survivor in FIFO order until the lane group fills.
+  std::size_t anchor = queue.size();
+  for (std::size_t i = 0; i < queue.size(); ++i) {
+    if (!dead[i]) {
+      anchor = i;
+      break;
+    }
+  }
+  if (anchor == queue.size()) return plan;  // nothing alive
+  const std::size_t m = queue[anchor].request.xs.front().size();
+  const std::size_t n = queue[anchor].request.ys.front().size();
+  for (std::size_t i = anchor; i < queue.size(); ++i) {
+    if (dead[i]) continue;
+    const PendingRequest& p = queue[i];
+    if (p.request.xs.front().size() != m ||
+        p.request.ys.front().size() != n)
+      continue;  // different shape, waits for its own batch
+    plan.take.push_back(i);
+    plan.pairs += p.request.pair_count();
+    if (plan.pairs >= lane_group) return plan;
+  }
+  // Lane group never filled: only dispatch the partial batch on flush.
+  if (!flush) {
+    plan.take.clear();
+    plan.pairs = 0;
+  }
+  return plan;
+}
+
+}  // namespace swbpbc::service

@@ -1,0 +1,56 @@
+// Batch planning: packing admitted requests into full lane groups.
+//
+// The BPBC kernels pay per lane group (a word's worth of instances), so
+// a daemon that dispatched each small request alone would waste most of
+// every word. The planner holds admitted requests in FIFO order and cuts
+// a batch when it can fill a lane group — or when the linger expired /
+// the daemon is draining, in which case a partial batch goes out rather
+// than letting latency grow unbounded.
+//
+// Two constraints shape a cut:
+//   * uniform lengths — one sw::screen call requires every x the same
+//     length and every y the same length, so a batch only packs requests
+//     whose (m, n) shape matches the oldest pending request (others wait
+//     for their own batch; responses travel by id, order is free);
+//   * deadlines — a request whose budget ran out while queued is shed
+//     (typed kDeadlineExceeded) instead of scored late.
+//
+// plan_batch is a pure function of the queue and the clock: trivially
+// unit-testable, and the server loop stays free of packing logic.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "service/protocol.hpp"
+
+namespace swbpbc::service {
+
+/// One admitted request waiting for dispatch.
+struct PendingRequest {
+  ScreenRequest request;
+  double enqueued_ms = 0.0;  // monotonic clock at admission
+  int connection = -1;       // owning connection id, -1 once it died
+  // Replayed from the journal at startup: already charged to admission
+  // by the previous process, so completion must not release() it.
+  bool recovered = false;
+};
+
+/// One planner cut: which queue positions to dispatch together, which to
+/// shed. Indices refer to the queue passed to plan_batch; the caller
+/// must remove shed+taken entries before the next call.
+struct BatchPlan {
+  std::vector<std::size_t> take;  // FIFO-order, uniform (m, n) shape
+  std::vector<std::size_t> shed;  // deadline expired while queued
+  std::size_t pairs = 0;          // total pairs across `take`
+};
+
+/// Plans the next dispatch. `lane_group` is the pair count worth filling
+/// before cutting (one word of instances); with `flush` (linger expired
+/// or draining) a partial batch is cut rather than waiting. `now_ms`
+/// is the same monotonic clock PendingRequest::enqueued_ms came from.
+BatchPlan plan_batch(const std::deque<PendingRequest>& queue, double now_ms,
+                     std::size_t lane_group, bool flush);
+
+}  // namespace swbpbc::service

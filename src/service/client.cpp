@@ -1,0 +1,172 @@
+#include "service/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "service/frame.hpp"
+#include "util/io.hpp"
+
+namespace swbpbc::service {
+
+namespace {
+
+/// Connects a blocking stream socket to the daemon's UDS path.
+util::Expected<util::UniqueFd> connect_uds(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(addr.sun_path))
+    return util::Status::invalid_input(
+        "socket path '" + path + "' is empty or longer than sun_path");
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  util::UniqueFd fd(::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (fd.get() < 0)
+    return util::Status::internal(std::string("socket() failed: ") +
+                                  std::strerror(errno));
+  int rc;
+  do {
+    rc = ::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0)
+    return util::Status::internal("connect('" + path +
+                                  "') failed: " + std::strerror(errno));
+  return fd;
+}
+
+/// True for outcomes a retry may fix: the daemon is down, restarting, or
+/// the exchange was torn by a fault.
+bool transient_transport(const util::Status& s) {
+  return s.code() == util::ErrorCode::kInternal ||
+         s.code() == util::ErrorCode::kParseError;
+}
+
+}  // namespace
+
+util::Expected<bool> ScreenClient::ping_once() {
+  auto fd = connect_uds(config_.socket_path);
+  if (!fd.has_value()) return fd.status();
+  if (util::Status s = write_frame(fd->get(), FrameType::kPing, {}); !s.ok())
+    return s;
+  auto frame = read_frame(fd->get());
+  if (!frame.has_value()) return frame.status();
+  if (!frame->has_value())
+    return util::Status::internal("daemon closed the connection mid-ping");
+  return (*frame)->type == FrameType::kPong;
+}
+
+util::Expected<ScreenResponse> ScreenClient::exchange_once(
+    const ScreenRequest& request) {
+  auto fd = connect_uds(config_.socket_path);
+  if (!fd.has_value()) return fd.status();
+  const auto payload = encode_request(request);
+  if (util::Status s =
+          write_frame(fd->get(), FrameType::kScreenRequest, payload);
+      !s.ok())
+    return s;
+  auto frame = read_frame(fd->get());
+  if (!frame.has_value()) return frame.status();
+  if (!frame->has_value())
+    return util::Status::internal(
+        "daemon closed the connection before responding (mid-request "
+        "disconnect)");
+  if ((*frame)->type != FrameType::kScreenResponse)
+    return util::Status::parse_error("daemon answered a screen request with "
+                                     "a non-response frame");
+  auto response = decode_response((*frame)->payload);
+  if (!response.has_value()) return response.status();
+  if (response->id != request.id)
+    return util::Status::parse_error("daemon answered id '" + response->id +
+                                     "' to request '" + request.id + "'");
+  return response;
+}
+
+bool ScreenClient::backoff_step(util::Backoff& backoff, double hint_ms) {
+  if (hint_ms > 0.0) backoff.suggest(hint_ms);
+  const std::optional<double> delay = backoff.next_delay_ms();
+  if (!delay.has_value()) return false;
+  ++counters_.backoff_sleeps;
+  // Sleep in small slices so a cancel lands promptly.
+  double left = *delay;
+  while (left > 0.0) {
+    if (config_.cancel != nullptr && config_.cancel->cancelled()) return true;
+    const double slice = left < 5.0 ? left : 5.0;
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(slice));
+    left -= slice;
+  }
+  return true;
+}
+
+util::Status ScreenClient::wait_ready() {
+  util::Backoff backoff(config_.backoff, config_.backoff_seed + calls_);
+  ++calls_;
+  util::Status last = util::Status::internal("daemon never probed");
+  while (true) {
+    if (config_.cancel != nullptr && config_.cancel->cancelled())
+      return util::Status::cancelled("cancelled while waiting for the daemon");
+    ++counters_.attempts;
+    auto pong = ping_once();
+    if (pong.has_value() && *pong) return {};
+    last = pong.has_value()
+               ? util::Status::parse_error("daemon answered ping with a "
+                                           "non-pong frame")
+               : pong.status();
+    ++counters_.transport_faults;
+    if (!backoff_step(backoff, 0.0))
+      return util::Status::retry_exhausted(
+          "daemon at '" + config_.socket_path +
+          "' never became ready; last error: " + last.to_string());
+  }
+}
+
+util::Expected<ScreenResponse> ScreenClient::screen(
+    const ScreenRequest& request) {
+  if (request.id.empty())
+    return util::Status::invalid_input(
+        "screen() needs a non-empty idempotency id");
+  util::Backoff backoff(config_.backoff, config_.backoff_seed + calls_);
+  ++calls_;
+  util::Status last = util::Status::internal("no attempt made");
+  while (true) {
+    if (config_.cancel != nullptr && config_.cancel->cancelled())
+      return util::Status::cancelled("cancelled while retrying request '" +
+                                     request.id + "'");
+    ++counters_.attempts;
+    auto response = exchange_once(request);
+    double hint_ms = 0.0;
+    if (response.has_value()) {
+      switch (response->code) {
+        case util::ErrorCode::kOverloaded:
+          ++counters_.overload_rejections;
+          hint_ms = response->retry_after_ms;
+          last = util::Status::overloaded(response->message);
+          break;
+        case util::ErrorCode::kQuotaExceeded:
+          ++counters_.quota_rejections;
+          hint_ms = response->retry_after_ms;
+          last = util::Status::quota_exceeded(response->message);
+          break;
+        default:
+          // Terminal: kOk scores, or a rejection retrying cannot fix
+          // (kInvalidInput, kDeadlineExceeded, kInternal...).
+          return response;
+      }
+    } else if (transient_transport(response.status())) {
+      ++counters_.transport_faults;
+      last = response.status();
+    } else {
+      return response.status();  // e.g. a bad socket path: not transient
+    }
+    if (!backoff_step(backoff, hint_ms))
+      return util::Status::retry_exhausted(
+          "request '" + request.id + "' exhausted its retry budget; "
+          "last error: " + last.to_string());
+  }
+}
+
+}  // namespace swbpbc::service

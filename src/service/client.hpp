@@ -1,0 +1,77 @@
+// Synchronous client for the screening daemon.
+//
+// One screen() call is a full reliability loop, not a single exchange:
+// connect over the UNIX-domain socket, send the request frame, read the
+// response frame — and on any transient failure (connection refused,
+// torn/corrupt frame, daemon crashed mid-response, typed kOverloaded /
+// kQuotaExceeded rejection) back off with util::Backoff jitter, folding
+// in the server's retry-after hint, and try again with the SAME
+// idempotency id. The journal on the server side makes that retry safe:
+// a request whose response was lost is served from the journal,
+// bit-identical, never recomputed under different rules.
+//
+// Terminal outcomes pass through untouched: kOk (scores), kInvalidInput
+// (the request itself is bad), kDeadlineExceeded (the budget ran out
+// while queued). Only transport faults and load-shed rejections retry;
+// when the backoff budget runs out the last error is wrapped in a typed
+// kRetryExhausted.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "service/protocol.hpp"
+#include "util/backoff.hpp"
+#include "util/cancel.hpp"
+#include "util/status.hpp"
+
+namespace swbpbc::service {
+
+struct ClientConfig {
+  std::string socket_path;
+  util::BackoffConfig backoff{};      // per-call retry policy
+  std::uint64_t backoff_seed = 0x5eedf00dULL;  // jitter stream seed
+  // Optional cooperative cancel: a SIGINT'd client stops retrying with a
+  // typed kCancelled instead of sleeping through its backoff schedule.
+  util::CancellationToken* cancel = nullptr;
+};
+
+/// What the reliability loop did across all screen() calls so far — the
+/// drill's evidence that faults were actually exercised.
+struct ClientCounters {
+  std::uint64_t attempts = 0;
+  std::uint64_t transport_faults = 0;   // connect/torn/corrupt/EOF retries
+  std::uint64_t overload_rejections = 0;
+  std::uint64_t quota_rejections = 0;
+  std::uint64_t backoff_sleeps = 0;
+};
+
+class ScreenClient {
+ public:
+  explicit ScreenClient(ClientConfig config) : config_(std::move(config)) {}
+
+  /// Pings until the daemon answers (it may still be binding its socket
+  /// or replaying its journal). Uses the same backoff policy as screen().
+  util::Status wait_ready();
+
+  /// Runs the full retry loop for one request. Returns the daemon's
+  /// terminal response, or a Status when no terminal response could be
+  /// obtained (kRetryExhausted / kCancelled / kInvalidInput locally).
+  util::Expected<ScreenResponse> screen(const ScreenRequest& request);
+
+  [[nodiscard]] const ClientCounters& counters() const { return counters_; }
+
+ private:
+  /// One connect + request + response exchange.
+  util::Expected<ScreenResponse> exchange_once(const ScreenRequest& request);
+  util::Expected<bool> ping_once();
+  /// Sleeps one backoff step (interruptible by cancel). False when the
+  /// backoff budget is exhausted.
+  bool backoff_step(util::Backoff& backoff, double hint_ms);
+
+  ClientConfig config_;
+  ClientCounters counters_;
+  std::uint64_t calls_ = 0;  // decorrelates per-call jitter streams
+};
+
+}  // namespace swbpbc::service

@@ -1,0 +1,75 @@
+#include "service/fault.hpp"
+
+#include "util/rng.hpp"
+
+namespace swbpbc::service {
+
+namespace {
+
+// Probability in [0, 1] -> uint64 threshold so `rng.next() < threshold`
+// fires with that probability (same convention as db/fault.cpp).
+std::uint64_t probability_threshold(double p) {
+  if (p <= 0.0) return 0;
+  if (p >= 1.0) return ~std::uint64_t{0};
+  return static_cast<std::uint64_t>(p * 18446744073709551616.0);  // 2^64
+}
+
+// Expand (seed, campaign, frame index) into an independent, well-mixed
+// stream so fault decisions do not depend on connection interleaving.
+util::Xoshiro256 stream_for(std::uint64_t seed, std::uint64_t campaign,
+                            std::uint64_t unit) {
+  util::SplitMix64 mix(seed);
+  std::uint64_t s = mix.next();
+  s ^= util::SplitMix64(campaign * 0x9e3779b97f4a7c15ULL).next();
+  s ^= util::SplitMix64(unit + 1).next();
+  return util::Xoshiro256(s);
+}
+
+}  // namespace
+
+FrameFault FaultInjector::frame_fault(std::uint64_t campaign,
+                                      std::uint64_t index,
+                                      std::size_t frame_bytes) {
+  FrameFault f;
+  if (frame_bytes == 0) return f;
+  util::Xoshiro256 rng = stream_for(config_.seed, campaign, index);
+  const std::uint64_t disconnect_threshold =
+      probability_threshold(config_.disconnect_probability);
+  const std::uint64_t tear_threshold =
+      probability_threshold(config_.tear_probability);
+  const std::uint64_t flip_threshold =
+      probability_threshold(config_.flip_probability);
+  const std::uint64_t stall_threshold =
+      probability_threshold(config_.stall_probability);
+  // One destructive fault per frame: disconnect > tear > flip.
+  if (disconnect_threshold != 0 && rng.next() < disconnect_threshold) {
+    f.disconnect = true;
+    disconnects_.fetch_add(1, std::memory_order_relaxed);
+  } else if (tear_threshold != 0 && rng.next() < tear_threshold) {
+    f.tear = true;
+    f.keep_bytes = static_cast<std::size_t>(rng.below(frame_bytes));
+    tears_.fetch_add(1, std::memory_order_relaxed);
+  } else if (flip_threshold != 0 && rng.next() < flip_threshold) {
+    f.flip = true;
+    f.flip_offset = static_cast<std::size_t>(rng.below(frame_bytes));
+    f.flip_bit = static_cast<unsigned>(rng.below(8));
+    flips_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (stall_threshold != 0 && rng.next() < stall_threshold) {
+    f.stall = true;
+    f.stall_ms = config_.stall_ms;
+    stalls_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return f;
+}
+
+FaultLog FaultInjector::log() const {
+  FaultLog log;
+  log.tears = tears_.load(std::memory_order_relaxed);
+  log.flips = flips_.load(std::memory_order_relaxed);
+  log.disconnects = disconnects_.load(std::memory_order_relaxed);
+  log.stalls = stalls_.load(std::memory_order_relaxed);
+  return log;
+}
+
+}  // namespace swbpbc::service

@@ -1,0 +1,98 @@
+// Deterministic transport-layer fault model for the screening daemon.
+//
+// db::FaultInjector covers what storage does to a mapped file; this one
+// covers what a flaky peer or a dying process does to a socket stream:
+// a torn frame (writer died mid-write), a flipped byte (checksum catches
+// it), a mid-request disconnect (response never sent), a stalled peer.
+// The server applies faults to its OUTGOING response frames, so a drill
+// exercises the client's full recovery surface — frame checksum
+// detection, Backoff retries, and the idempotency path where a retried
+// id is served from the journal instead of recomputed.
+//
+// Determinism mirrors db::FaultInjector: every decision is drawn from a
+// per-(campaign, frame-index) xoshiro stream seeded from (seed,
+// campaign, index), so the fault pattern is a pure function of the seed
+// regardless of connection interleaving; begin_run() advances the
+// campaign so a restarted server draws a fresh pattern.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace swbpbc::service {
+
+struct FaultConfig {
+  std::uint64_t seed = 0;
+  // Per-frame probability the write stops partway and the connection
+  // closes (a torn frame: the peer sees a stream ending inside a frame).
+  double tear_probability = 0.0;
+  // Per-frame probability one payload byte gets a flipped bit (the
+  // peer's frame checksum must reject it).
+  double flip_probability = 0.0;
+  // Per-frame probability the connection closes before any byte of the
+  // response is written (a mid-request disconnect).
+  double disconnect_probability = 0.0;
+  // Per-frame probability the write is delayed by stall_ms (a stalled
+  // peer; bounded so drills stay fast).
+  double stall_probability = 0.0;
+  double stall_ms = 20.0;
+};
+
+/// Cumulative counters of injected faults.
+struct FaultLog {
+  std::uint64_t tears = 0;
+  std::uint64_t flips = 0;
+  std::uint64_t disconnects = 0;
+  std::uint64_t stalls = 0;
+
+  [[nodiscard]] std::uint64_t total() const {
+    return tears + flips + disconnects + stalls;
+  }
+};
+
+/// Fault decisions for one outgoing frame. At most one destructive fault
+/// fires per frame (disconnect wins over tear wins over flip) so each
+/// injected failure has one unambiguous observable signature.
+struct FrameFault {
+  bool disconnect = false;
+  bool tear = false;
+  std::size_t keep_bytes = 0;  // frame bytes written before the tear
+  bool flip = false;
+  std::size_t flip_offset = 0;  // byte of the encoded frame to damage
+  unsigned flip_bit = 0;
+  bool stall = false;
+  double stall_ms = 0.0;
+};
+
+/// Seedable, campaign-keyed fault source for outgoing frames.
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultConfig& config) : config_(config) {}
+
+  [[nodiscard]] const FaultConfig& config() const { return config_; }
+
+  /// Advances the campaign counter; returns the new campaign. Called by
+  /// the server once per start, so a restart draws a fresh pattern.
+  std::uint64_t begin_run() {
+    return campaign_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  /// Decisions for the `index`-th outgoing frame of `frame_bytes` encoded
+  /// bytes. Counters are bumped for each fault scheduled.
+  [[nodiscard]] FrameFault frame_fault(std::uint64_t campaign,
+                                       std::uint64_t index,
+                                       std::size_t frame_bytes);
+
+  [[nodiscard]] FaultLog log() const;
+
+ private:
+  FaultConfig config_;
+  std::atomic<std::uint64_t> campaign_{0};
+  std::atomic<std::uint64_t> tears_{0};
+  std::atomic<std::uint64_t> flips_{0};
+  std::atomic<std::uint64_t> disconnects_{0};
+  std::atomic<std::uint64_t> stalls_{0};
+};
+
+}  // namespace swbpbc::service

@@ -1,0 +1,138 @@
+#include "service/frame.hpp"
+
+#include <cstring>
+
+#include "util/checksum.hpp"
+#include "util/io.hpp"
+
+namespace swbpbc::service {
+
+namespace {
+
+constexpr std::uint64_t kFrameMagic = 0x53574652'414d4531ull;  // "SWFRAME1"
+// Bounds a single frame so a corrupted length field cannot drive a
+// multi-gigabyte allocation before the checksum gets a chance to reject.
+constexpr std::uint64_t kMaxPayloadBytes = 1ull << 28;
+
+struct FrameHeader {
+  std::uint64_t magic;
+  std::uint16_t version;
+  std::uint16_t type;
+  std::uint32_t reserved;
+  std::uint64_t payload_bytes;
+  std::uint64_t payload_fnv;
+};
+static_assert(sizeof(FrameHeader) == 32);
+
+bool known_type(std::uint16_t t) {
+  switch (static_cast<FrameType>(t)) {
+    case FrameType::kScreenRequest:
+    case FrameType::kScreenResponse:
+    case FrameType::kPing:
+    case FrameType::kPong:
+      return true;
+  }
+  return false;
+}
+
+// Validates everything but the payload checksum (payload not read yet).
+util::Status validate_header(const FrameHeader& header) {
+  if (header.magic != kFrameMagic)
+    return util::Status::parse_error("frame has a bad magic (stream "
+                                     "desynchronized or foreign peer)");
+  if (header.version != kProtocolVersion)
+    return util::Status::parse_error(
+        "frame has protocol version " + std::to_string(header.version) +
+        ", this build speaks version " + std::to_string(kProtocolVersion));
+  if (!known_type(header.type))
+    return util::Status::parse_error("frame has unknown type " +
+                                     std::to_string(header.type));
+  if (header.payload_bytes > kMaxPayloadBytes)
+    return util::Status::parse_error(
+        "frame declares an implausible payload size");
+  return {};
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_frame(
+    FrameType type, std::span<const std::uint8_t> payload) {
+  FrameHeader header{};
+  header.magic = kFrameMagic;
+  header.version = kProtocolVersion;
+  header.type = static_cast<std::uint16_t>(type);
+  header.payload_bytes = payload.size();
+  header.payload_fnv = util::fnv1a_span(payload);
+  std::vector<std::uint8_t> out(sizeof(header) + payload.size());
+  std::memcpy(out.data(), &header, sizeof(header));
+  if (!payload.empty())
+    std::memcpy(out.data() + sizeof(header), payload.data(), payload.size());
+  return out;
+}
+
+util::Expected<std::optional<Frame>> FrameDecoder::next() {
+  if (poisoned_)
+    return util::Status::parse_error(
+        "frame stream already failed to parse (connection must be dropped)");
+  const std::size_t available = buffer_.size() - consumed_;
+  if (available < sizeof(FrameHeader)) return std::optional<Frame>{};
+  FrameHeader header{};
+  std::memcpy(&header, buffer_.data() + consumed_, sizeof(header));
+  if (util::Status s = validate_header(header); !s.ok()) {
+    poisoned_ = true;
+    return s;
+  }
+  const std::size_t need =
+      sizeof(FrameHeader) + static_cast<std::size_t>(header.payload_bytes);
+  if (available < need) return std::optional<Frame>{};
+  Frame frame;
+  frame.type = static_cast<FrameType>(header.type);
+  frame.payload.assign(
+      buffer_.data() + consumed_ + sizeof(FrameHeader),
+      buffer_.data() + consumed_ + need);
+  if (util::fnv1a_span<std::uint8_t>(frame.payload) != header.payload_fnv) {
+    poisoned_ = true;
+    return util::Status::parse_error("frame payload fails its checksum");
+  }
+  consumed_ += need;
+  // Compact once the parsed prefix dominates the buffer.
+  if (consumed_ > 4096 && consumed_ * 2 >= buffer_.size()) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  return std::optional<Frame>{std::move(frame)};
+}
+
+util::Status write_frame(int fd, FrameType type,
+                         std::span<const std::uint8_t> payload) {
+  const auto bytes = encode_frame(type, payload);
+  return util::write_full(fd, bytes.data(), bytes.size());
+}
+
+util::Expected<std::optional<Frame>> read_frame(int fd) {
+  FrameHeader header{};
+  const auto got = util::read_full(fd, &header, sizeof(header));
+  if (!got.has_value()) return got.status();
+  if (*got == 0) return std::optional<Frame>{};  // clean end of stream
+  if (*got != sizeof(header))
+    return util::Status::parse_error("torn frame: stream ended inside the "
+                                     "header");
+  if (util::Status s = validate_header(header); !s.ok()) return s;
+  Frame frame;
+  frame.type = static_cast<FrameType>(header.type);
+  frame.payload.resize(static_cast<std::size_t>(header.payload_bytes));
+  if (!frame.payload.empty()) {
+    const auto body =
+        util::read_full(fd, frame.payload.data(), frame.payload.size());
+    if (!body.has_value()) return body.status();
+    if (*body != frame.payload.size())
+      return util::Status::parse_error(
+          "torn frame: stream ended inside the payload");
+  }
+  if (util::fnv1a_span<std::uint8_t>(frame.payload) != header.payload_fnv)
+    return util::Status::parse_error("frame payload fails its checksum");
+  return std::optional<Frame>{std::move(frame)};
+}
+
+}  // namespace swbpbc::service

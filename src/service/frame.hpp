@@ -1,0 +1,86 @@
+// Wire framing for the screening daemon's local transport.
+//
+// Every message on a connection is one frame: a fixed 24-byte header
+// (magic, protocol version, frame type, payload length) followed by the
+// payload and protected by an FNV-1a payload checksum carried in the
+// header. The format is deliberately paranoid in the checkpoint-stream
+// tradition: a torn frame (peer died mid-write), a flipped byte, a bogus
+// length, or a foreign/old-version peer each produce a precise typed
+// error (kParseError) instead of a desynchronized stream — the client's
+// backoff-retry loop treats them all as transient transport faults.
+//
+// Two consumption styles share one parser:
+//   * FrameDecoder — incremental, for the server's non-blocking sockets:
+//     feed() bytes as they arrive, next() yields complete frames.
+//   * read_frame/write_frame — blocking fd helpers (util/io EINTR-safe
+//     primitives) for the client's synchronous request/response calls.
+//
+// Byte order is the host's: the transport is a UNIX-domain socket, both
+// ends are the same machine (the header carries no endianness tag for
+// that reason; the version field guards layout changes).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace swbpbc::service {
+
+inline constexpr std::uint16_t kProtocolVersion = 1;
+
+/// Frames a payload can travel in. Values are wire format — append only.
+enum class FrameType : std::uint16_t {
+  kScreenRequest = 1,   // protocol.hpp ScreenRequest payload
+  kScreenResponse = 2,  // protocol.hpp ScreenResponse payload
+  kPing = 3,            // liveness probe, empty payload
+  kPong = 4,            // probe answer, empty payload
+};
+
+struct Frame {
+  FrameType type = FrameType::kPing;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Serializes one frame (header + payload) into a contiguous buffer, the
+/// unit the fault injector and the connection write queue operate on.
+std::vector<std::uint8_t> encode_frame(FrameType type,
+                                       std::span<const std::uint8_t> payload);
+
+/// Incremental frame parser over a byte stream. feed() appends raw bytes;
+/// next() returns the next complete frame, std::nullopt when more bytes
+/// are needed, or a typed kParseError once the stream is unrecoverable
+/// (bad magic / version / checksum / implausible length) — the connection
+/// must then be dropped, since frame boundaries are lost.
+class FrameDecoder {
+ public:
+  void feed(std::span<const std::uint8_t> bytes) {
+    buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+  }
+
+  util::Expected<std::optional<Frame>> next();
+
+  /// Bytes buffered but not yet consumed by a complete frame. A peer that
+  /// disconnects while this is non-zero tore its final frame.
+  [[nodiscard]] std::size_t pending_bytes() const {
+    return buffer_.size() - consumed_;
+  }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+  std::size_t consumed_ = 0;  // compacted lazily
+  bool poisoned_ = false;     // a parse error is sticky
+};
+
+/// Blocking write of one frame (EINTR-safe, kInternal with errno text on
+/// failure).
+util::Status write_frame(int fd, FrameType type,
+                         std::span<const std::uint8_t> payload);
+
+/// Blocking read of one frame. nullopt on a clean end-of-stream at a
+/// frame boundary; kParseError on a torn/corrupt frame.
+util::Expected<std::optional<Frame>> read_frame(int fd);
+
+}  // namespace swbpbc::service

@@ -1,0 +1,215 @@
+#include "service/protocol.hpp"
+
+#include <cstring>
+
+namespace swbpbc::service {
+
+namespace {
+
+// Little append/consume helpers over the flat payload. The frame layer
+// already checksummed the bytes; this layer only guards structure.
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  const std::size_t at = out.size();
+  out.resize(at + sizeof(v));
+  std::memcpy(out.data() + at, &v, sizeof(v));
+}
+
+void put_f64(std::vector<std::uint8_t>& out, double v) {
+  const std::size_t at = out.size();
+  out.resize(at + sizeof(v));
+  std::memcpy(out.data() + at, &v, sizeof(v));
+}
+
+void put_string(std::vector<std::uint8_t>& out, const std::string& s) {
+  put_u64(out, s.size());
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+class Cursor {
+ public:
+  explicit Cursor(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  [[nodiscard]] std::size_t remaining() const { return bytes_.size() - at_; }
+
+  bool take_u64(std::uint64_t& v) {
+    if (remaining() < sizeof(v)) return false;
+    std::memcpy(&v, bytes_.data() + at_, sizeof(v));
+    at_ += sizeof(v);
+    return true;
+  }
+
+  bool take_f64(double& v) {
+    if (remaining() < sizeof(v)) return false;
+    std::memcpy(&v, bytes_.data() + at_, sizeof(v));
+    at_ += sizeof(v);
+    return true;
+  }
+
+  bool take_string(std::string& s, std::size_t max_bytes) {
+    std::uint64_t len = 0;
+    if (!take_u64(len)) return false;
+    if (len > max_bytes || remaining() < len) return false;
+    s.assign(reinterpret_cast<const char*>(bytes_.data() + at_),
+             static_cast<std::size_t>(len));
+    at_ += static_cast<std::size_t>(len);
+    return true;
+  }
+
+  bool take_bytes(std::uint8_t* dst, std::size_t n) {
+    if (remaining() < n) return false;
+    std::memcpy(dst, bytes_.data() + at_, n);
+    at_ += n;
+    return true;
+  }
+
+ private:
+  std::span<const std::uint8_t> bytes_;
+  std::size_t at_ = 0;
+};
+
+util::Status truncated(const char* what) {
+  return util::Status::parse_error(std::string("request/response payload "
+                                               "ends inside ") +
+                                   what);
+}
+
+// Flattens a uniform-length batch side as one code byte per base.
+void put_side(std::vector<std::uint8_t>& out,
+              const std::vector<encoding::Sequence>& side) {
+  for (const encoding::Sequence& seq : side)
+    for (const encoding::Base b : seq) out.push_back(encoding::code(b));
+}
+
+// Reads `count` sequences of `length` code bytes, validating each code.
+util::Status take_side(Cursor& cur, std::size_t count, std::size_t length,
+                       const char* side_name,
+                       std::vector<encoding::Sequence>& side) {
+  side.assign(count, encoding::Sequence(length));
+  std::vector<std::uint8_t> row(length);
+  for (std::size_t k = 0; k < count; ++k) {
+    if (!cur.take_bytes(row.data(), length)) return truncated(side_name);
+    for (std::size_t i = 0; i < length; ++i) {
+      if (row[i] > 0b11)
+        return util::Status::invalid_input(
+            std::string(side_name) + "[" + std::to_string(k) +
+            "] carries a non-DNA code " + std::to_string(row[i]));
+      side[k][i] = encoding::base_from_code(row[i]);
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_request(const ScreenRequest& request) {
+  const std::size_t m = request.xs.empty() ? 0 : request.xs.front().size();
+  const std::size_t n = request.ys.empty() ? 0 : request.ys.front().size();
+  std::vector<std::uint8_t> out;
+  out.reserve(64 + request.id.size() + request.tenant.size() +
+              request.xs.size() * m + request.ys.size() * n);
+  put_string(out, request.id);
+  put_string(out, request.tenant);
+  put_f64(out, request.deadline_budget_ms);
+  put_u64(out, request.xs.size());
+  put_u64(out, m);
+  put_u64(out, n);
+  put_side(out, request.xs);
+  put_side(out, request.ys);
+  return out;
+}
+
+util::Expected<ScreenRequest> decode_request(
+    std::span<const std::uint8_t> payload) {
+  Cursor cur(payload);
+  ScreenRequest req;
+  if (!cur.take_string(req.id, kMaxIdBytes))
+    return util::Status::invalid_input("request id is missing or longer "
+                                       "than the allowed maximum");
+  if (req.id.empty())
+    return util::Status::invalid_input("request id must be non-empty");
+  if (!cur.take_string(req.tenant, kMaxTenantBytes))
+    return util::Status::invalid_input("request tenant is missing or longer "
+                                       "than the allowed maximum");
+  if (req.tenant.empty())
+    return util::Status::invalid_input("request tenant must be non-empty");
+  if (!cur.take_f64(req.deadline_budget_ms)) return truncated("the deadline");
+  if (!(req.deadline_budget_ms >= 0.0))  // also rejects NaN
+    return util::Status::invalid_input(
+        "request deadline budget must be >= 0 ms");
+  std::uint64_t pairs = 0, m = 0, n = 0;
+  if (!cur.take_u64(pairs) || !cur.take_u64(m) || !cur.take_u64(n))
+    return truncated("the batch shape");
+  if (pairs == 0 || pairs > kMaxPairsPerRequest)
+    return util::Status::invalid_input(
+        "request pair count " + std::to_string(pairs) +
+        " is outside [1, " + std::to_string(kMaxPairsPerRequest) + "]");
+  if (m == 0 || n == 0 || m > kMaxSequenceLength || n > kMaxSequenceLength)
+    return util::Status::invalid_input(
+        "request sequence lengths (" + std::to_string(m) + ", " +
+        std::to_string(n) + ") are outside [1, " +
+        std::to_string(kMaxSequenceLength) + "]");
+  if (util::Status s = take_side(cur, static_cast<std::size_t>(pairs),
+                                 static_cast<std::size_t>(m), "xs", req.xs);
+      !s.ok())
+    return s;
+  if (util::Status s = take_side(cur, static_cast<std::size_t>(pairs),
+                                 static_cast<std::size_t>(n), "ys", req.ys);
+      !s.ok())
+    return s;
+  if (cur.remaining() != 0)
+    return util::Status::parse_error(
+        "request payload carries trailing garbage");
+  return req;
+}
+
+std::vector<std::uint8_t> encode_response(const ScreenResponse& response) {
+  std::vector<std::uint8_t> out;
+  out.reserve(64 + response.id.size() + response.message.size() +
+              response.scores.size() * sizeof(std::uint32_t));
+  put_string(out, response.id);
+  put_u64(out, static_cast<std::uint64_t>(response.code));
+  put_string(out, response.message);
+  put_f64(out, response.retry_after_ms);
+  put_u64(out, response.scores.size());
+  const std::size_t at = out.size();
+  out.resize(at + response.scores.size() * sizeof(std::uint32_t));
+  if (!response.scores.empty())
+    std::memcpy(out.data() + at, response.scores.data(),
+                response.scores.size() * sizeof(std::uint32_t));
+  return out;
+}
+
+util::Expected<ScreenResponse> decode_response(
+    std::span<const std::uint8_t> payload) {
+  Cursor cur(payload);
+  ScreenResponse resp;
+  if (!cur.take_string(resp.id, kMaxIdBytes))
+    return truncated("the response id");
+  std::uint64_t code = 0;
+  if (!cur.take_u64(code)) return truncated("the status code");
+  if (code > static_cast<std::uint64_t>(util::ErrorCode::kInternal))
+    return util::Status::parse_error("response carries unknown status code " +
+                                     std::to_string(code));
+  resp.code = static_cast<util::ErrorCode>(code);
+  // Generous bound: a status message, not a payload.
+  if (!cur.take_string(resp.message, 4096))
+    return truncated("the status message");
+  if (!cur.take_f64(resp.retry_after_ms)) return truncated("the retry hint");
+  std::uint64_t count = 0;
+  if (!cur.take_u64(count)) return truncated("the score count");
+  if (count > kMaxPairsPerRequest)
+    return util::Status::parse_error("response declares an implausible "
+                                     "score count");
+  resp.scores.resize(static_cast<std::size_t>(count));
+  if (count != 0 &&
+      !cur.take_bytes(reinterpret_cast<std::uint8_t*>(resp.scores.data()),
+                      resp.scores.size() * sizeof(std::uint32_t)))
+    return truncated("the scores");
+  if (cur.remaining() != 0)
+    return util::Status::parse_error(
+        "response payload carries trailing garbage");
+  return resp;
+}
+
+}  // namespace swbpbc::service

@@ -1,0 +1,68 @@
+// Request/response messages of the screening daemon, and their payload
+// encoding inside frame.hpp frames.
+//
+// A ScreenRequest is one tenant's batch of (x, y) pairs to score, tagged
+// with an idempotency id: the daemon journals admitted requests by id and
+// caches completed results by id, so a client that lost a response to a
+// crash or a torn frame simply retries the same id and receives the
+// journaled result — bit-identical, computed exactly once. The deadline
+// budget is the client's patience in milliseconds; a request still queued
+// when its budget runs out is shed with a typed kDeadlineExceeded rather
+// than scored late.
+//
+// A ScreenResponse is either the scores (code kOk, one per pair, in
+// request order) or a typed rejection (kOverloaded / kQuotaExceeded /
+// kDeadlineExceeded / kInvalidInput ...) carrying a retry-after hint the
+// client's util::Backoff folds in.
+//
+// decode_* validates everything — lengths against the payload size,
+// bounds, 2-bit DNA codes — and returns typed kInvalidInput/kParseError;
+// a daemon never trusts bytes from a socket.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "encoding/dna.hpp"
+#include "util/status.hpp"
+
+namespace swbpbc::service {
+
+/// Limits a hostile or buggy client cannot exceed (typed kInvalidInput).
+inline constexpr std::size_t kMaxIdBytes = 256;
+inline constexpr std::size_t kMaxTenantBytes = 64;
+inline constexpr std::size_t kMaxPairsPerRequest = 1u << 20;
+inline constexpr std::size_t kMaxSequenceLength = 1u << 16;
+
+struct ScreenRequest {
+  std::string id;      // idempotency key, unique per request
+  std::string tenant;  // admission-quota accounting key
+  // Client patience: shed (kDeadlineExceeded) if still queued after this
+  // many milliseconds. 0 = unlimited.
+  double deadline_budget_ms = 0.0;
+  // Pair k is (xs[k], ys[k]); all xs share one length and all ys another
+  // (the BPBC batch requirement, enforced at decode).
+  std::vector<encoding::Sequence> xs, ys;
+
+  [[nodiscard]] std::size_t pair_count() const { return xs.size(); }
+};
+
+struct ScreenResponse {
+  std::string id;  // echoes the request id
+  util::ErrorCode code = util::ErrorCode::kOk;
+  std::string message;          // status detail on rejection
+  double retry_after_ms = 0.0;  // backoff hint on kOverloaded/kQuotaExceeded
+  std::vector<std::uint32_t> scores;  // request order; empty on rejection
+};
+
+std::vector<std::uint8_t> encode_request(const ScreenRequest& request);
+util::Expected<ScreenRequest> decode_request(
+    std::span<const std::uint8_t> payload);
+
+std::vector<std::uint8_t> encode_response(const ScreenResponse& response);
+util::Expected<ScreenResponse> decode_response(
+    std::span<const std::uint8_t> payload);
+
+}  // namespace swbpbc::service

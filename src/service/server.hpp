@@ -1,0 +1,122 @@
+// The screening daemon: a long-running, multi-tenant scoring service
+// over a UNIX-domain socket.
+//
+// One single-threaded poll() loop owns everything — accepting
+// connections, incremental frame decoding (a stalled or malicious client
+// can never block the daemon; its connection just stops progressing),
+// admission control, the batch queue, dispatch into the sw screening
+// stack, and fault-injected response writes. The request lifecycle:
+//
+//   frame in -> decode -> cache hit? serve journaled response
+//                      -> admission (kOverloaded / kQuotaExceeded shed)
+//                      -> journal `admitted` (fsync'd)  -> queue
+//   queue -> plan_batch (lane-group packing, deadline shedding)
+//         -> sw::try_screen (one call per batch, scores sliced per
+//            request)
+//         -> journal `completed` -> response frame (fault injector may
+//            tear/flip/drop it; the client retries the id and hits the
+//            response cache)
+//
+// Drain: when the stop token fires (SIGTERM via
+// util::install_cancel_on_signals), admission flips to rejecting, the
+// queue flushes through compute, responses go out, and run() returns
+// cleanly. Crash: kill -9 at any point leaves the journal with every
+// admitted request; the next start replays it, recomputes the pending
+// ones (deterministic scoring — bit-identical results), and serves
+// completed ones from cache.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "service/admission.hpp"
+#include "service/fault.hpp"
+#include "sw/lane.hpp"
+#include "sw/params.hpp"
+#include "telemetry/run_report.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/cancel.hpp"
+#include "util/status.hpp"
+
+namespace swbpbc::service {
+
+struct ServerConfig {
+  std::string socket_path;  // UDS endpoint; an existing file is replaced
+  sw::ScoreParams params{};
+  sw::LaneWidth width = sw::LaneWidth::kAuto;
+  AdmissionConfig admission{};
+  // Crash-safe request journal (empty disables journaling — admitted
+  // work then dies with the process).
+  std::string journal_path;
+  // Pairs worth collecting before a batch dispatches; 0 derives one lane
+  // group from the resolved lane width.
+  std::size_t lane_group = 0;
+  // Longest a partial batch waits for more work before dispatching
+  // anyway; bounds queueing latency when traffic is thin.
+  double linger_ms = 2.0;
+  // Transport fault injection on outgoing response frames (all-zero
+  // probabilities = off). Pings/pongs are exempt so readiness probes
+  // stay cheap.
+  FaultConfig faults{};
+  // Drain trigger: once cancelled, no new admissions; queued work
+  // finishes, then run() returns. Not owned.
+  const util::CancellationToken* stop = nullptr;
+  telemetry::Telemetry* telemetry = nullptr;  // optional session sink
+  // Test hook for the CI crash drill: _Exit(137) at the moment the Nth
+  // batch would dispatch — admitted records journaled, nothing
+  // completed. 0 disables.
+  std::uint64_t crash_after_batches = 0;
+};
+
+/// What the daemon did over its lifetime (the drill's evidence).
+struct ServerStats {
+  std::uint64_t requests = 0;          // well-formed requests received
+  std::uint64_t protocol_errors = 0;   // undecodable frames/payloads
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected_overload = 0;
+  std::uint64_t rejected_quota = 0;
+  std::uint64_t shed_deadline = 0;
+  std::uint64_t completed = 0;         // scored and journaled
+  std::uint64_t cache_hits = 0;        // retried ids served from journal
+  std::uint64_t recovered_pending = 0; // replayed at startup, recomputed
+  std::uint64_t recovered_completed = 0;  // replayed into the cache
+  std::uint64_t batches = 0;
+  std::uint64_t pairs_scored = 0;
+  FaultLog faults;                     // injected transport faults
+};
+
+class ScreenServer {
+ public:
+  /// Binds the socket, opens/replays the journal, seeds the response
+  /// cache, and queues replayed-but-incomplete requests for recompute.
+  /// Typed failures: kInternal (socket), kCheckpointCorrupt/-Mismatch
+  /// (journal from another configuration or damaged beyond the torn
+  /// tail).
+  static util::Expected<ScreenServer> create(ServerConfig config);
+
+  ScreenServer(ScreenServer&&) noexcept;
+  ScreenServer& operator=(ScreenServer&&) noexcept;
+  ~ScreenServer();
+
+  /// Serves until the stop token fires and the queue has drained.
+  /// Returns ok on a clean drain; kInvalidInput/kInternal on setup-class
+  /// failures discovered while serving.
+  util::Status run();
+
+  [[nodiscard]] const ServerStats& stats() const;
+  [[nodiscard]] const std::map<std::string, TenantStats>& tenants() const;
+
+  /// Per-tenant RunReport (tool "screen_serve"): one row per tenant with
+  /// a serving stage ("SRV"), pairs scored, and cell throughput; the
+  /// metrics snapshot carries the service counters. Validated by
+  /// scripts/check_run_report.py.
+  [[nodiscard]] telemetry::RunReport report() const;
+
+ private:
+  struct Impl;
+  explicit ScreenServer(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace swbpbc::service

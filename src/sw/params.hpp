@@ -14,6 +14,8 @@
 #include <cstdint>
 #include <stdexcept>
 
+#include "util/checksum.hpp"
+
 namespace swbpbc::sw {
 
 struct ScoreParams {
@@ -45,6 +47,17 @@ inline unsigned required_slices(const ScoreParams& p, std::size_t m,
   if (s > 32)
     throw std::invalid_argument("score range exceeds 32 bit slices");
   return s;
+}
+
+/// Chains the scoring parameters into a running FNV hash — the shared
+/// "same scoring scheme" identity used by checkpoint-stream fingerprints
+/// and the service request journal (a stream written under different
+/// parameters must never resume/replay).
+inline std::uint64_t fingerprint_params(const ScoreParams& p,
+                                        std::uint64_t h = util::kFnvOffset) {
+  h = util::fnv1a_value(p.match, h);
+  h = util::fnv1a_value(p.mismatch, h);
+  return util::fnv1a_value(p.gap, h);
 }
 
 }  // namespace swbpbc::sw

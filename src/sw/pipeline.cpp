@@ -64,9 +64,7 @@ std::uint64_t batch_fingerprint(std::span<const Sequence> xs,
   h = util::fnv1a_value<std::uint64_t>(xs.size(), h);
   h = util::fnv1a_value<std::uint64_t>(xs.front().size(), h);
   h = util::fnv1a_value<std::uint64_t>(ys.front().size(), h);
-  h = util::fnv1a_value(config.params.match, h);
-  h = util::fnv1a_value(config.params.mismatch, h);
-  h = util::fnv1a_value(config.params.gap, h);
+  h = fingerprint_params(config.params, h);
   h = util::fnv1a_value<std::uint64_t>(chunk_pairs, h);
   h = util::fnv1a_value<std::uint32_t>(
       static_cast<std::uint32_t>(config.width), h);

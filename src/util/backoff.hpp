@@ -1,0 +1,94 @@
+// Jittered exponential backoff for clients retrying transient faults.
+//
+// A screening client that hammers an overloaded daemon on a fixed retry
+// interval synchronizes with every other retrying client and turns one
+// overload spike into a permanent one. Backoff spaces attempts
+// exponentially (initial_ms, x multiplier, capped at max_ms) and jitters
+// each delay downward by a seeded PRNG so retry waves decorrelate, while
+// staying fully deterministic for a given seed — drills and tests replay
+// the exact same schedule.
+//
+// Servers shedding load attach a retry-after hint to their typed
+// kOverloaded / kQuotaExceeded rejections; suggest() folds such a hint in,
+// raising (never lowering) the next delay.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "util/rng.hpp"
+
+namespace swbpbc::util {
+
+struct BackoffConfig {
+  double initial_ms = 2.0;   // first delay before jitter
+  double max_ms = 500.0;     // cap on the un-jittered delay
+  double multiplier = 2.0;   // growth per attempt (>= 1)
+  // Each delay is drawn uniformly from [base * (1 - jitter), base]; 0
+  // disables jitter, 1 allows a delay all the way down to zero.
+  double jitter = 0.5;
+  // Attempts before next_delay_ms() reports exhaustion; 0 = unbounded.
+  unsigned max_attempts = 8;
+};
+
+class Backoff {
+ public:
+  explicit Backoff(const BackoffConfig& config, std::uint64_t seed = 0)
+      : config_(sanitize(config)), rng_(seed), base_(config_.initial_ms) {}
+
+  /// Delay to sleep before the next attempt, or nullopt once max_attempts
+  /// delays have been handed out (the caller should stop retrying and
+  /// surface kRetryExhausted).
+  std::optional<double> next_delay_ms() {
+    if (config_.max_attempts != 0 && attempts_ >= config_.max_attempts)
+      return std::nullopt;
+    ++attempts_;
+    // Uniform in [0, 1): 53-bit mantissa draw from the raw generator.
+    const double u =
+        static_cast<double>(rng_.next() >> 11) * 0x1.0p-53;
+    double delay = base_ * (1.0 - config_.jitter * u);
+    if (hint_ms_ > delay) delay = hint_ms_;
+    hint_ms_ = 0.0;
+    base_ = base_ * config_.multiplier;
+    if (base_ > config_.max_ms) base_ = config_.max_ms;
+    return delay;
+  }
+
+  /// Folds a server retry-after hint into the next delay: the next
+  /// next_delay_ms() returns at least `hint_ms`. Hints never shrink an
+  /// already-suggested value.
+  void suggest(double hint_ms) {
+    if (hint_ms > hint_ms_) hint_ms_ = hint_ms;
+  }
+
+  [[nodiscard]] unsigned attempts() const { return attempts_; }
+  [[nodiscard]] bool exhausted() const {
+    return config_.max_attempts != 0 && attempts_ >= config_.max_attempts;
+  }
+
+  /// Back to the first-attempt state (delays restart at initial_ms); the
+  /// PRNG stream continues, so a reset schedule stays decorrelated.
+  void reset() {
+    attempts_ = 0;
+    base_ = config_.initial_ms;
+    hint_ms_ = 0.0;
+  }
+
+ private:
+  static BackoffConfig sanitize(BackoffConfig c) {
+    if (c.initial_ms < 0.0) c.initial_ms = 0.0;
+    if (c.max_ms < c.initial_ms) c.max_ms = c.initial_ms;
+    if (c.multiplier < 1.0) c.multiplier = 1.0;
+    if (c.jitter < 0.0) c.jitter = 0.0;
+    if (c.jitter > 1.0) c.jitter = 1.0;
+    return c;
+  }
+
+  BackoffConfig config_;
+  Xoshiro256 rng_;
+  double base_;
+  double hint_ms_ = 0.0;
+  unsigned attempts_ = 0;
+};
+
+}  // namespace swbpbc::util

@@ -42,9 +42,11 @@ std::uint64_t record_checksum(std::uint64_t chunk_index,
 // Shared parser for the strict and salvage readers. In salvage mode a
 // stream that ends inside a record (the torn tail of a crashed append)
 // returns the validated prefix; every other defect stays a typed error.
+// `valid_end`, when non-null, receives the byte offset just past the last
+// validated record — the truncation point the append mode re-opens at.
 Expected<CheckpointData> read_checkpoint_impl(
     const std::string& path, std::uint64_t expected_fingerprint,
-    bool salvage_torn_tail) {
+    bool salvage_torn_tail, std::uint64_t* valid_end = nullptr) {
   auto fd = open_for_read(path);
   if (!fd.has_value())
     return Status::checkpoint_corrupt("cannot open checkpoint file '" + path +
@@ -71,6 +73,7 @@ Expected<CheckpointData> read_checkpoint_impl(
 
   CheckpointData data;
   data.fingerprint = header.fingerprint;
+  if (valid_end != nullptr) *valid_end = sizeof(Header);
   for (std::size_t index = 0;; ++index) {
     RecordHead head{};
     const auto got = read_full(fd->get(), &head, sizeof(head));
@@ -127,6 +130,8 @@ Expected<CheckpointData> read_checkpoint_impl(
           "checkpoint '" + path + "' record " + std::to_string(index) +
           " (chunk " + std::to_string(record.chunk_index) +
           ") fails its checksum");
+    if (valid_end != nullptr)
+      *valid_end += sizeof(RecordHead) + record.payload.size() + sizeof(crc);
     data.records.push_back(std::move(record));
   }
   return data;
@@ -145,6 +150,45 @@ Expected<CheckpointWriter> CheckpointWriter::try_create(
     return Status::checkpoint_corrupt("cannot write checkpoint header to '" +
                                       path + "': " + s.message());
   }
+  return CheckpointWriter(std::move(fd).value(), path);
+}
+
+Expected<CheckpointWriter> CheckpointWriter::try_append(
+    const std::string& path, std::uint64_t fingerprint,
+    CheckpointData* replayed) {
+  // A missing stream starts fresh; anything else must validate first.
+  {
+    auto probe = open_for_read(path);
+    if (!probe.has_value()) {
+      if (replayed != nullptr) {
+        replayed->fingerprint = fingerprint;
+        replayed->records.clear();
+      }
+      return try_create(path, fingerprint);
+    }
+  }
+  std::uint64_t valid_end = 0;
+  auto data = read_checkpoint_impl(path, fingerprint,
+                                   /*salvage_torn_tail=*/true, &valid_end);
+  if (!data.has_value()) return data.status();
+
+  auto fd = open_for_append(path);
+  if (!fd.has_value())
+    return Status::checkpoint_corrupt("cannot open checkpoint '" + path +
+                                      "' for appending: " +
+                                      fd.status().message());
+  // Drop the torn tail (if any) so the next append starts exactly after
+  // the last complete record. O_APPEND writes land at the new end.
+  const auto size = file_size(fd->get());
+  if (!size.has_value())
+    return Status::checkpoint_corrupt("cannot stat checkpoint '" + path +
+                                      "': " + size.status().message());
+  if (*size > valid_end) {
+    if (Status s = truncate_file(fd->get(), valid_end); !s.ok())
+      return Status::checkpoint_corrupt("cannot drop the torn tail of '" +
+                                        path + "': " + s.message());
+  }
+  if (replayed != nullptr) *replayed = std::move(data).value();
   return CheckpointWriter(std::move(fd).value(), path);
 }
 

@@ -33,11 +33,26 @@ inline constexpr std::uint32_t kCheckpointVersion = 1;
 /// unbuffered write (util::write_full), so the stream left by a process
 /// dying mid-append is a clean prefix plus at most one torn tail record —
 /// the case read_checkpoint_salvage recovers from.
+struct CheckpointData;
+
 class CheckpointWriter {
  public:
   /// Creates/truncates `path` and writes the header.
   static Expected<CheckpointWriter> try_create(const std::string& path,
                                                std::uint64_t fingerprint);
+
+  /// Opens an existing stream for appending (creating a fresh one when
+  /// `path` does not exist): validates the header and every complete
+  /// record, physically truncates away a torn tail record (the artifact of
+  /// a crash mid-append), and positions new appends after the last valid
+  /// record. When `replayed` is non-null the validated records are
+  /// returned through it, so the caller recovers state and extends the
+  /// stream in one pass — the request-journal restart path. Defects other
+  /// than a torn tail (bad magic, flipped byte inside a complete record,
+  /// wrong version/fingerprint) reject exactly like read_checkpoint.
+  static Expected<CheckpointWriter> try_append(const std::string& path,
+                                               std::uint64_t fingerprint,
+                                               CheckpointData* replayed);
 
   CheckpointWriter(CheckpointWriter&&) noexcept = default;
   CheckpointWriter& operator=(CheckpointWriter&&) noexcept = default;

@@ -58,6 +58,16 @@ Expected<UniqueFd> open_for_write(const std::string& path) {
   return UniqueFd(fd);
 }
 
+Expected<UniqueFd> open_for_append(const std::string& path) {
+  int fd;
+  do {
+    fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC,
+                0644);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) return errno_status("open '" + path + "' for appending");
+  return UniqueFd(fd);
+}
+
 Expected<std::size_t> read_full(int fd, void* data, std::size_t size) {
   auto* p = static_cast<unsigned char*>(data);
   std::size_t done = 0;
@@ -115,6 +125,15 @@ Expected<std::uint64_t> file_size(int fd) {
   struct ::stat st{};
   if (::fstat(fd, &st) != 0) return errno_status("fstat");
   return static_cast<std::uint64_t>(st.st_size);
+}
+
+Status truncate_file(int fd, std::uint64_t size) {
+  int rc;
+  do {
+    rc = ::ftruncate(fd, static_cast<::off_t>(size));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) return errno_status("ftruncate");
+  return {};
 }
 
 }  // namespace swbpbc::util

@@ -63,6 +63,12 @@ Expected<UniqueFd> open_for_read(const std::string& path);
 /// Creates/truncates `path` for writing (mode 0644).
 Expected<UniqueFd> open_for_write(const std::string& path);
 
+/// Opens (creating if absent, mode 0644) `path` for appending: every
+/// write lands at the current end of file. Used by the journal/checkpoint
+/// append mode, which must extend an existing stream across restarts
+/// instead of truncating it.
+Expected<UniqueFd> open_for_append(const std::string& path);
+
 /// Reads exactly `size` bytes unless the stream ends first; retries EINTR
 /// and short reads. Returns the byte count actually read — equal to
 /// `size`, or smaller only at end-of-file (the caller distinguishes a
@@ -84,5 +90,10 @@ Status fsync_and_rename(int fd, const std::string& tmp_path,
 
 /// Size of an open file in bytes (fstat).
 Expected<std::uint64_t> file_size(int fd);
+
+/// Truncates the open file to exactly `size` bytes (EINTR-safe). The
+/// checkpoint append mode uses this to drop a torn tail record before
+/// extending the stream.
+Status truncate_file(int fd, std::uint64_t size);
 
 }  // namespace swbpbc::util

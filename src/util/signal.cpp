@@ -1,0 +1,50 @@
+#include "util/signal.hpp"
+
+#include <atomic>
+#include <csignal>
+#include <cstring>
+
+#include <unistd.h>
+
+namespace swbpbc::util {
+
+namespace {
+
+// The handler may only touch lock-free atomics: CancellationToken::cancel
+// is a relaxed-ordering-free atomic store, and _exit is async-signal-safe.
+std::atomic<CancellationToken*> g_token{nullptr};
+std::atomic<int> g_signals{0};
+
+extern "C" void cancel_signal_handler(int signo) {
+  const int seen = g_signals.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (seen > 1) _exit(128 + signo);
+  if (CancellationToken* token = g_token.load(std::memory_order_acquire))
+    token->cancel();
+}
+
+}  // namespace
+
+Status install_cancel_on_signals(CancellationToken& token) {
+  CancellationToken* expected = nullptr;
+  if (!g_token.compare_exchange_strong(expected, &token,
+                                       std::memory_order_acq_rel) &&
+      expected != &token) {
+    return Status::internal(
+        "install_cancel_on_signals: a different token is already installed");
+  }
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = cancel_signal_handler;
+  sigemptyset(&sa.sa_mask);
+  for (const int signo : {SIGINT, SIGTERM}) {
+    if (sigaction(signo, &sa, nullptr) != 0)
+      return Status::internal("install_cancel_on_signals: sigaction failed");
+  }
+  return {};
+}
+
+int signals_received() {
+  return g_signals.load(std::memory_order_relaxed);
+}
+
+}  // namespace swbpbc::util

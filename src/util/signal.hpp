@@ -1,0 +1,29 @@
+// Cooperative SIGINT/SIGTERM handling for the long-running front ends.
+//
+// A screening daemon or a multi-minute example killed by ^C used to die
+// wherever the signal landed — possibly mid-checkpoint-append. The model
+// here matches the rest of the stop machinery (util/cancel.hpp): the
+// handler only flips a CancellationToken, the run unwinds cooperatively at
+// the next chunk boundary with a typed kCancelled status, and checkpoints/
+// journals flush on the normal exit path. A second signal while the drain
+// is still running force-exits (128 + signo), so a wedged process can
+// always be killed from the keyboard.
+//
+// One installation per process (the handler holds a single global token
+// pointer); the token must outlive the installation.
+#pragma once
+
+#include "util/cancel.hpp"
+#include "util/status.hpp"
+
+namespace swbpbc::util {
+
+/// Installs SIGINT + SIGTERM handlers that cancel `token` on the first
+/// signal and _exit(128 + signo) on the second. kInternal if sigaction
+/// fails or a different token is already installed.
+Status install_cancel_on_signals(CancellationToken& token);
+
+/// Signals observed since installation (0 before the first).
+[[nodiscard]] int signals_received();
+
+}  // namespace swbpbc::util

@@ -32,6 +32,10 @@ const char* error_code_name(ErrorCode code) {
       return "DB_MISMATCH";
     case ErrorCode::kCallbackError:
       return "CALLBACK_ERROR";
+    case ErrorCode::kOverloaded:
+      return "OVERLOADED";
+    case ErrorCode::kQuotaExceeded:
+      return "QUOTA_EXCEEDED";
     case ErrorCode::kInternal:
       return "INTERNAL";
   }

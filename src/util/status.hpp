@@ -33,6 +33,8 @@ enum class ErrorCode {
   kDbCorrupt,          // database store unreadable / failed a checksum
   kDbMismatch,         // database version/lane/endianness/content disagrees
   kCallbackError,      // a user-supplied observer/callback threw
+  kOverloaded,         // serving admission queue full / daemon draining
+  kQuotaExceeded,      // a tenant exceeded its admission quota
   kInternal,           // invariant violation inside the library
 };
 
@@ -83,6 +85,12 @@ class [[nodiscard]] Status {
   }
   static Status callback_error(std::string m) {
     return {ErrorCode::kCallbackError, std::move(m)};
+  }
+  static Status overloaded(std::string m) {
+    return {ErrorCode::kOverloaded, std::move(m)};
+  }
+  static Status quota_exceeded(std::string m) {
+    return {ErrorCode::kQuotaExceeded, std::move(m)};
   }
   static Status internal(std::string m) {
     return {ErrorCode::kInternal, std::move(m)};

@@ -1,0 +1,161 @@
+// Concurrent db::Reader drills: many threads racing the lazy
+// checksum-verify-on-first-touch of the same shards. The contract under
+// the race: every thread sees a fully verified view (or the same typed
+// kDbCorrupt for a damaged shard), verification is counted once per
+// shard no matter how many threads collide on the first touch, and
+// quarantine is sticky across threads.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <barrier>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "db/builder.hpp"
+#include "db/fault.hpp"
+#include "db/reader.hpp"
+#include "encoding/random.hpp"
+#include "util/rng.hpp"
+#include "util/status.hpp"
+
+namespace swbpbc::db {
+namespace {
+
+constexpr std::size_t kThreads = 16;
+constexpr std::size_t kRounds = 8;
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + "swbpbc_dbconc_" + name;
+}
+
+std::vector<encoding::Sequence> make_batch(std::size_t count,
+                                           std::size_t length) {
+  util::Xoshiro256 rng(11);
+  return encoding::random_sequences(rng, count, length);
+}
+
+TEST(DbConcurrency, RacingFirstTouchVerifiesEachShardOnce) {
+  const std::string path = temp_path("race.swdb");
+  const auto seqs = make_batch(130, 40);  // 3 shards
+  ASSERT_TRUE(build_database(seqs, path).ok());
+  auto reader = Reader::open(path);
+  ASSERT_TRUE(reader.has_value()) << reader.status().to_string();
+  const std::size_t shards = reader->shard_count();
+  ASSERT_EQ(shards, 3u);
+
+  std::barrier gate(static_cast<std::ptrdiff_t>(kThreads));
+  std::atomic<std::uint64_t> failures{0};
+  std::atomic<std::uint64_t> views{0};
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      gate.arrive_and_wait();  // all threads hit first-touch together
+      for (std::size_t round = 0; round < kRounds; ++round) {
+        for (std::size_t k = 0; k < shards; ++k) {
+          // Each thread walks the shards in a different rotation so
+          // every shard gets raced as somebody's first touch.
+          const std::size_t s = (k + t) % shards;
+          const auto view = reader->shard(s);
+          if (!view.has_value() || view->data == nullptr ||
+              view->plane(0).size() != reader->entry_length()) {
+            failures.fetch_add(1, std::memory_order_relaxed);
+            continue;
+          }
+          views.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_EQ(views.load(), kThreads * kRounds * shards);
+  // The whole point of the atomic shard-state: N racing threads still
+  // pay for (and count) at most one verification per shard.
+  const auto stats = reader->stats();
+  EXPECT_EQ(stats.shards_verified, shards);
+  EXPECT_EQ(stats.shards_corrupt, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(DbConcurrency, RacingThreadsAgreeOnTheSameQuarantine) {
+  const std::string path = temp_path("quarantine.swdb");
+  const auto seqs = make_batch(130, 40);
+  ASSERT_TRUE(build_database(seqs, path).ok());
+
+  FaultConfig fc;
+  fc.seed = 42;
+  fc.shard_flip_probability = 1.0;
+  fc.target_shard = 1;  // damage exactly the middle shard's mapping
+  FaultInjector injector(fc);
+  ReaderOptions options;
+  options.fault = &injector;
+  auto reader = Reader::open(path, options);
+  ASSERT_TRUE(reader.has_value()) << reader.status().to_string();
+  const std::size_t shards = reader->shard_count();
+
+  std::barrier gate(static_cast<std::ptrdiff_t>(kThreads));
+  std::atomic<std::uint64_t> wrong_verdicts{0};
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      gate.arrive_and_wait();
+      for (std::size_t round = 0; round < kRounds; ++round) {
+        for (std::size_t k = 0; k < shards; ++k) {
+          const std::size_t s = (k + t) % shards;
+          const auto view = reader->shard(s);
+          // Shard 1 must fail kDbCorrupt for EVERY thread on EVERY
+          // touch; the healthy shards must never fail.
+          const bool want_corrupt = s == 1;
+          const bool is_corrupt =
+              !view.has_value() &&
+              view.status().code() == util::ErrorCode::kDbCorrupt;
+          if (is_corrupt != want_corrupt ||
+              (!want_corrupt && !view.has_value()))
+            wrong_verdicts.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(wrong_verdicts.load(), 0u);
+  EXPECT_TRUE(reader->shard_quarantined(1));
+  EXPECT_FALSE(reader->shard_quarantined(0));
+  EXPECT_FALSE(reader->shard_quarantined(2));
+  // Sticky failure: hashed once, failed once, never re-verified.
+  const auto stats = reader->stats();
+  EXPECT_EQ(stats.shards_corrupt, 1u);
+  EXPECT_EQ(stats.shards_verified, shards - 1);
+  std::remove(path.c_str());
+}
+
+TEST(DbConcurrency, MoveBeforeSharingKeepsCountersCoherent) {
+  const std::string path = temp_path("moved.swdb");
+  const auto seqs = make_batch(70, 32);  // 2 shards
+  ASSERT_TRUE(build_database(seqs, path).ok());
+  auto opened = Reader::open(path);
+  ASSERT_TRUE(opened.has_value());
+  // The daemon pattern: open, move into the serving object, then share.
+  Reader reader(std::move(opened).value());
+
+  std::vector<std::thread> threads;
+  std::atomic<std::uint64_t> failures{0};
+  for (std::size_t t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (std::size_t s = 0; s < reader.shard_count(); ++s)
+        if (!reader.shard(s).has_value())
+          failures.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_EQ(reader.stats().shards_verified, reader.shard_count());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace swbpbc::db

@@ -1,0 +1,244 @@
+// Admission control, batch planning, and the transport fault injector:
+// the pure-logic heart of the daemon. Global caps shed kOverloaded,
+// tenant quotas shed kQuotaExceeded, drain rejects everything new;
+// plan_batch packs uniform shapes FIFO into lane groups and sheds
+// expired budgets; fault decisions are a pure function of the seed.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "encoding/random.hpp"
+#include "service/admission.hpp"
+#include "service/batch.hpp"
+#include "service/fault.hpp"
+#include "util/rng.hpp"
+#include "util/status.hpp"
+
+namespace swbpbc::service {
+namespace {
+
+AdmissionConfig small_config() {
+  AdmissionConfig cfg;
+  cfg.max_queued_requests = 4;
+  cfg.max_queued_pairs = 100;
+  cfg.tenant_quota_pairs = 60;
+  cfg.retry_hint_base_ms = 10.0;
+  return cfg;
+}
+
+TEST(Admission, AdmitsUntilGlobalRequestCap) {
+  AdmissionController ctl(small_config());
+  for (int k = 0; k < 4; ++k)
+    ASSERT_TRUE(ctl.admit("t" + std::to_string(k), 10).status.ok());
+  const auto decision = ctl.admit("t9", 10);
+  EXPECT_EQ(decision.status.code(), util::ErrorCode::kOverloaded);
+  EXPECT_GT(decision.retry_after_ms, 0.0);
+  EXPECT_EQ(ctl.queued_requests(), 4u);
+  EXPECT_EQ(ctl.queued_pairs(), 40u);
+}
+
+TEST(Admission, AdmitsUntilGlobalPairCap) {
+  AdmissionController ctl(small_config());
+  ASSERT_TRUE(ctl.admit("a", 60).status.ok());
+  ASSERT_TRUE(ctl.admit("b", 40).status.ok());  // exactly at the cap
+  const auto decision = ctl.admit("c", 1);
+  EXPECT_EQ(decision.status.code(), util::ErrorCode::kOverloaded);
+}
+
+TEST(Admission, TenantQuotaShedsBeforeStarvingOthers) {
+  AdmissionController ctl(small_config());
+  ASSERT_TRUE(ctl.admit("greedy", 60).status.ok());  // at quota
+  const auto decision = ctl.admit("greedy", 1);
+  EXPECT_EQ(decision.status.code(), util::ErrorCode::kQuotaExceeded);
+  EXPECT_GT(decision.retry_after_ms, 0.0);
+  // The other tenant still gets in: the queue has room the greedy tenant
+  // may not take.
+  EXPECT_TRUE(ctl.admit("patient", 40).status.ok());
+}
+
+TEST(Admission, ReleaseReopensQuotaAndCaps) {
+  AdmissionController ctl(small_config());
+  ASSERT_TRUE(ctl.admit("a", 60).status.ok());
+  ASSERT_EQ(ctl.admit("a", 10).status.code(),
+            util::ErrorCode::kQuotaExceeded);
+  ctl.release("a", 60);
+  EXPECT_EQ(ctl.queued_requests(), 0u);
+  EXPECT_EQ(ctl.queued_pairs(), 0u);
+  EXPECT_TRUE(ctl.admit("a", 60).status.ok());
+}
+
+TEST(Admission, DrainingRejectsEverythingNew) {
+  AdmissionController ctl(small_config());
+  ASSERT_TRUE(ctl.admit("a", 1).status.ok());
+  ctl.set_draining();
+  const auto decision = ctl.admit("b", 1);
+  EXPECT_EQ(decision.status.code(), util::ErrorCode::kOverloaded);
+  EXPECT_NE(decision.status.to_string().find("drain"), std::string::npos);
+}
+
+TEST(Admission, HintGrowsWithOccupancy) {
+  AdmissionController ctl(small_config());
+  ctl.set_draining();
+  const double empty_hint = ctl.admit("a", 1).retry_after_ms;
+  AdmissionController full(small_config());
+  for (int k = 0; k < 4; ++k)
+    ASSERT_TRUE(full.admit("t" + std::to_string(k), 25).status.ok());
+  const double full_hint = full.admit("z", 1).retry_after_ms;
+  EXPECT_GT(full_hint, empty_hint);
+}
+
+TEST(Admission, TenantStatsAccount) {
+  AdmissionController ctl(small_config());
+  ASSERT_TRUE(ctl.admit("a", 30).status.ok());
+  ASSERT_TRUE(ctl.admit("a", 30).status.ok());
+  ctl.admit("a", 30);  // quota reject
+  ctl.release("a", 30);
+  const auto& stats = ctl.tenants().at("a");
+  EXPECT_EQ(stats.admitted, 2u);
+  EXPECT_EQ(stats.rejected_quota, 1u);
+  EXPECT_EQ(stats.pairs_admitted, 60u);
+  EXPECT_EQ(stats.queued_pairs, 30u);
+}
+
+PendingRequest pending(const std::string& id, std::size_t pairs,
+                       std::size_t m, std::size_t n, double enqueued_ms,
+                       double budget_ms = 0.0) {
+  util::Xoshiro256 rng(7);
+  PendingRequest p;
+  p.request.id = id;
+  p.request.tenant = "t";
+  p.request.deadline_budget_ms = budget_ms;
+  p.request.xs = encoding::random_sequences(rng, pairs, m);
+  p.request.ys = encoding::random_sequences(rng, pairs, n);
+  p.enqueued_ms = enqueued_ms;
+  return p;
+}
+
+TEST(BatchPlan, WaitsForAFullLaneGroupUnlessFlushed) {
+  std::deque<PendingRequest> queue;
+  queue.push_back(pending("a", 3, 8, 16, 0.0));
+  // Partial and not flushing: hold for more work.
+  auto plan = plan_batch(queue, 1.0, 8, /*flush=*/false);
+  EXPECT_TRUE(plan.take.empty());
+  EXPECT_TRUE(plan.shed.empty());
+  // Same queue under flush (linger expired / draining): cut the partial.
+  plan = plan_batch(queue, 1.0, 8, /*flush=*/true);
+  ASSERT_EQ(plan.take.size(), 1u);
+  EXPECT_EQ(plan.pairs, 3u);
+}
+
+TEST(BatchPlan, PacksFifoUntilLaneGroupFull) {
+  std::deque<PendingRequest> queue;
+  queue.push_back(pending("a", 3, 8, 16, 0.0));
+  queue.push_back(pending("b", 3, 8, 16, 0.1));
+  queue.push_back(pending("c", 3, 8, 16, 0.2));
+  const auto plan = plan_batch(queue, 1.0, 8, /*flush=*/false);
+  // 3 + 3 + 3 = 9 >= 8: the group fills, all three ride along.
+  ASSERT_EQ(plan.take.size(), 3u);
+  EXPECT_EQ(plan.take, (std::vector<std::size_t>{0, 1, 2}));
+  EXPECT_EQ(plan.pairs, 9u);
+}
+
+TEST(BatchPlan, AnchorsShapeOnOldestSurvivor) {
+  std::deque<PendingRequest> queue;
+  queue.push_back(pending("a", 4, 8, 16, 0.0));
+  queue.push_back(pending("odd", 4, 12, 20, 0.1));  // different (m, n)
+  queue.push_back(pending("b", 4, 8, 16, 0.2));
+  const auto plan = plan_batch(queue, 1.0, 8, /*flush=*/false);
+  // The mismatched shape waits for its own batch; a and b pack together.
+  ASSERT_EQ(plan.take.size(), 2u);
+  EXPECT_EQ(plan.take, (std::vector<std::size_t>{0, 2}));
+  EXPECT_EQ(plan.pairs, 8u);
+}
+
+TEST(BatchPlan, ShedsExpiredBudgetsEvenWithoutFlush) {
+  std::deque<PendingRequest> queue;
+  queue.push_back(pending("expired", 4, 8, 16, 0.0, /*budget=*/5.0));
+  queue.push_back(pending("alive", 8, 8, 16, 8.0, /*budget=*/50.0));
+  queue.push_back(pending("unlimited", 4, 8, 16, 0.0, /*budget=*/0.0));
+  const auto plan = plan_batch(queue, 10.0, 8, /*flush=*/false);
+  ASSERT_EQ(plan.shed.size(), 1u);
+  EXPECT_EQ(plan.shed[0], 0u);
+  // The oldest survivor alone fills the group of 8; packing stops there
+  // and the third request waits for the next cut.
+  ASSERT_EQ(plan.take.size(), 1u);
+  EXPECT_EQ(plan.take[0], 1u);
+  EXPECT_EQ(plan.pairs, 8u);
+}
+
+TEST(FaultInjector, DecisionsAreSeedDeterministic) {
+  FaultConfig cfg;
+  cfg.seed = 1234;
+  cfg.tear_probability = 0.3;
+  cfg.flip_probability = 0.3;
+  cfg.disconnect_probability = 0.2;
+  cfg.stall_probability = 0.2;
+  FaultInjector a(cfg), b(cfg);
+  const std::uint64_t campaign_a = a.begin_run();
+  const std::uint64_t campaign_b = b.begin_run();
+  ASSERT_EQ(campaign_a, campaign_b);
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    const auto fa = a.frame_fault(campaign_a, i, 96);
+    const auto fb = b.frame_fault(campaign_b, i, 96);
+    EXPECT_EQ(fa.disconnect, fb.disconnect);
+    EXPECT_EQ(fa.tear, fb.tear);
+    EXPECT_EQ(fa.keep_bytes, fb.keep_bytes);
+    EXPECT_EQ(fa.flip, fb.flip);
+    EXPECT_EQ(fa.flip_offset, fb.flip_offset);
+    EXPECT_EQ(fa.flip_bit, fb.flip_bit);
+    EXPECT_EQ(fa.stall, fb.stall);
+  }
+  EXPECT_EQ(a.log().total(), b.log().total());
+  EXPECT_GT(a.log().total(), 0u);
+}
+
+TEST(FaultInjector, AtMostOneDestructiveFaultPerFrame) {
+  FaultConfig cfg;
+  cfg.seed = 9;
+  cfg.tear_probability = 1.0;
+  cfg.flip_probability = 1.0;
+  cfg.disconnect_probability = 1.0;
+  FaultInjector injector(cfg);
+  const auto campaign = injector.begin_run();
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    const auto fault = injector.frame_fault(campaign, i, 64);
+    const int destructive = (fault.disconnect ? 1 : 0) +
+                            (fault.tear ? 1 : 0) + (fault.flip ? 1 : 0);
+    EXPECT_EQ(destructive, 1);  // disconnect wins at p=1
+    EXPECT_TRUE(fault.disconnect);
+  }
+}
+
+TEST(FaultInjector, RestartDrawsAFreshCampaign) {
+  FaultConfig cfg;
+  cfg.seed = 77;
+  cfg.flip_probability = 0.5;
+  FaultInjector injector(cfg);
+  const auto first = injector.begin_run();
+  std::vector<bool> flips_first;
+  for (std::uint64_t i = 0; i < 64; ++i)
+    flips_first.push_back(injector.frame_fault(first, i, 64).flip);
+  const auto second = injector.begin_run();
+  EXPECT_NE(first, second);
+  std::vector<bool> flips_second;
+  for (std::uint64_t i = 0; i < 64; ++i)
+    flips_second.push_back(injector.frame_fault(second, i, 64).flip);
+  EXPECT_NE(flips_first, flips_second);
+}
+
+TEST(FaultInjector, ZeroProbabilitiesInjectNothing) {
+  FaultInjector injector(FaultConfig{});
+  const auto campaign = injector.begin_run();
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    const auto fault = injector.frame_fault(campaign, i, 128);
+    EXPECT_FALSE(fault.disconnect || fault.tear || fault.flip ||
+                 fault.stall);
+  }
+  EXPECT_EQ(injector.log().total(), 0u);
+}
+
+}  // namespace
+}  // namespace swbpbc::service

@@ -1,0 +1,139 @@
+// Jittered exponential backoff: deterministic schedules per seed,
+// exponential growth under the cap, downward-only jitter, server
+// retry-after hints that raise (never lower) the next delay, bounded
+// attempts, and config sanitization.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "util/backoff.hpp"
+
+namespace swbpbc::util {
+namespace {
+
+TEST(Backoff, SameSeedReplaysTheExactSchedule) {
+  BackoffConfig config;
+  config.max_attempts = 6;
+  Backoff a(config, 123), b(config, 123);
+  for (int k = 0; k < 6; ++k) {
+    const auto da = a.next_delay_ms();
+    const auto db = b.next_delay_ms();
+    ASSERT_TRUE(da.has_value());
+    EXPECT_EQ(*da, *db);
+  }
+}
+
+TEST(Backoff, DifferentSeedsDecorrelate) {
+  BackoffConfig config;
+  config.max_attempts = 0;
+  Backoff a(config, 1), b(config, 2);
+  bool any_differ = false;
+  for (int k = 0; k < 8; ++k)
+    any_differ = any_differ || *a.next_delay_ms() != *b.next_delay_ms();
+  EXPECT_TRUE(any_differ);
+}
+
+TEST(Backoff, GrowsExponentiallyUpToTheCap) {
+  BackoffConfig config;
+  config.initial_ms = 2.0;
+  config.multiplier = 2.0;
+  config.max_ms = 16.0;
+  config.jitter = 0.0;  // deterministic bases: 2, 4, 8, 16, 16, ...
+  config.max_attempts = 0;
+  Backoff backoff(config, 0);
+  const std::vector<double> expected = {2, 4, 8, 16, 16, 16};
+  for (double want : expected) {
+    const auto delay = backoff.next_delay_ms();
+    ASSERT_TRUE(delay.has_value());
+    EXPECT_EQ(*delay, want);
+  }
+}
+
+TEST(Backoff, JitterOnlyShrinksWithinOneBase) {
+  BackoffConfig config;
+  config.initial_ms = 100.0;
+  config.multiplier = 1.0;
+  config.max_ms = 100.0;
+  config.jitter = 0.5;
+  config.max_attempts = 0;
+  Backoff backoff(config, 99);
+  for (int k = 0; k < 32; ++k) {
+    const auto delay = backoff.next_delay_ms();
+    ASSERT_TRUE(delay.has_value());
+    EXPECT_LE(*delay, 100.0);
+    EXPECT_GE(*delay, 50.0);  // jitter 0.5: at most halved
+  }
+}
+
+TEST(Backoff, ServerHintRaisesTheNextDelayOnce) {
+  BackoffConfig config;
+  config.initial_ms = 1.0;
+  config.max_ms = 1.0;
+  config.multiplier = 1.0;
+  config.jitter = 0.0;
+  config.max_attempts = 0;
+  Backoff backoff(config, 0);
+  backoff.suggest(50.0);
+  backoff.suggest(25.0);  // a smaller hint never lowers a larger one
+  EXPECT_EQ(*backoff.next_delay_ms(), 50.0);
+  // The hint is consumed: the following delay is back on the schedule.
+  EXPECT_EQ(*backoff.next_delay_ms(), 1.0);
+}
+
+TEST(Backoff, HintBelowScheduleIsIgnored) {
+  BackoffConfig config;
+  config.initial_ms = 40.0;
+  config.jitter = 0.0;
+  config.max_attempts = 0;
+  Backoff backoff(config, 0);
+  backoff.suggest(5.0);  // schedule already asks for more patience
+  EXPECT_EQ(*backoff.next_delay_ms(), 40.0);
+}
+
+TEST(Backoff, ExhaustsAfterMaxAttempts) {
+  BackoffConfig config;
+  config.max_attempts = 3;
+  Backoff backoff(config, 7);
+  EXPECT_FALSE(backoff.exhausted());
+  for (int k = 0; k < 3; ++k)
+    EXPECT_TRUE(backoff.next_delay_ms().has_value());
+  EXPECT_TRUE(backoff.exhausted());
+  EXPECT_FALSE(backoff.next_delay_ms().has_value());
+  EXPECT_EQ(backoff.attempts(), 3u);
+}
+
+TEST(Backoff, ResetRestartsTheScheduleNotTheStream) {
+  BackoffConfig config;
+  config.initial_ms = 2.0;
+  config.multiplier = 4.0;
+  config.jitter = 0.0;
+  config.max_attempts = 2;
+  Backoff backoff(config, 5);
+  EXPECT_EQ(*backoff.next_delay_ms(), 2.0);
+  EXPECT_EQ(*backoff.next_delay_ms(), 8.0);
+  EXPECT_TRUE(backoff.exhausted());
+  backoff.reset();
+  EXPECT_FALSE(backoff.exhausted());
+  EXPECT_EQ(backoff.attempts(), 0u);
+  EXPECT_EQ(*backoff.next_delay_ms(), 2.0);  // schedule restarted
+}
+
+TEST(Backoff, SanitizesHostileConfig) {
+  BackoffConfig config;
+  config.initial_ms = -5.0;   // -> 0
+  config.max_ms = -10.0;      // -> >= initial
+  config.multiplier = 0.1;    // -> 1
+  config.jitter = 7.0;        // -> 1
+  config.max_attempts = 0;
+  Backoff backoff(config, 3);
+  for (int k = 0; k < 8; ++k) {
+    const auto delay = backoff.next_delay_ms();
+    ASSERT_TRUE(delay.has_value());
+    EXPECT_GE(*delay, 0.0);
+    EXPECT_LE(*delay, 0.0);  // base pinned at 0
+  }
+}
+
+}  // namespace
+}  // namespace swbpbc::util

@@ -252,5 +252,74 @@ TEST(CheckpointSalvage, TruncatedInsideFileHeaderRejects) {
   std::remove(path.c_str());
 }
 
+// --- append-reopen (the request-journal restart path) --------------------
+
+TEST(CheckpointAppend, CreatesAFreshStreamWhenMissing) {
+  const std::string path = temp_path("append_fresh.bin");
+  std::remove(path.c_str());
+  CheckpointData replayed;
+  auto writer = CheckpointWriter::try_append(path, 7, &replayed);
+  ASSERT_TRUE(writer.has_value()) << writer.status().to_string();
+  EXPECT_TRUE(replayed.records.empty());
+  ASSERT_TRUE(writer->append(0, bytes({5})).ok());
+  const auto loaded = read_checkpoint(path, 7);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->records.size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointAppend, ReplaysAndExtendsAnExistingStream) {
+  const std::string path = temp_path("append_extend.bin");
+  write_stream(path, 42);  // records 0 and 2
+  CheckpointData replayed;
+  auto writer = CheckpointWriter::try_append(path, 42, &replayed);
+  ASSERT_TRUE(writer.has_value()) << writer.status().to_string();
+  ASSERT_EQ(replayed.records.size(), 2u);
+  EXPECT_EQ(replayed.find(0)->payload, bytes({1, 2, 3, 4}));
+  ASSERT_TRUE(writer->append(3, bytes({6, 6})).ok());
+
+  const auto loaded = read_checkpoint(path, 42);
+  ASSERT_TRUE(loaded.has_value()) << loaded.status().to_string();
+  ASSERT_EQ(loaded->records.size(), 3u);
+  EXPECT_EQ(loaded->find(3)->payload, bytes({6, 6}));
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointAppend, TruncatesTheTornTailBeforeAppending) {
+  const std::string path = temp_path("append_torn.bin");
+  write_stream(path, 42);
+  std::vector<char> data = slurp(path);
+  data.resize(data.size() - 5);  // crash mid-append of record 2
+  dump(path, data);
+
+  CheckpointData replayed;
+  auto writer = CheckpointWriter::try_append(path, 42, &replayed);
+  ASSERT_TRUE(writer.has_value()) << writer.status().to_string();
+  ASSERT_EQ(replayed.records.size(), 1u);  // the clean prefix
+  ASSERT_TRUE(writer->append(9, bytes({9})).ok());
+
+  // The new record must land where the torn bytes were, leaving a stream
+  // the STRICT reader accepts — physical truncation, not papering over.
+  const auto loaded = read_checkpoint(path, 42);
+  ASSERT_TRUE(loaded.has_value()) << loaded.status().to_string();
+  ASSERT_EQ(loaded->records.size(), 2u);
+  EXPECT_EQ(loaded->records[0].chunk_index, 0u);
+  EXPECT_EQ(loaded->records[1].chunk_index, 9u);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointAppend, RejectsForeignFingerprintAndRot) {
+  const std::string path = temp_path("append_reject.bin");
+  write_stream(path, 42);
+  EXPECT_EQ(CheckpointWriter::try_append(path, 43, nullptr).status().code(),
+            ErrorCode::kCheckpointMismatch);
+  std::vector<char> data = slurp(path);
+  data[24 + 24 + 1] = static_cast<char>(data[24 + 24 + 1] ^ 0x01);
+  dump(path, data);
+  EXPECT_EQ(CheckpointWriter::try_append(path, 42, nullptr).status().code(),
+            ErrorCode::kCheckpointCorrupt);
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace swbpbc::util
