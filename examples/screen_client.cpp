@@ -5,6 +5,18 @@
 //   ./screen_client --socket=/tmp/sw.sock --requests=8 --pairs=16
 //   ./screen_client --socket=... --verify           # bit-identity check
 //   ./screen_client --socket=... --flood            # overload drill
+//   ./screen_client --socket=... --trace=run.json   # merged trace export
+//   ./screen_client --socket=... --requests=0 --stats-out=report.json
+//
+// Observability: --trace enables a client-side telemetry session, stamps
+// every request with one deterministic trace id (propagated to the
+// daemon in the request frame), fetches the daemon's span ring after the
+// workload, and writes ONE Chrome/Perfetto trace holding both sides —
+// the client.screen/client.exchange spans and the server's admission /
+// queue-wait / compute / engine-stage spans, all carrying the same
+// "trace_id" arg. --stats-out scrapes the daemon's live RunReport JSON
+// (a kStatRequest frame) to a file; with --requests=0 that is the whole
+// run, so a collector can scrape a busy daemon from the side.
 //
 // Two modes:
 //   * sequential (default) — each request runs the full ScreenClient
@@ -23,6 +35,7 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -30,6 +43,8 @@
 #include "service/client.hpp"
 #include "service/frame.hpp"
 #include "sw/pipeline.hpp"
+#include "telemetry/telemetry.hpp"
+#include "telemetry/trace.hpp"
 #include "util/io.hpp"
 #include "util/options.hpp"
 #include "util/signal.hpp"
@@ -45,11 +60,13 @@ service::ScreenRequest make_request(const std::string& prefix,
                                     const std::string& tenant,
                                     std::size_t index, std::uint64_t seed,
                                     std::size_t pairs, std::size_t m,
-                                    std::size_t n, double budget_ms) {
+                                    std::size_t n, double budget_ms,
+                                    std::uint64_t trace_id) {
   service::ScreenRequest request;
   request.id = prefix + "-" + std::to_string(index);
   request.tenant = tenant;
   request.deadline_budget_ms = budget_ms;
+  request.trace_id = trace_id;
   // Per-request stream: the workload is a pure function of (seed, index),
   // independent of how many requests came before.
   util::Xoshiro256 rng(seed + index * 0x9e3779b97f4a7c15ULL);
@@ -120,12 +137,29 @@ int main(int argc, char** argv) {
   const double budget_ms = opt.get_double("deadline-budget-ms", 0.0);
   const bool verify = opt.get_bool("verify", false);
   const bool flood = opt.get_bool("flood", false);
+  const std::string trace_path = opt.get("trace", "");
+  const std::string stats_out = opt.get("stats-out", "");
 
   util::CancellationToken cancel;
   if (util::Status s = util::install_cancel_on_signals(cancel); !s.ok()) {
     std::fprintf(stderr, "screen_client: %s\n", s.to_string().c_str());
     return 1;
   }
+
+  // One deterministic trace id for the whole run (a pure function of the
+  // seed, nonzero by construction): every request carries it to the
+  // daemon, so the merged export reads as one request lifecycle even
+  // across retries and batches.
+  const std::uint64_t trace_id =
+      trace_path.empty()
+          ? 0
+          : (seed * 0x9e3779b97f4a7c15ULL) | 0x1ULL;
+
+  telemetry::TelemetryConfig telemetry_config;
+  telemetry_config.enabled = !trace_path.empty();
+  telemetry::Telemetry session(telemetry_config);
+  if (session.enabled())
+    session.tracer()->set_track_name(telemetry::kTrackClient, "client");
 
   Tally tally;
   bool verified = true;
@@ -137,7 +171,7 @@ int main(int argc, char** argv) {
     std::vector<util::UniqueFd> fds;
     for (std::size_t k = 0; k < requests; ++k) {
       service::ScreenRequest request = make_request(
-          prefix, tenant, k, seed, pairs, m, n, budget_ms);
+          prefix, tenant, k, seed, pairs, m, n, budget_ms, trace_id);
       auto fd = connect_uds(socket_path);
       if (!fd.has_value()) {
         std::fprintf(stderr, "screen_client: %s\n",
@@ -179,6 +213,7 @@ int main(int argc, char** argv) {
         static_cast<unsigned>(opt.get_int("retry-max-attempts", 10));
     client_config.backoff_seed = seed ^ 0xc1ee47ULL;
     client_config.cancel = &cancel;
+    client_config.telemetry = session.sink();
     service::ScreenClient client(client_config);
     if (util::Status s = client.wait_ready(); !s.ok()) {
       std::fprintf(stderr, "screen_client: %s\n", s.to_string().c_str());
@@ -186,7 +221,7 @@ int main(int argc, char** argv) {
     }
     for (std::size_t k = 0; k < requests; ++k) {
       const service::ScreenRequest request = make_request(
-          prefix, tenant, k, seed, pairs, m, n, budget_ms);
+          prefix, tenant, k, seed, pairs, m, n, budget_ms, trace_id);
       auto response = client.screen(request);
       if (!response.has_value()) {
         std::fprintf(stderr, "screen_client: request %s failed: %s\n",
@@ -209,6 +244,75 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(counters.overload_rejections),
                 static_cast<unsigned long long>(counters.quota_rejections),
                 static_cast<unsigned long long>(counters.backoff_sleeps));
+  }
+
+  if (!stats_out.empty() || !trace_path.empty()) {
+    service::ClientConfig scrape_config;
+    scrape_config.socket_path = socket_path;
+    scrape_config.backoff_seed = seed ^ 0x5c4a9eULL;
+    scrape_config.cancel = &cancel;
+    service::ScreenClient scraper(scrape_config);
+    if (util::Status s = scraper.wait_ready(); !s.ok()) {
+      std::fprintf(stderr, "screen_client: %s\n", s.to_string().c_str());
+      return 1;
+    }
+    if (!stats_out.empty()) {
+      auto report = scraper.stats();
+      if (!report.has_value()) {
+        std::fprintf(stderr, "screen_client: stats scrape failed: %s\n",
+                     report.status().to_string().c_str());
+        return 1;
+      }
+      std::ofstream out(stats_out, std::ios::binary | std::ios::trunc);
+      out << *report;
+      out.flush();
+      if (!out) {
+        std::fprintf(stderr, "screen_client: cannot write %s\n",
+                     stats_out.c_str());
+        return 1;
+      }
+      std::printf("stats: written to %s (%zu bytes)\n", stats_out.c_str(),
+                  report->size());
+    }
+    if (!trace_path.empty()) {
+      // Merge the daemon's span ring into the client session and export
+      // one trace. The dump owns its strings; the tracer's ring borrows
+      // them, so the dump must stay alive until the write below is done.
+      auto dump = scraper.fetch_trace();
+      if (!dump.has_value()) {
+        std::fprintf(stderr, "screen_client: trace scrape failed: %s\n",
+                     dump.status().to_string().c_str());
+        return 1;
+      }
+      telemetry::Tracer* tracer = session.tracer();
+      for (const auto& [track, name] : dump->tracks)
+        tracer->set_track_name(track, name);
+      for (const service::TraceDump::Event& e : dump->events) {
+        telemetry::TraceEvent ev;
+        ev.name = e.name.c_str();
+        ev.cat = e.cat.c_str();
+        ev.ts_us = e.ts_us;
+        ev.dur_us = e.dur_us;
+        ev.track = e.track;
+        ev.trace_id = e.trace_id;
+        for (std::size_t i = 0; i < e.args.size() && i < 2; ++i) {
+          ev.arg_names[i] = e.args[i].first.c_str();
+          ev.arg_values[i] = e.args[i].second;
+        }
+        tracer->record(ev);
+      }
+      if (util::Status s = tracer->write_chrome_trace(trace_path); !s.ok()) {
+        std::fprintf(stderr, "screen_client: %s\n", s.to_string().c_str());
+        return 1;
+      }
+      std::printf("trace: written to %s (client + %zu server events, "
+                  "trace_id 0x%016llx)\n",
+                  trace_path.c_str(), dump->events.size(),
+                  static_cast<unsigned long long>(trace_id));
+      if (dump->dropped != 0)
+        std::printf("trace: server ring dropped %llu events\n",
+                    static_cast<unsigned long long>(dump->dropped));
+    }
   }
 
   tally.print();

@@ -5,16 +5,29 @@
 //   ./screen_serve --socket=/tmp/sw.sock --journal=/tmp/sw.journal
 //   ./screen_serve --socket=... --tear-prob=0.2 --flip-prob=0.2
 //   ./screen_serve --socket=... --crash-after-batches=2   # CI crash drill
+//   ./screen_serve --socket=... --telemetry --engine \
+//       --stats-dump=stats.prom --flight-recorder=crash.fr
+//
+// Observability: --telemetry enables the span tracer + metrics registry
+// (live kStatRequest/kTraceRequest scrapes answer with them); --engine
+// scores batches on a persistent device::PipelineEngine so per-batch
+// H2G..G2H stage spans land in the trace; --flight-recorder installs a
+// crash handler that dumps the recent event ring to PATH on
+// SIGSEGV/SIGABRT; --stats-dump writes a Prometheus text-exposition
+// snapshot at drain.
 //
 // SIGTERM/SIGINT drains: in-flight batches finish, the queue flushes,
 // new work is rejected kOverloaded, the per-tenant RunReport is written,
 // and the process exits 0. A second signal exits immediately.
 
 #include <cstdio>
+#include <fstream>
 #include <string>
 
 #include "service/server.hpp"
 #include "sw/lane.hpp"
+#include "telemetry/exposition.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "util/options.hpp"
 #include "util/signal.hpp"
 
@@ -52,7 +65,37 @@ int main(int argc, char** argv) {
   config.faults.stall_ms = opt.get_double("stall-ms", 5.0);
   config.crash_after_batches =
       static_cast<std::uint64_t>(opt.get_int("crash-after-batches", 0));
+  config.abort_after_batches =
+      static_cast<std::uint64_t>(opt.get_int("abort-after-batches", 0));
+  config.use_engine = opt.get_bool("engine", false);
+  config.slo.slow_request_ms = opt.get_double("slow-ms", 1000.0);
   const std::string report_path = opt.get("report", "");
+  const std::string stats_dump_path = opt.get("stats-dump", "");
+  const std::string flight_path = opt.get("flight-recorder", "");
+  const std::string trace_path = opt.get("trace", "");
+
+  // Telemetry session (spans + metrics). Off by default: the serving hot
+  // path then carries only null-pointer tests, the PR 3 contract.
+  telemetry::TelemetryConfig telemetry_config;
+  telemetry_config.enabled = opt.get_bool("telemetry", false) ||
+                             !trace_path.empty() || !stats_dump_path.empty();
+  telemetry::Telemetry session(telemetry_config);
+  config.telemetry = session.sink();
+
+  // Flight recorder + crash handler: the ring lives for the whole
+  // process; the handler dumps it to the path on SIGSEGV/SIGABRT/....
+  telemetry::FlightRecorder recorder(
+      static_cast<std::size_t>(opt.get_int("flight-capacity", 4096)));
+  if (!flight_path.empty()) {
+    config.flight_recorder = &recorder;
+    config.flight_record_path = flight_path;
+    if (util::Status s = telemetry::FlightRecorder::install_crash_handler(
+            &recorder, flight_path);
+        !s.ok()) {
+      std::fprintf(stderr, "screen_serve: %s\n", s.to_string().c_str());
+      return 1;
+    }
+  }
 
   // SIGTERM/SIGINT -> cancel -> drain. The token must outlive run().
   util::CancellationToken stop;
@@ -100,6 +143,30 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("screen_serve: report written to %s\n", report_path.c_str());
+  }
+  if (!stats_dump_path.empty()) {
+    // Prometheus text exposition of the final scrape — what a pull-based
+    // collector would have seen the moment before drain.
+    const telemetry::RunReport final_report = server->report();
+    std::ofstream out(stats_dump_path, std::ios::binary | std::ios::trunc);
+    out << telemetry::prometheus_text(final_report.metrics);
+    out.flush();
+    if (!out) {
+      std::fprintf(stderr, "screen_serve: stats dump write failed: %s\n",
+                   stats_dump_path.c_str());
+      return 1;
+    }
+    std::printf("screen_serve: stats dump written to %s\n",
+                stats_dump_path.c_str());
+  }
+  if (!trace_path.empty() && session.enabled()) {
+    if (util::Status s = session.tracer()->write_chrome_trace(trace_path);
+        !s.ok()) {
+      std::fprintf(stderr, "screen_serve: trace write failed: %s\n",
+                   s.to_string().c_str());
+      return 1;
+    }
+    std::printf("screen_serve: trace written to %s\n", trace_path.c_str());
   }
   if (!run_status.ok()) {
     std::fprintf(stderr, "screen_serve: %s\n", run_status.to_string().c_str());

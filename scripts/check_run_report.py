@@ -104,6 +104,12 @@ def check_run_report(path, doc):
                 return fail(path,
                             f"tenant rows sum {metric}={total}, daemon "
                             f"counted {counters[f'service.{metric}']}")
+    # A lossy trace is worse than no trace: nonzero ring drops mean the
+    # capture silently omits spans, so the artifact cannot be trusted.
+    dropped = metrics["counters"].get("telemetry.trace.dropped", 0)
+    if dropped != 0:
+        return fail(path, f"trace ring dropped {dropped} events; "
+                          "raise trace_capacity or disable tracing")
     for name, hist in metrics["histograms"].items():
         for key in ("count", "sum", "min", "max", "p50", "p95", "p99"):
             if key not in hist:

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # CI gate: the tier-1 build + full test suite under the release preset
 # (plus a telemetry smoke: RunReport and span-trace artifacts validated by
-# scripts/check_run_report.py), then the tier2-sanitize robustness suites
+# scripts/check_run_report.py, and a live observability drill: stats
+# scrapes, a merged client+server trace, and the crash flight recorder,
+# reconciled by scripts/check_stats.py), then the tier2-sanitize suites
 # (fault injection, cancellation, checkpoint streams, negative inputs)
 # under ASan + UBSan. Both tiers first verify that every public header in
 # src/ is self-contained (compiles standalone with only -I src).
@@ -310,6 +312,105 @@ EOF
   kill -TERM "$serve_pid"
   wait "$serve_pid" || {
     echo "daemon did not drain cleanly after the shed drill" >&2
+    exit 1
+  }
+
+  echo "== tier 1: live observability drill (scrape, trace, reconcile) =="
+  # A telemetry-enabled daemon on the persistent engine backend. One
+  # traced client run produces a single merged Perfetto export (client +
+  # server spans correlated by one trace id); two live scrapes straddle a
+  # second workload so the counters must move, and only forward; the
+  # drain's Prometheus dump must reconcile with the scrapes.
+  prom="$smoke_dir/daemon.prom"
+  merged="$smoke_dir/merged.trace.json"
+  ./build/examples/screen_serve --socket="$sock" --telemetry --engine \
+      --lane-group=8 --linger-ms=1 --stats-dump="$prom" \
+      > "$smoke_dir/serve_obs.log" 2>&1 &
+  serve_pid=$!
+  wait_for_socket "$sock"
+  ./build/examples/screen_client --socket="$sock" --requests=6 --pairs=4 \
+      --m=8 --n=24 --tenant=obs --verify --trace="$merged" \
+      > "$smoke_dir/client_obs.log"
+  grep -q "verify: OK" "$smoke_dir/client_obs.log" || {
+    echo "traced run is not bit-identical to direct screen" >&2
+    cat "$smoke_dir/client_obs.log" >&2
+    exit 1
+  }
+  ./build/examples/screen_client --socket="$sock" --requests=0 \
+      --stats-out="$smoke_dir/scrape1.json" > /dev/null
+  ./build/examples/screen_client --socket="$sock" --requests=4 --pairs=2 \
+      --m=8 --n=24 --tenant=obs2 --verify > "$smoke_dir/client_obs2.log"
+  grep -q "verify: OK" "$smoke_dir/client_obs2.log" || {
+    echo "second observability workload failed verify" >&2
+    cat "$smoke_dir/client_obs2.log" >&2
+    exit 1
+  }
+  ./build/examples/screen_client --socket="$sock" --requests=0 \
+      --stats-out="$smoke_dir/scrape2.json" > /dev/null
+  kill -TERM "$serve_pid"
+  wait "$serve_pid" || {
+    echo "observability daemon did not drain cleanly" >&2
+    cat "$smoke_dir/serve_obs.log" >&2
+    exit 1
+  }
+  python3 scripts/check_stats.py "$smoke_dir/scrape1.json" \
+      "$smoke_dir/scrape2.json" --prom "$prom"
+  python3 scripts/check_run_report.py "$merged"
+  # One grep correlates the whole request lifecycle: the id the client
+  # stamped must tag its own span, the server's admission and queue
+  # spans, and the engine's compute stage in the one merged file.
+  trace_id=$(sed -n 's/.*trace_id \(0x[0-9a-f]*\).*/\1/p' \
+      "$smoke_dir/client_obs.log")
+  [[ -n "$trace_id" ]] || {
+    echo "traced client printed no trace id" >&2
+    cat "$smoke_dir/client_obs.log" >&2
+    exit 1
+  }
+  python3 - "$merged" "$trace_id" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+tid = sys.argv[2]
+tagged = {e["name"] for e in doc["traceEvents"]
+          if e.get("ph") == "X"
+          and e.get("args", {}).get("trace_id") == tid}
+need = {"client.screen", "admit", "queue.wait", "SWA"}
+missing = need - tagged
+if missing:
+    sys.exit(f"merged trace: spans not tagged with {tid}: {sorted(missing)}")
+print(f"  trace drill: {len(tagged)} span names carry {tid}")
+EOF
+
+  echo "== tier 1: flight recorder post-mortem drill (abort mid-batch) =="
+  # A daemon rigged to abort as its first batch dispatches, with the
+  # crash handler armed. The SIGABRT path must leave a parseable dump
+  # whose newest entries show the run up to the failure.
+  flight="$smoke_dir/flight.dump"
+  rm -f "$flight"
+  ./build/examples/screen_serve --socket="$sock" --abort-after-batches=1 \
+      --flight-recorder="$flight" --lane-group=8 --linger-ms=1 \
+      > "$smoke_dir/serve_abort.log" 2>&1 &
+  abort_pid=$!
+  wait_for_socket "$sock"
+  ./build/examples/screen_client --socket="$sock" --requests=1 --pairs=2 \
+      --m=8 --n=24 --tenant=doomed --retry-initial-ms=2 \
+      --retry-max-attempts=2 > "$smoke_dir/client_abort.log" 2>&1 || true
+  if wait "$abort_pid"; then
+    echo "rigged daemon did not abort" >&2
+    exit 1
+  fi
+  [[ -s "$flight" ]] || {
+    echo "crashed daemon left no flight recorder dump" >&2
+    cat "$smoke_dir/serve_abort.log" >&2
+    exit 1
+  }
+  grep -q "swbpbc.flight_recorder v1" "$flight" || {
+    echo "flight dump is missing its header" >&2
+    cat "$flight" >&2
+    exit 1
+  }
+  grep -q "abort.drill" "$flight" || {
+    echo "flight dump does not show the pre-abort breadcrumb" >&2
+    cat "$flight" >&2
     exit 1
   }
 fi

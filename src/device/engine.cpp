@@ -236,6 +236,10 @@ class Core final : public CoreBase {
   // Stage 1+2: H2G copy (staging, copy faults, checksum) and the W2B
   // launch with its sampled transpose round-trip check.
   void prep(JobState<W>* st, std::uint32_t track) try {
+    // Stage closures run on the stream worker threads, which never see
+    // the submitter's thread_local trace context — re-install the job's
+    // id so the stage spans correlate with the request that owns them.
+    telemetry::ScopedTraceContext trace_ctx(st->job.trace_id);
     Arena<W>& a = *st->arena;
     const sw::ChunkJob& job = st->job;
     const std::size_t count = st->count;
@@ -391,6 +395,7 @@ class Core final : public CoreBase {
   // Stage 3: the SWA wavefront launch with canary and watchdog checks.
   void swa(JobState<W>* st, std::uint32_t track) try {
     if (st->error != nullptr) return;
+    telemetry::ScopedTraceContext trace_ctx(st->job.trace_id);
     Arena<W>& a = *st->arena;
     const sw::ChunkJob& job = st->job;
     const std::size_t m = m_, n = n_;
@@ -455,6 +460,7 @@ class Core final : public CoreBase {
   // the G2H copy (copy faults, checksum) and telemetry absorption.
   void post(JobState<W>* st, std::uint32_t track) try {
     if (st->error != nullptr) return;
+    telemetry::ScopedTraceContext trace_ctx(st->job.trace_id);
     Arena<W>& a = *st->arena;
     const sw::ChunkJob& job = st->job;
     const std::size_t count = st->count;

@@ -368,6 +368,7 @@ void absorb_device_run(telemetry::Telemetry* telemetry,
     std::uint64_t registry_id = 0;
     telemetry::Histogram* stage_ms[sw::kNumPipelineStages] = {};
     telemetry::Counter* runs = nullptr;
+    telemetry::Counter* hits = nullptr;
   };
   static thread_local AbsorbCache cache;
   if (cache.registry_id != reg.id()) {
@@ -377,7 +378,14 @@ void absorb_device_run(telemetry::Telemetry* telemetry,
           std::string("device.") + sw::stage_name(stage) + ".ms");
     }
     cache.runs = &reg.counter("device.runs");
+    // Cache health for the RunReport: rebuilds count by-name lookups paid
+    // (once per thread x registry), hits count absorptions that rode the
+    // cached references.
+    cache.hits = &reg.counter("telemetry.absorb_cache.hits");
+    reg.counter("telemetry.absorb_cache.rebuilds").add(1);
     cache.registry_id = reg.id();
+  } else {
+    cache.hits->add(1);
   }
 
   const double stage_ms[sw::kNumPipelineStages] = {

@@ -31,6 +31,9 @@ namespace swbpbc::service {
 struct PendingRequest {
   ScreenRequest request;
   double enqueued_ms = 0.0;  // monotonic clock at admission
+  // util::monotonic_us() at admission — the span clock, so the server can
+  // record the queue-wait as a trace span with an explicit start.
+  std::uint64_t enqueued_us = 0;
   int connection = -1;       // owning connection id, -1 once it died
   // Replayed from the journal at startup: already charged to admission
   // by the previous process, so completion must not release() it.

@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "service/frame.hpp"
+#include "telemetry/trace.hpp"
 #include "util/io.hpp"
 
 namespace swbpbc::service {
@@ -61,6 +62,10 @@ util::Expected<bool> ScreenClient::ping_once() {
 
 util::Expected<ScreenResponse> ScreenClient::exchange_once(
     const ScreenRequest& request) {
+  telemetry::Tracer* tracer =
+      config_.telemetry != nullptr ? config_.telemetry->tracer() : nullptr;
+  telemetry::Span span(tracer, "client.exchange", "client",
+                       telemetry::kTrackClient);
   auto fd = connect_uds(config_.socket_path);
   if (!fd.has_value()) return fd.status();
   const auto payload = encode_request(request);
@@ -129,6 +134,15 @@ util::Expected<ScreenResponse> ScreenClient::screen(
   if (request.id.empty())
     return util::Status::invalid_input(
         "screen() needs a non-empty idempotency id");
+  // The request's trace id scopes every client-side span for the whole
+  // reliability loop — the same id the server stamps its admission,
+  // queue, and compute spans with.
+  telemetry::ScopedTraceContext trace_ctx(request.trace_id);
+  telemetry::Tracer* tracer =
+      config_.telemetry != nullptr ? config_.telemetry->tracer() : nullptr;
+  telemetry::Span span(tracer, "client.screen", "client",
+                       telemetry::kTrackClient);
+  span.arg("pairs", static_cast<std::int64_t>(request.pair_count()));
   util::Backoff backoff(config_.backoff, config_.backoff_seed + calls_);
   ++calls_;
   util::Status last = util::Status::internal("no attempt made");
@@ -167,6 +181,59 @@ util::Expected<ScreenResponse> ScreenClient::screen(
           "request '" + request.id + "' exhausted its retry budget; "
           "last error: " + last.to_string());
   }
+}
+
+util::Expected<std::vector<std::uint8_t>> ScreenClient::scrape_once(
+    FrameType request_type, FrameType response_type) {
+  auto fd = connect_uds(config_.socket_path);
+  if (!fd.has_value()) return fd.status();
+  if (util::Status s = write_frame(fd->get(), request_type, {}); !s.ok())
+    return s;
+  auto frame = read_frame(fd->get());
+  if (!frame.has_value()) return frame.status();
+  if (!frame->has_value())
+    return util::Status::internal(
+        "daemon closed the connection before answering the scrape");
+  if ((*frame)->type != response_type)
+    return util::Status::parse_error(
+        "daemon answered a scrape with the wrong frame type");
+  return std::move((*frame)->payload);
+}
+
+util::Expected<std::vector<std::uint8_t>> ScreenClient::scrape(
+    FrameType request_type, FrameType response_type, const char* what) {
+  util::Backoff backoff(config_.backoff, config_.backoff_seed + calls_);
+  ++calls_;
+  util::Status last = util::Status::internal("no attempt made");
+  while (true) {
+    if (config_.cancel != nullptr && config_.cancel->cancelled())
+      return util::Status::cancelled(std::string("cancelled while fetching ") +
+                                     what);
+    ++counters_.attempts;
+    auto payload = scrape_once(request_type, response_type);
+    if (payload.has_value()) return payload;
+    if (!transient_transport(payload.status())) return payload.status();
+    ++counters_.transport_faults;
+    last = payload.status();
+    if (!backoff_step(backoff, 0.0))
+      return util::Status::retry_exhausted(
+          std::string(what) + " scrape exhausted its retry budget; "
+          "last error: " + last.to_string());
+  }
+}
+
+util::Expected<std::string> ScreenClient::stats() {
+  auto payload = scrape(FrameType::kStatRequest, FrameType::kStatResponse,
+                        "stats");
+  if (!payload.has_value()) return payload.status();
+  return std::string(payload->begin(), payload->end());
+}
+
+util::Expected<TraceDump> ScreenClient::fetch_trace() {
+  auto payload = scrape(FrameType::kTraceRequest, FrameType::kTraceResponse,
+                        "trace");
+  if (!payload.has_value()) return payload.status();
+  return decode_trace_dump(*payload);
 }
 
 }  // namespace swbpbc::service

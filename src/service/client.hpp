@@ -19,8 +19,11 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
+#include "service/frame.hpp"
 #include "service/protocol.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/backoff.hpp"
 #include "util/cancel.hpp"
 #include "util/status.hpp"
@@ -34,6 +37,11 @@ struct ClientConfig {
   // Optional cooperative cancel: a SIGINT'd client stops retrying with a
   // typed kCancelled instead of sleeping through its backoff schedule.
   util::CancellationToken* cancel = nullptr;
+  // Optional session sink: screen() records client-side spans (the whole
+  // reliability loop plus each wire exchange) on kTrackClient, stamped
+  // with the request's trace_id, so a merged client+server export shows
+  // the round trip over the server's own timeline.
+  telemetry::Telemetry* telemetry = nullptr;
 };
 
 /// What the reliability loop did across all screen() calls so far — the
@@ -59,12 +67,30 @@ class ScreenClient {
   /// obtained (kRetryExhausted / kCancelled / kInvalidInput locally).
   util::Expected<ScreenResponse> screen(const ScreenRequest& request);
 
+  /// Scrapes the daemon's live RunReport (a kStatRequest frame): the JSON
+  /// document bytes, exactly what `screen_serve --report` would write.
+  /// Retries transient transport faults under the usual backoff.
+  util::Expected<std::string> stats();
+
+  /// Fetches the daemon's trace ring (a kTraceRequest frame) as a
+  /// portable TraceDump — tracks, events with trace ids, drop count —
+  /// for merging into a client-side export.
+  util::Expected<TraceDump> fetch_trace();
+
   [[nodiscard]] const ClientCounters& counters() const { return counters_; }
 
  private:
   /// One connect + request + response exchange.
   util::Expected<ScreenResponse> exchange_once(const ScreenRequest& request);
   util::Expected<bool> ping_once();
+  /// One empty-request scrape exchange (kStatRequest/kTraceRequest);
+  /// returns the response frame's payload bytes.
+  util::Expected<std::vector<std::uint8_t>> scrape_once(FrameType request_type,
+                                                        FrameType response_type);
+  /// Shared retry loop for the scrape endpoints.
+  util::Expected<std::vector<std::uint8_t>> scrape(FrameType request_type,
+                                                   FrameType response_type,
+                                                   const char* what);
   /// Sleeps one backoff step (interruptible by cancel). False when the
   /// backoff budget is exhausted.
   bool backoff_step(util::Backoff& backoff, double hint_ms);

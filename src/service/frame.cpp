@@ -30,6 +30,10 @@ bool known_type(std::uint16_t t) {
     case FrameType::kScreenResponse:
     case FrameType::kPing:
     case FrameType::kPong:
+    case FrameType::kStatRequest:
+    case FrameType::kStatResponse:
+    case FrameType::kTraceRequest:
+    case FrameType::kTraceResponse:
       return true;
   }
   return false;

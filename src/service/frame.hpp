@@ -37,6 +37,10 @@ enum class FrameType : std::uint16_t {
   kScreenResponse = 2,  // protocol.hpp ScreenResponse payload
   kPing = 3,            // liveness probe, empty payload
   kPong = 4,            // probe answer, empty payload
+  kStatRequest = 5,     // stats scrape, empty payload
+  kStatResponse = 6,    // RunReport JSON bytes (swbpbc.run_report v1)
+  kTraceRequest = 7,    // span-dump request, empty payload
+  kTraceResponse = 8,   // protocol.hpp TraceDump payload
 };
 
 struct Frame {

@@ -63,6 +63,12 @@ class Cursor {
     return true;
   }
 
+  bool skip(std::size_t n) {
+    if (remaining() < n) return false;
+    at_ += n;
+    return true;
+  }
+
  private:
   std::span<const std::uint8_t> bytes_;
   std::size_t at_ = 0;
@@ -116,6 +122,15 @@ std::vector<std::uint8_t> encode_request(const ScreenRequest& request) {
   put_u64(out, n);
   put_side(out, request.xs);
   put_side(out, request.ys);
+  // Optional trailer. An untraced request appends nothing: its payload is
+  // byte-identical to what a pre-trailer client produced, so old servers
+  // (which reject trailing bytes) still accept it.
+  if (request.trace_id != 0 || request.parent_span != 0) {
+    put_u64(out, kRequestFieldTraceContext);
+    put_u64(out, 2 * sizeof(std::uint64_t));
+    put_u64(out, request.trace_id);
+    put_u64(out, request.parent_span);
+  }
   return out;
 }
 
@@ -157,9 +172,23 @@ util::Expected<ScreenRequest> decode_request(
                                  static_cast<std::size_t>(n), "ys", req.ys);
       !s.ok())
     return s;
-  if (cur.remaining() != 0)
-    return util::Status::parse_error(
-        "request payload carries trailing garbage");
+  // Optional (tag, length, bytes) trailer: known tags decode, unknown
+  // tags skip — a request from a newer client (fields we don't know yet)
+  // must still decode here, and an old client's payload simply has no
+  // trailer. Bytes that do not form complete entries are still garbage.
+  while (cur.remaining() != 0) {
+    std::uint64_t tag = 0, len = 0;
+    if (!cur.take_u64(tag) || !cur.take_u64(len) || cur.remaining() < len)
+      return util::Status::parse_error(
+          "request payload carries trailing garbage");
+    if (tag == kRequestFieldTraceContext && len == 2 * sizeof(std::uint64_t)) {
+      cur.take_u64(req.trace_id);
+      cur.take_u64(req.parent_span);
+    } else if (!cur.skip(static_cast<std::size_t>(len))) {
+      return util::Status::parse_error(
+          "request payload carries trailing garbage");
+    }
+  }
   return req;
 }
 
@@ -210,6 +239,85 @@ util::Expected<ScreenResponse> decode_response(
     return util::Status::parse_error(
         "response payload carries trailing garbage");
   return resp;
+}
+
+std::vector<std::uint8_t> encode_trace_dump(const TraceDump& dump) {
+  std::vector<std::uint8_t> out;
+  out.reserve(64 + 32 * dump.tracks.size() + 96 * dump.events.size());
+  put_u64(out, dump.dropped);
+  put_u64(out, dump.tracks.size());
+  for (const auto& [track, name] : dump.tracks) {
+    put_u64(out, track);
+    put_string(out, name);
+  }
+  put_u64(out, dump.events.size());
+  for (const TraceDump::Event& e : dump.events) {
+    put_string(out, e.name);
+    put_string(out, e.cat);
+    put_u64(out, e.ts_us);
+    put_u64(out, e.dur_us);
+    put_u64(out, e.track);
+    put_u64(out, e.trace_id);
+    put_u64(out, e.args.size());
+    for (const auto& [key, value] : e.args) {
+      put_string(out, key);
+      put_u64(out, static_cast<std::uint64_t>(value));
+    }
+  }
+  return out;
+}
+
+util::Expected<TraceDump> decode_trace_dump(
+    std::span<const std::uint8_t> payload) {
+  Cursor cur(payload);
+  TraceDump dump;
+  if (!cur.take_u64(dump.dropped)) return truncated("the drop count");
+  std::uint64_t n_tracks = 0;
+  if (!cur.take_u64(n_tracks)) return truncated("the track count");
+  if (n_tracks > 4096)
+    return util::Status::parse_error("trace dump declares an implausible "
+                                     "track count");
+  dump.tracks.reserve(static_cast<std::size_t>(n_tracks));
+  for (std::uint64_t i = 0; i < n_tracks; ++i) {
+    std::uint64_t track = 0;
+    std::string name;
+    if (!cur.take_u64(track) || !cur.take_string(name, kMaxIdBytes))
+      return truncated("a track name");
+    dump.tracks.emplace_back(static_cast<std::uint32_t>(track),
+                             std::move(name));
+  }
+  std::uint64_t n_events = 0;
+  if (!cur.take_u64(n_events)) return truncated("the event count");
+  if (n_events > kMaxTraceDumpEvents)
+    return util::Status::parse_error("trace dump declares an implausible "
+                                     "event count");
+  dump.events.reserve(static_cast<std::size_t>(n_events));
+  for (std::uint64_t i = 0; i < n_events; ++i) {
+    TraceDump::Event e;
+    std::uint64_t track = 0, n_args = 0;
+    if (!cur.take_string(e.name, kMaxIdBytes) ||
+        !cur.take_string(e.cat, kMaxIdBytes) || !cur.take_u64(e.ts_us) ||
+        !cur.take_u64(e.dur_us) || !cur.take_u64(track) ||
+        !cur.take_u64(e.trace_id) || !cur.take_u64(n_args))
+      return truncated("a trace event");
+    if (n_args > 16)
+      return util::Status::parse_error("trace event declares an implausible "
+                                       "arg count");
+    e.track = static_cast<std::uint32_t>(track);
+    e.args.reserve(static_cast<std::size_t>(n_args));
+    for (std::uint64_t a = 0; a < n_args; ++a) {
+      std::string key;
+      std::uint64_t value = 0;
+      if (!cur.take_string(key, kMaxIdBytes) || !cur.take_u64(value))
+        return truncated("a trace event arg");
+      e.args.emplace_back(std::move(key), static_cast<std::int64_t>(value));
+    }
+    dump.events.push_back(std::move(e));
+  }
+  if (cur.remaining() != 0)
+    return util::Status::parse_error(
+        "trace dump payload carries trailing garbage");
+  return dump;
 }
 
 }  // namespace swbpbc::service

@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "encoding/dna.hpp"
@@ -35,6 +36,14 @@ inline constexpr std::size_t kMaxIdBytes = 256;
 inline constexpr std::size_t kMaxTenantBytes = 64;
 inline constexpr std::size_t kMaxPairsPerRequest = 1u << 20;
 inline constexpr std::size_t kMaxSequenceLength = 1u << 16;
+/// Events one kTraceResponse dump may carry (a full default tracer ring).
+inline constexpr std::size_t kMaxTraceDumpEvents = 1u << 20;
+
+/// Optional-trailer field tags of the request payload. The mandatory
+/// fields are followed by zero or more (tag, length, bytes) entries; a
+/// decoder skips tags it does not know, so a new client's request decodes
+/// on an old server and vice versa. Tags are wire format — append only.
+inline constexpr std::uint64_t kRequestFieldTraceContext = 1;
 
 struct ScreenRequest {
   std::string id;      // idempotency key, unique per request
@@ -45,6 +54,13 @@ struct ScreenRequest {
   // Pair k is (xs[k], ys[k]); all xs share one length and all ys another
   // (the BPBC batch requirement, enforced at decode).
   std::vector<encoding::Sequence> xs, ys;
+  // Optional trace context (trailer tag kRequestFieldTraceContext):
+  // trace_id correlates every server-side span of this request with the
+  // client's own spans in a merged export; parent_span names the client
+  // span that issued the call. 0/0 = untraced — the encoder then emits no
+  // trailer at all, so the bytes match what a pre-trace client sends.
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span = 0;
 
   [[nodiscard]] std::size_t pair_count() const { return xs.size(); }
 };
@@ -63,6 +79,32 @@ util::Expected<ScreenRequest> decode_request(
 
 std::vector<std::uint8_t> encode_response(const ScreenResponse& response);
 util::Expected<ScreenResponse> decode_response(
+    std::span<const std::uint8_t> payload);
+
+/// Portable form of a tracer's retained spans for the kTraceResponse
+/// frame: telemetry::TraceEvent stores borrowed string-literal pointers,
+/// so the wire form owns its strings and the receiving side re-interns
+/// them before replaying into its own tracer.
+struct TraceDump {
+  struct Event {
+    std::string name;
+    std::string cat;
+    std::uint64_t ts_us = 0;
+    std::uint64_t dur_us = 0;
+    std::uint32_t track = 0;
+    std::uint64_t trace_id = 0;
+    // Flattened TraceEvent args (up to 2 on the sender today; the wire
+    // format carries an explicit count so that may grow).
+    std::vector<std::pair<std::string, std::int64_t>> args;
+  };
+
+  std::vector<std::pair<std::uint32_t, std::string>> tracks;  // track, name
+  std::vector<Event> events;
+  std::uint64_t dropped = 0;  // sender-side ring overwrites
+};
+
+std::vector<std::uint8_t> encode_trace_dump(const TraceDump& dump);
+util::Expected<TraceDump> decode_trace_dump(
     std::span<const std::uint8_t> payload);
 
 }  // namespace swbpbc::service

@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <deque>
@@ -18,11 +19,14 @@
 #include <utility>
 #include <vector>
 
+#include "device/engine.hpp"
 #include "service/batch.hpp"
 #include "service/frame.hpp"
 #include "service/journal.hpp"
 #include "sw/pipeline.hpp"
+#include "telemetry/trace.hpp"
 #include "util/io.hpp"
+#include "util/timer.hpp"
 
 namespace swbpbc::service {
 
@@ -53,9 +57,14 @@ struct ScreenServer::Impl {
       : config(std::move(config)),
         admission(this->config.admission),
         faults(this->config.faults),
+        slo(this->config.slo),
         start(std::chrono::steady_clock::now()) {}
 
   ~Impl() {
+    if (config.flight_recorder != nullptr) {
+      if (telemetry::Tracer* tr = tracer(); tr != nullptr)
+        tr->set_flight_recorder(nullptr);
+    }
     if (!config.socket_path.empty()) ::unlink(config.socket_path.c_str());
   }
 
@@ -89,14 +98,34 @@ struct ScreenServer::Impl {
   void dispatch(bool flush_all);
   void run_batch(const BatchPlan& plan);
   [[nodiscard]] telemetry::RunReport build_report() const;
+  [[nodiscard]] TraceDump build_trace_dump() const;
+
+  /// The session tracer, or null when telemetry is off (every recording
+  /// site costs one pointer test, the PR 3 contract).
+  [[nodiscard]] telemetry::Tracer* tracer() const {
+    return config.telemetry != nullptr ? config.telemetry->tracer() : nullptr;
+  }
+
+  /// Per-tenant trace track, assigned on first sight and named in the
+  /// export ("tenant:<name>").
+  std::uint32_t tenant_track(const std::string& name);
+
+  /// Flight-recorder lifecycle mark; no-op without a recorder.
+  void fr_note(const char* name, std::int64_t a = 0, std::int64_t b = 0) {
+    if (config.flight_recorder != nullptr)
+      config.flight_recorder->note(name, telemetry::FlightRecorder::kMark, 0,
+                                   a, b);
+  }
 
   ServerConfig config;
   AdmissionController admission;
   FaultInjector faults;
+  SloTracker slo;
   std::chrono::steady_clock::time_point start;
 
   util::UniqueFd listen_fd;
   std::optional<RequestJournal> journal;
+  std::unique_ptr<device::PipelineEngine> engine;
   std::uint64_t journal_fingerprint = 0;
   std::uint64_t campaign = 0;
   std::uint64_t frame_index = 0;
@@ -107,13 +136,39 @@ struct ScreenServer::Impl {
   std::map<std::string, ScreenResponse> completed;
   ServerStats stats;
   std::map<std::string, TenantServe> serve;
+  std::map<std::string, std::uint32_t> tenant_tracks;
 };
+
+std::uint32_t ScreenServer::Impl::tenant_track(const std::string& name) {
+  auto it = tenant_tracks.find(name);
+  if (it == tenant_tracks.end()) {
+    const auto track = static_cast<std::uint32_t>(
+        telemetry::kTrackTenantBase + tenant_tracks.size());
+    it = tenant_tracks.emplace(name, track).first;
+    if (telemetry::Tracer* tr = tracer(); tr != nullptr)
+      tr->set_track_name(track, "tenant:" + name);
+  }
+  return it->second;
+}
 
 util::Status ScreenServer::Impl::setup() {
   lane_group = config.lane_group != 0
                    ? config.lane_group
                    : sw::lane_width_bits(sw::resolve_lane_width(config.width));
   campaign = faults.begin_run();
+
+  if (config.use_engine) {
+    device::EngineOptions engine_options;
+    engine_options.params = config.params;
+    engine_options.width = config.width;
+    engine_options.telemetry = config.telemetry;
+    engine = std::make_unique<device::PipelineEngine>(engine_options);
+  }
+  if (config.flight_recorder != nullptr) {
+    if (telemetry::Tracer* tr = tracer(); tr != nullptr)
+      tr->set_flight_recorder(config.flight_recorder);
+    fr_note("serve.start");
+  }
 
   // The journal is keyed to the scoring configuration: params + lane
   // width. A restart under different rules refuses to serve old scores.
@@ -132,6 +187,7 @@ util::Status ScreenServer::Impl::setup() {
       PendingRequest pending;
       pending.request = std::move(request);
       pending.enqueued_ms = now_ms();
+      pending.enqueued_us = util::monotonic_us();
       pending.connection = -1;
       pending.recovered = true;
       queue.push_back(std::move(pending));
@@ -293,8 +349,29 @@ void ScreenServer::Impl::handle_frame(int fd, const Frame& frame) {
     case FrameType::kScreenRequest:
       handle_request(fd, frame);
       return;
+    case FrameType::kStatRequest: {
+      // Stats scrapes bypass admission (an overloaded daemon is exactly
+      // when the operator needs them) and the fault injector (a torn
+      // scrape would teach the dashboard to distrust the daemon).
+      ++stats.stat_scrapes;
+      const std::string json = build_report().to_json();
+      send_frame(fd, FrameType::kStatResponse,
+                 std::span<const std::uint8_t>(
+                     reinterpret_cast<const std::uint8_t*>(json.data()),
+                     json.size()),
+                 /*faultable=*/false);
+      return;
+    }
+    case FrameType::kTraceRequest: {
+      ++stats.trace_scrapes;
+      const auto payload = encode_trace_dump(build_trace_dump());
+      send_frame(fd, FrameType::kTraceResponse, payload, /*faultable=*/false);
+      return;
+    }
     case FrameType::kPong:
     case FrameType::kScreenResponse:
+    case FrameType::kStatResponse:
+    case FrameType::kTraceResponse:
       ++stats.protocol_errors;  // a client has no business sending these
       close_connection(fd);
       return;
@@ -313,6 +390,15 @@ void ScreenServer::Impl::handle_request(int fd, const Frame& frame) {
   }
   ScreenRequest request = std::move(decoded).value();
   ++stats.requests;
+
+  // Request-scoped trace correlation: every span recorded while this
+  // request is being admitted carries its client-chosen trace id, so a
+  // merged client+server export lines up by one grep. 0 (an untraced
+  // client) installs the null context — spans stay un-stamped.
+  telemetry::ScopedTraceContext trace_ctx(request.trace_id);
+  telemetry::Span admit_span(tracer(), "admit", "service",
+                             tenant_track(request.tenant));
+  admit_span.arg("pairs", static_cast<std::int64_t>(request.pair_count()));
 
   // Idempotency: a retried id is served the journaled response —
   // bit-identical bytes, no recompute.
@@ -360,6 +446,7 @@ void ScreenServer::Impl::handle_request(int fd, const Frame& frame) {
   PendingRequest pending;
   pending.request = std::move(request);
   pending.enqueued_ms = now_ms();
+  pending.enqueued_us = util::monotonic_us();
   pending.connection = fd;
   queue.push_back(std::move(pending));
 }
@@ -368,6 +455,11 @@ void ScreenServer::Impl::run_batch(const BatchPlan& plan) {
   if (config.crash_after_batches != 0 &&
       stats.batches + 1 == config.crash_after_batches)
     std::_Exit(137);  // CI crash drill: admitted journaled, none completed
+  if (config.abort_after_batches != 0 &&
+      stats.batches + 1 == config.abort_after_batches) {
+    fr_note("abort.drill");
+    std::abort();  // flight-recorder drill: SIGABRT -> crash handler dump
+  }
 
   std::vector<encoding::Sequence> xs, ys;
   xs.reserve(plan.pairs);
@@ -378,6 +470,44 @@ void ScreenServer::Impl::run_batch(const BatchPlan& plan) {
     ys.insert(ys.end(), r.ys.begin(), r.ys.end());
   }
 
+  // The batch cut ends every taken request's queue wait: record it as a
+  // backdated span on the tenant's track, stamped with the request's own
+  // trace id (batches mix tenants and traces freely).
+  const std::uint64_t cut_us = util::monotonic_us();
+  if (telemetry::Tracer* tr = tracer(); tr != nullptr) {
+    for (const std::size_t i : plan.take) {
+      const PendingRequest& pending = queue[i];
+      if (pending.enqueued_us == 0 || pending.enqueued_us > cut_us) continue;
+      telemetry::TraceEvent e;
+      e.name = "queue.wait";
+      e.cat = "service";
+      e.ts_us = pending.enqueued_us;
+      e.dur_us = cut_us - pending.enqueued_us;
+      e.track = tenant_track(pending.request.tenant);
+      e.trace_id = pending.request.trace_id;
+      e.arg_names[0] = "pairs";
+      e.arg_values[0] =
+          static_cast<std::int64_t>(pending.request.pair_count());
+      tr->record(e);
+    }
+  }
+
+  // Compute spans (screen loop, engine stages) can only carry one trace
+  // context: install it when the batch holds exactly one distinct traced
+  // request — the common case for a `screen_client --trace` run against a
+  // live daemon — and stay neutral on genuinely mixed batches.
+  std::uint64_t batch_trace = 0;
+  for (const std::size_t i : plan.take) {
+    const std::uint64_t id = queue[i].request.trace_id;
+    if (id == 0 || id == batch_trace) continue;
+    if (batch_trace != 0) {
+      batch_trace = 0;  // two distinct traced requests: no single owner
+      break;
+    }
+    batch_trace = id;
+  }
+  telemetry::ScopedTraceContext trace_ctx(batch_trace);
+
   sw::ScreenConfig screen_config;
   screen_config.params = config.params;
   screen_config.width = config.width;
@@ -385,6 +515,13 @@ void ScreenServer::Impl::run_batch(const BatchPlan& plan) {
   // No hit re-alignment in the serving path: clients asked for scores.
   screen_config.threshold = ~std::uint32_t{0};
   screen_config.telemetry = config.telemetry;
+  if (engine != nullptr) {
+    // Persistent engine backend: per-batch H2G..G2H stage spans land on
+    // the engine's stream tracks. Scores are bit-identical to the host
+    // path (the identity gates), so this is purely an observability and
+    // throughput choice.
+    screen_config.backend_v2 = engine.get();
+  }
   const auto t0 = std::chrono::steady_clock::now();
   auto report = sw::try_screen(xs, ys, screen_config);
   const double batch_ms = std::chrono::duration<double, std::milli>(
@@ -392,8 +529,22 @@ void ScreenServer::Impl::run_batch(const BatchPlan& plan) {
                               .count();
 
   ++stats.batches;
+  fr_note("batch", static_cast<std::int64_t>(plan.pairs),
+          static_cast<std::int64_t>(plan.take.size()));
+  if (!report.has_value()) {
+    fr_note("batch.fail",
+            static_cast<std::int64_t>(report.status().code()));
+    // A fatal batch is the flight recorder's moment: persist the recent
+    // event window before degrading the requests to retriable errors.
+    if (config.flight_recorder != nullptr &&
+        !config.flight_record_path.empty())
+      (void)config.flight_recorder->dump(config.flight_record_path.c_str(),
+                                         "batch compute failure");
+  }
   const double m = static_cast<double>(xs.front().size());
   const double n = static_cast<double>(ys.front().size());
+  const std::uint64_t done_us = util::monotonic_us();
+  const std::uint64_t slo_now_ms = static_cast<std::uint64_t>(now_ms());
   std::size_t offset = 0;
   for (const std::size_t i : plan.take) {
     const PendingRequest& pending = queue[i];
@@ -412,6 +563,36 @@ void ScreenServer::Impl::run_batch(const BatchPlan& plan) {
       t.ms += batch_ms * static_cast<double>(pairs) /
               static_cast<double>(plan.pairs);
       ++stats.completed;
+
+      // SLO bookkeeping: split the lifetime at the batch cut and the
+      // compute return (see SloTracker::Latency for the taxonomy).
+      SloTracker::Latency latency;
+      latency.queue_ms =
+          pending.enqueued_us != 0 && cut_us >= pending.enqueued_us
+              ? static_cast<double>(cut_us - pending.enqueued_us) / 1e3
+              : 0.0;
+      latency.batch_ms = static_cast<double>(done_us - cut_us) / 1e3;
+      latency.compute_ms = batch_ms;
+      latency.total_ms = latency.queue_ms + latency.batch_ms;
+      if (slo.observe(pending.request.tenant, pending.request.id,
+                      pending.request.trace_id, latency, slo_now_ms)) {
+        ++stats.slow_requests;
+        char hex[24];
+        std::snprintf(hex, sizeof hex, "0x%016llx",
+                      static_cast<unsigned long long>(
+                          pending.request.trace_id));
+        std::fprintf(stderr,
+                     "[screen_serve] slow request id=%s tenant=%s "
+                     "queue=%.2fms batch=%.2fms compute=%.2fms "
+                     "total=%.2fms trace=%s\n",
+                     pending.request.id.c_str(),
+                     pending.request.tenant.c_str(), latency.queue_ms,
+                     latency.batch_ms, latency.compute_ms, latency.total_ms,
+                     hex);
+        fr_note("request.slow",
+                static_cast<std::int64_t>(latency.total_ms * 1e3),
+                static_cast<std::int64_t>(pending.request.trace_id));
+      }
       complete(pending, std::move(response), /*journal_it=*/true);
     } else {
       // A compute failure is NOT journaled as completed: a restart gets
@@ -443,6 +624,25 @@ void ScreenServer::Impl::dispatch(bool flush_all) {
     for (const std::size_t i : plan.shed) {
       const PendingRequest& pending = queue[i];
       ++stats.shed_deadline;
+      slo.deadline_miss(pending.request.tenant);
+      if (telemetry::Tracer* tr = tracer(); tr != nullptr) {
+        // The shed closes the request's queue wait too — backdated like
+        // queue.wait, but named for what actually happened.
+        const std::uint64_t shed_us = util::monotonic_us();
+        if (pending.enqueued_us != 0 && pending.enqueued_us <= shed_us) {
+          telemetry::TraceEvent e;
+          e.name = "queue.shed";
+          e.cat = "service";
+          e.ts_us = pending.enqueued_us;
+          e.dur_us = shed_us - pending.enqueued_us;
+          e.track = tenant_track(pending.request.tenant);
+          e.trace_id = pending.request.trace_id;
+          e.arg_names[0] = "pairs";
+          e.arg_values[0] =
+              static_cast<std::int64_t>(pending.request.pair_count());
+          tr->record(e);
+        }
+      }
       ScreenResponse response;
       response.id = pending.request.id;
       response.code = util::ErrorCode::kDeadlineExceeded;
@@ -561,13 +761,91 @@ telemetry::RunReport ScreenServer::Impl::build_report() const {
       .add(stats.recovered_completed);
   registry.counter("service.batches").add(stats.batches);
   registry.counter("service.pairs_scored").add(stats.pairs_scored);
+  registry.counter("service.stat_scrapes").add(stats.stat_scrapes);
+  registry.counter("service.trace_scrapes").add(stats.trace_scrapes);
+  registry.counter("service.slow_requests").add(stats.slow_requests);
+  if (journal.has_value()) {
+    registry.counter("service.journal.appended").add(journal->appended());
+    registry.counter("service.journal.replayed").add(journal->replayed());
+  }
   const FaultLog log = faults.log();
   registry.counter("service.faults.tears").add(log.tears);
   registry.counter("service.faults.flips").add(log.flips);
   registry.counter("service.faults.disconnects").add(log.disconnects);
   registry.counter("service.faults.stalls").add(log.stalls);
-  report.metrics = registry.snapshot();
+
+  // Live occupancy and efficiency gauges — the part of a scrape that
+  // cannot be reconstructed from counters after the fact.
+  registry.gauge("service.uptime_ms").set(now_ms());
+  registry.gauge("service.queue.requests")
+      .set(static_cast<double>(admission.queued_requests()));
+  registry.gauge("service.queue.pairs")
+      .set(static_cast<double>(admission.queued_pairs()));
+  const AdmissionConfig& ac = admission.config();
+  if (ac.max_queued_requests != 0)
+    registry.gauge("service.occupancy.requests")
+        .set(static_cast<double>(admission.queued_requests()) /
+             static_cast<double>(ac.max_queued_requests));
+  if (ac.max_queued_pairs != 0)
+    registry.gauge("service.occupancy.pairs")
+        .set(static_cast<double>(admission.queued_pairs()) /
+             static_cast<double>(ac.max_queued_pairs));
+  // Batch fill: pairs actually scored per lane-group slot dispatched.
+  // 1.0 means every batch went out full; thin traffic + linger pushes it
+  // down — the packing/latency trade made visible.
+  if (stats.batches != 0 && lane_group != 0)
+    registry.gauge("service.batch.fill_ratio")
+        .set(static_cast<double>(stats.pairs_scored) /
+             static_cast<double>(stats.batches * lane_group));
+  for (const auto& [tenant, t] : admission.tenants()) {
+    const std::uint64_t seen =
+        t.admitted + t.rejected_overload + t.rejected_quota;
+    if (seen != 0)
+      registry.gauge("service.tenant." + tenant + ".shed_rate")
+          .set(static_cast<double>(t.rejected_overload + t.rejected_quota) /
+               static_cast<double>(seen));
+  }
+
+  telemetry::MetricsRegistry::Snapshot snap = registry.snapshot();
+  // Per-tenant SLO windows (rolling latency histograms, deadline misses,
+  // slow counts) under slo.<tenant>.*.
+  slo.fill(snap, static_cast<std::uint64_t>(now_ms()));
+  // Fold in the session registry (screen./device./telemetry.* names, no
+  // collision with service.*): trace-drop counters, absorb-cache stats,
+  // and engine stage histograms all ride the same scrape.
+  if (config.telemetry != nullptr && config.telemetry->enabled()) {
+    telemetry::MetricsRegistry::Snapshot session =
+        config.telemetry->snapshot();
+    snap.counters.merge(session.counters);
+    snap.gauges.merge(session.gauges);
+    snap.histograms.merge(session.histograms);
+  }
+  report.metrics = std::move(snap);
   return report;
+}
+
+TraceDump ScreenServer::Impl::build_trace_dump() const {
+  TraceDump dump;
+  telemetry::Tracer* tr = tracer();
+  if (tr == nullptr) return dump;  // telemetry off: an empty, valid dump
+  dump.tracks = tr->track_names();
+  dump.dropped = tr->dropped();
+  const std::vector<telemetry::TraceEvent> events = tr->events();
+  dump.events.reserve(events.size());
+  for (const telemetry::TraceEvent& e : events) {
+    TraceDump::Event out;
+    out.name = e.name;
+    out.cat = e.cat;
+    out.ts_us = e.ts_us;
+    out.dur_us = e.dur_us;
+    out.track = e.track;
+    out.trace_id = e.trace_id;
+    for (std::size_t i = 0; i < 2; ++i)
+      if (e.arg_names[i] != nullptr)
+        out.args.emplace_back(e.arg_names[i], e.arg_values[i]);
+    dump.events.push_back(std::move(out));
+  }
+  return dump;
 }
 
 ScreenServer::ScreenServer(std::unique_ptr<Impl> impl)
@@ -596,5 +874,7 @@ const std::map<std::string, TenantStats>& ScreenServer::tenants() const {
 telemetry::RunReport ScreenServer::report() const {
   return impl_->build_report();
 }
+
+const SloTracker& ScreenServer::slo() const { return impl_->slo; }
 
 }  // namespace swbpbc::service

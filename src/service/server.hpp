@@ -32,8 +32,10 @@
 
 #include "service/admission.hpp"
 #include "service/fault.hpp"
+#include "service/slo.hpp"
 #include "sw/lane.hpp"
 #include "sw/params.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/run_report.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/cancel.hpp"
@@ -63,10 +65,29 @@ struct ServerConfig {
   // finishes, then run() returns. Not owned.
   const util::CancellationToken* stop = nullptr;
   telemetry::Telemetry* telemetry = nullptr;  // optional session sink
+  // Score batches on a persistent device::PipelineEngine instead of the
+  // host backend: per-batch stage spans (H2G..G2H) land in the trace on
+  // the engine's stream tracks, correlated by request trace id. Scores
+  // are bit-identical either way (the PR 4/5 identity gates).
+  bool use_engine = false;
+  // Per-tenant rolling-window SLO tracking (always on; this only tunes
+  // windows and the slow-request threshold).
+  SloConfig slo{};
+  // Optional crash flight recorder: the server notes lifecycle marks
+  // (startup, batches, fatal statuses) into it, and — when telemetry is
+  // enabled — mirrors trace spans. Not owned; the caller installs the
+  // crash handler. On a fatal batch status the server also dumps to
+  // flight_record_path when non-empty.
+  telemetry::FlightRecorder* flight_recorder = nullptr;
+  std::string flight_record_path;
   // Test hook for the CI crash drill: _Exit(137) at the moment the Nth
   // batch would dispatch — admitted records journaled, nothing
   // completed. 0 disables.
   std::uint64_t crash_after_batches = 0;
+  // Test hook for the flight-recorder drill: std::abort() (SIGABRT, so
+  // the installed crash handler fires and dumps the ring) when the Nth
+  // batch would dispatch. 0 disables.
+  std::uint64_t abort_after_batches = 0;
 };
 
 /// What the daemon did over its lifetime (the drill's evidence).
@@ -83,6 +104,9 @@ struct ServerStats {
   std::uint64_t recovered_completed = 0;  // replayed into the cache
   std::uint64_t batches = 0;
   std::uint64_t pairs_scored = 0;
+  std::uint64_t stat_scrapes = 0;      // kStatRequest frames served
+  std::uint64_t trace_scrapes = 0;     // kTraceRequest frames served
+  std::uint64_t slow_requests = 0;     // SLO slow-threshold breaches
   FaultLog faults;                     // injected transport faults
 };
 
@@ -109,9 +133,15 @@ class ScreenServer {
 
   /// Per-tenant RunReport (tool "screen_serve"): one row per tenant with
   /// a serving stage ("SRV"), pairs scored, and cell throughput; the
-  /// metrics snapshot carries the service counters. Validated by
-  /// scripts/check_run_report.py.
+  /// metrics snapshot carries the service counters, live occupancy
+  /// gauges, the per-tenant SLO window, and (when a telemetry session is
+  /// attached) the engine/screen metrics including trace-drop counters.
+  /// The same document answers a kStatRequest frame. Validated by
+  /// scripts/check_run_report.py and scripts/check_stats.py.
   [[nodiscard]] telemetry::RunReport report() const;
+
+  /// Live SLO state (rolling windows, slow-request log).
+  [[nodiscard]] const SloTracker& slo() const;
 
  private:
   struct Impl;

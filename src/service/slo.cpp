@@ -1,0 +1,99 @@
+#include "service/slo.hpp"
+
+#include <utility>
+
+namespace swbpbc::service {
+
+namespace {
+
+std::vector<double> latency_bounds() {
+  // 0.01 ms .. ~40 s in x2 steps: queue waits under linger sit at the
+  // bottom, a pathological batch at the top.
+  return telemetry::Histogram::exponential_bounds(0.01, 2.0, 22);
+}
+
+}  // namespace
+
+SloTracker::Tenant::Tenant(const SloConfig& config)
+    : queue_ms(latency_bounds(), config.window_slice_ms, config.window_slices),
+      batch_ms(latency_bounds(), config.window_slice_ms, config.window_slices),
+      compute_ms(latency_bounds(), config.window_slice_ms,
+                 config.window_slices),
+      total_ms(latency_bounds(), config.window_slice_ms,
+               config.window_slices) {}
+
+SloTracker::SloTracker(SloConfig config) : config_(config) {
+  if (config_.slow_log_capacity == 0) config_.slow_log_capacity = 1;
+}
+
+SloTracker::Tenant& SloTracker::tenant(const std::string& name) {
+  auto it = tenants_.find(name);
+  if (it == tenants_.end()) {
+    it = tenants_.emplace(name, std::make_unique<Tenant>(config_)).first;
+  }
+  return *it->second;
+}
+
+bool SloTracker::observe(const std::string& tenant_name,
+                         const std::string& request_id,
+                         std::uint64_t trace_id, const Latency& latency,
+                         std::uint64_t now_ms) {
+  Tenant& t = tenant(tenant_name);
+  t.queue_ms.observe(latency.queue_ms, now_ms);
+  t.batch_ms.observe(latency.batch_ms, now_ms);
+  t.compute_ms.observe(latency.compute_ms, now_ms);
+  t.total_ms.observe(latency.total_ms, now_ms);
+  ++t.completed;
+  const bool slow =
+      config_.slow_request_ms > 0.0 && latency.total_ms >= config_.slow_request_ms;
+  if (slow) {
+    ++t.slow;
+    SlowRequest entry;
+    entry.tenant = tenant_name;
+    entry.id = request_id;
+    entry.trace_id = trace_id;
+    entry.latency = latency;
+    entry.at_ms = now_ms;
+    if (slow_ring_.size() < config_.slow_log_capacity) {
+      slow_ring_.push_back(std::move(entry));
+    } else {
+      slow_ring_[slow_total_ % config_.slow_log_capacity] = std::move(entry);
+    }
+    ++slow_total_;
+  }
+  return slow;
+}
+
+void SloTracker::deadline_miss(const std::string& tenant_name) {
+  ++tenant(tenant_name).deadline_miss;
+}
+
+std::vector<SloTracker::SlowRequest> SloTracker::slow_requests() const {
+  std::vector<SlowRequest> out;
+  out.reserve(slow_ring_.size());
+  const std::size_t cap = config_.slow_log_capacity;
+  if (slow_total_ <= slow_ring_.size()) {
+    out = slow_ring_;
+  } else {
+    for (std::size_t i = 0; i < slow_ring_.size(); ++i)
+      out.push_back(slow_ring_[(slow_total_ + i) % cap]);
+  }
+  return out;
+}
+
+void SloTracker::fill(telemetry::MetricsRegistry::Snapshot& snapshot,
+                      std::uint64_t now_ms) const {
+  for (const auto& [name, t] : tenants_) {
+    const std::string prefix = "slo." + name + ".";
+    snapshot.histograms[prefix + "queue_ms"] = t->queue_ms.snapshot(now_ms);
+    snapshot.histograms[prefix + "batch_ms"] = t->batch_ms.snapshot(now_ms);
+    snapshot.histograms[prefix + "compute_ms"] =
+        t->compute_ms.snapshot(now_ms);
+    snapshot.histograms[prefix + "total_ms"] = t->total_ms.snapshot(now_ms);
+    snapshot.counters[prefix + "completed"] = t->completed;
+    snapshot.counters[prefix + "deadline_miss"] = t->deadline_miss;
+    snapshot.counters[prefix + "slow"] = t->slow;
+  }
+}
+
+}  // namespace swbpbc::service

@@ -1,0 +1,101 @@
+// Per-tenant SLO tracking for the screening daemon.
+//
+// The RunReport answers "what did this process do over its lifetime";
+// an operator watching a live daemon needs "how are tenants doing right
+// now". SloTracker keeps, per tenant, rolling-window latency histograms
+// split the way the serving path actually spends time —
+//
+//   queue_ms    admission -> batch cut (linger + lane-group packing)
+//   batch_ms    batch cut -> response ready (assembly + compute + slicing)
+//   compute_ms  the sw::try_screen call alone
+//   total_ms    admission -> response ready
+//
+// — plus deadline-miss counters and a bounded ring of slow requests (any
+// request whose total crossed the configured threshold, with its id,
+// tenant, and trace id so the matching spans can be pulled from the
+// trace). The tracker is plain single-threaded state owned by the server
+// loop; the stats endpoint folds it into a MetricsRegistry::Snapshot
+// under "slo.<tenant>.*" names.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/rolling.hpp"
+
+namespace swbpbc::service {
+
+struct SloConfig {
+  // Rolling window = slice_ms * slices (default 60 s of 10 s slices).
+  std::uint64_t window_slice_ms = 10'000;
+  std::size_t window_slices = 6;
+  // A completed request slower than this (total_ms) enters the slow log
+  // and is reported by the caller. <= 0 disables the log.
+  double slow_request_ms = 1000.0;
+  std::size_t slow_log_capacity = 32;
+};
+
+class SloTracker {
+ public:
+  explicit SloTracker(SloConfig config);
+
+  struct Latency {
+    double queue_ms = 0.0;
+    double batch_ms = 0.0;
+    double compute_ms = 0.0;
+    double total_ms = 0.0;
+  };
+
+  struct SlowRequest {
+    std::string tenant;
+    std::string id;
+    std::uint64_t trace_id = 0;
+    Latency latency;
+    std::uint64_t at_ms = 0;
+  };
+
+  /// Records one completed request. Returns true when it breached the
+  /// slow threshold (and entered the slow log) so the caller can dump
+  /// spans / log while the context is still at hand.
+  bool observe(const std::string& tenant, const std::string& request_id,
+               std::uint64_t trace_id, const Latency& latency,
+               std::uint64_t now_ms);
+
+  /// Records one deadline-shed request for the tenant.
+  void deadline_miss(const std::string& tenant);
+
+  /// Slow-log contents, oldest first (bounded by slow_log_capacity).
+  [[nodiscard]] std::vector<SlowRequest> slow_requests() const;
+  [[nodiscard]] std::uint64_t slow_total() const { return slow_total_; }
+
+  /// Folds the live state into a registry snapshot:
+  ///   histograms slo.<tenant>.{queue,batch,compute,total}_ms (window)
+  ///   counters   slo.<tenant>.{completed,deadline_miss,slow}
+  void fill(telemetry::MetricsRegistry::Snapshot& snapshot,
+            std::uint64_t now_ms) const;
+
+ private:
+  struct Tenant {
+    explicit Tenant(const SloConfig& config);
+    telemetry::RollingHistogram queue_ms;
+    telemetry::RollingHistogram batch_ms;
+    telemetry::RollingHistogram compute_ms;
+    telemetry::RollingHistogram total_ms;
+    std::uint64_t completed = 0;
+    std::uint64_t deadline_miss = 0;
+    std::uint64_t slow = 0;
+  };
+
+  Tenant& tenant(const std::string& name);
+
+  SloConfig config_;
+  std::map<std::string, std::unique_ptr<Tenant>> tenants_;
+  std::vector<SlowRequest> slow_ring_;
+  std::uint64_t slow_total_ = 0;
+};
+
+}  // namespace swbpbc::service

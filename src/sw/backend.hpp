@@ -65,6 +65,12 @@ struct ChunkJob {
   // map the job onto their own layout; position-free backends ignore it.
   std::size_t first_pair = kUnknownPair;
   const util::StopCondition* stop = nullptr;
+  // Request-scoped correlation id (telemetry::current_trace_context() at
+  // submission). Backends that run stage work on their own threads — the
+  // overlapped PipelineEngine — re-install it around the job's spans so a
+  // served request's H2G..G2H stages correlate in the exported trace; 0
+  // means unscoped and costs nothing.
+  std::uint64_t trace_id = 0;
 };
 
 /// Unified scoring backend (v2). Implementations must accept any

@@ -285,6 +285,7 @@ util::Expected<ScreenReport> try_screen(std::span<const Sequence> xs,
               job.xs = qx;
               job.ys = qy;
               job.stop = stop_ptr;
+              job.trace_id = telemetry::current_trace_context();
               return backend->run(job).scores;
             });
 
@@ -340,6 +341,7 @@ util::Expected<ScreenReport> try_screen(std::span<const Sequence> xs,
                           report.chunks[c].end - report.chunks[c].begin);
       job.first_pair = report.chunks[c].begin;
       job.stop = stop_ptr;
+      job.trace_id = telemetry::current_trace_context();
       backend->submit(job);
       ++in_flight;
     }
@@ -418,6 +420,7 @@ util::Expected<ScreenReport> try_screen(std::span<const Sequence> xs,
             job.ys = cy;
             job.first_pair = begin;
             job.stop = stop_ptr;
+            job.trace_id = telemetry::current_trace_context();
             r = backend->run(job);
           }
           backend_span.finish();

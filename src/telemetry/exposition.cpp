@@ -1,0 +1,81 @@
+#include "telemetry/exposition.hpp"
+
+#include <cctype>
+#include <cstdio>
+
+namespace swbpbc::telemetry {
+
+namespace {
+
+// Doubles in the exposition format: %.17g round-trips exactly and
+// Prometheus accepts scientific notation.
+std::string number(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+void append_line(std::string& out, const std::string& name,
+                 const std::string& labels, const std::string& value) {
+  out += name;
+  out += labels;
+  out += ' ';
+  out += value;
+  out += '\n';
+}
+
+}  // namespace
+
+std::string prometheus_name(const std::string& name,
+                            const std::string& prefix) {
+  std::string out;
+  out.reserve(prefix.size() + 1 + name.size());
+  if (!prefix.empty()) {
+    out += prefix;
+    out += '_';
+  }
+  for (const char c : name) {
+    const auto u = static_cast<unsigned char>(c);
+    out += (std::isalnum(u) != 0 || c == '_' || c == ':') ? c : '_';
+  }
+  if (out.empty() || (std::isdigit(static_cast<unsigned char>(out[0])) != 0)) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+std::string prometheus_text(const MetricsRegistry::Snapshot& snapshot,
+                            const std::string& prefix) {
+  std::string out;
+  out.reserve(128 * (snapshot.counters.size() + snapshot.gauges.size()) +
+              1024 * snapshot.histograms.size());
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string prom = prometheus_name(name, prefix);
+    out += "# TYPE " + prom + " counter\n";
+    append_line(out, prom, "", std::to_string(value));
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string prom = prometheus_name(name, prefix);
+    out += "# TYPE " + prom + " gauge\n";
+    append_line(out, prom, "", number(value));
+  }
+  for (const auto& [name, hist] : snapshot.histograms) {
+    const std::string prom = prometheus_name(name, prefix);
+    out += "# TYPE " + prom + " histogram\n";
+    // Prometheus buckets are cumulative; ours are disjoint. The final
+    // overflow bucket folds into +Inf.
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < hist.bounds.size(); ++i) {
+      cumulative += i < hist.buckets.size() ? hist.buckets[i] : 0;
+      append_line(out, prom + "_bucket", "{le=\"" + number(hist.bounds[i]) +
+                  "\"}", std::to_string(cumulative));
+    }
+    append_line(out, prom + "_bucket", "{le=\"+Inf\"}",
+                std::to_string(hist.count));
+    append_line(out, prom + "_sum", "", number(hist.sum));
+    append_line(out, prom + "_count", "", std::to_string(hist.count));
+  }
+  return out;
+}
+
+}  // namespace swbpbc::telemetry

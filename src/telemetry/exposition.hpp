@@ -1,0 +1,30 @@
+// Prometheus text-exposition writer for a MetricsRegistry snapshot.
+//
+// The daemon's stats endpoint ships a RunReport JSON (versioned, already
+// validated by check_run_report.py); this adapter renders the same
+// snapshot in the Prometheus text format (version 0.0.4) so a stock
+// scraper — or `screen_serve --stats-dump --format=prom` piped to a node
+// exporter textfile collector — ingests it without a bridge. Metric
+// names are sanitized (dots and dashes become underscores, a configurable
+// prefix namespaces everything) and histograms expand to the standard
+// cumulative `_bucket{le=...}` / `_sum` / `_count` triplet.
+#pragma once
+
+#include <string>
+
+#include "telemetry/metrics.hpp"
+
+namespace swbpbc::telemetry {
+
+/// `prefix` is prepended with an underscore to every sanitized name
+/// ("swbpbc" -> swbpbc_service_requests). Empty prefix emits bare names.
+[[nodiscard]] std::string prometheus_text(
+    const MetricsRegistry::Snapshot& snapshot,
+    const std::string& prefix = "swbpbc");
+
+/// Sanitizes one metric name into the Prometheus charset
+/// [a-zA-Z_:][a-zA-Z0-9_:]*, mapping every other byte to '_'.
+[[nodiscard]] std::string prometheus_name(const std::string& name,
+                                          const std::string& prefix);
+
+}  // namespace swbpbc::telemetry

@@ -1,0 +1,191 @@
+#include "telemetry/flight_recorder.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/timer.hpp"
+
+namespace swbpbc::telemetry {
+
+namespace {
+
+// Crash-handler globals: one recorder per process, path captured into
+// fixed storage at install time (the handler cannot touch std::string).
+FlightRecorder* g_crash_recorder = nullptr;
+char g_crash_path[512] = {};
+
+constexpr int kCrashSignals[] = {SIGSEGV, SIGABRT, SIGBUS, SIGFPE};
+
+// write(2) the whole buffer, swallowing EINTR. Errors are ignored — the
+// process is already dying, partial dumps beat none.
+void write_all(int fd, const char* data, std::size_t n) {
+  while (n > 0) {
+    const ssize_t w = ::write(fd, data, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    data += w;
+    n -= static_cast<std::size_t>(w);
+  }
+}
+
+void write_str(int fd, const char* s) { write_all(fd, s, std::strlen(s)); }
+
+// Async-signal-safe signed decimal formatting (std::to_string allocates).
+void write_i64(int fd, std::int64_t v) {
+  char buf[24];
+  char* p = buf + sizeof buf;
+  const bool neg = v < 0;
+  std::uint64_t u =
+      neg ? ~static_cast<std::uint64_t>(v) + 1 : static_cast<std::uint64_t>(v);
+  do {
+    *--p = static_cast<char>('0' + u % 10);
+    u /= 10;
+  } while (u != 0);
+  if (neg) *--p = '-';
+  write_all(fd, p, static_cast<std::size_t>(buf + sizeof buf - p));
+}
+
+void write_u64(int fd, std::uint64_t v) {
+  char buf[24];
+  char* p = buf + sizeof buf;
+  do {
+    *--p = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  write_all(fd, p, static_cast<std::size_t>(buf + sizeof buf - p));
+}
+
+const char* kind_tag(std::uint32_t kind) {
+  switch (kind) {
+    case FlightRecorder::kMark: return "MARK";
+    case FlightRecorder::kSpan: return "SPAN";
+    case FlightRecorder::kMetric: return "METRIC";
+    default: return "?";
+  }
+}
+
+extern "C" void crash_handler(int signo) {
+  if (g_crash_recorder != nullptr && g_crash_path[0] != '\0') {
+    char reason[32] = "signal ";
+    std::size_t i = std::strlen(reason);
+    // signo is small and positive; format it by hand.
+    if (signo >= 10) reason[i++] = static_cast<char>('0' + signo / 10);
+    reason[i++] = static_cast<char>('0' + signo % 10);
+    reason[i] = '\0';
+    g_crash_recorder->dump(g_crash_path, reason);
+  }
+  // The handler was installed SA_RESETHAND, so re-raising runs the
+  // default action: the process dies with the original signal.
+  ::raise(signo);
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : ring_(capacity == 0 ? 1 : capacity) {}
+
+void FlightRecorder::note(const char* name, std::uint32_t kind,
+                          std::int32_t code, std::int64_t a, std::int64_t b) {
+  const std::uint64_t seq = next_.fetch_add(1, std::memory_order_relaxed);
+  Event& e = ring_[seq % ring_.size()];
+  e.sequence = seq + 1;
+  e.ts_us = util::monotonic_us();
+  e.kind = kind;
+  e.code = code;
+  e.a = a;
+  e.b = b;
+  std::size_t n = 0;
+  if (name != nullptr) {
+    n = std::strlen(name);
+    if (n > kNameBytes - 1) n = kNameBytes - 1;
+    std::memcpy(e.name, name, n);
+  }
+  e.name[n] = '\0';
+}
+
+void FlightRecorder::dump_to_fd(int fd, const char* reason) const {
+  write_str(fd, "swbpbc.flight_recorder v1 reason=");
+  write_str(fd, reason != nullptr && reason[0] != '\0' ? reason : "on-demand");
+  write_str(fd, " recorded=");
+  write_u64(fd, next_.load(std::memory_order_relaxed));
+  write_str(fd, "\n");
+  // Oldest first: walk the ring from the slot the next note would claim.
+  const std::uint64_t next = next_.load(std::memory_order_relaxed);
+  const std::size_t cap = ring_.size();
+  for (std::size_t i = 0; i < cap; ++i) {
+    const Event& e = ring_[(next + i) % cap];
+    if (e.sequence == 0) continue;  // never written
+    write_u64(fd, e.sequence);
+    write_str(fd, " ");
+    write_u64(fd, e.ts_us);
+    write_str(fd, " ");
+    write_str(fd, kind_tag(e.kind));
+    write_str(fd, " ");
+    write_i64(fd, e.code);
+    write_str(fd, " ");
+    write_i64(fd, e.a);
+    write_str(fd, " ");
+    write_i64(fd, e.b);
+    write_str(fd, " ");
+    // The name slot may be torn mid-copy during a crash; clamp to the
+    // fixed buffer so the dump stays bounded regardless.
+    char name[kNameBytes];
+    std::memcpy(name, e.name, kNameBytes);
+    name[kNameBytes - 1] = '\0';
+    write_str(fd, name);
+    write_str(fd, "\n");
+  }
+}
+
+bool FlightRecorder::dump(const char* path, const char* reason) const {
+  const int fd = ::open(path, O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return false;
+  dump_to_fd(fd, reason);
+  ::close(fd);
+  return true;
+}
+
+util::Status FlightRecorder::dump(const std::string& path) const {
+  if (!dump(path.c_str(), nullptr)) {
+    return util::Status::internal("cannot write flight record " + path);
+  }
+  return {};
+}
+
+util::Status FlightRecorder::install_crash_handler(FlightRecorder* recorder,
+                                                   const std::string& path) {
+  if (recorder == nullptr) {
+    return util::Status::invalid_input("flight recorder is null");
+  }
+  if (g_crash_recorder != nullptr && g_crash_recorder != recorder) {
+    return util::Status::internal(
+        "a different flight recorder is already installed");
+  }
+  if (path.size() >= sizeof g_crash_path) {
+    return util::Status::invalid_input("flight record path too long");
+  }
+  std::memcpy(g_crash_path, path.c_str(), path.size() + 1);
+  g_crash_recorder = recorder;
+
+  struct sigaction sa = {};
+  sa.sa_handler = &crash_handler;
+  sigemptyset(&sa.sa_mask);
+  // SA_RESETHAND: the disposition reverts to default before the handler
+  // runs, so the raise() inside it — delivered when the handler returns
+  // and the signal unblocks — kills the process with the original signal.
+  sa.sa_flags = static_cast<int>(SA_RESETHAND);
+  for (const int signo : kCrashSignals) {
+    if (sigaction(signo, &sa, nullptr) != 0) {
+      return util::Status::internal("sigaction failed installing recorder");
+    }
+  }
+  return {};
+}
+
+}  // namespace swbpbc::telemetry

@@ -1,0 +1,94 @@
+// Crash flight recorder: the last N telemetry events, dumpable from a
+// fatal signal handler.
+//
+// The journal (src/service) explains *what requests* a crashed daemon
+// owed; it cannot explain *what the process was doing* when it died. The
+// flight recorder keeps a fixed-size ring of recent notes — spans
+// mirrored from the Tracer, metric deltas, server lifecycle marks — in
+// preallocated POD storage, and serializes it to disk either on demand
+// (fatal util::Status, operator request) or from a SIGSEGV/SIGABRT/
+// SIGBUS/SIGFPE handler.
+//
+// Signal-safety contract: the crash path touches no locks, no heap, and
+// no stdio — only open(2)/write(2)/close(2) plus integer formatting into
+// stack buffers. Recording uses a relaxed atomic cursor; a note torn by
+// the crashing thread mid-write may dump garbled, which is acceptable in
+// a post-mortem and is why every line carries its own sequence number.
+// `name` is copied (truncated) into the record, so callers may pass
+// transient strings, unlike TraceEvent.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace swbpbc::telemetry {
+
+class FlightRecorder {
+ public:
+  // Note kinds, dumped as a text tag so post-mortems read without a
+  // decoder ring. Values are append-only.
+  enum Kind : std::uint32_t {
+    kMark = 0,    // lifecycle marks (startup, batch, drain, fatal status)
+    kSpan = 1,    // mirrored trace span (code=track, a=dur_us, b=trace_id)
+    kMetric = 2,  // metric delta (a=new value, b=delta)
+  };
+
+  static constexpr std::size_t kNameBytes = 40;
+
+  struct Event {
+    std::uint64_t sequence = 0;  // 0 = never written
+    std::uint64_t ts_us = 0;
+    std::uint32_t kind = kMark;
+    std::int32_t code = 0;
+    std::int64_t a = 0;
+    std::int64_t b = 0;
+    char name[kNameBytes] = {};
+  };
+
+  explicit FlightRecorder(std::size_t capacity);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Appends one note, overwriting the oldest beyond capacity. Safe from
+  /// any thread; not itself async-signal-safe (no allocation, but a torn
+  /// copy is possible — see the header contract).
+  void note(const char* name, std::uint32_t kind = kMark,
+            std::int32_t code = 0, std::int64_t a = 0, std::int64_t b = 0);
+
+  [[nodiscard]] std::size_t capacity() const { return ring_.size(); }
+  /// Notes ever recorded (>= capacity means the ring has wrapped).
+  [[nodiscard]] std::uint64_t recorded() const {
+    return next_.load(std::memory_order_relaxed);
+  }
+
+  /// Serializes the ring (oldest first) to `fd` as one text line per
+  /// note: "seq ts_us KIND code a b name". Async-signal-safe: write(2)
+  /// and stack formatting only. `reason` (nullable) heads the dump.
+  void dump_to_fd(int fd, const char* reason) const;
+
+  /// Opens `path` (truncate) and dump_to_fd()s into it. Async-signal-safe.
+  /// Returns false if the file could not be opened or written.
+  bool dump(const char* path, const char* reason) const;
+  [[nodiscard]] util::Status dump(const std::string& path) const;
+
+  /// Installs process-wide SIGSEGV/SIGABRT/SIGBUS/SIGFPE handlers that
+  /// dump `recorder` to `path` and then re-raise with the default action,
+  /// so the process still dies with the original signal (exit 128+signo,
+  /// core if enabled). One recorder per process; the recorder and the
+  /// path copy must outlive the installation. kInternal if sigaction
+  /// fails or a different recorder is already installed.
+  static util::Status install_crash_handler(FlightRecorder* recorder,
+                                            const std::string& path);
+
+ private:
+  std::atomic<std::uint64_t> next_{0};
+  std::vector<Event> ring_;
+};
+
+}  // namespace swbpbc::telemetry

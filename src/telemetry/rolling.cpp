@@ -1,0 +1,80 @@
+#include "telemetry/rolling.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace swbpbc::telemetry {
+
+RollingHistogram::RollingHistogram(std::vector<double> bounds,
+                                   std::uint64_t slice_ms, std::size_t slices)
+    : bounds_(std::move(bounds)),
+      slice_ms_(slice_ms == 0 ? 1 : slice_ms),
+      slices_(slices == 0 ? 1 : slices) {
+  if (bounds_.empty()) throw std::invalid_argument("empty histogram bounds");
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    if (bounds_[i] <= bounds_[i - 1]) {
+      throw std::invalid_argument("histogram bounds not ascending");
+    }
+  }
+  for (Slice& s : slices_) s.buckets.assign(bounds_.size() + 1, 0);
+}
+
+void RollingHistogram::observe(double x, std::uint64_t now_ms) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t index = now_ms / slice_ms_;
+  Slice& s = slices_[index % slices_.size()];
+  // epoch stores index + 1 so 0 can mean "never used" even though the
+  // process clock starts near zero.
+  if (s.epoch != index + 1) {
+    s.epoch = index + 1;
+    s.count = 0;
+    s.sum = 0.0;
+    std::fill(s.buckets.begin(), s.buckets.end(), 0);
+  }
+  // Same layout as Histogram: bucket i counts bounds[i-1] < x <=
+  // bounds[i], with a final overflow bucket.
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+  ++s.buckets[static_cast<std::size_t>(it - bounds_.begin())];
+  if (s.count == 0) {
+    s.min = x;
+    s.max = x;
+  } else {
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+  }
+  ++s.count;
+  s.sum += x;
+}
+
+Histogram::Snapshot RollingHistogram::snapshot(std::uint64_t now_ms) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Histogram::Snapshot out;
+  out.bounds = bounds_;
+  out.buckets.assign(bounds_.size() + 1, 0);
+  const std::uint64_t index = now_ms / slice_ms_;
+  for (const Slice& s : slices_) {
+    // In-window iff the slice's index (epoch - 1) lies in
+    // [index - slices + 1, index]; the first comparison is rearranged to
+    // dodge unsigned underflow.
+    if (s.epoch == 0 || s.epoch + slices_.size() < index + 2 ||
+        s.epoch > index + 1) {
+      continue;
+    }
+    if (s.count == 0) continue;
+    if (out.count == 0) {
+      out.min = s.min;
+      out.max = s.max;
+    } else {
+      out.min = std::min(out.min, s.min);
+      out.max = std::max(out.max, s.max);
+    }
+    out.count += s.count;
+    out.sum += s.sum;
+    for (std::size_t i = 0; i < out.buckets.size(); ++i) {
+      out.buckets[i] += s.buckets[i];
+    }
+  }
+  return out;
+}
+
+}  // namespace swbpbc::telemetry

@@ -1,0 +1,60 @@
+// Rolling-window histogram for live SLO tracking.
+//
+// A plain telemetry::Histogram accumulates forever — correct for a
+// RunReport at the end of a bench, useless for "p99 over the last
+// minute" on a daemon that has been up for a week. RollingHistogram
+// keeps a ring of time slices (fixed wall-clock width each); an
+// observation lands in the slice owning "now", a snapshot merges every
+// slice still inside the window into one Histogram::Snapshot, and slices
+// older than the window are recycled lazily on first touch. Time is
+// passed in by the caller (ms on whatever clock it already uses), so the
+// type stays deterministic under test.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "telemetry/metrics.hpp"
+
+namespace swbpbc::telemetry {
+
+class RollingHistogram {
+ public:
+  /// `bounds` as for Histogram (strictly ascending upper bounds; throws
+  /// std::invalid_argument otherwise). The window covers
+  /// `slices * slice_ms` milliseconds.
+  RollingHistogram(std::vector<double> bounds, std::uint64_t slice_ms,
+                   std::size_t slices);
+
+  RollingHistogram(const RollingHistogram&) = delete;
+  RollingHistogram& operator=(const RollingHistogram&) = delete;
+
+  void observe(double x, std::uint64_t now_ms);
+
+  /// Merge of every slice within the window ending at `now_ms`. Empty
+  /// window yields an all-zero snapshot (count == 0).
+  [[nodiscard]] Histogram::Snapshot snapshot(std::uint64_t now_ms) const;
+
+  [[nodiscard]] std::uint64_t window_ms() const {
+    return slice_ms_ * slices_.size();
+  }
+
+ private:
+  struct Slice {
+    std::uint64_t epoch = 0;  // now_ms / slice_ms owning this data; 0 = empty
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    std::vector<std::uint64_t> buckets;
+  };
+
+  mutable std::mutex mutex_;
+  std::vector<double> bounds_;
+  std::uint64_t slice_ms_;
+  std::vector<Slice> slices_;
+};
+
+}  // namespace swbpbc::telemetry

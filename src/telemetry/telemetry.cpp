@@ -46,6 +46,14 @@ Telemetry::Telemetry(const TelemetryConfig& config) {
   }
 }
 
+MetricsRegistry::Snapshot Telemetry::snapshot() const {
+  MetricsRegistry::Snapshot snap = registry_->snapshot();
+  snap.counters["telemetry.trace.dropped"] = tracer_->dropped();
+  snap.counters["telemetry.trace.recorded"] =
+      tracer_->dropped() + tracer_->size();
+  return snap;
+}
+
 Telemetry::~Telemetry() {
   // Uninstall only our own adapter; a later session may have replaced it.
   if (pool_adapter_ != nullptr &&

@@ -57,6 +57,13 @@ class Telemetry {
   /// (callers reach here only through a non-null sink()).
   [[nodiscard]] MetricsRegistry& registry() { return *registry_; }
 
+  /// Registry snapshot with the session's trace-health folded in as
+  /// `telemetry.trace.dropped` / `telemetry.trace.recorded` counters —
+  /// the RunReport exporters call this instead of registry().snapshot()
+  /// so silent ring overwrite shows up in every artifact (and
+  /// check_run_report.py flags nonzero drops). Valid iff enabled().
+  [[nodiscard]] MetricsRegistry::Snapshot snapshot() const;
+
  private:
   class PoolSpanAdapter;
 

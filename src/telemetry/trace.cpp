@@ -1,11 +1,30 @@
 #include "telemetry/trace.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <fstream>
 
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/json.hpp"
 
 namespace swbpbc::telemetry {
+
+namespace {
+
+// The installed request context. Plain thread_local (not inherited by
+// spawned threads): job-carrying layers re-install it per work item.
+thread_local std::uint64_t t_trace_context = 0;
+
+}  // namespace
+
+std::uint64_t current_trace_context() { return t_trace_context; }
+
+ScopedTraceContext::ScopedTraceContext(std::uint64_t trace_id)
+    : saved_(t_trace_context) {
+  t_trace_context = trace_id;
+}
+
+ScopedTraceContext::~ScopedTraceContext() { t_trace_context = saved_; }
 
 Tracer::Tracer(std::size_t capacity)
     : capacity_(capacity == 0 ? 1 : capacity) {
@@ -20,6 +39,17 @@ void Tracer::record(const TraceEvent& e) {
     ring_[recorded_ % capacity_] = e;
   }
   ++recorded_;
+  if (flight_recorder_ != nullptr) {
+    flight_recorder_->note(e.name, FlightRecorder::kSpan,
+                           static_cast<std::int32_t>(e.track),
+                           static_cast<std::int64_t>(e.dur_us),
+                           static_cast<std::int64_t>(e.trace_id));
+  }
+}
+
+void Tracer::set_flight_recorder(FlightRecorder* recorder) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  flight_recorder_ = recorder;
 }
 
 std::size_t Tracer::size() const {
@@ -54,6 +84,12 @@ void Tracer::set_track_name(std::uint32_t track, std::string name) {
     }
   }
   track_names_.emplace_back(track, std::move(name));
+}
+
+std::vector<std::pair<std::uint32_t, std::string>> Tracer::track_names()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return track_names_;
 }
 
 std::string Tracer::chrome_trace_json() const {
@@ -93,9 +129,21 @@ std::string Tracer::chrome_trace_json() const {
     out += std::to_string(e.ts_us);
     out += ",\"dur\":";
     out += std::to_string(e.dur_us);
-    if (e.arg_names[0] != nullptr || e.arg_names[1] != nullptr) {
+    if (e.arg_names[0] != nullptr || e.arg_names[1] != nullptr ||
+        e.trace_id != 0) {
       out += ",\"args\":{";
       bool first_arg = true;
+      if (e.trace_id != 0) {
+        // Hex string rather than a JSON number: 64-bit ids do not survive
+        // a double round trip, and the string greps cleanly.
+        char buf[24];
+        std::snprintf(buf, sizeof buf, "0x%016llx",
+                      static_cast<unsigned long long>(e.trace_id));
+        out += "\"trace_id\":\"";
+        out += buf;
+        out += '"';
+        first_arg = false;
+      }
       for (std::size_t i = 0; i < 2; ++i) {
         if (e.arg_names[i] == nullptr) continue;
         if (!first_arg) out += ',';

@@ -38,6 +38,32 @@ inline constexpr std::uint32_t kTrackDevice = 1;
 // and the overlap with SWA is visible in the exported trace.
 inline constexpr std::uint32_t kTrackStreamBase = 8;  // + stream index
 inline constexpr std::uint32_t kTrackPoolBase = 16;  // + worker index
+// Client-side spans of a screen_client run, so a merged client+server
+// export keeps the request round trip on its own row.
+inline constexpr std::uint32_t kTrackClient = 24;
+// Per-tenant serving rows (queue-wait / batch spans) in screen_serve.
+inline constexpr std::uint32_t kTrackTenantBase = 32;  // + tenant index
+
+/// Request-scoped trace correlation. A nonzero id installed with
+/// ScopedTraceContext stamps every Span recorded on this thread until the
+/// scope unwinds; exported events carry it as a "trace_id" arg, so one
+/// Perfetto query (or grep) pulls a single request's spans out of a trace
+/// that interleaves many tenants. The context is thread_local: worker
+/// threads that pick up a job re-install the job's id themselves (see
+/// device::PipelineEngine), it does not flow across std::thread.
+[[nodiscard]] std::uint64_t current_trace_context();
+
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(std::uint64_t trace_id);
+  ~ScopedTraceContext();
+
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+ private:
+  std::uint64_t saved_;
+};
 
 /// One completed span. `name`/`cat`/arg keys must be string literals (or
 /// otherwise outlive the tracer): the ring stores the pointers, not
@@ -48,9 +74,14 @@ struct TraceEvent {
   std::uint64_t ts_us = 0;   // start, process monotonic clock
   std::uint64_t dur_us = 0;
   std::uint32_t track = 0;   // rendered as the Chrome "tid"
+  // Request correlation id; 0 means "not request-scoped". Exported as a
+  // "trace_id" hex-string arg without consuming the two numeric slots.
+  std::uint64_t trace_id = 0;
   const char* arg_names[2] = {nullptr, nullptr};
   std::int64_t arg_values[2] = {0, 0};
 };
+
+class FlightRecorder;
 
 class Tracer {
  public:
@@ -60,6 +91,10 @@ class Tracer {
   Tracer& operator=(const Tracer&) = delete;
 
   void record(const TraceEvent& e);
+
+  /// Mirrors every recorded span into `recorder` (crash post-mortems keep
+  /// the most recent spans even after the exporter is gone). Null detaches.
+  void set_flight_recorder(FlightRecorder* recorder);
 
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
   /// Events currently retained (<= capacity).
@@ -72,6 +107,11 @@ class Tracer {
 
   /// Names a track ("tid") in the exported trace via metadata events.
   void set_track_name(std::uint32_t track, std::string name);
+
+  /// The (track, name) pairs registered so far — what a trace dump ships
+  /// alongside the events so the receiving side reproduces the rows.
+  [[nodiscard]] std::vector<std::pair<std::uint32_t, std::string>>
+  track_names() const;
 
   /// Chrome trace_event JSON: {"traceEvents": [...]} with one "X"
   /// (complete) event per span, ts/dur in microseconds, plus
@@ -87,6 +127,7 @@ class Tracer {
   std::vector<TraceEvent> ring_;
   std::uint64_t recorded_ = 0;  // events ever recorded
   std::vector<std::pair<std::uint32_t, std::string>> track_names_;
+  FlightRecorder* flight_recorder_ = nullptr;
 };
 
 /// RAII span: stamps the start at construction, records a complete event
@@ -101,6 +142,7 @@ class Span {
       event_.name = name;
       event_.cat = cat;
       event_.track = track;
+      event_.trace_id = current_trace_context();
       event_.ts_us = util::monotonic_us();
     }
   }

@@ -1,0 +1,301 @@
+// Observability-layer units: request-scoped trace context propagation,
+// rolling-window SLO histograms, Prometheus text exposition, and the
+// crash flight recorder (including a real fork()+SIGABRT post-mortem).
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "telemetry/exposition.hpp"
+#include "telemetry/flight_recorder.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/rolling.hpp"
+#include "telemetry/trace.hpp"
+
+namespace swbpbc::telemetry {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + "swbpbc_obs_" + name;
+}
+
+// ---------------------------------------------------------------- trace
+
+TEST(TraceContext, DefaultsToZero) {
+  EXPECT_EQ(current_trace_context(), 0u);
+}
+
+TEST(TraceContext, ScopedInstallAndRestore) {
+  {
+    ScopedTraceContext outer(0xAAu);
+    EXPECT_EQ(current_trace_context(), 0xAAu);
+    {
+      ScopedTraceContext inner(0xBBu);
+      EXPECT_EQ(current_trace_context(), 0xBBu);
+    }
+    EXPECT_EQ(current_trace_context(), 0xAAu);
+  }
+  EXPECT_EQ(current_trace_context(), 0u);
+}
+
+TEST(TraceContext, DoesNotCrossThreads) {
+  ScopedTraceContext ctx(0x77u);
+  std::uint64_t seen = 0x77u;
+  std::thread t([&] { seen = current_trace_context(); });
+  t.join();
+  EXPECT_EQ(seen, 0u);  // plain thread_local, not inherited
+}
+
+TEST(TraceContext, SpanCapturesInstalledContext) {
+  Tracer tracer(16);
+  {
+    ScopedTraceContext ctx(0xDEADBEEFu);
+    Span span(&tracer, "work", "test");
+  }
+  Span untagged(&tracer, "after", "test");
+  untagged.finish();
+  const auto events = tracer.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].trace_id, 0xDEADBEEFu);
+  EXPECT_EQ(events[1].trace_id, 0u);
+}
+
+TEST(TraceContext, ExportCarriesHexTraceIdArg) {
+  Tracer tracer(16);
+  {
+    ScopedTraceContext ctx(0x1234u);
+    Span span(&tracer, "work", "test");
+  }
+  const std::string json = tracer.chrome_trace_json();
+  EXPECT_NE(json.find("\"trace_id\":\"0x0000000000001234\""),
+            std::string::npos);
+}
+
+TEST(Tracer, TrackNamesRoundTrip) {
+  Tracer tracer(4);
+  tracer.set_track_name(3, "alpha");
+  tracer.set_track_name(7, "beta");
+  tracer.set_track_name(3, "alpha2");  // rename in place
+  const auto names = tracer.track_names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0].first, 3u);
+  EXPECT_EQ(names[0].second, "alpha2");
+  EXPECT_EQ(names[1].second, "beta");
+}
+
+// -------------------------------------------------------------- rolling
+
+TEST(RollingHistogram, RejectsBadBounds) {
+  EXPECT_THROW(RollingHistogram({}, 1000, 4), std::invalid_argument);
+  EXPECT_THROW(RollingHistogram({2.0, 1.0}, 1000, 4), std::invalid_argument);
+  // Degenerate slicing clamps instead of throwing: still a valid window.
+  EXPECT_NO_THROW(RollingHistogram({1.0}, 0, 0));
+}
+
+TEST(RollingHistogram, MergesLiveSlices) {
+  RollingHistogram h({1.0, 10.0, 100.0}, 1000, 4);
+  h.observe(0.5, 0);
+  h.observe(5.0, 1500);   // second slice
+  h.observe(50.0, 2500);  // third slice
+  const auto snap = h.snapshot(2500);
+  EXPECT_EQ(snap.count, 3u);
+  EXPECT_DOUBLE_EQ(snap.sum, 55.5);
+  EXPECT_DOUBLE_EQ(snap.min, 0.5);
+  EXPECT_DOUBLE_EQ(snap.max, 50.0);
+  ASSERT_EQ(snap.buckets.size(), 4u);
+  EXPECT_EQ(snap.buckets[0], 1u);
+  EXPECT_EQ(snap.buckets[1], 1u);
+  EXPECT_EQ(snap.buckets[2], 1u);
+}
+
+TEST(RollingHistogram, OldSlicesAgeOut) {
+  RollingHistogram h({1.0}, 1000, 2);  // 2-second window
+  h.observe(0.5, 0);
+  EXPECT_EQ(h.snapshot(0).count, 1u);
+  EXPECT_EQ(h.snapshot(1999).count, 1u);   // still inside the window
+  EXPECT_EQ(h.snapshot(10000).count, 0u);  // long gone
+}
+
+TEST(RollingHistogram, SlotRecycleDropsStaleCounts) {
+  RollingHistogram h({1.0}, 1000, 2);
+  h.observe(0.5, 0);      // slice 0
+  h.observe(0.5, 2500);   // slice 2 recycles slot 0
+  const auto snap = h.snapshot(2500);
+  EXPECT_EQ(snap.count, 1u);  // the epoch-0 sample must not leak back in
+}
+
+TEST(RollingHistogram, PercentilesFromMergedWindow) {
+  RollingHistogram h(Histogram::exponential_bounds(0.01, 2.0, 22), 10000, 6);
+  for (int i = 0; i < 100; ++i)
+    h.observe(static_cast<double>(i % 10) + 0.5, 1000);
+  const auto snap = h.snapshot(2000);
+  EXPECT_EQ(snap.count, 100u);
+  EXPECT_GT(snap.percentile(95), snap.percentile(50));
+}
+
+// ----------------------------------------------------------- exposition
+
+TEST(Exposition, SanitizesNames) {
+  EXPECT_EQ(prometheus_name("service.queue.pairs", "swbpbc"),
+            "swbpbc_service_queue_pairs");
+  EXPECT_EQ(prometheus_name("slo.tenant-a.total_ms", "swbpbc"),
+            "swbpbc_slo_tenant_a_total_ms");
+  EXPECT_EQ(prometheus_name("9lives", ""), "_9lives");
+}
+
+TEST(Exposition, CountersAndGauges) {
+  MetricsRegistry registry;
+  registry.counter("service.requests").add(42);
+  registry.gauge("service.occupancy.pairs").set(0.5);
+  const std::string text = prometheus_text(registry.snapshot());
+  EXPECT_NE(text.find("# TYPE swbpbc_service_requests counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("swbpbc_service_requests 42"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE swbpbc_service_occupancy_pairs gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("swbpbc_service_occupancy_pairs 0.5"),
+            std::string::npos);
+}
+
+TEST(Exposition, HistogramIsCumulative) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("lat_ms", {1.0, 10.0});
+  h.observe(0.5);
+  h.observe(5.0);
+  h.observe(50.0);
+  const std::string text = prometheus_text(registry.snapshot());
+  EXPECT_NE(text.find("swbpbc_lat_ms_bucket{le=\"1\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("swbpbc_lat_ms_bucket{le=\"10\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("swbpbc_lat_ms_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("swbpbc_lat_ms_count 3"), std::string::npos);
+}
+
+// ------------------------------------------------------ flight recorder
+
+TEST(FlightRecorder, RecordsAndWraps) {
+  FlightRecorder recorder(4);
+  EXPECT_EQ(recorder.capacity(), 4u);
+  for (int i = 0; i < 6; ++i)
+    recorder.note("event", FlightRecorder::kMark, i, i * 10, 0);
+  EXPECT_EQ(recorder.recorded(), 6u);
+}
+
+TEST(FlightRecorder, DumpIsOldestFirstAndParseable) {
+  FlightRecorder recorder(4);
+  for (int i = 0; i < 6; ++i)
+    recorder.note("ev", FlightRecorder::kMark, i, 0, 0);
+  const std::string path = temp_path("dump.txt");
+  std::remove(path.c_str());
+  ASSERT_TRUE(recorder.dump(path.c_str(), "unit test"));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string header;
+  std::getline(in, header);
+  EXPECT_NE(header.find("swbpbc.flight_recorder v1"), std::string::npos);
+  EXPECT_NE(header.find("reason=unit test"), std::string::npos);
+  std::vector<std::uint64_t> seqs;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::uint64_t seq = 0;
+    fields >> seq;
+    seqs.push_back(seq);
+  }
+  // Ring of 4: events 3..6 survive (1-based sequence), oldest first.
+  ASSERT_EQ(seqs.size(), 4u);
+  EXPECT_EQ(seqs.front(), 3u);
+  EXPECT_EQ(seqs.back(), 6u);
+  for (std::size_t i = 1; i < seqs.size(); ++i)
+    EXPECT_LT(seqs[i - 1], seqs[i]);
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorder, LongNamesTruncateSafely) {
+  FlightRecorder recorder(2);
+  const std::string longname(200, 'x');
+  recorder.note(longname.c_str());
+  const std::string path = temp_path("truncate.txt");
+  std::remove(path.c_str());
+  ASSERT_TRUE(recorder.dump(path.c_str(), "t"));
+  std::ifstream in(path);
+  std::string all((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  EXPECT_NE(all.find("xxxx"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorder, TracerMirrorsSpans) {
+  FlightRecorder recorder(8);
+  Tracer tracer(8);
+  tracer.set_flight_recorder(&recorder);
+  {
+    ScopedTraceContext ctx(0x42u);
+    Span span(&tracer, "mirrored", "test", 5);
+  }
+  tracer.set_flight_recorder(nullptr);
+  Span unmirrored(&tracer, "late", "test");
+  unmirrored.finish();
+  EXPECT_EQ(recorder.recorded(), 1u);
+  const std::string path = temp_path("mirror.txt");
+  std::remove(path.c_str());
+  ASSERT_TRUE(recorder.dump(path.c_str(), "t"));
+  std::ifstream in(path);
+  std::string all((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  EXPECT_NE(all.find("mirrored"), std::string::npos);
+  EXPECT_EQ(all.find("late"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorder, InstallRejectsBadArguments) {
+  FlightRecorder recorder(4);
+  EXPECT_FALSE(
+      FlightRecorder::install_crash_handler(nullptr, "/tmp/x").ok());
+  EXPECT_FALSE(
+      FlightRecorder::install_crash_handler(&recorder, std::string(600, 'p'))
+          .ok());
+}
+
+// The real thing: a child process installs the handler, notes a few
+// events, and dies on SIGABRT; the parent finds the post-mortem dump.
+TEST(FlightRecorder, CrashHandlerDumpsOnAbort) {
+  const std::string path = temp_path("crash.txt");
+  std::remove(path.c_str());
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Child: no gtest from here on; raw exit paths only.
+    static FlightRecorder recorder(16);
+    if (!FlightRecorder::install_crash_handler(&recorder, path).ok())
+      _exit(10);
+    recorder.note("before.crash", FlightRecorder::kMark, 7, 123, 456);
+    std::abort();
+  }
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status));
+  EXPECT_EQ(WTERMSIG(status), SIGABRT);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "crash handler produced no dump at " << path;
+  std::string all((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  EXPECT_NE(all.find("swbpbc.flight_recorder v1"), std::string::npos);
+  EXPECT_NE(all.find("signal"), std::string::npos);
+  EXPECT_NE(all.find("before.crash"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace swbpbc::telemetry
