@@ -10,12 +10,14 @@
 // baseline SSE2 unless the toolchain says otherwise).
 //
 //   ./ablation_lane_width [--pairs=N] [--m=M] [--n=N] [--reps=R]
-//                         [--json=path]
+//                         [--json=path] [--affine]
 //
 // --reps takes the best of R runs per width (single-core hosts are
 // noisy). --json writes a RunReport (BENCH_lane_width.json in
 // EXPERIMENTS.md) whose config records the auto-resolved width and the
-// shared score fingerprint.
+// shared score fingerprint. --affine appends a second width sweep of the
+// Gotoh affine-gap circuit (ScoringScheme, open 3 / extend 1) over the
+// same workload, with its own 64-bit baseline and bit-identity gate.
 #include <cstdio>
 #include <map>
 #include <string>
@@ -25,6 +27,8 @@
 #include "harness.hpp"
 #include "sw/bpbc.hpp"
 #include "sw/lane.hpp"
+#include "sw/scheme_aligner.hpp"
+#include "sw/scoring.hpp"
 #include "telemetry/run_report.hpp"
 #include "util/checksum.hpp"
 #include "util/options.hpp"
@@ -143,10 +147,96 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(
                   util::fnv1a_span<std::uint32_t>(baseline_scores)));
 
+  // --affine: the Gotoh circuit over the same workload. Three bit-sliced
+  // chains (H/E/F) instead of one, so per-width cost roughly triples —
+  // the interesting number is whether the wide-word speedup survives.
+  std::vector<std::uint32_t> affine_baseline;
+  if (opt.has("affine")) {
+    sw::ScoringScheme scheme;
+    scheme.gap_model = sw::GapModel::kAffine;
+    scheme.gap_open = 3;
+    scheme.gap_extend = 1;
+    std::vector<encoding::GenericSequence> gx, gy;
+    gx.reserve(pairs);
+    gy.reserve(pairs);
+    const auto as_generic = [](const encoding::Sequence& seq) {
+      encoding::GenericSequence out;
+      out.reserve(seq.size());
+      for (encoding::Base b : seq)
+        out.push_back(static_cast<std::uint8_t>(b));
+      return out;
+    };
+    for (const auto& x : w.xs) gx.push_back(as_generic(x));
+    for (const auto& y : w.ys) gy.push_back(as_generic(y));
+
+    double affine_baseline_swa = 0.0;
+    util::TextTable affine_table({"lane word (affine)", "W2B", "SWA",
+                                  "B2W", "Total", "SWA GCUPS",
+                                  "SWA speedup vs 64"});
+    std::printf("\nAffine (Gotoh) sweep: %s, open %u / extend %u\n\n",
+                sw::scheme_name(scheme).c_str(), scheme.gap_open,
+                scheme.gap_extend);
+    for (const Row& row : rows) {
+      bench::RowTimes best;
+      for (std::size_t r = 0; r < reps; ++r) {
+        sw::PhaseTimings t;
+        const auto scores = sw::try_scheme_max_scores(
+            gx, gy, scheme, row.width, bulk::Mode::kSerial,
+            encoding::TransposeMethod::kPlanned, &t);
+        if (!scores.has_value()) {
+          std::fprintf(stderr, "affine width %s rejected: %s\n",
+                       sw::lane_width_name(row.width),
+                       scores.status().to_string().c_str());
+          return 1;
+        }
+        if (row.width == sw::LaneWidth::k64 && affine_baseline.empty()) {
+          affine_baseline = *scores;
+        } else if (!affine_baseline.empty() && *scores != affine_baseline) {
+          std::fprintf(stderr,
+                       "FAIL: affine width %s scores differ from the "
+                       "64-bit baseline — bit-identity is broken\n",
+                       sw::lane_width_name(row.width));
+          return 1;
+        }
+        if (r == 0 || t.swa_ms < best.swa) {
+          best.w2b = t.w2b_ms;
+          best.swa = t.swa_ms;
+          best.b2w = t.b2w_ms;
+          best.total = t.total_ms();
+        }
+      }
+      if (row.width == sw::LaneWidth::k64) affine_baseline_swa = best.swa;
+      affine_table.add_row(
+          {bench::impl_name(row.impl),
+           util::TextTable::num(best.w2b, 2),
+           util::TextTable::num(best.swa, 2),
+           util::TextTable::num(best.b2w, 2),
+           util::TextTable::num(best.total, 2),
+           util::TextTable::num(cells / (best.swa * 1e-3) / 1e9, 3),
+           affine_baseline_swa > 0.0
+               ? util::TextTable::num(affine_baseline_swa / best.swa, 2)
+               : "--"});
+      telemetry::RunReportRow arow = bench::report_row(row.impl, w, best);
+      arow.impl += " affine";
+      rep.rows.push_back(arow);
+    }
+    std::fputs(affine_table.render().c_str(), stdout);
+    std::printf("\naffine scores bit-identical across all %zu widths "
+                "(fingerprint %llu)\n",
+                std::size(rows),
+                static_cast<unsigned long long>(
+                    util::fnv1a_span<std::uint32_t>(affine_baseline)));
+  }
+
   const std::string json_path = opt.get("json", "");
   if (!json_path.empty()) {
     rep.config["scores_fnv"] = std::to_string(
         util::fnv1a_span<std::uint32_t>(baseline_scores));
+    if (!affine_baseline.empty()) {
+      rep.config["affine"] = "open 3 / extend 1";
+      rep.config["affine_scores_fnv"] = std::to_string(
+          util::fnv1a_span<std::uint32_t>(affine_baseline));
+    }
     rep.config_fingerprint = config_fingerprint(rep.config);
     if (util::Status s = telemetry::write_run_report(rep, json_path);
         !s.ok()) {

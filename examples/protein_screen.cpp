@@ -1,23 +1,33 @@
-// Protein screening with the generic epsilon-bit BPBC aligner: 20-symbol
-// amino-acid alphabet (epsilon = 5 planes instead of DNA's 2).
+// Protein screening at full lane width: BLOSUM62 + affine (Gotoh) gaps
+// as bulk bitwise computation over the 20-symbol amino-acid alphabet
+// (epsilon = 5 bit planes), dispatched to the widest profitable lane
+// word (64/128/256/512 lanes per word; SWBPBC_FORCE_LANE_WIDTH and
+// --width override).
 //
-//   ./protein_screen [--count=N]
-//   ./protein_screen --trace=protein.trace.json   # span timeline; open
-//                                                 # the file in Perfetto
-//   ./protein_screen --db=proteins.swdb           # round-trip the targets
-//                                                 # through the store
+//   ./protein_screen [--count=N] [--width=auto|64|128|256|512|scalar-wide]
+//   ./protein_screen --linear              # linear gaps instead of affine
+//   ./protein_screen --db=proteins.swdb    # serve targets from the
+//                                          # pre-transposed store
+//   ./protein_screen --json=report.json    # RunReport with scores_fnv
+//                                          # (the CI dispatch-matrix gate)
+//   ./protein_screen --trace=protein.trace.json   # Perfetto span timeline
 //
-// --db exercises the pre-transposed store at epsilon = 5: the targets are
-// built into a generic database (atomic publish), mapped back zero-copy,
-// decoded shard-by-shard from the bit planes, and re-scored — both the
-// decoded residues and the scores must match the in-memory run exactly.
+// Every run cross-checks a sample of the bitwise scores against the
+// scalar Gotoh reference, and --db additionally requires the store-served
+// scores to be bit-identical to the in-memory batch.
 #include <cstdio>
+#include <cstdlib>
 
 #include "db/builder.hpp"
 #include "db/reader.hpp"
 #include "encoding/alphabet.hpp"
-#include "sw/generic.hpp"
+#include "sw/lane.hpp"
+#include "sw/scalar.hpp"
+#include "sw/scheme_aligner.hpp"
+#include "sw/scoring.hpp"
+#include "telemetry/run_report.hpp"
 #include "telemetry/telemetry.hpp"
+#include "util/checksum.hpp"
 #include "util/options.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
@@ -26,11 +36,30 @@ int main(int argc, char** argv) {
   using namespace swbpbc;
 
   util::Options opt(argc, argv);
-  const auto count = static_cast<std::size_t>(opt.get_int("count", 64));
+  const auto count = static_cast<std::size_t>(opt.get_int("count", 256));
   const std::size_t m = 24, n = 200;
 
-  // --trace=path: record the example's phases as spans (plus thread-pool
-  // chunks, when the aligner runs parallel) and export a Chrome trace.
+  const std::string width_name = opt.get("width", "auto");
+  const auto width = sw::parse_lane_width(width_name);
+  if (!width.has_value()) {
+    std::fprintf(stderr, "unknown --width=%s\n", width_name.c_str());
+    return 1;
+  }
+
+  // The full scoring model: BLOSUM62 substitution with affine gap costs
+  // (open 11, extend 1 — the classic BLAST pairing), or --linear for a
+  // single per-residue gap penalty through the same circuits.
+  sw::ScoringScheme scheme;
+  scheme.matrix = sw::blosum62();
+  if (opt.has("linear")) {
+    scheme.gap_model = sw::GapModel::kLinear;
+    scheme.gap_open = 4;
+  } else {
+    scheme.gap_model = sw::GapModel::kAffine;
+    scheme.gap_open = 11;
+    scheme.gap_extend = 1;
+  }
+
   const std::string trace_path = opt.get("trace", "");
   telemetry::TelemetryConfig tcfg;
   tcfg.enabled = !trace_path.empty();
@@ -39,7 +68,7 @@ int main(int argc, char** argv) {
   telemetry::Tracer* const tr =
       session.enabled() ? session.tracer() : nullptr;
 
-  const encoding::Alphabet& aa = encoding::protein_alphabet();
+  const encoding::Alphabet& aa = scheme.alphabet();
   util::Xoshiro256 rng(314);
   const auto random_protein = [&](std::size_t len) {
     encoding::GenericSequence s(len);
@@ -69,30 +98,67 @@ int main(int argc, char** argv) {
     }
     targets.push_back(std::move(t));
   }
-
   gen_span.finish();
 
-  const sw::ScoreParams params{2, 1, 1};
+  const sw::LaneWidth resolved = sw::resolve_lane_width(*width);
+  std::printf("scheme: %s (epsilon = %u bit planes, slices = %u)\n",
+              sw::scheme_name(scheme).c_str(), scheme.alphabet_bits(),
+              sw::scheme_required_slices(scheme, m, n));
+  std::printf("lane width: %s (requested %s)\n",
+              sw::lane_width_name(resolved), width_name.c_str());
+
+  sw::PhaseTimings timings;
   util::WallTimer timer;
-  telemetry::Span screen_span(tr, "screen.generic", "example");
+  telemetry::Span screen_span(tr, "screen.scheme", "example");
   screen_span.arg("pairs", static_cast<std::int64_t>(count));
   screen_span.arg("planes", static_cast<std::int64_t>(aa.bits()));
-  const auto scores = sw::generic_bpbc_max_scores<std::uint64_t>(
-      queries, targets, aa.bits(), params);
+  const auto screened = sw::try_scheme_max_scores(
+      queries, targets, scheme, *width, bulk::Mode::kSerial,
+      encoding::TransposeMethod::kPlanned, &timings);
   screen_span.finish();
   const double ms = timer.elapsed_ms();
+  if (!screened.has_value()) {
+    std::fprintf(stderr, "screen rejected: %s\n",
+                 screened.status().to_string().c_str());
+    return 1;
+  }
+  const std::vector<std::uint32_t>& scores = *screened;
 
-  const std::uint32_t tau = static_cast<std::uint32_t>(2 * m * 6 / 10);
+  // Per-instance GCUPS: every lane computes its own m*n DP cells.
+  const double cells = static_cast<double>(count) *
+                       static_cast<double>(m) * static_cast<double>(n);
+  const double gcups = ms > 0.0 ? cells / (ms * 1e6) : 0.0;
+  std::printf("screened %zu targets in %.2f ms "
+              "(W2B %.2f, SWA %.2f, B2W %.2f) — %.3f GCUPS\n",
+              count, ms, timings.w2b_ms, timings.swa_ms, timings.b2w_ms,
+              gcups);
+
+  // Spot-check the bitwise scores against the scalar Gotoh reference.
+  for (std::size_t k = 0; k < count; k += 17) {
+    const std::uint32_t want =
+        sw::scheme_max_score(queries[k], targets[k], scheme);
+    if (scores[k] != want) {
+      std::fprintf(stderr,
+                   "pair %zu: bitwise %u != scalar Gotoh %u — MISMATCH\n",
+                   k, scores[k], want);
+      return 1;
+    }
+  }
+
+  const std::uint32_t tau = static_cast<std::uint32_t>(m);  // ~1 bit/aa
   std::size_t hits = 0;
   for (std::size_t k = 0; k < count; ++k) {
     if (scores[k] >= tau) ++hits;
   }
   std::printf("query (%zu aa): %s\n", m, aa.decode(query).c_str());
-  std::printf("screened %zu protein targets (epsilon = %u bit planes) in "
-              "%.2f ms\n", count, aa.bits(), ms);
   std::printf("%zu targets reach tau = %u (%zu were planted)\n", hits, tau,
               planted);
 
+  // --db: serve the same screen from the pre-transposed store — query
+  // broadcast across lanes, shard planes zero-copy at 64 lanes and
+  // limb-gathered into wide words beyond.
+  sw::SchemeDbStats db_stats;
+  double db_ms = 0.0;
   const std::string db_path = opt.get("db", "");
   if (!db_path.empty()) {
     if (util::Status s =
@@ -107,37 +173,87 @@ int main(int argc, char** argv) {
                    reader.status().to_string().c_str());
       return 1;
     }
-    // Decode every target back out of the mapped bit planes and re-score:
-    // the store round trip must be lossless at any epsilon.
-    std::vector<encoding::GenericSequence> decoded;
-    for (std::size_t s = 0; s < reader->shard_count(); ++s) {
-      const auto view = reader->shard(s);
-      if (!view.has_value()) {
-        std::fprintf(stderr, "shard %zu: %s\n", s,
-                     view.status().to_string().c_str());
-        return 1;
-      }
-      for (unsigned lane = 0; lane < view->lanes_used; ++lane) {
-        encoding::GenericSequence seq(view->length);
-        for (std::size_t i = 0; i < view->length; ++i) {
-          std::uint8_t code = 0;
-          for (unsigned p = 0; p < view->plane_bits; ++p)
-            code |= static_cast<std::uint8_t>(((view->plane(p)[i] >> lane) & 1)
-                                              << p);
-          seq[i] = code;
-        }
-        decoded.push_back(std::move(seq));
-      }
+    telemetry::Span db_span(tr, "screen.db", "example");
+    timer.reset();
+    const auto served = sw::try_scheme_db_max_scores(
+        query, *reader, scheme, *width, bulk::Mode::kSerial, targets,
+        &db_stats);
+    db_ms = timer.elapsed_ms();
+    db_span.finish();
+    if (!served.has_value()) {
+      std::fprintf(stderr, "db screen rejected: %s\n",
+                   served.status().to_string().c_str());
+      return 1;
     }
-    const auto rescored = sw::generic_bpbc_max_scores<std::uint64_t>(
-        queries, decoded, aa.bits(), params);
-    const bool lossless = decoded == targets && rescored == scores;
-    std::printf("store round trip (%s, epsilon = %u, %zu shards): %s\n",
-                db_path.c_str(), reader->plane_bits(), reader->shard_count(),
-                lossless ? "lossless, scores bit-identical"
-                         : "MISMATCH");
-    if (!lossless) return 1;
+    const bool identical = *served == scores;
+    const double db_gcups = db_ms > 0.0 ? cells / (db_ms * 1e6) : 0.0;
+    std::printf("store serve (%s, %llu shards zero-copy, %llu "
+                "quarantined, %llu re-ingested) at %s: %.2f ms, "
+                "%.3f GCUPS — %s\n",
+                db_path.c_str(),
+                static_cast<unsigned long long>(db_stats.shards_served),
+                static_cast<unsigned long long>(db_stats.shards_quarantined),
+                static_cast<unsigned long long>(db_stats.shards_reingested),
+                sw::lane_width_name(db_stats.lane_width), db_ms, db_gcups,
+                identical ? "bit-identical to the in-memory batch"
+                          : "MISMATCH");
+    if (!identical) return 1;
   }
+
+  // --json: machine-readable evidence for the CI dispatch-matrix gate —
+  // scores_fnv must be identical whichever lane width dispatched.
+  const std::string json_path = opt.get("json", "");
+  if (!json_path.empty()) {
+    telemetry::RunReport rep;
+    rep.tool = "protein_screen";
+    rep.config["scheme"] = sw::scheme_name(scheme);
+    rep.config["gap_open"] = std::to_string(scheme.gap_open);
+    rep.config["gap_extend"] = std::to_string(scheme.gap_extend);
+    rep.config["plane_bits"] = std::to_string(scheme.alphabet_bits());
+    rep.config["width_requested"] = width_name;
+    rep.config["width_resolved"] = sw::lane_width_name(resolved);
+    rep.config["pairs"] = std::to_string(count);
+    rep.config["hits"] = std::to_string(hits);
+    rep.config["scores_fnv"] =
+        std::to_string(util::fnv1a_span<std::uint32_t>(scores));
+    if (!db_path.empty()) {
+      rep.config["db"] = db_path;
+      rep.config["db_width"] = sw::lane_width_name(db_stats.lane_width);
+      rep.config["db_shards_served"] =
+          std::to_string(db_stats.shards_served);
+      rep.config["db_shards_quarantined"] =
+          std::to_string(db_stats.shards_quarantined);
+    }
+    telemetry::RunReportRow row;
+    row.impl = std::string("CPU bitwise-") + sw::lane_width_name(resolved);
+    row.pairs = count;
+    row.m = m;
+    row.n = n;
+    row.stages_ms = {{"W2B", timings.w2b_ms},
+                     {"SWA", timings.swa_ms},
+                     {"B2W", timings.b2w_ms}};
+    row.total_ms = ms;
+    row.gcups = gcups;
+    rep.rows.push_back(row);
+    if (!db_path.empty()) {
+      telemetry::RunReportRow db_row;
+      db_row.impl = std::string("CPU bitwise-db-") +
+                    sw::lane_width_name(db_stats.lane_width);
+      db_row.pairs = count;
+      db_row.m = m;
+      db_row.n = n;
+      db_row.total_ms = db_ms;
+      db_row.gcups = db_ms > 0.0 ? cells / (db_ms * 1e6) : 0.0;
+      rep.rows.push_back(db_row);
+    }
+    if (util::Status s = telemetry::write_run_report(rep, json_path);
+        !s.ok()) {
+      std::fprintf(stderr, "run report: %s\n", s.to_string().c_str());
+      return 1;
+    }
+    std::printf("Run report written to %s\n", json_path.c_str());
+  }
+
   if (session.enabled()) {
     if (util::Status s = session.tracer()->write_chrome_trace(trace_path);
         !s.ok()) {

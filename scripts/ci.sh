@@ -85,6 +85,34 @@ EOF
     fi
   done
 
+  echo "== tier 1: protein dispatch matrix (affine+BLOSUM62 fingerprint) =="
+  # The same forced-width sweep over the full ScoringScheme path:
+  # BLOSUM62 substitution + Gotoh affine gaps, served both in memory and
+  # from the pre-transposed store (protein_screen exits nonzero unless the
+  # store serve is bit-identical and a scalar-Gotoh spot check passes).
+  # Fingerprints must agree across 64-bit lanes, the forced-scalar wide
+  # fallback, and whatever auto probes widest on this host.
+  protein_ref=""
+  for lane_width in 64 scalar-wide auto; do
+    SWBPBC_FORCE_LANE_WIDTH=$lane_width ./build/examples/protein_screen \
+        --count=96 --db="$smoke_dir/protein_$lane_width.swdb" \
+        --json="$smoke_dir/protein_$lane_width.json" > /dev/null
+    fnv=$(python3 - "$smoke_dir/protein_$lane_width.json" <<'EOF'
+import json, sys
+cfg = json.load(open(sys.argv[1]))["config"]
+assert cfg["scheme"] == "affine/blosum62", cfg["scheme"]
+print(cfg["scores_fnv"], cfg["hits"])
+EOF
+)
+    echo "  width=$lane_width -> $fnv"
+    if [[ -z $protein_ref ]]; then
+      protein_ref=$fnv
+    elif [[ $fnv != "$protein_ref" ]]; then
+      echo "protein dispatch is not bit-identical: $fnv != $protein_ref" >&2
+      exit 1
+    fi
+  done
+
   echo "== tier 1: forced-lane-width negative smoke (typed rejection) =="
   # An unparsable override must be a loud typed error, never a silent
   # default width.

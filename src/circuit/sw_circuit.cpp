@@ -1,5 +1,6 @@
 #include "circuit/sw_circuit.hpp"
 
+#include <bit>
 #include <span>
 #include <vector>
 
@@ -98,6 +99,122 @@ Circuit build_sw_cell(unsigned s) { return build_cell(s, nullptr); }
 
 Circuit build_sw_cell_const(unsigned s, const sw::ScoreParams& params) {
   return build_cell(s, &params);
+}
+
+namespace {
+
+Circuit build_affine(unsigned s, unsigned eps,
+                     const sw::ScoringScheme* baked) {
+  Circuit c;
+  WireScope scope(c);
+  const auto h_up = inputs(s);
+  const auto h_left = inputs(s);
+  const auto diag = inputs(s);
+  const auto e_in = inputs(s);
+  const auto f_in = inputs(s);
+  const auto x = inputs(eps);
+  const auto y = inputs(eps);
+  std::vector<Wire> open, extend, c1, c2;
+  if (baked != nullptr) {
+    open = bitops::broadcast_constant<Wire>(baked->gap_open, s);
+    extend = bitops::broadcast_constant<Wire>(
+        baked->affine() ? baked->gap_extend : baked->gap_open, s);
+    c1 = bitops::broadcast_constant<Wire>(baked->match, s);
+    c2 = bitops::broadcast_constant<Wire>(baked->mismatch, s);
+  } else {
+    open = inputs(s);
+    extend = inputs(s);
+    c1 = inputs(s);
+    c2 = inputs(s);
+  }
+  Wire e = x[0] ^ y[0];
+  for (unsigned p = 1; p < eps; ++p) e = e | (x[p] ^ y[p]);
+  std::vector<Wire> t(s), u(s), r(s), t2(s), e_out(s), f_out(s), h(s);
+  // T = max(0, diag + w) via the matching mux.
+  bitops::matching_b<Wire>(diag, e, c1, c2, t2, r, t);
+  // E' = max(H_left - open, E - extend)
+  bitops::ssub_b<Wire>(h_left, open, t);
+  bitops::ssub_b<Wire>(e_in, extend, u);
+  bitops::max_b<Wire>(t, u, e_out);
+  // F' = max(H_up - open, F - extend)
+  bitops::ssub_b<Wire>(h_up, open, t);
+  bitops::ssub_b<Wire>(f_in, extend, u);
+  bitops::max_b<Wire>(t, u, f_out);
+  // H = max(T, E', F')
+  bitops::max_b<Wire>(t2, e_out, t);
+  bitops::max_b<Wire>(t, f_out, h);
+  mark_all(c, h);
+  mark_all(c, e_out);
+  mark_all(c, f_out);
+  return c;
+}
+
+}  // namespace
+
+Circuit build_affine_cell(unsigned s, unsigned eps) {
+  return build_affine(s, eps, nullptr);
+}
+
+Circuit build_affine_cell_const(unsigned s,
+                                const sw::ScoringScheme& scheme) {
+  return build_affine(s, scheme.alphabet_bits(), &scheme);
+}
+
+Circuit build_matrix_mux(const sw::SubstitutionMatrix& matrix) {
+  Circuit c;
+  WireScope scope(c);
+  const unsigned eps = matrix.bits();
+  const std::size_t sigma = matrix.size();
+  const auto x = inputs(eps);
+  const auto y = inputs(eps);
+
+  // One-hot equality trees over the epsilon planes.
+  const auto onehot = [&](const std::vector<Wire>& ch, std::size_t code) {
+    Wire acc = (code & 1u) ? ch[0] : ~ch[0];
+    for (unsigned p = 1; p < eps; ++p)
+      acc = acc & (((code >> p) & 1u) ? ch[p] : ~ch[p]);
+    return acc;
+  };
+  std::vector<Wire> eq_x, eq_y;
+  eq_x.reserve(sigma);
+  eq_y.reserve(sigma);
+  for (std::size_t a = 0; a < sigma; ++a) eq_x.push_back(onehot(x, a));
+  for (std::size_t b = 0; b < sigma; ++b) eq_y.push_back(onehot(y, b));
+
+  const unsigned wp_bits =
+      matrix.max_positive() == 0
+          ? 0
+          : static_cast<unsigned>(std::bit_width(matrix.max_positive()));
+  const unsigned wn_bits =
+      matrix.max_negative() == 0
+          ? 0
+          : static_cast<unsigned>(std::bit_width(matrix.max_negative()));
+
+  // Per-bit mux, leaf-profile form: OR over rows a of
+  // eq_x[a] AND (OR over the columns b whose |w(a, b)| has this bit set).
+  const auto emit_plane = [&](bool positive, unsigned l) {
+    Wire acc = Wire::constant(false);
+    for (std::size_t a = 0; a < sigma; ++a) {
+      Wire leaf = Wire::constant(false);
+      bool any = false;
+      for (std::size_t b = 0; b < sigma; ++b) {
+        const int w = matrix.at(static_cast<std::uint8_t>(a),
+                                static_cast<std::uint8_t>(b));
+        const std::uint32_t mag =
+            positive ? (w > 0 ? static_cast<std::uint32_t>(w) : 0)
+                     : (w < 0 ? static_cast<std::uint32_t>(-w) : 0);
+        if ((mag >> l) & 1u) {
+          leaf = any ? (leaf | eq_y[b]) : eq_y[b];
+          any = true;
+        }
+      }
+      if (any) acc = acc | (eq_x[a] & leaf);
+    }
+    c.mark_output(acc.node());
+  };
+  for (unsigned l = 0; l < wp_bits; ++l) emit_plane(true, l);
+  for (unsigned l = 0; l < wn_bits; ++l) emit_plane(false, l);
+  return c;
 }
 
 }  // namespace swbpbc::circuit

@@ -10,6 +10,7 @@
 
 #include "circuit/circuit.hpp"
 #include "sw/params.hpp"
+#include "sw/scoring.hpp"
 
 namespace swbpbc::circuit {
 
@@ -34,5 +35,28 @@ Circuit build_sw_cell(unsigned s);
 /// SW cell with the scoring costs baked in as constants; run through the
 /// optimizer this is the "constant-operand" specialized circuit.
 Circuit build_sw_cell_const(unsigned s, const sw::ScoreParams& params);
+
+/// Full Gotoh affine-gap cell: the three-chain recurrence
+///   E' = max(H_left - open, E - extend)
+///   F' = max(H_up - open, F - extend)
+///   H  = max(max(0, diag + w(x, y)), E', F')
+/// as one netlist. Inputs, in order: H_up[s], H_left[s], H_diag[s],
+/// E[s], F[s], x[eps], y[eps], open[s], extend[s], c1[s], c2[s] (uniform
+/// match/mismatch magnitudes). Outputs: H[s], E'[s], F'[s].
+Circuit build_affine_cell(unsigned s, unsigned eps = 2);
+
+/// Affine cell with a ScoringScheme's gap/match costs baked as constants
+/// (uniform substitution model). Inputs: H_up, H_left, H_diag, E, F,
+/// x[eps], y[eps]. Outputs: H, E', F'.
+Circuit build_affine_cell_const(unsigned s, const sw::ScoringScheme& scheme);
+
+/// Bit-plane substitution-matrix mux keyed on the two characters'
+/// epsilon planes: one-hot equality masks eq_x[a] / eq_y[b] (AND trees
+/// over the planes) select per-bit ORs of the sign-split magnitude
+/// |w(a, b)|. Inputs: x[eps], y[eps]. Outputs: wp (bit_width of the max
+/// positive entry) bits, then wn (max negative) bits, so that
+/// w(x, y) == wp - wn. This is the netlist form of the runtime
+/// SchemeBpbcAligner mux (leaf profiles folded in).
+Circuit build_matrix_mux(const sw::SubstitutionMatrix& matrix);
 
 }  // namespace swbpbc::circuit

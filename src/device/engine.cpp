@@ -219,13 +219,30 @@ class Core final : public CoreBase {
           "engine batch shape changed with chunks in flight"));
     m_ = m;
     n_ = n;
-    s_ = sw::required_slices(opts_.params, m, n);
+    // Impl lowered any expressible scheme onto `params`, so a surviving
+    // scheme here is exactly the affine-uniform case.
+    const bool affine = opts_.scheme.has_value();
+    s_ = affine ? sw::scheme_required_slices(*opts_.scheme, m, n)
+                : sw::required_slices(opts_.params, m, n);
     char_plan_ = bitsim::PayloadTranspose<W>::forward(encoding::kBitsPerBase);
     score_plan_ = bitsim::PayloadTranspose<W>::inverse(s_);
     consts_.s = s_;
-    consts_.gap = bitops::broadcast_constant<W>(opts_.params.gap, s_);
-    consts_.c1 = bitops::broadcast_constant<W>(opts_.params.match, s_);
-    consts_.c2 = bitops::broadcast_constant<W>(opts_.params.mismatch, s_);
+    consts_.affine = affine;
+    if (affine) {
+      consts_.gap.clear();
+      consts_.open =
+          bitops::broadcast_constant<W>(opts_.scheme->gap_open, s_);
+      consts_.extend =
+          bitops::broadcast_constant<W>(opts_.scheme->gap_extend, s_);
+      consts_.c1 = bitops::broadcast_constant<W>(opts_.scheme->match, s_);
+      consts_.c2 = bitops::broadcast_constant<W>(opts_.scheme->mismatch, s_);
+    } else {
+      consts_.open.clear();
+      consts_.extend.clear();
+      consts_.gap = bitops::broadcast_constant<W>(opts_.params.gap, s_);
+      consts_.c1 = bitops::broadcast_constant<W>(opts_.params.match, s_);
+      consts_.c2 = bitops::broadcast_constant<W>(opts_.params.mismatch, s_);
+    }
     shaped_ = true;
   }
 
@@ -609,8 +626,25 @@ struct PipelineEngine::Impl {
 
   // The width resolves once here (kAuto probe + env override), so every
   // chunk of the engine's lifetime runs at the same width and caps()
-  // reports what will actually execute.
+  // reports what will actually execute. The scheme normalizes here too:
+  // expressible schemes lower onto `params` (the exact legacy path),
+  // matrix schemes reject before any arena exists.
   explicit Impl(const EngineOptions& options) : opts(options) {
+    if (opts.scheme.has_value()) {
+      if (util::Status s =
+              sw::validate_scheme(*opts.scheme, "EngineOptions::scheme");
+          !s.ok())
+        throw util::StatusError(std::move(s));
+      if (opts.scheme->matrix != nullptr)
+        throw util::StatusError(util::Status::invalid_input(
+            "EngineOptions::scheme.matrix scores an epsilon-bit protein "
+            "alphabet; the device pipeline packs 2-bit DNA characters — "
+            "screen such batches through sw::try_scheme_max_scores"));
+      if (const auto params = opts.scheme->to_params()) {
+        opts.params = *params;
+        opts.scheme.reset();
+      }
+    }
     opts.width = sw::resolve_lane_width(options.width);
     core = make_core(opts.width, opts);
   }

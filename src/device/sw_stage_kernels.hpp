@@ -162,6 +162,11 @@ class W2bKernel {
 template <bitsim::LaneWord W>
 struct SwConstants {
   std::vector<W> gap, c1, c2;
+  // Affine (Gotoh) gap model: when `affine` is set the kernel runs the
+  // three-state H/E/F recurrence with `open`/`extend` instead of the
+  // linear sw_cell circuit (`gap` is then unused).
+  std::vector<W> open, extend;
+  bool affine = false;
   unsigned s = 0;
 };
 
@@ -182,13 +187,17 @@ class SwWavefrontKernel {
         y_lo_(y_lo.bind_slice(group * n, n, &rec)),
         out_(out_slices.bind_slice(group * consts.s, consts.s, &rec)),
         handoff_(2 * m * consts.s, &rec),
+        fhand_(consts.affine ? 2 * m * consts.s : 0, &rec),
         rpass_(m * consts.s, &rec),
         left_(m * consts.s, 0),
         prev_up_(m * consts.s, 0),
+        e_row_(consts.affine ? m * consts.s : 0, 0),
         rmax_(m * consts.s, 0),
         xh_(m, 0),
         xl_(m, 0),
         up_(consts.s),
+        fup_(consts.affine ? consts.s : 0),
+        fcell_(consts.affine ? consts.s : 0),
         rin_(consts.s),
         t_(consts.s),
         u_(consts.s),
@@ -216,34 +225,71 @@ class SwWavefrontKernel {
     const W e =
         static_cast<W>((xh_[tid] ^ yh) | (xl_[tid] ^ yl));
 
-    // up = d[i-1][j], published by thread i-1 in the previous phase.
+    // up = H[i-1][j], published by thread i-1 in the previous phase. The
+    // affine recurrence additionally needs F[i-1][j], which travels down
+    // through its own double-buffered relay at the same slot index.
+    const std::size_t in_slot = ((phase + 1) % 2) * m_ * s +
+                                static_cast<std::size_t>(tid - 1) * s;
     if (tid == 0) {
       std::fill(up_.begin(), up_.end(), W{0});
+      if (consts_.affine) std::fill(fup_.begin(), fup_.end(), W{0});
     } else {
-      const std::size_t slot = ((phase + 1) % 2) * m_ * s +
-                               static_cast<std::size_t>(tid - 1) * s;
-      for (unsigned l = 0; l < s; ++l) up_[l] = handoff_.load(slot + l, tid);
+      for (unsigned l = 0; l < s; ++l)
+        up_[l] = handoff_.load(in_slot + l, tid);
+      if (consts_.affine)
+        for (unsigned l = 0; l < s; ++l)
+          fup_[l] = fhand_.load(in_slot + l, tid);
     }
 
     const std::span<W> left(left_.data() + tid * s, s);
     const std::span<W> diag(prev_up_.data() + tid * s, s);
     const std::span<W> rmax(rmax_.data() + tid * s, s);
 
-    bitops::sw_cell<W>(std::span<const W>(up_), std::span<const W>(left),
-                       std::span<const W>(diag), e,
-                       std::span<const W>(consts_.gap),
-                       std::span<const W>(consts_.c1),
-                       std::span<const W>(consts_.c2), std::span<W>(cell_),
-                       std::span<W>(t_), std::span<W>(u_),
-                       std::span<W>(r_));
+    if (consts_.affine) {
+      // Gotoh three-state cell, the same ssub/max chains as the host
+      // AffineBpbcAligner so scores stay bit-identical across engines.
+      const std::span<W> e_row(e_row_.data() + tid * s, s);
+      const std::span<const W> open(consts_.open);
+      const std::span<const W> extend(consts_.extend);
+      // E[i][j] = max(H[i][j-1] - open, E[i][j-1] - extend); E runs along
+      // the row, so it lives in a per-thread register like `left`.
+      bitops::ssub_b<W>(std::span<const W>(left), open, std::span<W>(t_));
+      bitops::ssub_b<W>(std::span<const W>(e_row), extend, std::span<W>(u_));
+      bitops::max_b<W>(std::span<const W>(t_), std::span<const W>(u_), e_row);
+      // F[i][j] = max(H[i-1][j] - open, F[i-1][j] - extend).
+      bitops::ssub_b<W>(std::span<const W>(up_), open, std::span<W>(t_));
+      bitops::ssub_b<W>(std::span<const W>(fup_), extend, std::span<W>(u_));
+      bitops::max_b<W>(std::span<const W>(t_), std::span<const W>(u_),
+                       std::span<W>(fcell_));
+      // H[i][j] = max(diag + w, E, F) (non-negativity is implicit).
+      bitops::matching_b<W>(std::span<const W>(diag), e,
+                            std::span<const W>(consts_.c1),
+                            std::span<const W>(consts_.c2), std::span<W>(r_),
+                            std::span<W>(t_), std::span<W>(u_));
+      bitops::max_b<W>(std::span<const W>(r_), std::span<const W>(e_row),
+                       std::span<W>(t_));
+      bitops::max_b<W>(std::span<const W>(t_), std::span<const W>(fcell_),
+                       std::span<W>(cell_));
+    } else {
+      bitops::sw_cell<W>(std::span<const W>(up_), std::span<const W>(left),
+                         std::span<const W>(diag), e,
+                         std::span<const W>(consts_.gap),
+                         std::span<const W>(consts_.c1),
+                         std::span<const W>(consts_.c2), std::span<W>(cell_),
+                         std::span<W>(t_), std::span<W>(u_),
+                         std::span<W>(r_));
+    }
     bitops::max_b<W>(std::span<const W>(rmax), std::span<const W>(cell_),
                      rmax);
 
-    // Publish d[i][j] for thread i+1.
+    // Publish d[i][j] (and, affine, F[i][j]) for thread i+1.
     const std::size_t out_slot = (phase % 2) * m_ * s +
                                  static_cast<std::size_t>(tid) * s;
     for (unsigned l = 0; l < s; ++l)
       handoff_.store(out_slot + l, cell_[l], tid);
+    if (consts_.affine)
+      for (unsigned l = 0; l < s; ++l)
+        fhand_.store(out_slot + l, fcell_[l], tid);
 
     // Register rotation for the next phase.
     std::copy(up_.begin(), up_.end(), diag.begin());
@@ -278,16 +324,20 @@ class SwWavefrontKernel {
   GlobalSpan<W> y_hi_;
   GlobalSpan<W> y_lo_;
   GlobalSpan<W> out_;
-  SharedArray<W> handoff_;  // double-buffered per-row cell slots
+  SharedArray<W> handoff_;  // double-buffered per-row H slots
+  SharedArray<W> fhand_;    // affine only: F travels down beside H
   SharedArray<W> rpass_;    // running-max relay slots
   // Per-thread registers (flattened, one s-slice block per thread).
   std::vector<W> left_;
   std::vector<W> prev_up_;
+  std::vector<W> e_row_;  // affine only: E runs along the row
   std::vector<W> rmax_;
   std::vector<W> xh_;
   std::vector<W> xl_;
   // Block-local scratch (safe: threads run sequentially within a phase).
   std::vector<W> up_;
+  std::vector<W> fup_;
+  std::vector<W> fcell_;
   std::vector<W> rin_;
   std::vector<W> t_;
   std::vector<W> u_;

@@ -131,6 +131,11 @@ std::vector<std::uint8_t> encode_request(const ScreenRequest& request) {
     put_u64(out, request.trace_id);
     put_u64(out, request.parent_span);
   }
+  if (request.scheme_fingerprint != 0) {
+    put_u64(out, kRequestFieldSchemeFingerprint);
+    put_u64(out, sizeof(std::uint64_t));
+    put_u64(out, request.scheme_fingerprint);
+  }
   return out;
 }
 
@@ -184,6 +189,9 @@ util::Expected<ScreenRequest> decode_request(
     if (tag == kRequestFieldTraceContext && len == 2 * sizeof(std::uint64_t)) {
       cur.take_u64(req.trace_id);
       cur.take_u64(req.parent_span);
+    } else if (tag == kRequestFieldSchemeFingerprint &&
+               len == sizeof(std::uint64_t)) {
+      cur.take_u64(req.scheme_fingerprint);
     } else if (!cur.skip(static_cast<std::size_t>(len))) {
       return util::Status::parse_error(
           "request payload carries trailing garbage");

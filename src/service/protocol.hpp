@@ -44,6 +44,7 @@ inline constexpr std::size_t kMaxTraceDumpEvents = 1u << 20;
 /// decoder skips tags it does not know, so a new client's request decodes
 /// on an old server and vice versa. Tags are wire format — append only.
 inline constexpr std::uint64_t kRequestFieldTraceContext = 1;
+inline constexpr std::uint64_t kRequestFieldSchemeFingerprint = 2;
 
 struct ScreenRequest {
   std::string id;      // idempotency key, unique per request
@@ -61,6 +62,15 @@ struct ScreenRequest {
   // trailer at all, so the bytes match what a pre-trace client sends.
   std::uint64_t trace_id = 0;
   std::uint64_t parent_span = 0;
+  // Optional scoring-scheme identity (trailer tag
+  // kRequestFieldSchemeFingerprint): sw::fingerprint_scheme of the scheme
+  // the client expects the daemon to score with. 0 = unpinned — the
+  // encoder then emits no entry, so the bytes match what a pre-scheme
+  // client sends, and the daemon scores with its configured scheme
+  // unquestioned. A nonzero fingerprint that disagrees with the daemon's
+  // is rejected kInvalidInput instead of returning scores computed under
+  // a different scoring model than the client planned around.
+  std::uint64_t scheme_fingerprint = 0;
 
   [[nodiscard]] std::size_t pair_count() const { return xs.size(); }
 };

@@ -127,6 +127,7 @@ struct ScreenServer::Impl {
   std::optional<RequestJournal> journal;
   std::unique_ptr<device::PipelineEngine> engine;
   std::uint64_t journal_fingerprint = 0;
+  std::uint64_t scheme_fp = 0;  // fingerprint_scheme of the serving scheme
   std::uint64_t campaign = 0;
   std::uint64_t frame_index = 0;
   std::size_t lane_group = 0;
@@ -157,9 +158,28 @@ util::Status ScreenServer::Impl::setup() {
                    : sw::lane_width_bits(sw::resolve_lane_width(config.width));
   campaign = faults.begin_run();
 
+  // The effective scheme the daemon scores with: the configured one, or
+  // the legacy params lifted losslessly. Matrix schemes cannot even ride
+  // the wire (the codec transports 2-bit DNA codes), so refuse to serve.
+  const sw::ScoringScheme effective_scheme =
+      config.scheme.has_value() ? *config.scheme
+                                : sw::ScoringScheme::from_params(config.params);
+  if (config.scheme.has_value()) {
+    if (util::Status s = sw::validate_scheme(*config.scheme, "config.scheme");
+        !s.ok())
+      return s;
+    if (config.scheme->matrix != nullptr)
+      return util::Status::invalid_input(
+          "config.scheme.matrix scores an epsilon-bit protein alphabet; the "
+          "daemon's wire codec transports 2-bit DNA — screen protein "
+          "batches in-process through sw::try_scheme_max_scores");
+  }
+  scheme_fp = sw::fingerprint_scheme(effective_scheme);
+
   if (config.use_engine) {
     device::EngineOptions engine_options;
     engine_options.params = config.params;
+    engine_options.scheme = config.scheme;
     engine_options.width = config.width;
     engine_options.telemetry = config.telemetry;
     engine = std::make_unique<device::PipelineEngine>(engine_options);
@@ -170,12 +190,14 @@ util::Status ScreenServer::Impl::setup() {
     fr_note("serve.start");
   }
 
-  // The journal is keyed to the scoring configuration: params + lane
+  // The journal is keyed to the scoring configuration: scheme + lane
   // width. A restart under different rules refuses to serve old scores.
+  // fingerprint_scheme hashes params-expressible configs exactly like the
+  // old fingerprint_params, so pre-scheme journals still replay.
   journal_fingerprint = util::fnv1a_value(
       static_cast<std::uint64_t>(
           sw::lane_width_bits(sw::resolve_lane_width(config.width))),
-      sw::fingerprint_params(config.params));
+      scheme_fp);
   if (!config.journal_path.empty()) {
     auto opened = RequestJournal::open(config.journal_path,
                                        journal_fingerprint);
@@ -400,6 +422,26 @@ void ScreenServer::Impl::handle_request(int fd, const Frame& frame) {
                              tenant_track(request.tenant));
   admit_span.arg("pairs", static_cast<std::int64_t>(request.pair_count()));
 
+  // A client that pinned its scoring scheme gets a typed refusal when the
+  // daemon scores under a different one — wrong-model scores would be
+  // bit-perfect garbage from the client's point of view. Unpinned (0)
+  // requests trust the daemon, exactly the pre-scheme behaviour.
+  if (request.scheme_fingerprint != 0 &&
+      request.scheme_fingerprint != scheme_fp) {
+    ++stats.rejected_scheme;
+    ScreenResponse response;
+    response.id = request.id;
+    response.code = util::ErrorCode::kInvalidInput;
+    response.message =
+        "request pins scoring-scheme fingerprint " +
+        std::to_string(request.scheme_fingerprint) +
+        " but this daemon scores with fingerprint " +
+        std::to_string(scheme_fp) +
+        "; re-point the client or restart the daemon with that scheme";
+    respond(fd, response);
+    return;
+  }
+
   // Idempotency: a retried id is served the journaled response —
   // bit-identical bytes, no recompute.
   if (auto hit = completed.find(request.id); hit != completed.end()) {
@@ -510,6 +552,7 @@ void ScreenServer::Impl::run_batch(const BatchPlan& plan) {
 
   sw::ScreenConfig screen_config;
   screen_config.params = config.params;
+  screen_config.scheme = config.scheme;
   screen_config.width = config.width;
   screen_config.traceback = false;
   // No hit re-alignment in the serving path: clients asked for scores.
@@ -754,6 +797,7 @@ telemetry::RunReport ScreenServer::Impl::build_report() const {
   registry.counter("service.rejected_overload").add(stats.rejected_overload);
   registry.counter("service.rejected_quota").add(stats.rejected_quota);
   registry.counter("service.shed_deadline").add(stats.shed_deadline);
+  registry.counter("service.rejected_scheme").add(stats.rejected_scheme);
   registry.counter("service.completed").add(stats.completed);
   registry.counter("service.cache_hits").add(stats.cache_hits);
   registry.counter("service.recovered_pending").add(stats.recovered_pending);

@@ -28,6 +28,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "service/admission.hpp"
@@ -35,6 +36,7 @@
 #include "service/slo.hpp"
 #include "sw/lane.hpp"
 #include "sw/params.hpp"
+#include "sw/scoring.hpp"
 #include "telemetry/flight_recorder.hpp"
 #include "telemetry/run_report.hpp"
 #include "telemetry/telemetry.hpp"
@@ -46,6 +48,13 @@ namespace swbpbc::service {
 struct ServerConfig {
   std::string socket_path;  // UDS endpoint; an existing file is replaced
   sw::ScoreParams params{};
+  // Full scoring model; outranks `params` when set. Uniform schemes only
+  // (linear or affine): the wire codec transports 2-bit DNA, so matrix
+  // schemes are rejected at create(). The journal fingerprint covers the
+  // scheme (sw::fingerprint_scheme — params-expressible configs hash
+  // exactly as before, so existing journals replay), and a request that
+  // pins a different scheme fingerprint is rejected kInvalidInput.
+  std::optional<sw::ScoringScheme> scheme;
   sw::LaneWidth width = sw::LaneWidth::kAuto;
   AdmissionConfig admission{};
   // Crash-safe request journal (empty disables journaling — admitted
@@ -97,6 +106,7 @@ struct ServerStats {
   std::uint64_t admitted = 0;
   std::uint64_t rejected_overload = 0;
   std::uint64_t rejected_quota = 0;
+  std::uint64_t rejected_scheme = 0;   // pinned-fingerprint mismatches
   std::uint64_t shed_deadline = 0;
   std::uint64_t completed = 0;         // scored and journaled
   std::uint64_t cache_hits = 0;        // retried ids served from journal

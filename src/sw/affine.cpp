@@ -167,14 +167,30 @@ std::vector<std::uint32_t> affine_bpbc_max_scores(
   if (xs.size() != ys.size())
     throw std::invalid_argument("pattern/text count mismatch");
   if (xs.empty()) return {};
-  // Detailed affine alignment only instantiates builtin lane words; wide
-  // widths clamp to k64 (scores are width-independent).
-  return builtin_lane_width(width) == LaneWidth::k32
-             ? run_affine<std::uint32_t>(xs, ys, params)
-             : run_affine<std::uint64_t>(xs, ys, params);
+  switch (resolve_lane_width(width)) {
+    case LaneWidth::k32:
+      return run_affine<std::uint32_t>(xs, ys, params);
+    case LaneWidth::k64:
+      return run_affine<std::uint64_t>(xs, ys, params);
+    case LaneWidth::k128:
+      return run_affine<bitsim::simd_word<128>>(xs, ys, params);
+    case LaneWidth::k256:
+      return run_affine<bitsim::simd_word<256>>(xs, ys, params);
+    case LaneWidth::k512:
+      return run_affine<bitsim::simd_word<512>>(xs, ys, params);
+    case LaneWidth::kScalarWide:
+      return run_affine<bitsim::wide_word<256, false>>(xs, ys, params);
+    case LaneWidth::kAuto:
+      break;  // resolve_lane_width never returns kAuto
+  }
+  return run_affine<std::uint64_t>(xs, ys, params);
 }
 
 template class AffineBpbcAligner<std::uint32_t>;
 template class AffineBpbcAligner<std::uint64_t>;
+template class AffineBpbcAligner<bitsim::simd_word<128>>;
+template class AffineBpbcAligner<bitsim::simd_word<256>>;
+template class AffineBpbcAligner<bitsim::simd_word<512>>;
+template class AffineBpbcAligner<bitsim::wide_word<256, false>>;
 
 }  // namespace swbpbc::sw

@@ -73,5 +73,9 @@ std::vector<std::uint32_t> affine_bpbc_max_scores(
 
 extern template class AffineBpbcAligner<std::uint32_t>;
 extern template class AffineBpbcAligner<std::uint64_t>;
+extern template class AffineBpbcAligner<bitsim::simd_word<128>>;
+extern template class AffineBpbcAligner<bitsim::simd_word<256>>;
+extern template class AffineBpbcAligner<bitsim::simd_word<512>>;
+extern template class AffineBpbcAligner<bitsim::wide_word<256, false>>;
 
 }  // namespace swbpbc::sw

@@ -24,6 +24,7 @@
 #include <span>
 
 #include "sw/pipeline.hpp"
+#include "sw/scoring.hpp"
 
 namespace swbpbc::sw {
 
@@ -108,6 +109,16 @@ std::unique_ptr<Backend> adapt_chunk_backend(ChunkBackend backend);
 /// when no backend is configured. Reports per-phase timings.
 std::unique_ptr<Backend> make_host_backend(
     const ScoreParams& params, LaneWidth width, bulk::Mode mode,
+    encoding::TransposeMethod method);
+
+/// Scheme-aware host path. A params-expressible scheme runs the legacy
+/// bpbc_max_scores kernels bit-identically; an affine uniform scheme runs
+/// the Gotoh bit-sliced kernels (SchemeBpbcAligner) at the same lane
+/// widths. The scheme must be uniform over DNA — matrix schemes screen
+/// protein batches through try_scheme_max_scores, not the DNA pipeline —
+/// and should have passed validate_scheme().
+std::unique_ptr<Backend> make_host_backend(
+    const ScoringScheme& scheme, LaneWidth width, bulk::Mode mode,
     encoding::TransposeMethod method);
 
 }  // namespace swbpbc::sw

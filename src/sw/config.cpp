@@ -8,6 +8,7 @@ namespace swbpbc::sw {
 ScreenConfig ScreenSpec::flatten() const {
   ScreenConfig cfg;
   cfg.params = scoring.params;
+  cfg.scheme = scoring.scheme;
   cfg.threshold = scoring.threshold;
   cfg.width = scoring.width;
   cfg.mode = scoring.mode;
@@ -39,6 +40,18 @@ util::Status invalid(std::string what) {
 }
 
 util::Status validate_scoring(const ScoringConfig& s) {
+  if (s.scheme.has_value()) {
+    if (util::Status st = validate_scheme(*s.scheme, "scoring.scheme");
+        !st.ok())
+      return st;
+    if (s.scheme->matrix != nullptr)
+      return invalid(
+          "scoring.scheme.matrix scores an epsilon-bit protein alphabet; "
+          "the DNA screen/scan pipelines cannot consume it — screen such "
+          "batches through try_scheme_max_scores or "
+          "try_scheme_db_max_scores");
+    return {};  // scheme outranks params; the legacy fields are ignored
+  }
   if (s.params.match == 0)
     return invalid("scoring.params.match must be positive (a zero match "
                    "reward scores every alignment 0)");
@@ -58,6 +71,11 @@ util::Status validate(const ScreenSpec& spec) {
         spec.scoring.chunk_backend)
       return invalid("scoring.database is unused when an explicit backend "
                      "is set (backends outrank the store); clear one");
+    if (spec.scoring.scheme.has_value() &&
+        !spec.scoring.scheme->params_expressible())
+      return invalid("scoring.database serves the linear DNA kernels; an "
+                     "affine scoring.scheme screens a store through "
+                     "try_scheme_db_max_scores instead");
     if (sv.chunk_pairs % 64 != 0)
       return invalid("scoring.database requires shard-aligned chunks: "
                      "survival.chunk_pairs must be a multiple of 64 "
@@ -99,7 +117,11 @@ util::Expected<ScreenConfig> ScreenSpecBuilder::build() const {
 
 ScanConfig ScanSpec::flatten() const {
   ScanConfig cfg;
-  cfg.params = scoring.params;
+  // ScanConfig predates ScoringScheme; an expressible scheme lowers onto
+  // the params fields (validate() rejects anything else).
+  cfg.params = scoring.scheme.has_value() && scoring.scheme->to_params()
+                   ? *scoring.scheme->to_params()
+                   : scoring.params;
   cfg.threshold = scoring.threshold;
   cfg.width = scoring.width;
   cfg.mode = scoring.mode;
@@ -115,6 +137,11 @@ ScanConfig ScanSpec::flatten() const {
 
 util::Status validate(const ScanSpec& spec) {
   if (util::Status s = validate_scoring(spec.scoring); !s.ok()) return s;
+  if (spec.scoring.scheme.has_value() &&
+      !spec.scoring.scheme->params_expressible())
+    return invalid("scan supports ScoreParams-expressible schemes only "
+                   "(linear gaps, uniform substitution); ScanConfig has no "
+                   "affine path");
   if (spec.scoring.backend_v2 != nullptr || spec.scoring.backend != nullptr ||
       spec.scoring.chunk_backend != nullptr)
     return invalid("scan ignores scoring backends (it always runs the host "

@@ -29,6 +29,12 @@ namespace swbpbc::sw {
 /// selection. Nothing here affects when a run stops or what it reports.
 struct ScoringConfig {
   ScoreParams params;
+  // Full scoring model; outranks `params` when set (see
+  // ScreenConfig::scheme). The builder validates it with
+  // validate_scheme() and rejects matrix schemes — the DNA pipelines
+  // cannot consume them; protein batches screen through
+  // try_scheme_max_scores / try_scheme_db_max_scores.
+  std::optional<ScoringScheme> scheme;
   std::uint32_t threshold = 0;  // tau: select pairs with max score >= tau
   // Lane width of the scoring engine: k32/k64, the wide SIMD widths
   // k128/k256/k512, kScalarWide, or kAuto (widest profitable width for

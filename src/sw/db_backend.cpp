@@ -216,7 +216,23 @@ class DbBackend final : public Backend {
 
 std::unique_ptr<Backend> make_db_backend(db::Reader& reader,
                                          const DbBackendOptions& options) {
-  return std::make_unique<DbBackend>(reader, options);
+  DbBackendOptions opts = options;
+  if (opts.scheme.has_value()) {
+    if (util::Status s =
+            validate_scheme(*opts.scheme, "DbBackendOptions::scheme");
+        !s.ok())
+      throw util::StatusError(std::move(s));
+    const auto params = opts.scheme->to_params();
+    if (!params.has_value())
+      throw util::StatusError(util::Status::invalid_input(
+          "DbBackendOptions::scheme is not ScoreParams-expressible; the "
+          "store backend drives the linear DNA kernels — screen a store "
+          "with an affine or matrix scheme through "
+          "sw::try_scheme_db_max_scores"));
+    opts.params = *params;
+    opts.scheme.reset();
+  }
+  return std::make_unique<DbBackend>(reader, opts);
 }
 
 }  // namespace swbpbc::sw

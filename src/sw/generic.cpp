@@ -119,15 +119,19 @@ std::vector<std::uint32_t> generic_bpbc_max_scores(
   return scores;
 }
 
-template class GenericBpbcAligner<std::uint32_t>;
-template class GenericBpbcAligner<std::uint64_t>;
-template std::vector<std::uint32_t> generic_bpbc_max_scores<std::uint32_t>(
-    std::span<const encoding::GenericSequence>,
-    std::span<const encoding::GenericSequence>, unsigned,
-    const ScoreParams&);
-template std::vector<std::uint32_t> generic_bpbc_max_scores<std::uint64_t>(
-    std::span<const encoding::GenericSequence>,
-    std::span<const encoding::GenericSequence>, unsigned,
-    const ScoreParams&);
+#define SWBPBC_INSTANTIATE_GENERIC_SW(...)                                 \
+  template class GenericBpbcAligner<__VA_ARGS__>;                          \
+  template std::vector<std::uint32_t>                                      \
+  generic_bpbc_max_scores<__VA_ARGS__>(                                    \
+      std::span<const encoding::GenericSequence>,                          \
+      std::span<const encoding::GenericSequence>, unsigned,                \
+      const ScoreParams&);
+SWBPBC_INSTANTIATE_GENERIC_SW(std::uint32_t)
+SWBPBC_INSTANTIATE_GENERIC_SW(std::uint64_t)
+SWBPBC_INSTANTIATE_GENERIC_SW(bitsim::simd_word<128>)
+SWBPBC_INSTANTIATE_GENERIC_SW(bitsim::simd_word<256>)
+SWBPBC_INSTANTIATE_GENERIC_SW(bitsim::simd_word<512>)
+SWBPBC_INSTANTIATE_GENERIC_SW(bitsim::wide_word<256, false>)
+#undef SWBPBC_INSTANTIATE_GENERIC_SW
 
 }  // namespace swbpbc::sw

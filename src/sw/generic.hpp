@@ -54,17 +54,19 @@ std::vector<std::uint32_t> generic_bpbc_max_scores(
     std::span<const encoding::GenericSequence> ys, unsigned bits,
     const ScoreParams& params);
 
-extern template class GenericBpbcAligner<std::uint32_t>;
-extern template class GenericBpbcAligner<std::uint64_t>;
-extern template std::vector<std::uint32_t>
-generic_bpbc_max_scores<std::uint32_t>(
-    std::span<const encoding::GenericSequence>,
-    std::span<const encoding::GenericSequence>, unsigned,
-    const ScoreParams&);
-extern template std::vector<std::uint32_t>
-generic_bpbc_max_scores<std::uint64_t>(
-    std::span<const encoding::GenericSequence>,
-    std::span<const encoding::GenericSequence>, unsigned,
-    const ScoreParams&);
+#define SWBPBC_DECLARE_GENERIC_SW(...)                                     \
+  extern template class GenericBpbcAligner<__VA_ARGS__>;                   \
+  extern template std::vector<std::uint32_t>                               \
+  generic_bpbc_max_scores<__VA_ARGS__>(                                    \
+      std::span<const encoding::GenericSequence>,                          \
+      std::span<const encoding::GenericSequence>, unsigned,                \
+      const ScoreParams&);
+SWBPBC_DECLARE_GENERIC_SW(std::uint32_t)
+SWBPBC_DECLARE_GENERIC_SW(std::uint64_t)
+SWBPBC_DECLARE_GENERIC_SW(bitsim::simd_word<128>)
+SWBPBC_DECLARE_GENERIC_SW(bitsim::simd_word<256>)
+SWBPBC_DECLARE_GENERIC_SW(bitsim::simd_word<512>)
+SWBPBC_DECLARE_GENERIC_SW(bitsim::wide_word<256, false>)
+#undef SWBPBC_DECLARE_GENERIC_SW
 
 }  // namespace swbpbc::sw

@@ -59,12 +59,16 @@ util::Status validate_batch(std::span<const Sequence> xs,
 std::uint64_t batch_fingerprint(std::span<const Sequence> xs,
                                 std::span<const Sequence> ys,
                                 const ScreenConfig& config,
+                                const ScoringScheme& scheme,
                                 std::size_t chunk_pairs) {
   std::uint64_t h = util::kFnvOffset;
   h = util::fnv1a_value<std::uint64_t>(xs.size(), h);
   h = util::fnv1a_value<std::uint64_t>(xs.front().size(), h);
   h = util::fnv1a_value<std::uint64_t>(ys.front().size(), h);
-  h = fingerprint_params(config.params, h);
+  // Covers the full scheme (gap model + matrix bytes); a params-
+  // expressible scheme hashes exactly like the old fingerprint_params, so
+  // pre-redesign checkpoint streams still resume.
+  h = fingerprint_scheme(scheme, h);
   h = util::fnv1a_value<std::uint64_t>(chunk_pairs, h);
   h = util::fnv1a_value<std::uint32_t>(
       static_cast<std::uint32_t>(config.width), h);
@@ -82,10 +86,13 @@ std::uint64_t batch_fingerprint(std::span<const Sequence> xs,
 util::Status self_check(std::span<const Sequence> xs,
                         std::span<const Sequence> ys,
                         const ScreenConfig& config,
+                        const ScoringScheme& scheme,
+                        const ScoreParams& eff_params,
                         const ScoreBackend& rescore,
                         std::span<std::uint32_t> scores,
                         const util::StopCondition* stop,
                         ReliabilityReport& rel) {
+  const bool expressible = scheme.params_expressible();
   const std::size_t count = xs.size();
   telemetry::Tracer* const tr =
       config.telemetry != nullptr ? config.telemetry->tracer() : nullptr;
@@ -113,7 +120,8 @@ util::Status self_check(std::span<const Sequence> xs,
       verify.size(), config.mode,
       [&](std::size_t v) {
         const std::size_t k = verify[v];
-        refs[k] = max_score(xs[k], ys[k], config.params);
+        refs[k] = expressible ? max_score(xs[k], ys[k], eff_params)
+                              : scheme_max_score(xs[k], ys[k], scheme);
       },
       stop);
 
@@ -173,7 +181,12 @@ util::Status self_check(std::span<const Sequence> xs,
                                 "quarantine.fallback", "screen");
   fallback_span.arg("lanes", static_cast<std::int64_t>(quarantined.size()));
   for (std::size_t k : quarantined) {
-    const std::uint32_t w = wordwise_max_score(xs[k], ys[k], config.params);
+    // Independent second implementation: the wordwise kernel for linear
+    // schemes, the full-matrix traceback aligner (O(mn) memory, separate
+    // code path from the O(n)-row reference) for affine ones.
+    const std::uint32_t w =
+        expressible ? wordwise_max_score(xs[k], ys[k], eff_params)
+                    : align_scheme(xs[k], ys[k], scheme).score;
     if (w != refs[k])
       return util::Status::lane_corrupt(
           "lane " + std::to_string(k) + ": wordwise fallback score " +
@@ -192,6 +205,30 @@ util::Expected<ScreenReport> try_screen(std::span<const Sequence> xs,
                                         std::span<const Sequence> ys,
                                         const ScreenConfig& config) {
   if (util::Status s = validate_batch(xs, ys); !s.ok()) return s;
+
+  // Resolve the scoring model once: an explicit scheme outranks the
+  // deprecated params (losslessly lifted otherwise). The DNA pipeline
+  // accepts uniform schemes only; matrix schemes are typed errors here
+  // and screen through the scheme front ends.
+  const ScoringScheme scheme = config.scheme.has_value()
+                                   ? *config.scheme
+                                   : ScoringScheme::from_params(config.params);
+  if (config.scheme.has_value()) {
+    if (util::Status s = validate_scheme(scheme, "config.scheme"); !s.ok())
+      return s;
+    if (scheme.matrix != nullptr)
+      return util::Status::invalid_input(
+          "config.scheme.matrix scores an epsilon-bit protein alphabet; "
+          "try_screen's DNA pipeline cannot consume it — screen protein "
+          "batches through try_scheme_max_scores or "
+          "try_scheme_db_max_scores");
+    if (config.database != nullptr && !scheme.params_expressible())
+      return util::Status::invalid_input(
+          "config.database serves the linear DNA kernels; an affine "
+          "config.scheme screens a store through try_scheme_db_max_scores "
+          "instead");
+  }
+  const ScoreParams eff_params = scheme.to_params().value_or(config.params);
 
   // A configured database must actually describe this batch: shape
   // disagreement or (unless disabled) a content-fingerprint mismatch is a
@@ -254,14 +291,14 @@ util::Expected<ScreenReport> try_screen(std::span<const Sequence> xs,
       owned_backend = adapt_score_backend(config.backend);
     } else if (config.database != nullptr) {
       DbBackendOptions options;
-      options.params = config.params;
+      options.params = eff_params;
       options.width = config.width;
       options.mode = config.mode;
       options.method = config.method;
       owned_backend = make_db_backend(*config.database, options);
     } else {
-      owned_backend = make_host_backend(config.params, config.width,
-                                        config.mode, config.method);
+      owned_backend = make_host_backend(scheme, config.width, config.mode,
+                                        config.method);
     }
     return owned_backend.get();
   }();
@@ -295,7 +332,7 @@ util::Expected<ScreenReport> try_screen(std::span<const Sequence> xs,
   bool have_resume = false;
   const std::uint64_t fingerprint =
       (!config.resume_path.empty() || !config.checkpoint_path.empty())
-          ? batch_fingerprint(xs, ys, config, chunk_pairs)
+          ? batch_fingerprint(xs, ys, config, scheme, chunk_pairs)
           : 0;
   if (!config.resume_path.empty()) {
     auto loaded =
@@ -464,8 +501,9 @@ util::Expected<ScreenReport> try_screen(std::span<const Sequence> xs,
         if (config.check.enabled) {
           rescore_chunk = c;
           rescore_calls = 0;
-          if (util::Status s = self_check(cx, cy, config, rescore, cscores,
-                                          stop_ptr, report.reliability);
+          if (util::Status s = self_check(cx, cy, config, scheme, eff_params,
+                                          rescore, cscores, stop_ptr,
+                                          report.reliability);
               !s.ok())
             return s;
         }
@@ -540,7 +578,10 @@ util::Expected<ScreenReport> try_screen(std::span<const Sequence> xs,
           report.hits.size(), config.mode,
           [&](std::size_t h) {
             ScreenHit& hit = report.hits[h];
-            hit.detail = align(xs[hit.index], ys[hit.index], config.params);
+            // align_scheme delegates to the legacy align() for params-
+            // expressible schemes and runs the three-state Gotoh
+            // traceback otherwise.
+            hit.detail = align_scheme(xs[hit.index], ys[hit.index], scheme);
             hit.detailed = true;
           },
           stop_ptr);

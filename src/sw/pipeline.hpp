@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -93,6 +94,13 @@ struct ChunkProgress {
 
 struct ScreenConfig {
   ScoreParams params;
+  // Full scoring model; outranks `params` when set. The DNA screening
+  // pipeline accepts uniform schemes (linear or affine); matrix schemes
+  // score protein batches through try_scheme_max_scores /
+  // try_scheme_db_max_scores and are rejected here with a typed error.
+  // A params-expressible scheme screens bit-identically to setting
+  // `params` (same kernels, same checkpoint fingerprint).
+  std::optional<ScoringScheme> scheme;
   std::uint32_t threshold = 0;  // tau: select pairs with max score >= tau
   LaneWidth width = LaneWidth::k64;
   bulk::Mode mode = bulk::Mode::kSerial;

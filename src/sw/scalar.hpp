@@ -10,6 +10,7 @@
 
 #include "encoding/dna.hpp"
 #include "sw/params.hpp"
+#include "sw/scoring.hpp"
 
 namespace swbpbc::sw {
 
@@ -66,5 +67,38 @@ struct Alignment {
 /// diagonal, then up, then left.
 Alignment align(const encoding::Sequence& x, const encoding::Sequence& y,
                 const ScoreParams& params);
+
+// --- ScoringScheme references (linear/affine gap, uniform/matrix) ------
+//
+// The scalar ground truth of the redesigned scoring API. Arithmetic is
+// the kernels' saturating clamp-at-zero (E/F chains saturate at 0, the
+// diagonal term is max(0, H_diag + w)), so every BPBC scheme path is
+// bit-identical to these, and a ScoreParams-expressible scheme scores
+// exactly like max_score()/align() above.
+
+/// Maximum scoring-matrix value under `scheme` over dense alphabet codes
+/// (one byte per character, drawn from scheme.alphabet()).
+std::uint32_t scheme_max_score(const encoding::GenericSequence& x,
+                               const encoding::GenericSequence& y,
+                               const ScoringScheme& scheme);
+
+/// DNA convenience overload (codes via encoding::code()).
+std::uint32_t scheme_max_score(const encoding::Sequence& x,
+                               const encoding::Sequence& y,
+                               const ScoringScheme& scheme);
+
+/// Full local alignment with traceback under `scheme`; affine schemes
+/// trace through the Gotoh H/E/F state machine (gap-open/extend aware).
+/// Ties prefer diagonal, then up (gap in y), then left, and gaps close
+/// as early as possible. Row characters come from scheme.alphabet().
+Alignment align_scheme(const encoding::GenericSequence& x,
+                       const encoding::GenericSequence& y,
+                       const ScoringScheme& scheme);
+
+/// DNA convenience overload; a ScoreParams-expressible scheme delegates
+/// to align() (identical output to the v1 path).
+Alignment align_scheme(const encoding::Sequence& x,
+                       const encoding::Sequence& y,
+                       const ScoringScheme& scheme);
 
 }  // namespace swbpbc::sw

@@ -1,0 +1,142 @@
+// Bit-sliced Smith-Waterman under the full ScoringScheme — the Gotoh
+// affine-gap recurrence and epsilon-bit substitution-matrix lookup as
+// bulk bitwise computation, at every lane width.
+//
+// Gap model (Gotoh, paper §III generalized): three bit-sliced chains
+//
+//   E[i][j] = max(H[i][j-1] - open, E[i][j-1] - extend)   left chain
+//   F[i][j] = max(H[i-1][j] - open, F[i-1][j] - extend)   up chain
+//   H[i][j] = max(T, E[i][j], F[i][j])                    cell
+//
+// with saturating SSub_B (values clamp at zero, which is exactly the
+// local-alignment max-with-0). A linear scheme collapses E/F to the
+// classic one-chain sw_cell.
+//
+// Substitution lookup: a signed matrix entry w(a, b) is split into a
+// positive magnitude plane set wp (bit_width(max positive entry) planes)
+// and a negative magnitude plane set wn, and the diagonal term becomes
+//
+//   T = SSub_B(Add_B(H_diag, WP), WN)  ==  max(0, H_diag + w)
+//
+// per lane. WP/WN are selected per cell by a bit-plane mux keyed on the
+// query/target epsilon planes: one-hot equality masks eq_x[a] (computed
+// once per DP row) AND per-column profiles row_or[a][l][j] (the OR of
+// eq_y[b] over all b whose entry w(a, b) has bit l set, computed once
+// per group), OR-reduced over the alphabet. circuit/sw_circuit.hpp
+// builds the same mux as a netlist for the op-count/verification tests.
+//
+// The uniform (match/mismatch) substitution model keeps the paper's
+// matching_B path bit-for-bit, so a ScoreParams-expressible scheme
+// scores identically to BpbcAligner.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "db/reader.hpp"
+#include "encoding/generic_batch.hpp"
+#include "sw/bpbc.hpp"
+#include "sw/scoring.hpp"
+
+namespace swbpbc::sw {
+
+/// Scores one group of W lanes under an arbitrary ScoringScheme over
+/// plane-major epsilon-bit batches. The scheme must have passed
+/// validate_scheme().
+template <bitsim::LaneWord W>
+class SchemeBpbcAligner {
+ public:
+  SchemeBpbcAligner(const ScoringScheme& scheme, std::size_t m,
+                    std::size_t n);
+
+  [[nodiscard]] unsigned slices() const { return s_; }
+  [[nodiscard]] unsigned planes() const { return eps_; }
+  [[nodiscard]] std::size_t m() const { return m_; }
+  [[nodiscard]] std::size_t n() const { return n_; }
+
+  /// Bit-sliced maxima of all W lanes; out_slices.size() == slices().
+  /// Thread-safe (scratch is per-call).
+  void max_score_slices(const encoding::PlanarGenericView<W>& x,
+                        const encoding::PlanarGenericView<W>& y,
+                        std::span<W> out_slices) const;
+
+  /// Word-wise per-lane maxima (B2W of the slice result).
+  [[nodiscard]] std::vector<std::uint32_t> max_scores(
+      const encoding::PlanarGenericView<W>& x,
+      const encoding::PlanarGenericView<W>& y) const;
+
+ private:
+  // Column profiles of the matrix mux: leaf[(a * (wp_bits_ + wn_bits_) +
+  // l) * n + j] is the OR of eq_y[b][j] over the symbols b in set l of
+  // symbol a (positive planes first, then negative).
+  void build_profiles(const encoding::PlanarGenericView<W>& y,
+                      std::vector<W>& leaf) const;
+
+  ScoringScheme scheme_;
+  std::size_t m_ = 0;
+  std::size_t n_ = 0;
+  unsigned s_ = 0;
+  unsigned eps_ = 0;
+  bool affine_ = false;
+  bool matrix_ = false;
+  unsigned wp_bits_ = 0;
+  unsigned wn_bits_ = 0;
+  std::vector<W> open_, extend_;  // gap magnitudes (linear: open == gap)
+  std::vector<W> c1_, c2_;        // uniform match/mismatch constants
+  // wp/wn mux sets: sets_[a * (wp_bits_ + wn_bits_) + l] lists the
+  // symbols b whose |w(a, b)| magnitude has bit l set (sign-split).
+  std::vector<std::vector<std::uint8_t>> sets_;
+};
+
+/// Scores all pairs (xs[k], ys[k]) under `scheme` with full lane-width
+/// dispatch (k32..k512, kScalarWide, kAuto + SWBPBC_FORCE_LANE_WIDTH).
+/// Character codes must be dense codes of scheme.alphabet(). Typed
+/// kInvalidInput on shape violations, out-of-alphabet codes, or an
+/// invalid scheme.
+util::Expected<std::vector<std::uint32_t>> try_scheme_max_scores(
+    std::span<const encoding::GenericSequence> xs,
+    std::span<const encoding::GenericSequence> ys,
+    const ScoringScheme& scheme, LaneWidth width = LaneWidth::kAuto,
+    bulk::Mode mode = bulk::Mode::kSerial,
+    encoding::TransposeMethod method = encoding::TransposeMethod::kPlanned,
+    PhaseTimings* timings = nullptr);
+
+/// Counters of one database-served scheme screen.
+struct SchemeDbStats {
+  std::uint64_t shards_served = 0;       // zero-copy / limb-gathered
+  std::uint64_t shards_quarantined = 0;  // failed first-touch verification
+  std::uint64_t shards_reingested = 0;   // rescored from the corpus
+  LaneWidth lane_width = LaneWidth::k64;  // resolved serve width
+};
+
+/// Screens one query against every entry of a pre-transposed database
+/// store under `scheme`: the query is broadcast across all lanes (no
+/// query-side W2B), shard plane rows are served zero-copy at 64-bit
+/// lanes and limb-gathered into wide lane words otherwise, exactly like
+/// the DNA db backend. Returns one score per database entry.
+///
+/// The store's plane_bits must equal scheme.alphabet_bits() and its
+/// entry_length the batch length. A shard that fails its first-touch
+/// checksum is quarantined: if `corpus` (the original sequences, indexed
+/// like the store) is non-empty, that 64-entry slice is re-ingested in
+/// memory and rescored bit-identically; otherwise the shard's kDbCorrupt
+/// surfaces.
+util::Expected<std::vector<std::uint32_t>> try_scheme_db_max_scores(
+    const encoding::GenericSequence& query, db::Reader& reader,
+    const ScoringScheme& scheme, LaneWidth width = LaneWidth::kAuto,
+    bulk::Mode mode = bulk::Mode::kSerial,
+    std::span<const encoding::GenericSequence> corpus = {},
+    SchemeDbStats* stats = nullptr, PhaseTimings* timings = nullptr);
+
+#define SWBPBC_DECLARE_SCHEME_ALIGNER(...) \
+  extern template class SchemeBpbcAligner<__VA_ARGS__>;
+SWBPBC_DECLARE_SCHEME_ALIGNER(std::uint32_t)
+SWBPBC_DECLARE_SCHEME_ALIGNER(std::uint64_t)
+SWBPBC_DECLARE_SCHEME_ALIGNER(bitsim::simd_word<128>)
+SWBPBC_DECLARE_SCHEME_ALIGNER(bitsim::simd_word<256>)
+SWBPBC_DECLARE_SCHEME_ALIGNER(bitsim::simd_word<512>)
+SWBPBC_DECLARE_SCHEME_ALIGNER(bitsim::wide_word<256, false>)
+#undef SWBPBC_DECLARE_SCHEME_ALIGNER
+
+}  // namespace swbpbc::sw

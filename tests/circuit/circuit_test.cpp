@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <random>
 
 #include "bitops/arith.hpp"
@@ -248,6 +249,142 @@ TEST(Optimize, SwCellOptimizationReportedInDesignDoc) {
   const Circuit opt = optimize(generic);
   EXPECT_EQ(opt.input_count(), generic.input_count());
   EXPECT_LE(opt.counts().logic(), generic.counts().logic());
+}
+
+// --- affine cell + matrix mux ------------------------------------------------
+
+namespace {
+
+// Encodes scalar `v` into bit slices with instance lane 0.
+std::vector<std::uint32_t> to_slices(std::uint32_t v, unsigned s) {
+  std::vector<std::uint32_t> slices(s);
+  for (unsigned l = 0; l < s; ++l) slices[l] = (v >> l) & 1u;
+  return slices;
+}
+
+std::uint32_t from_slices(std::span<const std::uint32_t> slices) {
+  std::uint32_t v = 0;
+  for (unsigned l = 0; l < slices.size(); ++l)
+    v |= (slices[l] & 1u) << l;
+  return v;
+}
+
+std::uint32_t ssub32(std::uint32_t a, std::uint32_t b) {
+  return a > b ? a - b : 0u;
+}
+
+}  // namespace
+
+TEST(SwCircuit, AffineCellMatchesScalarGotoh) {
+  const unsigned s = 6;
+  const unsigned eps = 2;
+  const Circuit c = build_affine_cell(s, eps);
+  ASSERT_EQ(c.input_count(), 5 * s + 2 * eps + 4 * s);
+  std::mt19937 rng(21);
+  const std::uint32_t open = 2, extend = 1, match = 3, mismatch = 1;
+  const std::uint32_t mask = (1u << s) - 1;
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::uint32_t h_up = rng() & mask;
+    const std::uint32_t h_left = rng() & mask;
+    const std::uint32_t diag = rng() & (mask >> 2);  // headroom for +match
+    const std::uint32_t e_in = rng() & mask;
+    const std::uint32_t f_in = rng() & mask;
+    const std::uint32_t xc = rng() & 3u;
+    const std::uint32_t yc = rng() & 3u;
+    std::vector<std::uint32_t> in;
+    for (std::uint32_t v : {h_up, h_left, diag, e_in, f_in}) {
+      const auto sl = to_slices(v, s);
+      in.insert(in.end(), sl.begin(), sl.end());
+    }
+    for (unsigned p = 0; p < eps; ++p) in.push_back((xc >> p) & 1u);
+    for (unsigned p = 0; p < eps; ++p) in.push_back((yc >> p) & 1u);
+    for (std::uint32_t v : {open, extend, match, mismatch}) {
+      const auto sl = to_slices(v, s);
+      in.insert(in.end(), sl.begin(), sl.end());
+    }
+    const auto out = evaluate<std::uint32_t>(c, in);
+    ASSERT_EQ(out.size(), 3 * s);
+
+    const std::uint32_t e_ref =
+        std::max(ssub32(h_left, open), ssub32(e_in, extend));
+    const std::uint32_t f_ref =
+        std::max(ssub32(h_up, open), ssub32(f_in, extend));
+    const std::uint32_t t_ref =
+        xc == yc ? diag + match : ssub32(diag, mismatch);
+    const std::uint32_t h_ref = std::max({t_ref, e_ref, f_ref});
+    EXPECT_EQ(from_slices({out.data(), s}), h_ref) << "trial " << trial;
+    EXPECT_EQ(from_slices({out.data() + s, s}), e_ref) << "trial " << trial;
+    EXPECT_EQ(from_slices({out.data() + 2 * s, s}), f_ref)
+        << "trial " << trial;
+  }
+}
+
+TEST(SwCircuit, AffineCellConstBakedIsSmallerAndAgrees) {
+  const unsigned s = 8;
+  sw::ScoringScheme scheme;
+  scheme.match = 2;
+  scheme.mismatch = 1;
+  scheme.gap_model = sw::GapModel::kAffine;
+  scheme.gap_open = 3;
+  scheme.gap_extend = 1;
+  const Circuit generic = build_affine_cell(s, 2);
+  const Circuit baked = optimize(build_affine_cell_const(s, scheme));
+  EXPECT_LT(baked.counts().logic(), generic.counts().logic());
+  EXPECT_EQ(baked.input_count(), 5 * s + 4u);
+
+  std::mt19937 rng(22);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<std::uint32_t> baked_in(5 * s + 4);
+    for (auto& w : baked_in) w = static_cast<std::uint32_t>(rng());
+    std::vector<std::uint32_t> generic_in = baked_in;
+    for (std::uint32_t v :
+         {scheme.gap_open, scheme.gap_extend, scheme.match,
+          scheme.mismatch}) {
+      const auto sl = bitops::broadcast_constant<std::uint32_t>(v, s);
+      generic_in.insert(generic_in.end(), sl.begin(), sl.end());
+    }
+    EXPECT_EQ(evaluate<std::uint32_t>(baked, baked_in),
+              evaluate<std::uint32_t>(generic, generic_in));
+  }
+}
+
+TEST(SwCircuit, MatrixMuxSelectsBlosum62Entries) {
+  const auto matrix = sw::blosum62();
+  const Circuit c = build_matrix_mux(*matrix);
+  const unsigned eps = matrix->bits();
+  ASSERT_EQ(c.input_count(), 2 * eps);
+  const unsigned wp_bits =
+      static_cast<unsigned>(std::bit_width(matrix->max_positive()));
+  const unsigned wn_bits =
+      static_cast<unsigned>(std::bit_width(matrix->max_negative()));
+  ASSERT_EQ(c.outputs().size(), wp_bits + wn_bits);
+
+  for (std::size_t a = 0; a < matrix->size(); ++a) {
+    for (std::size_t b = 0; b < matrix->size(); ++b) {
+      std::vector<std::uint32_t> in;
+      for (unsigned p = 0; p < eps; ++p) in.push_back((a >> p) & 1u);
+      for (unsigned p = 0; p < eps; ++p) in.push_back((b >> p) & 1u);
+      const auto out = evaluate<std::uint32_t>(c, in);
+      const int wp = static_cast<int>(from_slices({out.data(), wp_bits}));
+      const int wn =
+          static_cast<int>(from_slices({out.data() + wp_bits, wn_bits}));
+      EXPECT_EQ(wp - wn, matrix->at(static_cast<std::uint8_t>(a),
+                                    static_cast<std::uint8_t>(b)))
+          << "a=" << a << " b=" << b;
+      EXPECT_TRUE(wp == 0 || wn == 0) << "sign-split overlap";
+    }
+  }
+}
+
+TEST(SwCircuit, MatrixMuxOpCountScalesWithSignSplitPlanes) {
+  // The mux must stay a per-bit OR/AND tree, not a full-table blowup:
+  // one one-hot tree per symbol per side plus per-plane OR folds.
+  const auto matrix = sw::blosum62();
+  const Circuit opt = optimize(build_matrix_mux(*matrix));
+  const std::size_t sigma = matrix->size();
+  // Loose structural ceiling: eq trees are O(sigma * eps), each output
+  // plane at most O(sigma^2) ORs.
+  EXPECT_LT(opt.counts().logic(), 8 * sigma * sigma);
 }
 
 }  // namespace

@@ -90,6 +90,38 @@ TEST(ProtocolCompat, KnownTagWithWrongLengthIsSkipped) {
   EXPECT_EQ(decoded->trace_id, 0u);
 }
 
+TEST(ProtocolCompat, UnpinnedSchemeFingerprintAddsNoBytes) {
+  // A client that does not pin a scoring scheme (fingerprint 0) must
+  // stay byte-identical to the pre-scheme encoder, and a pinned request
+  // is exactly one 24-byte trailer entry longer.
+  ScreenRequest unpinned = sample_request();
+  ScreenRequest pinned = sample_request();
+  pinned.scheme_fingerprint = 0xDEADBEEFCAFEBABEull;
+  const auto a = encode_request(unpinned);
+  const auto b = encode_request(pinned);
+  ASSERT_EQ(b.size(), a.size() + 24);
+  EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin()));
+}
+
+TEST(ProtocolCompat, SchemeFingerprintRoundTrips) {
+  ScreenRequest req = sample_request(0x10u, 0x20u);
+  req.scheme_fingerprint = 0x123456789ABCDEF0ull;
+  auto decoded = decode_request(encode_request(req));
+  ASSERT_TRUE(decoded.has_value()) << decoded.status().to_string();
+  EXPECT_EQ(decoded->scheme_fingerprint, 0x123456789ABCDEF0ull);
+  EXPECT_EQ(decoded->trace_id, 0x10u);  // coexists with the trace entry
+}
+
+TEST(ProtocolCompat, SchemeFingerprintWithWrongLengthIsSkipped) {
+  auto payload = encode_request(sample_request());
+  put_u64(payload, kRequestFieldSchemeFingerprint);
+  put_u64(payload, 16);  // a future revision; this decoder expects 8
+  for (int i = 0; i < 16; ++i) payload.push_back(0x42);
+  auto decoded = decode_request(payload);
+  ASSERT_TRUE(decoded.has_value()) << decoded.status().to_string();
+  EXPECT_EQ(decoded->scheme_fingerprint, 0u);
+}
+
 TEST(ProtocolCompat, TruncatedTrailerIsParseError) {
   auto payload = encode_request(sample_request(0x1u, 0x2u));
   payload.pop_back();  // tear the last trailer byte off

@@ -24,6 +24,8 @@
 #include "service/protocol.hpp"
 #include "service/server.hpp"
 #include "sw/pipeline.hpp"
+#include "sw/scalar.hpp"
+#include "sw/scoring.hpp"
 #include "util/cancel.hpp"
 #include "util/io.hpp"
 #include "util/rng.hpp"
@@ -206,6 +208,51 @@ TEST(ServiceE2E, QuotaRejectionIsTypedWithARetryHint) {
   EXPECT_TRUE(harness.stop().ok());
   EXPECT_EQ(harness.stats().rejected_quota, 1u);
   EXPECT_EQ(harness.stats().completed, 0u);
+}
+
+TEST(ServiceE2E, PinnedSchemeFingerprintIsEnforced) {
+  // The daemon scores with an affine scheme; a client that pins the
+  // matching fingerprint is served, one that pins a different scheme's
+  // fingerprint gets a typed rejection instead of silently-wrong scores,
+  // and an unpinned legacy client is served as before.
+  auto cfg = base_config("schemepin");
+  sw::ScoringScheme affine;
+  affine.gap_model = sw::GapModel::kAffine;
+  affine.gap_open = 3;
+  affine.gap_extend = 1;
+  cfg.scheme = affine;
+  ServerHarness harness(cfg);
+  ASSERT_TRUE(harness.started()) << harness.create_status().to_string();
+  ScreenClient probe(client_config(cfg));
+  ASSERT_TRUE(probe.wait_ready().ok());
+
+  auto pinned = make_request("pin-ok", 2, 91);
+  pinned.scheme_fingerprint = sw::fingerprint_scheme(affine);
+  const auto ok = raw_exchange(cfg.socket_path, pinned);
+  ASSERT_TRUE(ok.has_value()) << ok.status().to_string();
+  EXPECT_EQ(ok->code, util::ErrorCode::kOk);
+  ASSERT_EQ(ok->scores.size(), 2u);
+  for (std::size_t k = 0; k < pinned.xs.size(); ++k)
+    EXPECT_EQ(ok->scores[k],
+              sw::scheme_max_score(pinned.xs[k], pinned.ys[k], affine));
+
+  auto mismatched = make_request("pin-bad", 2, 92);
+  mismatched.scheme_fingerprint =
+      sw::fingerprint_scheme(sw::ScoringScheme::from_params(kParams));
+  const auto rejected = raw_exchange(cfg.socket_path, mismatched);
+  ASSERT_TRUE(rejected.has_value()) << rejected.status().to_string();
+  EXPECT_EQ(rejected->code, util::ErrorCode::kInvalidInput);
+  EXPECT_NE(rejected->message.find("fingerprint"), std::string::npos);
+  EXPECT_TRUE(rejected->scores.empty());
+
+  const auto unpinned =
+      raw_exchange(cfg.socket_path, make_request("pin-none", 2, 93));
+  ASSERT_TRUE(unpinned.has_value()) << unpinned.status().to_string();
+  EXPECT_EQ(unpinned->code, util::ErrorCode::kOk);
+
+  EXPECT_TRUE(harness.stop().ok());
+  EXPECT_EQ(harness.stats().rejected_scheme, 1u);
+  EXPECT_EQ(harness.stats().completed, 2u);
 }
 
 TEST(ServiceE2E, ClientGivesUpTypedAfterRetryExhaustion) {

@@ -14,6 +14,7 @@
 #include "encoding/random.hpp"
 #include "sw/backend.hpp"
 #include "sw/config.hpp"
+#include "sw/scoring.hpp"
 #include "util/status.hpp"
 
 namespace swbpbc::sw {
@@ -99,6 +100,66 @@ TEST(ScreenSpecBuilder, RejectsZeroGapPenalty) {
   ScoringConfig scoring;
   scoring.params = ScoreParams{2, 1, 0};
   expect_invalid(ScreenSpecBuilder().scoring(scoring).build(), "params.gap");
+}
+
+TEST(ScreenSpecBuilder, AcceptsExpressibleAndAffineSchemes) {
+  // An expressible scheme outranks params and flattens losslessly.
+  ScoringConfig scoring;
+  scoring.params = ScoreParams{0, 0, 0};  // ignored once scheme is set
+  scoring.scheme = ScoringScheme::from_params(ScoreParams{3, 2, 4});
+  auto built = ScreenSpecBuilder().scoring(scoring).build();
+  ASSERT_TRUE(built.has_value()) << built.status().to_string();
+  ASSERT_TRUE(built->scheme.has_value());
+  EXPECT_TRUE(built->scheme->params_expressible());
+
+  // An affine uniform scheme is valid for the screening pipeline.
+  ScoringScheme affine;
+  affine.gap_model = GapModel::kAffine;
+  affine.gap_open = 3;
+  affine.gap_extend = 1;
+  scoring.scheme = affine;
+  built = ScreenSpecBuilder().scoring(scoring).build();
+  ASSERT_TRUE(built.has_value()) << built.status().to_string();
+  EXPECT_TRUE(built->scheme->affine());
+}
+
+TEST(ScreenSpecBuilder, RejectsInvalidSchemeWithFieldName) {
+  ScoringConfig scoring;
+  ScoringScheme bad;
+  bad.gap_model = GapModel::kAffine;
+  bad.gap_open = 2;
+  bad.gap_extend = 5;  // extending cheaper to open than extend: invalid
+  scoring.scheme = bad;
+  expect_invalid(ScreenSpecBuilder().scoring(scoring).build(),
+                 "scoring.scheme.gap_extend");
+}
+
+TEST(ScreenSpecBuilder, RejectsMatrixSchemeWithRedirect) {
+  ScoringConfig scoring;
+  ScoringScheme protein;
+  protein.matrix = blosum62();
+  scoring.scheme = protein;
+  expect_invalid(ScreenSpecBuilder().scoring(scoring).build(),
+                 "try_scheme_max_scores");
+}
+
+TEST(ScreenSpecBuilder, RejectsDatabaseWithAffineScheme) {
+  // The store serve path in the v1 pipeline drives the linear DNA
+  // kernels; affine store screening routes through
+  // try_scheme_db_max_scores instead.
+  ScoringConfig scoring;
+  scoring.params = kParams;
+  ScoringScheme affine;
+  affine.gap_model = GapModel::kAffine;
+  affine.gap_open = 3;
+  affine.gap_extend = 1;
+  scoring.scheme = affine;
+  scoring.database = reinterpret_cast<db::Reader*>(&scoring);
+  SurvivalConfig survival;
+  survival.chunk_pairs = 64;
+  expect_invalid(
+      ScreenSpecBuilder().scoring(scoring).survival(survival).build(),
+      "try_scheme_db_max_scores");
 }
 
 TEST(ScreenSpecBuilder, RejectsResumePathWithoutChunking) {
@@ -317,6 +378,28 @@ TEST(ScanSpecBuilder, RejectsConfiguredBackends) {
   };
   expect_scan_invalid(ScanSpecBuilder().scoring(scoring).build(),
                       "backend");
+}
+
+TEST(ScanSpecBuilder, RejectsAffineScheme) {
+  ScoringConfig scoring;
+  ScoringScheme affine;
+  affine.gap_model = GapModel::kAffine;
+  affine.gap_open = 3;
+  affine.gap_extend = 1;
+  scoring.scheme = affine;
+  expect_scan_invalid(ScanSpecBuilder().scoring(scoring).build(),
+                      "expressible");
+}
+
+TEST(ScanSpecBuilder, ExpressibleSchemeLowersOntoParams) {
+  ScoringConfig scoring;
+  scoring.params = ScoreParams{0, 0, 0};  // ignored once scheme is set
+  scoring.scheme = ScoringScheme::from_params(ScoreParams{3, 2, 4});
+  const auto built = ScanSpecBuilder().scoring(scoring).build();
+  ASSERT_TRUE(built.has_value()) << built.status().to_string();
+  EXPECT_EQ(built->params.match, 3u);
+  EXPECT_EQ(built->params.mismatch, 2u);
+  EXPECT_EQ(built->params.gap, 4u);
 }
 
 // --- try_scan_text -------------------------------------------------------
