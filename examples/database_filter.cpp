@@ -6,6 +6,7 @@
 //
 //   ./database_filter [--entries=N] [--tau=T] [--gpu] [--fasta=path]
 //                     [--width=32|64|128|256|512|scalar-wide|auto]
+//                     [--backend=bpbc|striped|wordwise-naive|auto]
 //                     [--json=path] [--db=path]
 //                     [--db-flip-shard=K] [--db-fault-seed=S]
 //
@@ -16,6 +17,12 @@
 // --json writes a RunReport whose config carries an FNV fingerprint of
 // the score vector — scores are bit-identical across widths, so CI diffs
 // the fingerprint across the dispatch matrix.
+//
+// --backend picks the host engine (default auto: the measured cost model
+// of sw/dispatch.hpp chooses between the BPBC and striped-SIMD kernels;
+// SWBPBC_FORCE_BACKEND overrides). Scores are bit-identical whichever
+// engine runs, so the same scores_fnv gate covers the backend matrix.
+// Incompatible with --db (the store serves the BPBC kernels).
 //
 // With --db, SWA reads the pre-transposed planes from the store that
 // examples/database_build wrote (mmap, zero-copy) instead of transposing
@@ -92,6 +99,15 @@ int main(int argc, char** argv) {
   std::printf("lane width: %s (requested %s)\n", sw::lane_width_name(resolved),
               width_name.c_str());
 
+  const std::string backend_name = opt.get("backend", "auto");
+  if (!sw::parse_backend_choice(backend_name)) {
+    std::fprintf(stderr,
+                 "unknown --backend=%s (expected "
+                 "bpbc|striped|wordwise-naive|auto)\n",
+                 backend_name.c_str());
+    return 1;
+  }
+
   if (opt.get_bool("gpu", false)) {
     // Same screening pass through the simulated-GPU pipeline (§V).
     const auto result = device::gpu_bpbc_max_scores(
@@ -153,6 +169,7 @@ int main(int argc, char** argv) {
   scoring.threshold = tau;
   scoring.width = *width;
   scoring.mode = bulk::Mode::kParallel;
+  scoring.backend_name = backend_name;
   if (reader) scoring.database = &*reader;
   const auto config = sw::ScreenSpecBuilder().scoring(scoring).build();
   if (!config) {
@@ -196,6 +213,7 @@ int main(int argc, char** argv) {
     rep.config["tau"] = std::to_string(tau);
     rep.config["width_requested"] = width_name;
     rep.config["width_resolved"] = sw::lane_width_name(resolved);
+    rep.config["backend_requested"] = backend_name;
     rep.config["hits"] = std::to_string(report.hits.size());
     rep.config["scores_fnv"] = std::to_string(
         util::fnv1a_span<std::uint32_t>(report.scores));

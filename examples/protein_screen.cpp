@@ -5,6 +5,9 @@
 // --width override).
 //
 //   ./protein_screen [--count=N] [--width=auto|64|128|256|512|scalar-wide]
+//   ./protein_screen --backend=striped     # Farrar striped SIMD instead
+//                                          # of BPBC (--backend=auto lets
+//                                          # the measured cost model pick)
 //   ./protein_screen --linear              # linear gaps instead of affine
 //   ./protein_screen --db=proteins.swdb    # serve targets from the
 //                                          # pre-transposed store
@@ -12,7 +15,13 @@
 //                                          # (the CI dispatch-matrix gate)
 //   ./protein_screen --trace=protein.trace.json   # Perfetto span timeline
 //
-// Every run cross-checks a sample of the bitwise scores against the
+// --backend picks the host engine (default auto; SWBPBC_FORCE_BACKEND
+// overrides). The engines are bit-identical on every scheme, so the same
+// scores_fnv fingerprint gates the backend matrix in CI. wordwise-naive
+// is rejected here: the retired reference never grew substitution-matrix
+// support.
+//
+// Every run cross-checks a sample of the screened scores against the
 // scalar Gotoh reference, and --db additionally requires the store-served
 // scores to be bit-identical to the in-memory batch.
 #include <cstdio>
@@ -21,8 +30,10 @@
 #include "db/builder.hpp"
 #include "db/reader.hpp"
 #include "encoding/alphabet.hpp"
+#include "sw/dispatch.hpp"
 #include "sw/lane.hpp"
 #include "sw/scalar.hpp"
+#include "sw/striped.hpp"
 #include "sw/scheme_aligner.hpp"
 #include "sw/scoring.hpp"
 #include "telemetry/run_report.hpp"
@@ -43,6 +54,15 @@ int main(int argc, char** argv) {
   const auto width = sw::parse_lane_width(width_name);
   if (!width.has_value()) {
     std::fprintf(stderr, "unknown --width=%s\n", width_name.c_str());
+    return 1;
+  }
+
+  const std::string backend_name = opt.get("backend", "auto");
+  const auto backend = sw::parse_backend_choice(backend_name);
+  if (!backend.has_value()) {
+    std::fprintf(stderr,
+                 "unknown --backend=%s (expected bpbc|striped|auto)\n",
+                 backend_name.c_str());
     return 1;
   }
 
@@ -107,14 +127,41 @@ int main(int argc, char** argv) {
   std::printf("lane width: %s (requested %s)\n",
               sw::lane_width_name(resolved), width_name.c_str());
 
+  // Resolve the host engine (auto = measured cost model; the environment
+  // override outranks the flag, same as the lane width).
+  sw::BackendChoice engine;
+  try {
+    const auto workload =
+        sw::DispatchWorkload::from(scheme, count, m, n, resolved);
+    engine = sw::resolve_backend_choice(*backend, workload);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "backend resolution failed: %s\n", e.what());
+    return 1;
+  }
+  if (engine == sw::BackendChoice::kWordwiseNaive) {
+    std::fprintf(stderr,
+                 "--backend=wordwise-naive cannot score "
+                 "substitution-matrix schemes (the retired reference only "
+                 "speaks match/mismatch params)\n");
+    return 1;
+  }
+  std::printf("backend: %s (requested %s)\n",
+              sw::backend_choice_name(engine), backend_name.c_str());
+
   sw::PhaseTimings timings;
   util::WallTimer timer;
   telemetry::Span screen_span(tr, "screen.scheme", "example");
   screen_span.arg("pairs", static_cast<std::int64_t>(count));
   screen_span.arg("planes", static_cast<std::int64_t>(aa.bits()));
-  const auto screened = sw::try_scheme_max_scores(
-      queries, targets, scheme, *width, bulk::Mode::kSerial,
-      encoding::TransposeMethod::kPlanned, &timings);
+  screen_span.arg("backend", static_cast<std::int64_t>(engine));
+  const auto screened =
+      engine == sw::BackendChoice::kStriped
+          ? sw::try_striped_max_scores(queries, targets, scheme,
+                                       bulk::Mode::kSerial, nullptr,
+                                       &timings)
+          : sw::try_scheme_max_scores(
+                queries, targets, scheme, *width, bulk::Mode::kSerial,
+                encoding::TransposeMethod::kPlanned, &timings);
   screen_span.finish();
   const double ms = timer.elapsed_ms();
   if (!screened.has_value()) {
@@ -139,8 +186,8 @@ int main(int argc, char** argv) {
         sw::scheme_max_score(queries[k], targets[k], scheme);
     if (scores[k] != want) {
       std::fprintf(stderr,
-                   "pair %zu: bitwise %u != scalar Gotoh %u — MISMATCH\n",
-                   k, scores[k], want);
+                   "pair %zu: %s %u != scalar Gotoh %u — MISMATCH\n", k,
+                   sw::backend_choice_name(engine), scores[k], want);
       return 1;
     }
   }
@@ -212,6 +259,8 @@ int main(int argc, char** argv) {
     rep.config["plane_bits"] = std::to_string(scheme.alphabet_bits());
     rep.config["width_requested"] = width_name;
     rep.config["width_resolved"] = sw::lane_width_name(resolved);
+    rep.config["backend_requested"] = backend_name;
+    rep.config["backend_resolved"] = sw::backend_choice_name(engine);
     rep.config["pairs"] = std::to_string(count);
     rep.config["hits"] = std::to_string(hits);
     rep.config["scores_fnv"] =
@@ -225,7 +274,9 @@ int main(int argc, char** argv) {
           std::to_string(db_stats.shards_quarantined);
     }
     telemetry::RunReportRow row;
-    row.impl = std::string("CPU bitwise-") + sw::lane_width_name(resolved);
+    row.impl = engine == sw::BackendChoice::kStriped
+                   ? std::string("CPU striped-simd")
+                   : std::string("CPU bitwise-") + sw::lane_width_name(resolved);
     row.pairs = count;
     row.m = m;
     row.n = n;

@@ -61,12 +61,14 @@ service::ScreenRequest make_request(const std::string& prefix,
                                     std::size_t index, std::uint64_t seed,
                                     std::size_t pairs, std::size_t m,
                                     std::size_t n, double budget_ms,
-                                    std::uint64_t trace_id) {
+                                    std::uint64_t trace_id,
+                                    std::uint8_t backend_hint) {
   service::ScreenRequest request;
   request.id = prefix + "-" + std::to_string(index);
   request.tenant = tenant;
   request.deadline_budget_ms = budget_ms;
   request.trace_id = trace_id;
+  request.backend_hint = backend_hint;
   // Per-request stream: the workload is a pure function of (seed, index),
   // independent of how many requests came before.
   util::Xoshiro256 rng(seed + index * 0x9e3779b97f4a7c15ULL);
@@ -139,6 +141,22 @@ int main(int argc, char** argv) {
   const bool flood = opt.get_bool("flood", false);
   const std::string trace_path = opt.get("trace", "");
   const std::string stats_out = opt.get("stats-out", "");
+  // Advisory host-engine hint carried in the request trailer (tag 3):
+  // empty = unhinted, the daemon decides. Scores are bit-identical
+  // whichever engine the daemon runs, so --verify stays valid.
+  const std::string backend_name = opt.get("backend", "");
+  std::uint8_t backend_hint = 0;
+  if (!backend_name.empty()) {
+    const auto choice = sw::parse_backend_choice(backend_name);
+    if (!choice.has_value()) {
+      std::fprintf(stderr,
+                   "screen_client: unknown --backend=%s (expected "
+                   "bpbc|striped|wordwise-naive|auto)\n",
+                   backend_name.c_str());
+      return 2;
+    }
+    backend_hint = static_cast<std::uint8_t>(static_cast<int>(*choice) + 1);
+  }
 
   util::CancellationToken cancel;
   if (util::Status s = util::install_cancel_on_signals(cancel); !s.ok()) {
@@ -171,7 +189,8 @@ int main(int argc, char** argv) {
     std::vector<util::UniqueFd> fds;
     for (std::size_t k = 0; k < requests; ++k) {
       service::ScreenRequest request = make_request(
-          prefix, tenant, k, seed, pairs, m, n, budget_ms, trace_id);
+          prefix, tenant, k, seed, pairs, m, n, budget_ms, trace_id,
+          backend_hint);
       auto fd = connect_uds(socket_path);
       if (!fd.has_value()) {
         std::fprintf(stderr, "screen_client: %s\n",
@@ -221,7 +240,8 @@ int main(int argc, char** argv) {
     }
     for (std::size_t k = 0; k < requests; ++k) {
       const service::ScreenRequest request = make_request(
-          prefix, tenant, k, seed, pairs, m, n, budget_ms, trace_id);
+          prefix, tenant, k, seed, pairs, m, n, budget_ms, trace_id,
+          backend_hint);
       auto response = client.screen(request);
       if (!response.has_value()) {
         std::fprintf(stderr, "screen_client: request %s failed: %s\n",

@@ -47,6 +47,16 @@ int main(int argc, char** argv) {
     return 2;
   }
   config.width = *width;
+  const std::string backend_name = opt.get("backend", "auto");
+  const auto backend = sw::parse_backend_choice(backend_name);
+  if (!backend.has_value()) {
+    std::fprintf(stderr,
+                 "screen_serve: unknown --backend=%s (expected "
+                 "bpbc|striped|wordwise-naive|auto)\n",
+                 backend_name.c_str());
+    return 2;
+  }
+  config.backend = *backend;
   config.lane_group =
       static_cast<std::size_t>(opt.get_int("lane-group", 0));
   config.linger_ms = opt.get_double("linger-ms", 2.0);

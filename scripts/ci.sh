@@ -113,6 +113,67 @@ EOF
     fi
   done
 
+  echo "== tier 1: backend dispatch matrix (force-gate on scores_fnv) =="
+  # SWBPBC_FORCE_BACKEND drives the host-engine choice through one
+  # binary: bpbc (the paper's bitwise engine), striped (the Farrar
+  # lazy-F rival), and auto (the measured cost model picks). The engines
+  # are bit-identical, so every fingerprint must equal the ref_fnv the
+  # lane-width matrix just pinned on the same workload.
+  for backend in bpbc striped auto; do
+    SWBPBC_FORCE_BACKEND=$backend ./build/examples/database_filter \
+        --entries=96 --json="$smoke_dir/backend_$backend.json" > /dev/null
+    fnv=$(python3 - "$smoke_dir/backend_$backend.json" <<'EOF'
+import json, sys
+cfg = json.load(open(sys.argv[1]))["config"]
+print(cfg["scores_fnv"], cfg["hits"])
+EOF
+)
+    echo "  backend=$backend -> $fnv"
+    if [[ $fnv != "$ref_fnv" ]]; then
+      echo "backend dispatch is not bit-identical: $fnv != $ref_fnv" >&2
+      exit 1
+    fi
+  done
+  # The same force sweep over the protein path (affine + BLOSUM62, the
+  # striped engine's home turf) against the protein matrix's reference.
+  for backend in bpbc striped auto; do
+    SWBPBC_FORCE_BACKEND=$backend ./build/examples/protein_screen \
+        --count=96 --json="$smoke_dir/protein_backend_$backend.json" \
+        > /dev/null
+    fnv=$(python3 - "$smoke_dir/protein_backend_$backend.json" <<'EOF'
+import json, sys
+cfg = json.load(open(sys.argv[1]))["config"]
+print(cfg["scores_fnv"], cfg["hits"])
+EOF
+)
+    echo "  backend=$backend -> $fnv"
+    if [[ $fnv != "$protein_ref" ]]; then
+      echo "protein backend dispatch is not bit-identical:" \
+           "$fnv != $protein_ref" >&2
+      exit 1
+    fi
+  done
+
+  echo "== tier 1: forced-backend negative smoke (typed rejection) =="
+  # An unparsable override must be a loud typed error naming the
+  # variable, never a silent fall-through to some default engine.
+  if SWBPBC_FORCE_BACKEND=banana ./build/examples/database_filter \
+      --entries=64 > "$smoke_dir/badbackend.out" 2>&1; then
+    echo "SWBPBC_FORCE_BACKEND=banana was silently accepted" >&2
+    exit 1
+  fi
+  grep -q "SWBPBC_FORCE_BACKEND" "$smoke_dir/badbackend.out" || {
+    echo "rejection does not name SWBPBC_FORCE_BACKEND" >&2
+    cat "$smoke_dir/badbackend.out" >&2
+    exit 1
+  }
+
+  echo "== tier 1: crossover bench smoke (BPBC x striped bit-identity) =="
+  # CI sizes: the per-region engine bit-identity and scalar spot-check
+  # gates stay armed; the timing-derived dispatcher-agreement gate is
+  # skipped (--smoke regions are all noise).
+  ./build/bench/ablation_crossover --smoke > /dev/null
+
   echo "== tier 1: forced-lane-width negative smoke (typed rejection) =="
   # An unparsable override must be a loud typed error, never a silent
   # default width.

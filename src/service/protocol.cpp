@@ -136,6 +136,11 @@ std::vector<std::uint8_t> encode_request(const ScreenRequest& request) {
     put_u64(out, sizeof(std::uint64_t));
     put_u64(out, request.scheme_fingerprint);
   }
+  if (request.backend_hint != 0) {
+    put_u64(out, kRequestFieldBackendChoice);
+    put_u64(out, sizeof(std::uint64_t));
+    put_u64(out, request.backend_hint);
+  }
   return out;
 }
 
@@ -192,6 +197,17 @@ util::Expected<ScreenRequest> decode_request(
     } else if (tag == kRequestFieldSchemeFingerprint &&
                len == sizeof(std::uint64_t)) {
       cur.take_u64(req.scheme_fingerprint);
+    } else if (tag == kRequestFieldBackendChoice &&
+               len == sizeof(std::uint64_t)) {
+      std::uint64_t hint = 0;
+      cur.take_u64(hint);
+      // 1 + sw::BackendChoice; 0 never encodes (unhinted omits the tag).
+      if (hint == 0 || hint > 4)
+        return util::Status::invalid_input(
+            "request backend hint " + std::to_string(hint) +
+            " is outside [1, 4] (1 auto, 2 bpbc, 3 striped, "
+            "4 wordwise-naive)");
+      req.backend_hint = static_cast<std::uint8_t>(hint);
     } else if (!cur.skip(static_cast<std::size_t>(len))) {
       return util::Status::parse_error(
           "request payload carries trailing garbage");

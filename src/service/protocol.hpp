@@ -45,6 +45,7 @@ inline constexpr std::size_t kMaxTraceDumpEvents = 1u << 20;
 /// on an old server and vice versa. Tags are wire format — append only.
 inline constexpr std::uint64_t kRequestFieldTraceContext = 1;
 inline constexpr std::uint64_t kRequestFieldSchemeFingerprint = 2;
+inline constexpr std::uint64_t kRequestFieldBackendChoice = 3;
 
 struct ScreenRequest {
   std::string id;      // idempotency key, unique per request
@@ -71,6 +72,14 @@ struct ScreenRequest {
   // is rejected kInvalidInput instead of returning scores computed under
   // a different scoring model than the client planned around.
   std::uint64_t scheme_fingerprint = 0;
+  // Optional host-engine hint (trailer tag kRequestFieldBackendChoice):
+  // 0 = unhinted (no entry emitted, bytes match a pre-hint client; the
+  // daemon picks per its config), else 1 + sw::BackendChoice — 1 auto,
+  // 2 bpbc, 3 striped, 4 wordwise-naive. Advisory: the engines score
+  // bit-identically, so the hint steers throughput, never results (the
+  // journal and scheme fingerprint are unaffected). Out-of-range values
+  // are rejected kInvalidInput at decode.
+  std::uint8_t backend_hint = 0;
 
   [[nodiscard]] std::size_t pair_count() const { return xs.size(); }
 };

@@ -550,10 +550,29 @@ void ScreenServer::Impl::run_batch(const BatchPlan& plan) {
   }
   telemetry::ScopedTraceContext trace_ctx(batch_trace);
 
+  // Host-engine hint, same single-owner rule as the trace context: when
+  // every hinted request in the batch agrees, the batch follows the hint
+  // (decoded values are 1 + sw::BackendChoice); mixed or unhinted batches
+  // run the server's configured choice. Advisory either way — the
+  // engines score bit-identically.
+  std::uint8_t batch_hint = 0;
+  for (const std::size_t i : plan.take) {
+    const std::uint8_t hint = queue[i].request.backend_hint;
+    if (hint == 0 || hint == batch_hint) continue;
+    if (batch_hint != 0) {
+      batch_hint = 0;  // two distinct hints: no single owner
+      break;
+    }
+    batch_hint = hint;
+  }
+
   sw::ScreenConfig screen_config;
   screen_config.params = config.params;
   screen_config.scheme = config.scheme;
   screen_config.width = config.width;
+  screen_config.backend_choice =
+      batch_hint != 0 ? static_cast<sw::BackendChoice>(batch_hint - 1)
+                      : config.backend;
   screen_config.traceback = false;
   // No hit re-alignment in the serving path: clients asked for scores.
   screen_config.threshold = ~std::uint32_t{0};

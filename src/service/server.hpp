@@ -34,6 +34,7 @@
 #include "service/admission.hpp"
 #include "service/fault.hpp"
 #include "service/slo.hpp"
+#include "sw/dispatch.hpp"
 #include "sw/lane.hpp"
 #include "sw/params.hpp"
 #include "sw/scoring.hpp"
@@ -56,6 +57,13 @@ struct ServerConfig {
   // pins a different scheme fingerprint is rejected kInvalidInput.
   std::optional<sw::ScoringScheme> scheme;
   sw::LaneWidth width = sw::LaneWidth::kAuto;
+  // Host engine for batch compute when no persistent device engine is
+  // configured: BPBC, striped SIMD, the naive reference, or (default)
+  // the cost-model auto-dispatch (sw/dispatch.hpp). A batch whose traced
+  // requests agree on one nonzero backend hint follows the hint instead.
+  // Purely a throughput knob — every engine scores bit-identically, so
+  // journal replays and cached responses are unaffected.
+  sw::BackendChoice backend = sw::BackendChoice::kAuto;
   AdmissionConfig admission{};
   // Crash-safe request journal (empty disables journaling — admitted
   // work then dies with the process).

@@ -5,6 +5,19 @@
 
 namespace swbpbc::sw {
 
+namespace {
+
+// backend_name (when set) outranks the enum; flatten() falls back to the
+// enum on an unknown name, which validate() has already rejected.
+BackendChoice resolved_backend(const ScoringConfig& s) {
+  if (!s.backend_name.empty())
+    if (const auto parsed = parse_backend_choice(s.backend_name))
+      return *parsed;
+  return s.backend_choice;
+}
+
+}  // namespace
+
 ScreenConfig ScreenSpec::flatten() const {
   ScreenConfig cfg;
   cfg.params = scoring.params;
@@ -14,6 +27,7 @@ ScreenConfig ScreenSpec::flatten() const {
   cfg.mode = scoring.mode;
   cfg.method = scoring.method;
   cfg.traceback = scoring.traceback;
+  cfg.backend_choice = resolved_backend(scoring);
   cfg.backend = scoring.backend;
   cfg.chunk_backend = scoring.chunk_backend;
   cfg.backend_v2 = scoring.backend_v2;
@@ -40,6 +54,10 @@ util::Status invalid(std::string what) {
 }
 
 util::Status validate_scoring(const ScoringConfig& s) {
+  if (!s.backend_name.empty() && !parse_backend_choice(s.backend_name))
+    return invalid("scoring.backend_name \"" + s.backend_name +
+                   "\" is not a host engine (expected "
+                   "bpbc|striped|wordwise-naive|auto)");
   if (s.scheme.has_value()) {
     if (util::Status st = validate_scheme(*s.scheme, "scoring.scheme");
         !st.ok())
@@ -66,7 +84,21 @@ util::Status validate_scoring(const ScoringConfig& s) {
 util::Status validate(const ScreenSpec& spec) {
   const SurvivalConfig& sv = spec.survival;
   if (util::Status s = validate_scoring(spec.scoring); !s.ok()) return s;
+  const BackendChoice host_choice = resolved_backend(spec.scoring);
+  if (host_choice == BackendChoice::kWordwiseNaive &&
+      spec.scoring.scheme.has_value() &&
+      !spec.scoring.scheme->params_expressible())
+    return invalid("scoring backend wordwise-naive scores "
+                   "ScoreParams-expressible schemes only (linear gaps, "
+                   "uniform substitution); pick bpbc, striped, or auto for "
+                   "this scheme");
   if (spec.scoring.database != nullptr) {
+    if (host_choice == BackendChoice::kStriped ||
+        host_choice == BackendChoice::kWordwiseNaive)
+      return invalid("scoring.database serves chunks through the BPBC "
+                     "kernels; requesting the striped or wordwise-naive "
+                     "host engine conflicts — clear one (auto and bpbc "
+                     "defer to the store)");
     if (spec.scoring.backend_v2 != nullptr || spec.scoring.backend ||
         spec.scoring.chunk_backend)
       return invalid("scoring.database is unused when an explicit backend "
@@ -125,6 +157,7 @@ ScanConfig ScanSpec::flatten() const {
   cfg.threshold = scoring.threshold;
   cfg.width = scoring.width;
   cfg.mode = scoring.mode;
+  cfg.backend = resolved_backend(scoring);
   cfg.traceback = scoring.traceback;
   cfg.window = windows.window;
   cfg.overlap = windows.overlap;

@@ -45,9 +45,20 @@ struct ScoringConfig {
   bulk::Mode mode = bulk::Mode::kSerial;
   encoding::TransposeMethod method = encoding::TransposeMethod::kPlanned;
   bool traceback = true;  // run the detailed CPU alignment on hits
+  // Host engine when no explicit backend (and no database) is set: BPBC,
+  // the striped-SIMD rival, the naive wordwise reference, or (default)
+  // the measured cost-model auto-dispatch — see sw/dispatch.hpp. Scores
+  // are bit-identical whichever engine runs; SWBPBC_FORCE_BACKEND
+  // outranks this field at screen time.
+  BackendChoice backend_choice = BackendChoice::kAuto;
+  // CLI-facing spelling of backend_choice ("bpbc" | "striped" |
+  // "wordwise-naive" | "auto"); when non-empty it outranks the enum, and
+  // the builders reject unknown names with a typed kInvalidInput instead
+  // of silently defaulting.
+  std::string backend_name;
   // Engine selection, same precedence as ScreenConfig: backend_v2 (not
   // owned, must outlive the run) over chunk_backend over backend over the
-  // database store over the host BPBC path.
+  // database store over the backend_choice host path.
   ScoreBackend backend;
   ChunkBackend chunk_backend;
   Backend* backend_v2 = nullptr;

@@ -280,11 +280,14 @@ util::Expected<ScreenReport> try_screen(std::span<const Sequence> xs,
 
   // Backend resolution (v2): an explicit Backend wins; the v1 function
   // backends are wrapped through the compat adapters; a configured
-  // database store serves ys from disk; the host BPBC path is the
-  // default. One interface runs every chunk from here on.
+  // database store serves ys from disk; otherwise the host engine is
+  // picked by backend_choice (BPBC / striped / naive reference / the
+  // measured cost-model auto-dispatch). One interface runs every chunk
+  // from here on, and the selection is observable: a span arg plus a
+  // backend_selected.<engine> counter.
   std::unique_ptr<Backend> owned_backend;
-  Backend* const backend = [&]() -> Backend* {
-    if (config.backend_v2 != nullptr) return config.backend_v2;
+  Backend* backend = config.backend_v2;
+  if (backend == nullptr) {
     if (config.chunk_backend) {
       owned_backend = adapt_chunk_backend(config.chunk_backend);
     } else if (config.backend) {
@@ -297,11 +300,29 @@ util::Expected<ScreenReport> try_screen(std::span<const Sequence> xs,
       options.method = config.method;
       owned_backend = make_db_backend(*config.database, options);
     } else {
-      owned_backend = make_host_backend(scheme, config.width, config.mode,
-                                        config.method);
+      DispatchWorkload workload;
+      try {
+        workload = DispatchWorkload::from(scheme, count, xs.front().size(),
+                                          ys.front().size(),
+                                          resolve_lane_width(config.width));
+      } catch (const std::invalid_argument& e) {
+        return util::Status::invalid_input(e.what());
+      }
+      auto dispatched =
+          make_dispatch_backend(scheme, config.width, config.mode,
+                                config.method, config.backend_choice, workload);
+      if (!dispatched.has_value()) return dispatched.status();
+      owned_backend = std::move(dispatched->backend);
+      screen_span.arg("backend",
+                      static_cast<std::int64_t>(dispatched->choice));
+      if (config.telemetry != nullptr)
+        config.telemetry->registry()
+            .counter(std::string("backend_selected.") +
+                     backend_choice_name(dispatched->choice))
+            .add(1);
     }
-    return owned_backend.get();
-  }();
+    backend = owned_backend.get();
+  }
 
   // Quarantine rescoring backend for the per-chunk self-check. Rescore
   // jobs are tagged (chunk, attempt) past the whole-chunk retry budget so

@@ -18,6 +18,7 @@
 #include "encoding/batch.hpp"
 #include "encoding/dna.hpp"
 #include "sw/bpbc.hpp"
+#include "sw/dispatch.hpp"
 #include "sw/reliability.hpp"
 #include "sw/scalar.hpp"
 #include "telemetry/telemetry.hpp"
@@ -106,7 +107,13 @@ struct ScreenConfig {
   bulk::Mode mode = bulk::Mode::kSerial;
   encoding::TransposeMethod method = encoding::TransposeMethod::kPlanned;
   bool traceback = true;  // run the detailed CPU alignment on hits
-  ScoreBackend backend;   // empty: host BPBC path (bpbc_max_scores)
+  // Host engine selection when no explicit backend (and no database) is
+  // configured: BPBC, the striped-SIMD rival, the naive wordwise
+  // reference, or (default) the measured cost-model auto-dispatch — see
+  // sw/dispatch.hpp. Scores are bit-identical whichever engine runs;
+  // SWBPBC_FORCE_BACKEND outranks this field.
+  BackendChoice backend_choice = BackendChoice::kAuto;
+  ScoreBackend backend;   // empty: host path per backend_choice
   SelfCheckConfig check;  // verify-quarantine-retry; disabled by default
 
   // --- survivability (chunked streaming) -------------------------------

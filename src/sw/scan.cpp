@@ -1,7 +1,12 @@
 #include "sw/scan.hpp"
 
 #include <algorithm>
+#include <optional>
+#include <stdexcept>
 #include <string>
+
+#include "sw/striped.hpp"
+#include "sw/wordwise.hpp"
 
 namespace swbpbc::sw {
 
@@ -39,11 +44,39 @@ util::Expected<ScanReport> try_scan_text(const encoding::Sequence& query,
   }
   report.windows = spans.size();
 
+  // Resolve the host engine once for the whole scan: every batch shares
+  // the workload shape (uniform windows, one query), so the cost-model
+  // decision — and the SWBPBC_FORCE_BACKEND override — is taken up front
+  // and recorded on the scan span. Scores are bit-identical whichever
+  // engine runs.
+  const ScoringScheme scheme = ScoringScheme::from_params(config.params);
+  BackendChoice engine;
+  try {
+    const DispatchWorkload workload = DispatchWorkload::from(
+        scheme, spans.size(), m, spans.front().second - spans.front().first,
+        resolve_lane_width(config.width));
+    engine = resolve_backend_choice(config.backend, workload);
+  } catch (const std::invalid_argument& e) {
+    return util::Status::invalid_input(e.what());
+  }
+  std::optional<StripedProfile> striped_profile;
+  if (engine == BackendChoice::kStriped) {
+    encoding::GenericSequence gq(m);
+    for (std::size_t i = 0; i < m; ++i)
+      gq[i] = static_cast<std::uint8_t>(query[i]);
+    try {
+      striped_profile.emplace(scheme, gq);
+    } catch (const std::invalid_argument& e) {
+      return util::Status::invalid_input(e.what());
+    }
+  }
+
   const util::StopCondition stop(config.cancel, config.deadline);
   telemetry::Tracer* const tr =
       config.telemetry != nullptr ? config.telemetry->tracer() : nullptr;
   telemetry::Span scan_span(tr, "scan", "screen");
   scan_span.arg("windows", static_cast<std::int64_t>(spans.size()));
+  scan_span.arg("backend", static_cast<std::int64_t>(engine));
   bool detail_skipped = false;
   const std::size_t batch = config.chunk_windows == 0
                                 ? spans.size()
@@ -68,9 +101,34 @@ util::Expected<ScanReport> try_scan_text(const encoding::Sequence& query,
           text.begin() + static_cast<std::ptrdiff_t>(spans[w].first),
           text.begin() + static_cast<std::ptrdiff_t>(spans[w].second));
     }
-    const std::vector<encoding::Sequence> queries(n_batch, query);
-    const auto scores = bpbc_max_scores(queries, windows, config.params,
-                                        config.width, config.mode);
+    std::vector<std::uint32_t> scores;
+    switch (engine) {
+      case BackendChoice::kStriped: {
+        // One shared profile (built above), scored per window. The DNA
+        // bases are their dense codes, so the windows convert in place.
+        scores.assign(n_batch, 0);
+        bulk::for_each_instance(n_batch, config.mode, [&](std::size_t i) {
+          encoding::GenericSequence gw(windows[i].size());
+          for (std::size_t j = 0; j < gw.size(); ++j)
+            gw[j] = static_cast<std::uint8_t>(windows[i][j]);
+          scores[i] = striped_profile->score(gw);
+        });
+        break;
+      }
+      case BackendChoice::kWordwiseNaive: {
+        const std::vector<encoding::Sequence> queries(n_batch, query);
+        scores = wordwise_max_scores(queries, windows, config.params,
+                                     config.mode);
+        break;
+      }
+      case BackendChoice::kBpbc:
+      case BackendChoice::kAuto: {  // resolve never returns kAuto
+        const std::vector<encoding::Sequence> queries(n_batch, query);
+        scores = bpbc_max_scores(queries, windows, config.params,
+                                 config.width, config.mode);
+        break;
+      }
+    }
     report.windows_scored += n_batch;
 
     for (std::size_t i = 0; i < n_batch; ++i) {
@@ -104,6 +162,8 @@ util::Expected<ScanReport> try_scan_text(const encoding::Sequence& query,
     reg.counter("scan.runs").add(1);
     reg.counter("scan.windows_scored").add(report.windows_scored);
     reg.counter("scan.hits").add(report.hits.size());
+    reg.counter(std::string("backend_selected.") + backend_choice_name(engine))
+        .add(1);
   }
   return report;
 }

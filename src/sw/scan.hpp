@@ -16,6 +16,7 @@
 
 #include "encoding/dna.hpp"
 #include "sw/bpbc.hpp"
+#include "sw/dispatch.hpp"
 #include "sw/scalar.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/cancel.hpp"
@@ -30,6 +31,12 @@ struct ScanConfig {
   std::size_t overlap = 0;       // 0 = default 2 * query length
   LaneWidth width = LaneWidth::k64;
   bulk::Mode mode = bulk::Mode::kSerial;
+  // Host engine for the window batches: BPBC, the striped-SIMD rival,
+  // the naive wordwise reference, or (default) the cost-model
+  // auto-dispatch — see sw/dispatch.hpp. Resolved once per scan (every
+  // batch shares the workload shape); scores are bit-identical whichever
+  // engine runs, and SWBPBC_FORCE_BACKEND outranks this field.
+  BackendChoice backend = BackendChoice::kAuto;
   bool traceback = false;  // align hits in detail (coordinates mapped back)
 
   // --- survivability -------------------------------------------------

@@ -11,19 +11,26 @@ std::uint32_t wordwise_max_score(const encoding::Sequence& x,
   const std::size_t m = x.size();
   const std::size_t n = y.size();
   if (m == 0 || n == 0) return 0;
-  // Saturating helpers mirroring SSub_B / add_B semantics.
+  // Saturating helpers mirroring SSub_B / add_B semantics, as mask
+  // selects: the base-vs-base equality is essentially random on real
+  // sequences, so a conditional there costs a branch miss every few
+  // cells — the all-ones/all-zeros mask keeps the inner loop free of
+  // data-dependent branches (std::max compiles to cmov).
   const auto ssub = [](std::uint32_t a, std::uint32_t b) {
-    return a > b ? a - b : 0u;
+    return (a - b) & (0u - static_cast<std::uint32_t>(a >= b));
   };
   std::vector<std::uint32_t> row(n + 1, 0);
   std::uint32_t best = 0;
   for (std::size_t i = 1; i <= m; ++i) {
+    const encoding::Base xi = x[i - 1];
     std::uint32_t diag_prev = row[0];
     for (std::size_t j = 1; j <= n; ++j) {
       const std::uint32_t up = row[j];
+      const std::uint32_t eq =
+          0u - static_cast<std::uint32_t>(xi == y[j - 1]);
       const std::uint32_t match_val =
-          x[i - 1] == y[j - 1] ? diag_prev + params.match
-                               : ssub(diag_prev, params.mismatch);
+          ((diag_prev + params.match) & eq) |
+          (ssub(diag_prev, params.mismatch) & ~eq);
       const std::uint32_t gap_val =
           ssub(std::max(up, row[j - 1]), params.gap);
       const std::uint32_t v = std::max(match_val, gap_val);

@@ -122,6 +122,56 @@ TEST(ProtocolCompat, SchemeFingerprintWithWrongLengthIsSkipped) {
   EXPECT_EQ(decoded->scheme_fingerprint, 0u);
 }
 
+TEST(ProtocolCompat, UnhintedBackendAddsNoBytes) {
+  // No backend hint (0) stays byte-identical to the pre-hint encoder; a
+  // hinted request is exactly one 24-byte trailer entry longer.
+  ScreenRequest unhinted = sample_request();
+  ScreenRequest hinted = sample_request();
+  hinted.backend_hint = 3;  // striped
+  const auto a = encode_request(unhinted);
+  const auto b = encode_request(hinted);
+  ASSERT_EQ(b.size(), a.size() + 24);
+  EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin()));
+}
+
+TEST(ProtocolCompat, BackendHintRoundTripsEveryEngine) {
+  for (std::uint8_t hint = 1; hint <= 4; ++hint) {
+    ScreenRequest req = sample_request(0x10u, 0x20u);
+    req.scheme_fingerprint = 0x1ull;
+    req.backend_hint = hint;
+    auto decoded = decode_request(encode_request(req));
+    ASSERT_TRUE(decoded.has_value()) << decoded.status().to_string();
+    EXPECT_EQ(decoded->backend_hint, hint);
+    EXPECT_EQ(decoded->trace_id, 0x10u);  // coexists with the other tags
+    EXPECT_EQ(decoded->scheme_fingerprint, 0x1ull);
+  }
+}
+
+TEST(ProtocolCompat, OutOfRangeBackendHintIsInvalidInput) {
+  // Unlike an unknown tag (skippable), a known tag with a nonsense value
+  // is a client bug: typed rejection, never a silent engine default.
+  for (const std::uint64_t bad : {std::uint64_t{0}, std::uint64_t{5},
+                                  std::uint64_t{0xFF}}) {
+    auto payload = encode_request(sample_request());
+    put_u64(payload, kRequestFieldBackendChoice);
+    put_u64(payload, 8);
+    put_u64(payload, bad);
+    auto decoded = decode_request(payload);
+    ASSERT_FALSE(decoded.has_value()) << bad;
+    EXPECT_EQ(decoded.status().code(), util::ErrorCode::kInvalidInput) << bad;
+  }
+}
+
+TEST(ProtocolCompat, BackendHintWithWrongLengthIsSkipped) {
+  auto payload = encode_request(sample_request());
+  put_u64(payload, kRequestFieldBackendChoice);
+  put_u64(payload, 16);  // a future revision; this decoder expects 8
+  for (int i = 0; i < 16; ++i) payload.push_back(0x03);
+  auto decoded = decode_request(payload);
+  ASSERT_TRUE(decoded.has_value()) << decoded.status().to_string();
+  EXPECT_EQ(decoded->backend_hint, 0u);
+}
+
 TEST(ProtocolCompat, TruncatedTrailerIsParseError) {
   auto payload = encode_request(sample_request(0x1u, 0x2u));
   payload.pop_back();  // tear the last trailer byte off

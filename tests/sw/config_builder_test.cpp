@@ -402,6 +402,78 @@ TEST(ScanSpecBuilder, ExpressibleSchemeLowersOntoParams) {
   EXPECT_EQ(built->params.gap, 4u);
 }
 
+// --- backend_choice / backend_name ---------------------------------------
+
+TEST(ScreenSpecBuilder, BackendNameFlattensAndOutranksTheEnum) {
+  ScoringConfig scoring;
+  scoring.params = kParams;
+  scoring.backend_choice = BackendChoice::kBpbc;
+  scoring.backend_name = "striped";
+  const auto built = ScreenSpecBuilder().scoring(scoring).build();
+  ASSERT_TRUE(built.has_value()) << built.status().to_string();
+  EXPECT_EQ(built->backend_choice, BackendChoice::kStriped);
+  // And the enum alone flows through when no name is set.
+  scoring.backend_name.clear();
+  const auto enum_only = ScreenSpecBuilder().scoring(scoring).build();
+  ASSERT_TRUE(enum_only.has_value());
+  EXPECT_EQ(enum_only->backend_choice, BackendChoice::kBpbc);
+}
+
+TEST(ScreenSpecBuilder, UnknownBackendNameIsATypedError) {
+  ScoringConfig scoring;
+  scoring.params = kParams;
+  scoring.backend_name = "farrar";
+  expect_invalid(ScreenSpecBuilder().scoring(scoring).build(),
+                 "scoring.backend_name");
+}
+
+TEST(ScreenSpecBuilder, NaiveBackendRejectsAffineSchemes) {
+  ScoringScheme affine;
+  affine.gap_model = GapModel::kAffine;
+  affine.gap_open = 3;
+  affine.gap_extend = 1;
+  ScoringConfig scoring;
+  scoring.scheme = affine;
+  scoring.backend_name = "wordwise-naive";
+  expect_invalid(ScreenSpecBuilder().scoring(scoring).build(),
+                 "wordwise-naive");
+}
+
+TEST(ScreenSpecBuilder, DatabaseRejectsNonBpbcHostEngines) {
+  // The store serves the BPBC kernels; an explicit rival host engine is
+  // incoherent. A null-pointer check suffices for the rule — no real
+  // store needed, validate() runs before any IO.
+  ScoringConfig scoring;
+  scoring.params = kParams;
+  scoring.database = reinterpret_cast<db::Reader*>(0x1);
+  scoring.backend_name = "striped";
+  expect_invalid(ScreenSpecBuilder().scoring(scoring).build(),
+                 "scoring.database");
+  // auto and bpbc defer to the store and stay accepted.
+  scoring.backend_name = "auto";
+  EXPECT_TRUE(ScreenSpecBuilder().scoring(scoring).build().has_value());
+}
+
+TEST(ScanSpecBuilder, BackendNameFlattensIntoScanConfig) {
+  ScoringConfig scoring;
+  scoring.params = kParams;
+  scoring.backend_name = "wordwise-naive";
+  const auto built = ScanSpecBuilder().scoring(scoring).build();
+  ASSERT_TRUE(built.has_value()) << built.status().to_string();
+  EXPECT_EQ(built->backend, BackendChoice::kWordwiseNaive);
+}
+
+TEST(ScanSpecBuilder, UnknownBackendNameIsATypedError) {
+  ScoringConfig scoring;
+  scoring.params = kParams;
+  scoring.backend_name = "gpu";
+  const auto built = ScanSpecBuilder().scoring(scoring).build();
+  ASSERT_FALSE(built.has_value());
+  EXPECT_EQ(built.status().code(), util::ErrorCode::kInvalidInput);
+  EXPECT_NE(built.status().message().find("scoring.backend_name"),
+            std::string::npos);
+}
+
 // --- try_scan_text -------------------------------------------------------
 
 TEST(TryScanText, EmptyQueryIsATypedError) {
